@@ -1,0 +1,95 @@
+// Shared helpers for the experiment harness: dataset loading at the bench
+// scale, modeled-time aggregation, and table printing. Every bench binary
+// prints the rows/series of one table or figure from the paper; see
+// DESIGN.md §3 for the index and EXPERIMENTS.md for recorded results.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+#include "runtime/machine.hpp"
+#include "sparse/datasets.hpp"
+
+namespace sa1d::bench {
+
+/// SA1D_SCALE environment scaling (default 1.0 ≈ 20-40k-row instances).
+inline double bench_scale() {
+  if (const char* s = std::getenv("SA1D_SCALE")) return std::atof(s);
+  return 1.0;
+}
+
+inline CscMatrix<double> load(Dataset d) { return make_dataset(d, bench_scale()); }
+
+/// Modeled elapsed seconds of one phase-accounted run (DESIGN.md §5):
+/// max over ranks of comp/threads + other + modeled network time.
+struct Breakdown {
+  double comm = 0, comp = 0, other = 0;
+  [[nodiscard]] double total() const { return comm + comp + other; }
+};
+
+inline Breakdown modeled(const RunReport& rep, const CostModel& cm, int threads_per_rank = 1) {
+  Breakdown b;
+  for (const auto& r : rep.ranks) {
+    b.comp = std::max(b.comp, r.comp_s / threads_per_rank);
+    b.other = std::max(b.other, r.other_s + (cm.comm_seconds(r) - cm.rdma_seconds(r)));
+    b.comm = std::max(b.comm, cm.rdma_seconds(r));
+  }
+  return b;
+}
+
+/// Per-rank modeled breakdown (Fig 4/8/10 style).
+inline std::vector<Breakdown> per_rank_modeled(const RunReport& rep, const CostModel& cm,
+                                               int threads_per_rank = 1) {
+  std::vector<Breakdown> out;
+  out.reserve(rep.ranks.size());
+  for (const auto& r : rep.ranks) {
+    Breakdown b;
+    b.comp = r.comp_s / threads_per_rank;
+    b.other = r.other_s + (cm.comm_seconds(r) - cm.rdma_seconds(r));
+    b.comm = cm.rdma_seconds(r);
+    out.push_back(b);
+  }
+  return out;
+}
+
+inline void print_rank_breakdown(const char* label, const std::vector<Breakdown>& ranks) {
+  std::printf("  %-28s rank:  comm(ms)  comp(ms) other(ms)\n", label);
+  for (std::size_t r = 0; r < ranks.size(); ++r)
+    std::printf("  %-28s %5zu  %9.3f %9.3f %9.3f\n", "", r, 1e3 * ranks[r].comm,
+                1e3 * ranks[r].comp, 1e3 * ranks[r].other);
+}
+
+inline void print_rank_summary(const char* label, const std::vector<Breakdown>& ranks) {
+  Breakdown mx, sum;
+  for (const auto& b : ranks) {
+    mx.comm = std::max(mx.comm, b.comm);
+    mx.comp = std::max(mx.comp, b.comp);
+    mx.other = std::max(mx.other, b.other);
+    sum.comm += b.comm;
+    sum.comp += b.comp;
+    sum.other += b.other;
+  }
+  auto n = static_cast<double>(ranks.size());
+  std::printf(
+      "  %-28s comm max/avg %8.3f/%8.3f ms  comp max/avg %8.3f/%8.3f ms  other max/avg "
+      "%8.3f/%8.3f ms\n",
+      label, 1e3 * mx.comm, 1e3 * sum.comm / n, 1e3 * mx.comp, 1e3 * sum.comp / n,
+      1e3 * mx.other, 1e3 * sum.other / n);
+}
+
+inline double mib(std::uint64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
+
+/// Standard header naming the experiment and environment substitutions.
+inline void banner(const char* experiment, const char* paper_ref, const char* note) {
+  std::printf("==================================================================\n");
+  std::printf("%s  (reproduces %s)\n", experiment, paper_ref);
+  std::printf("%s\n", note);
+  std::printf("scale=%.2f (SA1D_SCALE); simulated ranks, alpha-beta network model\n",
+              bench_scale());
+  std::printf("==================================================================\n");
+}
+
+}  // namespace sa1d::bench

@@ -1,0 +1,39 @@
+// Fig 7: MPI x OpenMP configuration sweep at a fixed core budget on
+// hv15r-like squaring. For c = p*t cores we vary the rank count p (ranks
+// really execute; the per-rank thread count t enters through the
+// measured-Amdahl model of DESIGN.md §5). Paper result: intermediate rank
+// counts (64-256) win — few ranks pay serial copy overhead ("other"),
+// many ranks pay communication.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/spgemm1d.hpp"
+
+int main() {
+  using namespace sa1d;
+  bench::banner("fig07_mpi_omp_sweep", "Fig 7",
+                "thread axis via measured serial/parallel decomposition (single-core host)");
+  auto a = bench::load(Dataset::Hv15rLike);
+
+  for (int cores : {256, 1024}) {
+    std::printf("\n-- %d cores (p ranks x t threads) --\n", cores);
+    std::printf("%8s %8s %12s %12s %12s %12s\n", "p", "t", "comm ms", "comp ms", "other ms",
+                "total ms");
+    for (int p : {16, 64, 256, 1024}) {
+      if (p > cores) continue;
+      int t = cores / p;
+      CostParams cp;
+      cp.ranks_per_node = std::max(1, p / 8);  // 8-node allocation
+      Machine m(p, cp);
+      auto rep = m.run([&](Comm& c) {
+        auto da = DistMatrix1D<double>::from_global(c, a);
+        spgemm_1d(c, da, da);
+      });
+      auto b = bench::modeled(rep, m.cost(), t);
+      std::printf("%8d %8d %12.3f %12.3f %12.3f %12.3f\n", p, t, 1e3 * b.comm, 1e3 * b.comp,
+                  1e3 * b.other, 1e3 * b.total());
+    }
+  }
+  std::printf("\n(paper: 64-256 ranks optimal; extremes lose to serial overhead or comm)\n");
+  return 0;
+}

@@ -1,0 +1,38 @@
+// Fig 8: strong-scaling per-rank breakdown of the sparsity-aware 1D
+// algorithm on hv15r-like squaring. Shows the load imbalance the paper
+// observes (per-rank comm/comp/other spread) and how it tames at higher
+// concurrency.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "core/spgemm1d.hpp"
+
+int main() {
+  using namespace sa1d;
+  bench::banner("fig08_strong_scaling_breakdown", "Fig 8",
+                "per-rank bars -> per-rank rows (P=16) and max/avg summaries");
+  auto a = bench::load(Dataset::Hv15rLike);
+
+  for (int P : {16, 32, 64, 128}) {
+    CostParams cp;
+    cp.ranks_per_node = 16;
+    Machine m(P, cp);
+    auto rep = m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      spgemm_1d(c, da, da);
+    });
+    auto ranks = bench::per_rank_modeled(rep, m.cost());
+    std::printf("\n-- P = %d --\n", P);
+    if (P <= 16) bench::print_rank_breakdown("per-rank", ranks);
+    bench::print_rank_summary("summary", ranks);
+    // Imbalance factor: max total over avg total across ranks.
+    double mx = 0, sum = 0;
+    for (const auto& b : ranks) {
+      mx = std::max(mx, b.total());
+      sum += b.total();
+    }
+    std::printf("  imbalance (max/avg total): %.2f\n",
+                mx / (sum / static_cast<double>(ranks.size())));
+  }
+  return 0;
+}

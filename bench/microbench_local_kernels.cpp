@@ -1,0 +1,69 @@
+// google-benchmark microbenchmarks of the local SpGEMM kernels (the
+// compute substrate of every distributed algorithm): heap vs hash vs
+// hybrid vs SPA across structure classes and fill factors.
+#include <benchmark/benchmark.h>
+
+#include "kernels/spgemm_local.hpp"
+#include "sparse/generators.hpp"
+
+namespace {
+
+using namespace sa1d;
+
+const CscMatrix<double>& matrix_for(int gen) {
+  static const CscMatrix<double> er = erdos_renyi<double>(4096, 8.0, 11);
+  static const CscMatrix<double> mesh = mesh2d<double>(64);
+  static const CscMatrix<double> clustered = block_clustered<double>(4096, 32, 8.0, 0.5, 7);
+  static const CscMatrix<double> skewed = rmat<double>(12, 8, 3);
+  switch (gen) {
+    case 0: return er;
+    case 1: return mesh;
+    case 2: return clustered;
+    default: return skewed;
+  }
+}
+
+const char* gen_name(int gen) {
+  switch (gen) {
+    case 0: return "erdos-renyi";
+    case 1: return "mesh2d";
+    case 2: return "clustered";
+    default: return "rmat";
+  }
+}
+
+void BM_Spgemm(benchmark::State& state) {
+  auto kernel = static_cast<LocalKernel>(state.range(0));
+  const auto& a = matrix_for(static_cast<int>(state.range(1)));
+  index_t flops = total_flops(a, a);
+  for (auto _ : state) {
+    auto c = spgemm(a, a, kernel);
+    benchmark::DoNotOptimize(c.nnz());
+  }
+  state.SetItemsProcessed(state.iterations() * flops);
+  state.SetLabel(std::string(kernel_name(kernel)) + "/" +
+                 gen_name(static_cast<int>(state.range(1))));
+}
+
+void BM_Symbolic(benchmark::State& state) {
+  const auto& a = matrix_for(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto f = symbolic_flops(a, a);
+    benchmark::DoNotOptimize(f.data());
+  }
+  state.SetLabel(gen_name(static_cast<int>(state.range(0))));
+}
+
+}  // namespace
+
+BENCHMARK(BM_Spgemm)
+    ->ArgsProduct({{static_cast<long>(sa1d::LocalKernel::Spa),
+                    static_cast<long>(sa1d::LocalKernel::Heap),
+                    static_cast<long>(sa1d::LocalKernel::Hash),
+                    static_cast<long>(sa1d::LocalKernel::Hybrid)},
+                   {0, 1, 2, 3}})
+    ->Unit(benchmark::kMillisecond);
+
+BENCHMARK(BM_Symbolic)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
+
+BENCHMARK_MAIN();

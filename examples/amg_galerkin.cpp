@@ -1,0 +1,47 @@
+// AMG setup example: build a two-level algebraic multigrid hierarchy for a
+// 3D Poisson problem. The restriction operator comes from MIS-2
+// aggregation and the Galerkin product R^T A R runs on the distributed 1D
+// algorithms — the paper's §IV-B workload.
+//
+//   ./amg_galerkin [mesh_k]
+#include <cstdio>
+#include <cstdlib>
+
+#include "sa1d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sa1d;
+  index_t k = argc > 1 ? std::atoll(argv[1]) : 20;
+
+  auto a = mesh3d<double>(k);
+  std::printf("fine operator: %lld dofs, %lld nnz (3D 27-point Poisson)\n",
+              static_cast<long long>(a.nrows()), static_cast<long long>(a.nnz()));
+
+  // Coarsening: distance-2 MIS -> aggregates -> R (one nonzero per row).
+  auto roots = mis2(a, /*seed=*/7);
+  auto agg = aggregate_mis2(a, roots);
+  auto r = restriction_from_aggregates(agg);
+  std::printf("MIS-2 picked %zu aggregates: R is %lld x %lld with %lld nnz\n", roots.size(),
+              static_cast<long long>(r.nrows()), static_cast<long long>(r.ncols()),
+              static_cast<long long>(r.nnz()));
+
+  Machine machine(16);
+  CscMatrix<double> coarse;
+  auto report = machine.run([&](Comm& comm) {
+    // Left multiply with Algorithm 1, right multiply with the outer-product
+    // algorithm — the configuration Fig 12 shows is fastest.
+    auto res = galerkin_product(comm, a, r, {}, RightMultAlgo::OuterProduct1d);
+    coarse = res.rtar.gather(comm);
+  });
+
+  std::printf("coarse operator: %lld dofs, %lld nnz (%.1fx reduction)\n",
+              static_cast<long long>(coarse.nrows()), static_cast<long long>(coarse.nnz()),
+              static_cast<double>(a.nnz()) / static_cast<double>(coarse.nnz()));
+
+  // Sanity: the Galerkin coarse operator of a symmetric A stays symmetric.
+  std::printf("coarse operator symmetric: %s\n",
+              approx_equal(coarse, transpose(coarse), 1e-9) ? "yes" : "NO");
+  std::printf("setup moved %.2f MiB over the network across 16 ranks\n",
+              static_cast<double>(report.total_bytes_network()) / (1 << 20));
+  return 0;
+}

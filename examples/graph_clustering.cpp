@@ -1,0 +1,49 @@
+// Graph-mining example: Markov clustering and triangle counting on the same
+// protein-network-like graph — the two SpGEMM application families the
+// paper's introduction motivates (HipMCL squaring; triangle counting as the
+// early 1D use case). Both run on the sparsity-aware 1D machinery.
+//
+//   ./graph_clustering [n] [communities]
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+
+#include "sa1d.hpp"
+
+int main(int argc, char** argv) {
+  using namespace sa1d;
+  index_t n = argc > 1 ? std::atoll(argv[1]) : 1536;
+  index_t k = argc > 2 ? std::atoll(argv[2]) : 12;
+
+  auto a = hidden_community<double>(n, k, 9.0, 0.05, /*seed=*/3);
+  std::printf("graph: %lld vertices, %lld edges, %lld planted communities (hidden by a "
+              "random relabeling)\n",
+              static_cast<long long>(n), static_cast<long long>(a.nnz() / 2),
+              static_cast<long long>(k));
+
+  Machine machine(8);
+  machine.run([&](Comm& comm) {
+    // Triangle counting: local clustering evidence.
+    auto triangles = count_triangles_1d(comm, a);
+
+    // MCL: expansion = distributed squaring (the paper's core workload).
+    MclOptions opt;
+    opt.inflation = 2.0;
+    auto res = mcl_cluster(comm, a, opt);
+
+    if (comm.rank() == 0) {
+      std::printf("triangles: %lld\n", static_cast<long long>(triangles));
+      std::printf("MCL: %lld clusters after %d iterations (%s)\n",
+                  static_cast<long long>(res.nclusters), res.iterations,
+                  res.converged ? "converged" : "iteration cap");
+      std::map<index_t, index_t> sizes;
+      for (auto c : res.cluster) ++sizes[c];
+      index_t big = 0;
+      for (auto& [id, sz] : sizes)
+        if (sz >= n / (4 * k)) ++big;
+      std::printf("clusters holding a community-sized population: %lld (planted: %lld)\n",
+                  static_cast<long long>(big), static_cast<long long>(k));
+    }
+  });
+  return 0;
+}

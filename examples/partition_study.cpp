@@ -1,0 +1,64 @@
+// Partition study: walk through the paper's §V decision procedure on
+// matrices with different structure. For each input, compute the CV/memA
+// advisor ratio, then measure the real communication volume of the
+// sparsity-aware 1D SpGEMM under (a) natural order, (b) random permutation,
+// (c) multilevel partitioning — and report which choice the advisor would
+// have made and whether it was right.
+//
+//   ./partition_study
+#include <cstdio>
+
+#include "sa1d.hpp"
+
+namespace {
+
+using namespace sa1d;
+
+void study(const char* name, const CscMatrix<double>& a, int P) {
+  Machine machine(P);
+
+  auto volume_with = [&](const CscMatrix<double>& m, const std::vector<index_t>& bounds,
+                         double* cv) {
+    auto rep = machine.run([&](Comm& comm) {
+      auto da = DistMatrix1D<double>::from_global(comm, m, bounds);
+      double r = cv_over_mem_a(comm, da, da);
+      if (comm.rank() == 0 && cv) *cv = r;
+      spgemm_1d(comm, da, da);
+    });
+    return static_cast<double>(rep.total_rdma_bytes()) / (1 << 20);
+  };
+
+  double cv_natural = 0;
+  double v_natural = volume_with(a, {}, &cv_natural);
+  auto rand_perm = random_permutation(a.ncols(), 3);
+  double v_random = volume_with(permute_symmetric(a, rand_perm), {}, nullptr);
+
+  auto g = graph_from_matrix(symmetrize(a));
+  auto w = flops_vertex_weights(a);
+  PartitionOptions opt;
+  opt.nparts = P;
+  auto layout = partition_to_layout(partition_graph(g, w, opt).part, P);
+  double v_parted = volume_with(permute_symmetric(a, layout.perm), layout.bounds, nullptr);
+
+  const char* advice = cv_natural > 0.3 ? "partition" : "keep natural order";
+  bool advice_right = cv_natural > 0.3 ? (v_parted < v_natural) : (v_natural <= v_parted * 4);
+  std::printf("%-22s CV/memA=%.3f -> advisor says: %-18s", name, cv_natural, advice);
+  std::printf(" | volume MiB: natural %8.2f  random %8.2f  partitioned %8.2f  (%s)\n",
+              v_natural, v_random, v_parted, advice_right ? "advice sound" : "advice off");
+}
+
+}  // namespace
+
+int main() {
+  using namespace sa1d;
+  const int P = 16;
+  std::printf("Sec. V decision procedure on four structure classes (P=%d):\n\n", P);
+  study("3D mesh (natural)", mesh3d<double>(16), P);
+  study("clustered blocks", block_clustered<double>(4096, 16, 8.0, 0.5, 11), P);
+  study("hidden communities", hidden_community<double>(4096, 16, 8.0, 0.5, 11), P);
+  study("erdos-renyi (random)", erdos_renyi<double>(4096, 8.0, 11, true), P);
+  std::printf("\nReading: clustered/mesh inputs need no preprocessing; hidden structure is\n"
+              "recovered by the partitioner; true random graphs gain little either way —\n"
+              "the paper's worst case for 1D algorithms.\n");
+  return 0;
+}

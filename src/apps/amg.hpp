@@ -1,0 +1,132 @@
+// Algebraic-multigrid substrate (paper §II-C.2 and §IV-B): distance-2
+// maximal independent set, aggregation, the restriction operator R, and the
+// Galerkin product RᵀA·R computed with the distributed 1D algorithms.
+//
+// R follows the paper's Table III convention: R is n×nagg and every row has
+// exactly one nonzero (each fine vertex belongs to exactly one aggregate).
+#pragma once
+
+#include <queue>
+#include <vector>
+
+#include "core/outer_product.hpp"
+#include "core/spgemm1d.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/ops.hpp"
+#include "util/rng.hpp"
+
+namespace sa1d {
+
+/// Greedy distance-2 maximal independent set on the graph of A (pattern,
+/// diagonal ignored): no two selected vertices share a neighbour, and no
+/// further vertex can be added. Deterministic given the seed.
+template <typename VT>
+std::vector<index_t> mis2(const CscMatrix<VT>& a, std::uint64_t seed = 1) {
+  require(a.nrows() == a.ncols(), "mis2: matrix must be square");
+  const index_t n = a.ncols();
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  SplitMix64 rng(seed);
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(i + 1)))]);
+
+  std::vector<char> blocked(static_cast<std::size_t>(n), 0);
+  std::vector<index_t> roots;
+  for (index_t oi = 0; oi < n; ++oi) {
+    index_t v = order[static_cast<std::size_t>(oi)];
+    if (blocked[static_cast<std::size_t>(v)]) continue;
+    roots.push_back(v);
+    blocked[static_cast<std::size_t>(v)] = 1;
+    // Block everything within distance 2.
+    for (auto u : a.col_rows(v)) {
+      blocked[static_cast<std::size_t>(u)] = 1;
+      for (auto w : a.col_rows(u)) blocked[static_cast<std::size_t>(w)] = 1;
+    }
+  }
+  std::sort(roots.begin(), roots.end());
+  return roots;
+}
+
+/// Aggregates every vertex to its nearest MIS-2 root (two BFS rounds; MIS-2
+/// maximality guarantees full coverage). Returns agg[v] in [0, nroots).
+template <typename VT>
+std::vector<index_t> aggregate_mis2(const CscMatrix<VT>& a, const std::vector<index_t>& roots) {
+  const index_t n = a.ncols();
+  std::vector<index_t> agg(static_cast<std::size_t>(n), -1);
+  for (std::size_t r = 0; r < roots.size(); ++r)
+    agg[static_cast<std::size_t>(roots[r])] = static_cast<index_t>(r);
+  // Round 1: distance-1 neighbours; Round 2: distance-2.
+  for (int round = 0; round < 2; ++round) {
+    std::vector<index_t> next = agg;
+    for (index_t v = 0; v < n; ++v) {
+      if (agg[static_cast<std::size_t>(v)] != -1) continue;
+      for (auto u : a.col_rows(v)) {
+        if (agg[static_cast<std::size_t>(u)] != -1) {
+          next[static_cast<std::size_t>(v)] = agg[static_cast<std::size_t>(u)];
+          break;
+        }
+      }
+    }
+    agg = std::move(next);
+  }
+  // Isolated leftovers (no edges at all): make singleton aggregates.
+  index_t extra = static_cast<index_t>(roots.size());
+  for (index_t v = 0; v < n; ++v)
+    if (agg[static_cast<std::size_t>(v)] == -1) agg[static_cast<std::size_t>(v)] = extra++;
+  return agg;
+}
+
+/// Builds the restriction operator from an aggregation map: R is n×nagg
+/// with R(v, agg[v]) = 1 — one nonzero per row (Table III's property).
+inline CscMatrix<double> restriction_from_aggregates(const std::vector<index_t>& agg) {
+  const auto n = static_cast<index_t>(agg.size());
+  index_t nagg = 0;
+  for (auto a : agg) nagg = std::max(nagg, a + 1);
+  CooMatrix<double> coo(n, nagg);
+  for (index_t v = 0; v < n; ++v) coo.push(v, agg[static_cast<std::size_t>(v)], 1.0);
+  coo.canonicalize();
+  return CscMatrix<double>::from_coo(coo);
+}
+
+/// Convenience: MIS-2 → aggregation → R for a symmetric matrix.
+template <typename VT>
+CscMatrix<double> restriction_operator(const CscMatrix<VT>& a, std::uint64_t seed = 1) {
+  auto roots = mis2(a, seed);
+  return restriction_from_aggregates(aggregate_mis2(a, roots));
+}
+
+/// Which algorithm computes the right multiplication (RᵀA)·R.
+enum class RightMultAlgo { SparsityAware1d, OuterProduct1d };
+
+struct GalerkinResult {
+  DistMatrix1D<double> rta;   ///< RᵀA  (nagg × n), 1D distributed
+  DistMatrix1D<double> rtar;  ///< RᵀAR (nagg × nagg), 1D distributed
+};
+
+/// Distributed Galerkin product RᵀAR (the AMG bottleneck the paper targets).
+/// Left multiplication RᵀA always uses the sparsity-aware 1D algorithm; the
+/// right multiplication is selectable (Fig 12 compares the two).
+inline GalerkinResult galerkin_product(Comm& comm, const CscMatrix<double>& a_global,
+                                       const CscMatrix<double>& r_global,
+                                       const Spgemm1dOptions& opt = {},
+                                       RightMultAlgo right = RightMultAlgo::OuterProduct1d) {
+  require(a_global.nrows() == a_global.ncols(), "galerkin_product: A must be square");
+  require(r_global.nrows() == a_global.ncols(), "galerkin_product: R/A dimension mismatch");
+  auto rt_global = transpose(r_global);
+
+  auto rt = DistMatrix1D<double>::from_global(comm, rt_global);
+  auto a = DistMatrix1D<double>::from_global(comm, a_global);
+  auto r = DistMatrix1D<double>::from_global(comm, r_global);
+
+  GalerkinResult res;
+  res.rta = spgemm_1d(comm, rt, a, opt);
+  if (right == RightMultAlgo::SparsityAware1d) {
+    res.rtar = spgemm_1d(comm, res.rta, r, opt);
+  } else {
+    res.rtar = spgemm_outer_product_1d(comm, res.rta, r);
+  }
+  return res;
+}
+
+}  // namespace sa1d

@@ -1,0 +1,70 @@
+// Algorithm 2 of the paper: the block fetching strategy. The owner's
+// nonzero columns (in DCSC order) are split into at most K contiguous
+// groups; a group is fetched iff it contains at least one required column.
+// This bounds the number of RDMA messages per remote process by K while
+// still covering every required column.
+#pragma once
+
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sa1d {
+
+/// One contiguous run of nonzero-column *positions* [begin, end) in the
+/// owner's DCSC order; fetching it moves elements [cp[begin], cp[end]).
+struct FetchRange {
+  index_t begin = 0;
+  index_t end = 0;
+
+  friend bool operator==(const FetchRange&, const FetchRange&) = default;
+};
+
+/// Builds the fetch plan for one remote process.
+///   nzc           number of nonzero columns the owner stores
+///   k_groups      the paper's K parameter (e.g. 2048)
+///   needed        needed[pos] == true iff the column at `pos` participates
+///                 in the local computation (H ∩ D restricted to this owner)
+///   merge_adjacent  optional extension: coalesce back-to-back chosen groups
+///                 into one message (fewer, larger messages than Alg. 2)
+/// Postconditions (tested): ranges are disjoint, ascending, within [0,nzc),
+/// their union covers every needed position, and size() <= k_groups
+/// (without merging; merging can only reduce the count).
+inline std::vector<FetchRange> block_fetch_plan(index_t nzc, index_t k_groups,
+                                                const std::vector<bool>& needed,
+                                                bool merge_adjacent = false) {
+  require(k_groups > 0, "block_fetch_plan: K must be positive");
+  require(static_cast<index_t>(needed.size()) == nzc, "block_fetch_plan: needed size != nzc");
+  std::vector<FetchRange> out;
+  if (nzc == 0) return out;
+
+  index_t groups = std::min(k_groups, nzc);
+  index_t base = nzc / groups, rem = nzc % groups;
+  index_t begin = 0;
+  for (index_t g = 0; g < groups; ++g) {
+    index_t len = base + (g < rem ? 1 : 0);
+    index_t end = begin + len;
+    bool choose = false;
+    for (index_t p = begin; p < end && !choose; ++p) choose = needed[static_cast<std::size_t>(p)];
+    if (choose) {
+      if (merge_adjacent && !out.empty() && out.back().end == begin) {
+        out.back().end = end;
+      } else {
+        out.push_back({begin, end});
+      }
+    }
+    begin = end;
+  }
+  return out;
+}
+
+/// Elements moved by a plan given the owner's cp prefix array.
+inline index_t plan_elements(const std::vector<FetchRange>& plan,
+                             std::span<const index_t> cp) {
+  index_t total = 0;
+  for (const auto& r : plan)
+    total += cp[static_cast<std::size_t>(r.end)] - cp[static_cast<std::size_t>(r.begin)];
+  return total;
+}
+
+}  // namespace sa1d

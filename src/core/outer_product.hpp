@@ -1,0 +1,92 @@
+// Algorithm 3 of the paper: the outer-product 1D SpGEMM, used for the
+// right multiplication (RᵀA)·R of the Galerkin product where Ballard et
+// al. showed it is the best 1D variant.
+//
+//   1. redistribute B so rank i owns the row block matching A's column slice
+//   2. local outer product: C_partial = A_i · B_rows_i  (full m×n, partial)
+//   3. redistribute C partials to the owners of C's column slices and merge
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "kernels/spgemm_local.hpp"
+#include "runtime/machine.hpp"
+
+namespace sa1d {
+
+struct OuterProductOptions {
+  LocalKernel kernel = LocalKernel::Hybrid;
+  int threads = 1;
+};
+
+/// Outer-product 1D SpGEMM (paper Algorithm 3). Collective.
+/// C inherits B's column distribution, matching spgemm_1d's output layout.
+template <typename VT>
+DistMatrix1D<VT> spgemm_outer_product_1d(Comm& comm, const DistMatrix1D<VT>& a,
+                                         const DistMatrix1D<VT>& b,
+                                         const OuterProductOptions& opt = {}) {
+  require(a.ncols() == b.nrows(), "spgemm_outer_product_1d: inner dimension mismatch");
+  const int P = comm.size();
+  const int me = comm.rank();
+
+  // (1) Redistribute B by rows: the owner of B row g is the rank whose A
+  // column slice contains g (outer product pairs A(:,g) with B(g,:)).
+  std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
+  {
+    auto ph = comm.phase(Phase::Other);
+    const auto& bl = b.local();
+    for (index_t k = 0; k < bl.nzc(); ++k) {
+      index_t gcol = b.col_lo() + bl.col_id(k);
+      auto rows = bl.col_rows_at(k);
+      auto vals = bl.col_vals_at(k);
+      for (std::size_t p = 0; p < rows.size(); ++p) {
+        int owner = find_owner(std::span<const index_t>(a.bounds()), rows[p]);
+        send[static_cast<std::size_t>(owner)].push_back({rows[p], gcol, vals[p]});
+      }
+    }
+  }
+  auto recv = comm.alltoallv(send);
+
+  // (2) Local outer product. Build row-major access to the received B rows,
+  // then expand against A_i's columns; accumulate triples of partial C.
+  std::vector<std::vector<Triple<VT>>> c_send(static_cast<std::size_t>(P));
+  {
+    auto ph = comm.phase(Phase::Comp);
+    // rows_of[g - col_lo] -> list of (col, val) of B(g, :).
+    std::vector<std::vector<std::pair<index_t, VT>>> rows_of(
+        static_cast<std::size_t>(a.local_ncols()));
+    for (const auto& chunk : recv)
+      for (const auto& t : chunk)
+        rows_of[static_cast<std::size_t>(t.row - a.col_lo())].emplace_back(t.col, t.val);
+
+    const auto& al = a.local();
+    for (index_t k = 0; k < al.nzc(); ++k) {
+      const auto& brow = rows_of[static_cast<std::size_t>(al.col_id(k))];
+      if (brow.empty()) continue;
+      auto arows = al.col_rows_at(k);
+      auto avals = al.col_vals_at(k);
+      for (const auto& [ccol, bval] : brow) {
+        int owner = find_owner(std::span<const index_t>(b.bounds()), ccol);
+        auto& out = c_send[static_cast<std::size_t>(owner)];
+        for (std::size_t p = 0; p < arows.size(); ++p)
+          out.push_back({arows[p], ccol, avals[p] * bval});
+      }
+    }
+  }
+
+  // (3) Redistribute partial results and merge duplicates by addition.
+  auto c_recv = comm.alltoallv(c_send);
+  DcscMatrix<VT> c_local;
+  {
+    auto ph = comm.phase(Phase::Other);
+    CooMatrix<VT> coo(a.nrows(), b.local_ncols());
+    for (auto& chunk : c_recv)
+      for (auto& t : chunk) coo.push(t.row, t.col - b.col_lo(), t.val);
+    coo.canonicalize();
+    c_local = DcscMatrix<VT>::from_coo(coo);
+  }
+  return DistMatrix1D<VT>(a.nrows(), b.ncols(), b.bounds(), me, std::move(c_local));
+}
+
+}  // namespace sa1d

@@ -1,0 +1,274 @@
+// Algorithm 1 of the paper: the sparsity-aware 1D SpGEMM.
+//
+//   C = A · B with A, B, C all 1D column-distributed. B and C are
+//   stationary; the only data movement is one-sided fetches of the A
+//   columns each rank actually needs:
+//
+//     1. expose two windows over A's local row-id and value arrays
+//     2. allgather A's nonzero column ids (D) and per-column prefix (cp)
+//     3. H_i := nonzero rows of B_i (dense boolean vector of length k)
+//     4. required ids D̃ := H_i ∩ D
+//     5. group fetches with the block-fetch strategy (Algorithm 2)
+//     6. MPI_Get-style passive-target fetches of the chosen blocks
+//     7. compact fetched columns into Ã (only needed columns are kept)
+//     8. C_i = Ã · B_i with a local heap/hash hybrid kernel
+//
+// No communication of C is needed: it is born 1D-distributed.
+#pragma once
+
+#include <vector>
+
+#include "core/block_fetch.hpp"
+#include "dist/dist_matrix.hpp"
+#include "kernels/spgemm_local.hpp"
+#include "runtime/machine.hpp"
+#include "util/bitvector.hpp"
+
+namespace sa1d {
+
+struct Spgemm1dOptions {
+  /// Algorithm 2's K: max RDMA block fetches per remote process.
+  index_t block_fetch_k = 2048;
+  /// Local kernel for C_i = Ã·B_i.
+  LocalKernel kernel = LocalKernel::Hybrid;
+  /// Simulated OpenMP threads inside the rank (local kernel fan-out).
+  int threads = 1;
+  /// Ablation: when false, every nonzero column of A is fetched
+  /// (sparsity-oblivious 1D), not just H ∩ D.
+  bool sparsity_aware = true;
+  /// Extension to Algorithm 2: merge adjacent chosen blocks into one message.
+  bool merge_adjacent_blocks = false;
+};
+
+/// Per-rank diagnostics of one sparsity-aware multiply.
+struct Spgemm1dInfo {
+  index_t needed_cols = 0;    ///< |H ∩ D| over remote ranks
+  index_t fetched_cols = 0;   ///< columns actually moved (block overshoot incl.)
+  index_t fetched_elems = 0;  ///< nonzeros moved from remote ranks
+  index_t atilde_nnz = 0;     ///< nnz of the compacted Ã
+  index_t atilde_ncols = 0;
+  index_t rdma_calls = 0;     ///< window gets issued (2 per block: ir + vals)
+};
+
+namespace detail1d {
+
+/// Metadata every rank replicates about every A slice: global nonzero
+/// column ids and the element prefix within the owner's ir/vals arrays.
+template <typename VT>
+struct AMeta {
+  std::vector<std::vector<index_t>> gids;  // [rank] -> global col ids (ascending)
+  std::vector<std::vector<index_t>> cp;    // [rank] -> prefix, size nzc+1
+};
+
+/// Allgathers D (global nonzero column ids) and cp for all slices of A.
+/// The paper counts this metadata exchange as "other" time.
+template <typename VT>
+AMeta<VT> gather_a_metadata(Comm& comm, const DistMatrix1D<VT>& a) {
+  std::vector<index_t> my_gids(static_cast<std::size_t>(a.local().nzc()));
+  for (index_t k = 0; k < a.local().nzc(); ++k)
+    my_gids[static_cast<std::size_t>(k)] = a.global_col(k);
+  AMeta<VT> meta;
+  meta.gids = comm.allgatherv(std::span<const index_t>(my_gids));
+  meta.cp = comm.allgatherv(std::span<const index_t>(a.local().cp()));
+  return meta;
+}
+
+/// Dense boolean vector of B_i's nonzero rows (the paper's H_i).
+template <typename VT>
+BitVector nonzero_rows(const DcscMatrix<VT>& b_local, index_t k) {
+  BitVector h(k);
+  for (auto r : b_local.ir()) h.set(r);
+  return h;
+}
+
+}  // namespace detail1d
+
+/// The sparsity-aware 1D SpGEMM (paper Algorithm 1). Collective.
+/// Phase accounting: metadata + Ã assembly + output conversion → Other;
+/// the local multiply → Comp; window gets → RDMA counters (modeled time).
+template <typename VT>
+DistMatrix1D<VT> spgemm_1d(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                           const Spgemm1dOptions& opt = {}, Spgemm1dInfo* info_out = nullptr) {
+  require(a.ncols() == b.nrows(), "spgemm_1d: inner dimension mismatch");
+  require(opt.block_fetch_k > 0, "spgemm_1d: block_fetch_k must be positive");
+  const int P = comm.size();
+  const int me = comm.rank();
+  Spgemm1dInfo info;
+
+  // (1) Windows over A's structural and numeric arrays.
+  Window win_ir = comm.expose(std::span<const index_t>(a.local().ir()));
+  Window win_val = comm.expose(std::span<const VT>(a.local().vals()));
+
+  // (2) Metadata exchange + (3) H vector. "Other" time.
+  detail1d::AMeta<VT> meta;
+  BitVector h;
+  {
+    auto ph = comm.phase(Phase::Other);
+    meta = detail1d::gather_a_metadata(comm, a);
+    h = detail1d::nonzero_rows(b.local(), a.ncols());
+  }
+
+  // (4)-(7) Plan, fetch, and assemble the compacted Ã in global col order.
+  std::vector<index_t> atilde_gids;
+  std::vector<index_t> atilde_colptr{0};
+  std::vector<index_t> atilde_rows;
+  std::vector<VT> atilde_vals;
+
+  std::vector<index_t> buf_ir;
+  std::vector<VT> buf_val;
+  for (int r = 0; r < P; ++r) {
+    const auto& gids = meta.gids[static_cast<std::size_t>(r)];
+    const auto& cp = meta.cp[static_cast<std::size_t>(r)];
+    const auto nzc = static_cast<index_t>(gids.size());
+    if (nzc == 0) continue;
+
+    if (r == me) {
+      // Local slice: no fetch; copy needed columns straight out of A_i.
+      auto ph = comm.phase(Phase::Other);
+      for (index_t p = 0; p < nzc; ++p) {
+        if (opt.sparsity_aware && !h.test(gids[static_cast<std::size_t>(p)])) continue;
+        atilde_gids.push_back(gids[static_cast<std::size_t>(p)]);
+        auto rows = a.local().col_rows_at(p);
+        auto vals = a.local().col_vals_at(p);
+        atilde_rows.insert(atilde_rows.end(), rows.begin(), rows.end());
+        atilde_vals.insert(atilde_vals.end(), vals.begin(), vals.end());
+        atilde_colptr.push_back(static_cast<index_t>(atilde_rows.size()));
+      }
+      continue;
+    }
+
+    std::vector<bool> needed(static_cast<std::size_t>(nzc), !opt.sparsity_aware);
+    if (opt.sparsity_aware) {
+      auto ph = comm.phase(Phase::Other);
+      for (index_t p = 0; p < nzc; ++p) {
+        if (h.test(gids[static_cast<std::size_t>(p)])) {
+          needed[static_cast<std::size_t>(p)] = true;
+          ++info.needed_cols;
+        }
+      }
+    } else {
+      info.needed_cols += nzc;
+    }
+
+    auto plan =
+        block_fetch_plan(nzc, opt.block_fetch_k, needed, opt.merge_adjacent_blocks);
+    for (const auto& range : plan) {
+      index_t elo = cp[static_cast<std::size_t>(range.begin)];
+      index_t ehi = cp[static_cast<std::size_t>(range.end)];
+      index_t len = ehi - elo;
+      buf_ir.resize(static_cast<std::size_t>(len));
+      buf_val.resize(static_cast<std::size_t>(len));
+      comm.get(win_ir, r, elo, len, buf_ir.data());
+      comm.get(win_val, r, elo, len, buf_val.data());
+      info.rdma_calls += 2;
+      info.fetched_cols += range.end - range.begin;
+      info.fetched_elems += len;
+
+      // Compact: keep only the needed columns out of the fetched block.
+      auto ph = comm.phase(Phase::Other);
+      for (index_t p = range.begin; p < range.end; ++p) {
+        if (!needed[static_cast<std::size_t>(p)]) continue;
+        index_t clo = cp[static_cast<std::size_t>(p)] - elo;
+        index_t chi = cp[static_cast<std::size_t>(p) + 1] - elo;
+        atilde_gids.push_back(gids[static_cast<std::size_t>(p)]);
+        atilde_rows.insert(atilde_rows.end(), buf_ir.begin() + clo, buf_ir.begin() + chi);
+        atilde_vals.insert(atilde_vals.end(), buf_val.begin() + clo, buf_val.begin() + chi);
+        atilde_colptr.push_back(static_cast<index_t>(atilde_rows.size()));
+      }
+    }
+  }
+
+  // Assemble Ã and the remapped B̃_i, then run the local multiply.
+  CscMatrix<VT> atilde_m, btilde_m;
+  {
+    auto ph = comm.phase(Phase::Other);
+    info.atilde_ncols = static_cast<index_t>(atilde_gids.size());
+    info.atilde_nnz = static_cast<index_t>(atilde_rows.size());
+
+    CscMatrix<VT> atilde(a.nrows(), info.atilde_ncols, atilde_colptr, atilde_rows, atilde_vals);
+
+    // B̃_i: row ids (global k-space) -> Ã column positions. Rows of B whose
+    // A column is structurally empty are dropped (they contribute nothing).
+    const auto& bl = b.local();
+    std::vector<index_t> bt_colptr{0};
+    std::vector<index_t> bt_rows;
+    std::vector<VT> bt_vals;
+    bt_colptr.reserve(static_cast<std::size_t>(b.local_ncols()) + 1);
+    index_t next_local = 0;
+    for (index_t kcol = 0; kcol < bl.nzc(); ++kcol) {
+      // Emit empty columns for structurally empty B columns before this one.
+      while (next_local < bl.col_id(kcol)) {
+        bt_colptr.push_back(static_cast<index_t>(bt_rows.size()));
+        ++next_local;
+      }
+      auto rows = bl.col_rows_at(kcol);
+      auto vals = bl.col_vals_at(kcol);
+      for (std::size_t p = 0; p < rows.size(); ++p) {
+        auto it = std::lower_bound(atilde_gids.begin(), atilde_gids.end(), rows[p]);
+        if (it == atilde_gids.end() || *it != rows[p]) continue;
+        bt_rows.push_back(static_cast<index_t>(it - atilde_gids.begin()));
+        bt_vals.push_back(vals[p]);
+      }
+      bt_colptr.push_back(static_cast<index_t>(bt_rows.size()));
+      ++next_local;
+    }
+    while (next_local < b.local_ncols()) {
+      bt_colptr.push_back(static_cast<index_t>(bt_rows.size()));
+      ++next_local;
+    }
+    atilde_m = std::move(atilde);
+    btilde_m = CscMatrix<VT>(info.atilde_ncols, b.local_ncols(), std::move(bt_colptr),
+                             std::move(bt_rows), std::move(bt_vals));
+  }
+
+  CscMatrix<VT> c_local;
+  {
+    auto ph = comm.phase(Phase::Comp);
+    c_local = spgemm_local<PlusTimes<VT>, VT>(atilde_m, btilde_m, opt.kernel, opt.threads);
+  }
+
+  // Keep A's windows alive until every rank finished fetching.
+  comm.barrier();
+
+  DcscMatrix<VT> c_dcsc;
+  {
+    auto ph = comm.phase(Phase::Other);
+    c_dcsc = DcscMatrix<VT>::from_csc(c_local);
+  }
+  DistMatrix1D<VT> c(a.nrows(), b.ncols(), b.bounds(), me, std::move(c_dcsc));
+  if (info_out != nullptr) *info_out = info;
+  return c;
+}
+
+/// The paper's §V advisor: planned RDMA volume over the full size of A
+/// (CV/memA). Computable from metadata alone, before any data movement;
+/// above ~0.3 the paper recommends graph partitioning first. Collective.
+template <typename VT>
+double cv_over_mem_a(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                     const Spgemm1dOptions& opt = {}) {
+  auto meta = detail1d::gather_a_metadata(comm, a);
+  BitVector h = detail1d::nonzero_rows(b.local(), a.ncols());
+  std::uint64_t planned = 0;
+  for (int r = 0; r < comm.size(); ++r) {
+    if (r == comm.rank()) continue;
+    const auto& gids = meta.gids[static_cast<std::size_t>(r)];
+    const auto nzc = static_cast<index_t>(gids.size());
+    if (nzc == 0) continue;
+    std::vector<bool> needed(static_cast<std::size_t>(nzc), !opt.sparsity_aware);
+    if (opt.sparsity_aware)
+      for (index_t p = 0; p < nzc; ++p)
+        if (h.test(gids[static_cast<std::size_t>(p)])) needed[static_cast<std::size_t>(p)] = true;
+    auto plan = block_fetch_plan(nzc, opt.block_fetch_k, needed, opt.merge_adjacent_blocks);
+    planned += static_cast<std::uint64_t>(
+        plan_elements(plan, std::span<const index_t>(meta.cp[static_cast<std::size_t>(r)])));
+  }
+  std::uint64_t planned_total = comm.allreduce_sum(planned);
+  auto mem_a = static_cast<std::uint64_t>(a.global_nnz(comm));
+  if (mem_a == 0) return 0.0;
+  // Fig 5(b)'s ratio of 1.0 means "each process retrieves all of A", so the
+  // numerator is the *average per-process* fetched volume (in elements).
+  double per_rank = static_cast<double>(planned_total) / static_cast<double>(comm.size());
+  return per_rank / static_cast<double>(mem_a);
+}
+
+}  // namespace sa1d

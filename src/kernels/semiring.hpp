@@ -1,0 +1,58 @@
+// Semiring abstractions: SpGEMM is computed over a configurable (⊕, ⊗)
+// pair so the same kernels serve numeric multiplication (plus-times),
+// reachability (or-and), shortest paths (min-plus), and the BC traversals.
+#pragma once
+
+#include <algorithm>
+#include <concepts>
+#include <limits>
+
+namespace sa1d {
+
+/// A semiring provides: value_type, zero() (⊕-identity and annihilator),
+/// add(a,b) = a ⊕ b, multiply(a,b) = a ⊗ b.
+template <typename SR>
+concept SemiringConcept = requires(typename SR::value_type a, typename SR::value_type b) {
+  { SR::zero() } -> std::convertible_to<typename SR::value_type>;
+  { SR::add(a, b) } -> std::convertible_to<typename SR::value_type>;
+  { SR::multiply(a, b) } -> std::convertible_to<typename SR::value_type>;
+};
+
+/// Standard arithmetic semiring (+, ×). The numeric SpGEMM of the paper.
+template <typename T = double>
+struct PlusTimes {
+  using value_type = T;
+  static constexpr T zero() { return T{0}; }
+  static T add(T a, T b) { return a + b; }
+  static T multiply(T a, T b) { return a * b; }
+};
+
+/// Boolean reachability semiring (∨, ∧).
+struct OrAnd {
+  using value_type = bool;
+  static constexpr bool zero() { return false; }
+  static bool add(bool a, bool b) { return a || b; }
+  static bool multiply(bool a, bool b) { return a && b; }
+};
+
+/// Tropical semiring (min, +) for shortest paths.
+template <typename T = double>
+struct MinPlus {
+  using value_type = T;
+  static constexpr T zero() { return std::numeric_limits<T>::infinity(); }
+  static T add(T a, T b) { return std::min(a, b); }
+  static T multiply(T a, T b) { return a + b; }
+};
+
+/// (+, select-second): multiply ignores the A value. With a 0/1 adjacency
+/// pattern this propagates and sums B values along edges — the multi-source
+/// BFS path-counting step of betweenness centrality.
+template <typename T = double>
+struct PlusSelect2nd {
+  using value_type = T;
+  static constexpr T zero() { return T{0}; }
+  static T add(T a, T b) { return a + b; }
+  static T multiply(T /*a*/, T b) { return b; }
+};
+
+}  // namespace sa1d

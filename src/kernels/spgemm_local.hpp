@@ -1,0 +1,321 @@
+// Shared-memory SpGEMM kernels, column-by-column formulation (paper Fig 1):
+// column j of C is the ⊕-combination of A's columns selected by the nonzeros
+// of B(:, j). Four accumulators are provided:
+//   - SPA   : dense sparse-accumulator, the O(m) reference
+//   - Heap  : k-way merge of the selected A columns (Azad et al. 2016)
+//   - Hash  : open-addressing per-column table (Nagasaka et al. 2019)
+//   - Hybrid: per-column choice of heap vs hash by estimated flops —
+//             the configuration the paper uses for its local multiplies.
+#pragma once
+
+#include <algorithm>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "kernels/semiring.hpp"
+#include "sparse/csc.hpp"
+#include "util/common.hpp"
+
+namespace sa1d {
+
+enum class LocalKernel { Spa, Heap, Hash, Hybrid };
+
+inline const char* kernel_name(LocalKernel k) {
+  switch (k) {
+    case LocalKernel::Spa: return "spa";
+    case LocalKernel::Heap: return "heap";
+    case LocalKernel::Hash: return "hash";
+    case LocalKernel::Hybrid: return "hybrid";
+  }
+  return "?";
+}
+
+/// Per-column multiply work: flops(j) = Σ_{k : B(k,j)≠0} nnz(A(:,k)).
+/// This is the "sparse flops" quantity the paper balances with METIS weights.
+template <typename VT>
+std::vector<index_t> symbolic_flops(const CscMatrix<VT>& a, const CscMatrix<VT>& b) {
+  require(a.ncols() == b.nrows(), "symbolic_flops: inner dimension mismatch");
+  std::vector<index_t> flops(static_cast<std::size_t>(b.ncols()), 0);
+  for (index_t j = 0; j < b.ncols(); ++j)
+    for (auto k : b.col_rows(j)) flops[static_cast<std::size_t>(j)] += a.col_nnz(k);
+  return flops;
+}
+
+template <typename VT>
+index_t total_flops(const CscMatrix<VT>& a, const CscMatrix<VT>& b) {
+  auto f = symbolic_flops(a, b);
+  index_t t = 0;
+  for (auto x : f) t += x;
+  return t;
+}
+
+namespace detail {
+
+/// Output assembly buffer for one contiguous range of C's columns.
+template <typename VT>
+struct ColRangeResult {
+  std::vector<index_t> colptr;  // local, size = range length + 1
+  std::vector<index_t> rowids;
+  std::vector<VT> vals;
+};
+
+/// SPA accumulator for columns [jlo, jhi).
+template <SemiringConcept SR, typename VT>
+ColRangeResult<VT> spa_range(const CscMatrix<VT>& a, const CscMatrix<VT>& b, index_t jlo,
+                             index_t jhi) {
+  using T = typename SR::value_type;
+  ColRangeResult<VT> out;
+  out.colptr.assign(static_cast<std::size_t>(jhi - jlo) + 1, 0);
+  std::vector<T> acc(static_cast<std::size_t>(a.nrows()), SR::zero());
+  std::vector<index_t> stamp(static_cast<std::size_t>(a.nrows()), -1);
+  std::vector<index_t> touched;
+  for (index_t j = jlo; j < jhi; ++j) {
+    touched.clear();
+    auto bks = b.col_rows(j);
+    auto bvs = b.col_vals(j);
+    for (std::size_t p = 0; p < bks.size(); ++p) {
+      index_t k = bks[p];
+      auto ars = a.col_rows(k);
+      auto avs = a.col_vals(k);
+      for (std::size_t q = 0; q < ars.size(); ++q) {
+        index_t r = ars[q];
+        T prod = SR::multiply(static_cast<T>(avs[q]), static_cast<T>(bvs[p]));
+        if (stamp[static_cast<std::size_t>(r)] != j) {
+          stamp[static_cast<std::size_t>(r)] = j;
+          acc[static_cast<std::size_t>(r)] = prod;
+          touched.push_back(r);
+        } else {
+          acc[static_cast<std::size_t>(r)] = SR::add(acc[static_cast<std::size_t>(r)], prod);
+        }
+      }
+    }
+    std::sort(touched.begin(), touched.end());
+    for (auto r : touched) {
+      out.rowids.push_back(r);
+      out.vals.push_back(static_cast<VT>(acc[static_cast<std::size_t>(r)]));
+    }
+    out.colptr[static_cast<std::size_t>(j - jlo) + 1] = static_cast<index_t>(out.rowids.size());
+  }
+  return out;
+}
+
+/// Heap accumulator: k-way merge of the selected A columns.
+template <SemiringConcept SR, typename VT>
+ColRangeResult<VT> heap_range(const CscMatrix<VT>& a, const CscMatrix<VT>& b, index_t jlo,
+                              index_t jhi) {
+  using T = typename SR::value_type;
+  ColRangeResult<VT> out;
+  out.colptr.assign(static_cast<std::size_t>(jhi - jlo) + 1, 0);
+  // Heap entry: current row id in list `l`, position within that list.
+  struct Entry {
+    index_t row;
+    index_t list;
+    index_t pos;
+  };
+  auto cmp = [](const Entry& x, const Entry& y) { return x.row > y.row; };
+  std::vector<Entry> heap;
+  for (index_t j = jlo; j < jhi; ++j) {
+    auto bks = b.col_rows(j);
+    auto bvs = b.col_vals(j);
+    heap.clear();
+    for (std::size_t l = 0; l < bks.size(); ++l) {
+      if (a.col_nnz(bks[l]) > 0)
+        heap.push_back({a.col_rows(bks[l])[0], static_cast<index_t>(l), 0});
+    }
+    std::make_heap(heap.begin(), heap.end(), cmp);
+    index_t cur_row = -1;
+    T cur_val = SR::zero();
+    while (!heap.empty()) {
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      Entry e = heap.back();
+      heap.pop_back();
+      index_t k = bks[static_cast<std::size_t>(e.list)];
+      T prod = SR::multiply(static_cast<T>(a.col_vals(k)[static_cast<std::size_t>(e.pos)]),
+                            static_cast<T>(bvs[static_cast<std::size_t>(e.list)]));
+      if (e.row == cur_row) {
+        cur_val = SR::add(cur_val, prod);
+      } else {
+        if (cur_row >= 0) {
+          out.rowids.push_back(cur_row);
+          out.vals.push_back(static_cast<VT>(cur_val));
+        }
+        cur_row = e.row;
+        cur_val = prod;
+      }
+      if (e.pos + 1 < a.col_nnz(k)) {
+        heap.push_back({a.col_rows(k)[static_cast<std::size_t>(e.pos) + 1], e.list, e.pos + 1});
+        std::push_heap(heap.begin(), heap.end(), cmp);
+      }
+    }
+    if (cur_row >= 0) {
+      out.rowids.push_back(cur_row);
+      out.vals.push_back(static_cast<VT>(cur_val));
+    }
+    out.colptr[static_cast<std::size_t>(j - jlo) + 1] = static_cast<index_t>(out.rowids.size());
+  }
+  return out;
+}
+
+/// Hash accumulator: open-addressing table sized per column.
+template <SemiringConcept SR, typename VT>
+ColRangeResult<VT> hash_range(const CscMatrix<VT>& a, const CscMatrix<VT>& b, index_t jlo,
+                              index_t jhi) {
+  using T = typename SR::value_type;
+  ColRangeResult<VT> out;
+  out.colptr.assign(static_cast<std::size_t>(jhi - jlo) + 1, 0);
+  std::vector<index_t> keys;
+  std::vector<T> tvals;
+  std::vector<std::pair<index_t, VT>> extracted;
+  for (index_t j = jlo; j < jhi; ++j) {
+    auto bks = b.col_rows(j);
+    auto bvs = b.col_vals(j);
+    index_t flops = 0;
+    for (auto k : bks) flops += a.col_nnz(k);
+    // Distinct output rows are bounded by min(flops, nrows); sizing the
+    // table by flops alone wastes cache on dense-ish columns.
+    index_t distinct_bound = std::min<index_t>(std::max<index_t>(flops, 1), a.nrows());
+    std::size_t cap = 8;
+    while (cap < 2 * static_cast<std::size_t>(distinct_bound)) cap <<= 1;
+    keys.assign(cap, -1);
+    tvals.assign(cap, SR::zero());
+    const std::size_t mask = cap - 1;
+    for (std::size_t p = 0; p < bks.size(); ++p) {
+      index_t k = bks[p];
+      auto ars = a.col_rows(k);
+      auto avs = a.col_vals(k);
+      for (std::size_t q = 0; q < ars.size(); ++q) {
+        index_t r = ars[q];
+        T prod = SR::multiply(static_cast<T>(avs[q]), static_cast<T>(bvs[p]));
+        std::size_t h = (static_cast<std::size_t>(r) * 0x9e3779b97f4a7c15ULL) & mask;
+        while (true) {
+          if (keys[h] == -1) {
+            keys[h] = r;
+            tvals[h] = prod;
+            break;
+          }
+          if (keys[h] == r) {
+            tvals[h] = SR::add(tvals[h], prod);
+            break;
+          }
+          h = (h + 1) & mask;
+        }
+      }
+    }
+    extracted.clear();
+    for (std::size_t h = 0; h < cap; ++h)
+      if (keys[h] != -1) extracted.emplace_back(keys[h], static_cast<VT>(tvals[h]));
+    std::sort(extracted.begin(), extracted.end());
+    for (auto& [r, v] : extracted) {
+      out.rowids.push_back(r);
+      out.vals.push_back(v);
+    }
+    out.colptr[static_cast<std::size_t>(j - jlo) + 1] = static_cast<index_t>(out.rowids.size());
+  }
+  return out;
+}
+
+/// Hybrid: short merges go to the heap kernel, flop-heavy columns to hash,
+/// and columns whose accumulation is dense relative to the row dimension
+/// use the dense accumulator (the heap/hash/SPA mix of the paper's local
+/// multiply, after Nagasaka et al. / Azad et al.).
+template <SemiringConcept SR, typename VT>
+ColRangeResult<VT> hybrid_range(const CscMatrix<VT>& a, const CscMatrix<VT>& b, index_t jlo,
+                                index_t jhi, index_t flops_threshold = 256) {
+  ColRangeResult<VT> out;
+  out.colptr.assign(static_cast<std::size_t>(jhi - jlo) + 1, 0);
+  // Group consecutive columns of the same class so the SPA accumulator is
+  // reused across adjacent dense columns instead of reallocated per column.
+  auto class_of = [&](index_t j) {
+    index_t flops = 0;
+    for (auto k : b.col_rows(j)) flops += a.col_nnz(k);
+    if (flops <= flops_threshold) return 0;           // heap
+    if (flops >= a.nrows() / 4) return 2;             // dense-ish: SPA
+    return 1;                                         // hash
+  };
+  index_t j = jlo;
+  while (j < jhi) {
+    index_t cls = class_of(j);
+    index_t end = j + 1;
+    while (end < jhi && class_of(end) == cls) ++end;
+    ColRangeResult<VT> one = cls == 0   ? heap_range<SR, VT>(a, b, j, end)
+                             : cls == 1 ? hash_range<SR, VT>(a, b, j, end)
+                                        : spa_range<SR, VT>(a, b, j, end);
+    out.rowids.insert(out.rowids.end(), one.rowids.begin(), one.rowids.end());
+    out.vals.insert(out.vals.end(), one.vals.begin(), one.vals.end());
+    index_t base = out.colptr[static_cast<std::size_t>(j - jlo)];
+    for (std::size_t jj = 1; jj < one.colptr.size(); ++jj)
+      out.colptr[static_cast<std::size_t>(j - jlo) + jj] = base + one.colptr[jj];
+    j = end;
+  }
+  return out;
+}
+
+template <SemiringConcept SR, typename VT>
+ColRangeResult<VT> run_range(const CscMatrix<VT>& a, const CscMatrix<VT>& b, index_t jlo,
+                             index_t jhi, LocalKernel kernel) {
+  switch (kernel) {
+    case LocalKernel::Spa: return spa_range<SR, VT>(a, b, jlo, jhi);
+    case LocalKernel::Heap: return heap_range<SR, VT>(a, b, jlo, jhi);
+    case LocalKernel::Hash: return hash_range<SR, VT>(a, b, jlo, jhi);
+    case LocalKernel::Hybrid: return hybrid_range<SR, VT>(a, b, jlo, jhi);
+  }
+  throw std::logic_error("run_range: unknown kernel");
+}
+
+}  // namespace detail
+
+/// C = A ⊕.⊗ B with the chosen accumulator. `threads` > 1 splits C's columns
+/// across std::threads (each thread builds a contiguous column range).
+template <SemiringConcept SR, typename VT>
+CscMatrix<VT> spgemm_local(const CscMatrix<VT>& a, const CscMatrix<VT>& b,
+                           LocalKernel kernel = LocalKernel::Hybrid, int threads = 1) {
+  require(a.ncols() == b.nrows(), "spgemm_local: inner dimension mismatch");
+  require(threads >= 1, "spgemm_local: threads must be >= 1");
+
+  std::vector<detail::ColRangeResult<VT>> parts;
+  if (threads == 1 || b.ncols() < 2 * threads) {
+    parts.push_back(detail::run_range<SR, VT>(a, b, 0, b.ncols(), kernel));
+  } else {
+    auto bounds = even_split(b.ncols(), threads);
+    parts.resize(static_cast<std::size_t>(threads));
+    std::vector<std::thread> pool;
+    pool.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      pool.emplace_back([&, t] {
+        parts[static_cast<std::size_t>(t)] = detail::run_range<SR, VT>(
+            a, b, bounds[static_cast<std::size_t>(t)], bounds[static_cast<std::size_t>(t) + 1],
+            kernel);
+      });
+    }
+    for (auto& th : pool) th.join();
+  }
+
+  // Concatenate ranges into one CSC.
+  std::vector<index_t> colptr;
+  colptr.reserve(static_cast<std::size_t>(b.ncols()) + 1);
+  colptr.push_back(0);
+  std::size_t total = 0;
+  for (const auto& p : parts) total += p.rowids.size();
+  std::vector<index_t> rowids;
+  std::vector<VT> vals;
+  rowids.reserve(total);
+  vals.reserve(total);
+  for (const auto& p : parts) {
+    index_t base = static_cast<index_t>(rowids.size());
+    for (std::size_t j = 1; j < p.colptr.size(); ++j) colptr.push_back(base + p.colptr[j]);
+    rowids.insert(rowids.end(), p.rowids.begin(), p.rowids.end());
+    vals.insert(vals.end(), p.vals.begin(), p.vals.end());
+  }
+  return CscMatrix<VT>(a.nrows(), b.ncols(), std::move(colptr), std::move(rowids),
+                       std::move(vals));
+}
+
+/// Convenience numeric wrapper over plus-times.
+template <typename VT>
+CscMatrix<VT> spgemm(const CscMatrix<VT>& a, const CscMatrix<VT>& b,
+                     LocalKernel kernel = LocalKernel::Hybrid, int threads = 1) {
+  return spgemm_local<PlusTimes<VT>, VT>(a, b, kernel, threads);
+}
+
+}  // namespace sa1d

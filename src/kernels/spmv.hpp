@@ -1,0 +1,90 @@
+// Sparse matrix–vector products: the CSC gather/scatter kernel, the CSR
+// row-dot kernel, and a sparsity-aware distributed SpMV on the same 1D
+// layout as Algorithm 1 (y = A·x with x/A column-distributed; only the x
+// entries matching A's nonzero columns ever move — the SpMV analogue of
+// the paper's H∩D filter, and the integration story for PETSc-style users).
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "kernels/semiring.hpp"
+#include "runtime/machine.hpp"
+#include "sparse/csr.hpp"
+
+namespace sa1d {
+
+/// y = A·x (CSC: scatter columns scaled by x).
+template <SemiringConcept SR = PlusTimes<double>, typename VT = double>
+std::vector<VT> spmv(const CscMatrix<VT>& a, std::span<const VT> x) {
+  require(static_cast<index_t>(x.size()) == a.ncols(), "spmv: x size mismatch");
+  using T = typename SR::value_type;
+  std::vector<T> y(static_cast<std::size_t>(a.nrows()), SR::zero());
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    if (x[static_cast<std::size_t>(j)] == VT{}) continue;
+    auto rows = a.col_rows(j);
+    auto vals = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      auto& acc = y[static_cast<std::size_t>(rows[p])];
+      acc = SR::add(acc, SR::multiply(static_cast<T>(vals[p]),
+                                      static_cast<T>(x[static_cast<std::size_t>(j)])));
+    }
+  }
+  std::vector<VT> out(y.size());
+  for (std::size_t i = 0; i < y.size(); ++i) out[i] = static_cast<VT>(y[i]);
+  return out;
+}
+
+/// y = A·x (CSR: per-row dot products).
+template <SemiringConcept SR = PlusTimes<double>, typename VT = double>
+std::vector<VT> spmv(const CsrMatrix<VT>& a, std::span<const VT> x) {
+  require(static_cast<index_t>(x.size()) == a.ncols(), "spmv: x size mismatch");
+  using T = typename SR::value_type;
+  std::vector<VT> y(static_cast<std::size_t>(a.nrows()));
+  for (index_t i = 0; i < a.nrows(); ++i) {
+    auto cols = a.row_cols(i);
+    auto vals = a.row_vals(i);
+    T acc = SR::zero();
+    for (std::size_t p = 0; p < cols.size(); ++p)
+      acc = SR::add(acc, SR::multiply(static_cast<T>(vals[p]),
+                                      static_cast<T>(x[static_cast<std::size_t>(cols[p])])));
+    y[static_cast<std::size_t>(i)] = static_cast<VT>(acc);
+  }
+  return y;
+}
+
+/// Distributed y = A·x. A is 1D column-distributed; x is distributed with
+/// A's column slices (each rank passes its local slice of x). The local
+/// partial products y_i = A_i·x_i are combined by a dense all-reduce, so no
+/// remote x entries are fetched at all — the 1D-layout property that makes
+/// this algorithm composable with Algorithm 1's data placement.
+/// Returns the full y on every rank.
+template <typename VT>
+std::vector<VT> spmv_1d(Comm& comm, const DistMatrix1D<VT>& a, std::span<const VT> x_local) {
+  require(static_cast<index_t>(x_local.size()) == a.local_ncols(),
+          "spmv_1d: x slice width mismatch");
+  std::vector<VT> partial(static_cast<std::size_t>(a.nrows()), VT{});
+  {
+    auto ph = comm.phase(Phase::Comp);
+    const auto& al = a.local();
+    for (index_t k = 0; k < al.nzc(); ++k) {
+      VT xv = x_local[static_cast<std::size_t>(al.col_id(k))];
+      if (xv == VT{}) continue;
+      auto rows = al.col_rows_at(k);
+      auto vals = al.col_vals_at(k);
+      for (std::size_t p = 0; p < rows.size(); ++p)
+        partial[static_cast<std::size_t>(rows[p])] += vals[p] * xv;
+    }
+  }
+  // Dense combine: sum the per-rank partials (tree allreduce analogue).
+  auto all = comm.allgatherv(std::span<const VT>(partial));
+  std::vector<VT> y(static_cast<std::size_t>(a.nrows()), VT{});
+  {
+    auto ph = comm.phase(Phase::Other);
+    for (const auto& part : all)
+      for (std::size_t i = 0; i < part.size(); ++i) y[i] += part[i];
+  }
+  return y;
+}
+
+}  // namespace sa1d

@@ -1,0 +1,398 @@
+#include "part/partitioner.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+#include "util/rng.hpp"
+
+namespace sa1d {
+
+Graph graph_from_matrix(const CscMatrix<double>& a) {
+  require(a.nrows() == a.ncols(), "graph_from_matrix: matrix must be square");
+  const index_t n = a.ncols();
+  // Collect undirected edges (min,max) and merge duplicates.
+  std::vector<std::pair<index_t, index_t>> edges;
+  edges.reserve(static_cast<std::size_t>(a.nnz()));
+  for (index_t j = 0; j < n; ++j)
+    for (auto r : a.col_rows(j))
+      if (r != j) edges.emplace_back(std::min(r, j), std::max(r, j));
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Graph g;
+  g.n = n;
+  g.xadj.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++g.xadj[static_cast<std::size_t>(u) + 1];
+    ++g.xadj[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) g.xadj[i + 1] += g.xadj[i];
+  g.adj.resize(static_cast<std::size_t>(2) * edges.size());
+  g.ewgt.assign(g.adj.size(), 1.0);
+  std::vector<index_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
+  for (const auto& [u, v] : edges) {
+    g.adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
+    g.adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
+  }
+  return g;
+}
+
+std::vector<double> flops_vertex_weights(const CscMatrix<double>& a) {
+  std::vector<double> w(static_cast<std::size_t>(a.ncols()));
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto d = static_cast<double>(a.col_nnz(j));
+    w[static_cast<std::size_t>(j)] = std::max(1.0, d * d);
+  }
+  return w;
+}
+
+double edge_cut(const Graph& g, std::span<const int> part) {
+  double cut = 0;
+  for (index_t v = 0; v < g.n; ++v)
+    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      index_t u = g.adj[static_cast<std::size_t>(e)];
+      if (u > v && part[static_cast<std::size_t>(u)] != part[static_cast<std::size_t>(v)])
+        cut += g.ewgt[static_cast<std::size_t>(e)];
+    }
+  return cut;
+}
+
+namespace {
+
+/// One coarsening level: the coarse graph plus the fine→coarse vertex map.
+struct Level {
+  Graph graph;
+  std::vector<double> vwgt;
+  std::vector<index_t> fine_to_coarse;
+};
+
+/// Heavy-edge matching coarsening step. Returns false if the graph barely
+/// shrank (time to stop).
+bool coarsen_once(const Graph& g, const std::vector<double>& vwgt, SplitMix64& rng,
+                  Graph& coarse, std::vector<double>& cwgt, std::vector<index_t>& map) {
+  const index_t n = g.n;
+  std::vector<index_t> match(static_cast<std::size_t>(n), -1);
+  std::vector<index_t> order(static_cast<std::size_t>(n));
+  std::iota(order.begin(), order.end(), index_t{0});
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(rng.below(static_cast<std::uint64_t>(i + 1)))]);
+
+  for (index_t oi = 0; oi < n; ++oi) {
+    index_t v = order[static_cast<std::size_t>(oi)];
+    if (match[static_cast<std::size_t>(v)] != -1) continue;
+    index_t best = -1;
+    double best_w = -1;
+    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      index_t u = g.adj[static_cast<std::size_t>(e)];
+      if (match[static_cast<std::size_t>(u)] != -1) continue;
+      if (g.ewgt[static_cast<std::size_t>(e)] > best_w) {
+        best_w = g.ewgt[static_cast<std::size_t>(e)];
+        best = u;
+      }
+    }
+    match[static_cast<std::size_t>(v)] = (best == -1) ? v : best;
+    if (best != -1) match[static_cast<std::size_t>(best)] = v;
+  }
+
+  map.assign(static_cast<std::size_t>(n), -1);
+  index_t nc = 0;
+  for (index_t v = 0; v < n; ++v) {
+    if (map[static_cast<std::size_t>(v)] != -1) continue;
+    index_t u = match[static_cast<std::size_t>(v)];
+    map[static_cast<std::size_t>(v)] = nc;
+    map[static_cast<std::size_t>(u)] = nc;
+    ++nc;
+  }
+  if (nc > static_cast<index_t>(0.95 * static_cast<double>(n))) return false;
+
+  cwgt.assign(static_cast<std::size_t>(nc), 0.0);
+  for (index_t v = 0; v < n; ++v)
+    cwgt[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] +=
+        vwgt[static_cast<std::size_t>(v)];
+
+  // Accumulate coarse edges, merging multi-edges per coarse vertex.
+  std::vector<std::vector<std::pair<index_t, double>>> nbr(static_cast<std::size_t>(nc));
+  for (index_t v = 0; v < n; ++v) {
+    index_t cv = map[static_cast<std::size_t>(v)];
+    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      index_t cu = map[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(e)])];
+      if (cu != cv)
+        nbr[static_cast<std::size_t>(cv)].emplace_back(cu, g.ewgt[static_cast<std::size_t>(e)]);
+    }
+  }
+  coarse.n = nc;
+  coarse.xadj.assign(static_cast<std::size_t>(nc) + 1, 0);
+  coarse.adj.clear();
+  coarse.ewgt.clear();
+  for (index_t cv = 0; cv < nc; ++cv) {
+    auto& lst = nbr[static_cast<std::size_t>(cv)];
+    std::sort(lst.begin(), lst.end());
+    std::size_t w = 0;
+    for (std::size_t i = 0; i < lst.size();) {
+      auto [u, sum] = lst[i++];
+      while (i < lst.size() && lst[i].first == u) sum += lst[i++].second;
+      lst[w++] = {u, sum};
+    }
+    lst.resize(w);
+    for (const auto& [u, ew] : lst) {
+      coarse.adj.push_back(u);
+      coarse.ewgt.push_back(ew);
+    }
+    coarse.xadj[static_cast<std::size_t>(cv) + 1] = static_cast<index_t>(coarse.adj.size());
+  }
+  return true;
+}
+
+/// BFS region-growing bisection aiming for `target_frac` of total weight
+/// on side 0, started from a pseudo-peripheral vertex.
+std::vector<int> grow_bisection(const Graph& g, const std::vector<double>& vwgt,
+                                double target_frac, SplitMix64& rng) {
+  const index_t n = g.n;
+  std::vector<int> side(static_cast<std::size_t>(n), 1);
+  if (n == 0) return side;
+  double total = std::accumulate(vwgt.begin(), vwgt.end(), 0.0);
+
+  auto bfs_far = [&](index_t s) {
+    std::vector<int> dist(static_cast<std::size_t>(n), -1);
+    std::queue<index_t> q;
+    q.push(s);
+    dist[static_cast<std::size_t>(s)] = 0;
+    index_t last = s;
+    while (!q.empty()) {
+      index_t v = q.front();
+      q.pop();
+      last = v;
+      for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+           e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+        index_t u = g.adj[static_cast<std::size_t>(e)];
+        if (dist[static_cast<std::size_t>(u)] == -1) {
+          dist[static_cast<std::size_t>(u)] = dist[static_cast<std::size_t>(v)] + 1;
+          q.push(u);
+        }
+      }
+    }
+    return last;
+  };
+  index_t start =
+      bfs_far(bfs_far(static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)))));
+
+  double goal = target_frac * total;
+  double grown = 0;
+  std::vector<char> visited(static_cast<std::size_t>(n), 0);
+  std::queue<index_t> q;
+  q.push(start);
+  visited[static_cast<std::size_t>(start)] = 1;
+  while (!q.empty() && grown < goal) {
+    index_t v = q.front();
+    q.pop();
+    side[static_cast<std::size_t>(v)] = 0;
+    grown += vwgt[static_cast<std::size_t>(v)];
+    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      index_t u = g.adj[static_cast<std::size_t>(e)];
+      if (!visited[static_cast<std::size_t>(u)]) {
+        visited[static_cast<std::size_t>(u)] = 1;
+        q.push(u);
+      }
+    }
+  }
+  // Disconnected leftovers: keep growing from unvisited components.
+  for (index_t v = 0; v < n && grown < goal; ++v)
+    if (side[static_cast<std::size_t>(v)] == 1 && !visited[static_cast<std::size_t>(v)]) {
+      side[static_cast<std::size_t>(v)] = 0;
+      grown += vwgt[static_cast<std::size_t>(v)];
+    }
+  return side;
+}
+
+/// One FM boundary-refinement pass: greedily moves vertices with positive
+/// gain (or balance-restoring moves) between the two sides.
+void fm_refine(const Graph& g, const std::vector<double>& vwgt, std::vector<int>& side,
+               double target_frac, double imbalance) {
+  const index_t n = g.n;
+  double total = std::accumulate(vwgt.begin(), vwgt.end(), 0.0);
+  double w0 = 0;
+  for (index_t v = 0; v < n; ++v)
+    if (side[static_cast<std::size_t>(v)] == 0) w0 += vwgt[static_cast<std::size_t>(v)];
+  const double max0 = target_frac * total * imbalance;
+  const double min0 = total - (1.0 - target_frac) * total * imbalance;
+
+  auto gain = [&](index_t v) {
+    double ext = 0, in = 0;
+    int s = side[static_cast<std::size_t>(v)];
+    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      if (side[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(e)])] == s)
+        in += g.ewgt[static_cast<std::size_t>(e)];
+      else
+        ext += g.ewgt[static_cast<std::size_t>(e)];
+    }
+    return ext - in;
+  };
+
+  std::vector<std::pair<double, index_t>> cand;
+  for (index_t v = 0; v < n; ++v) {
+    bool boundary = false;
+    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1] && !boundary; ++e)
+      boundary = side[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(e)])] !=
+                 side[static_cast<std::size_t>(v)];
+    if (boundary) cand.emplace_back(gain(v), v);
+  }
+  std::sort(cand.begin(), cand.end(), std::greater<>());
+
+  for (const auto& [g0, v] : cand) {
+    double cur_gain = gain(v);  // earlier moves may have changed it
+    int s = side[static_cast<std::size_t>(v)];
+    double wv = vwgt[static_cast<std::size_t>(v)];
+    double new_w0 = s == 0 ? w0 - wv : w0 + wv;
+    bool balanced = new_w0 <= max0 && new_w0 >= min0;
+    bool balance_improves =
+        std::abs(new_w0 - target_frac * total) < std::abs(w0 - target_frac * total);
+    if ((cur_gain > 0 && balanced) || (cur_gain >= 0 && balance_improves)) {
+      side[static_cast<std::size_t>(v)] = 1 - s;
+      w0 = new_w0;
+    }
+  }
+}
+
+/// Multilevel bisection with `target_frac` of weight on side 0.
+std::vector<int> multilevel_bisect(const Graph& g, const std::vector<double>& vwgt,
+                                   double target_frac, const PartitionOptions& opt,
+                                   SplitMix64& rng) {
+  std::vector<Level> levels;
+  const Graph* cur_g = &g;
+  const std::vector<double>* cur_w = &vwgt;
+  while (cur_g->n > opt.coarsen_limit) {
+    Level lvl;
+    if (!coarsen_once(*cur_g, *cur_w, rng, lvl.graph, lvl.vwgt, lvl.fine_to_coarse)) break;
+    levels.push_back(std::move(lvl));
+    cur_g = &levels.back().graph;
+    cur_w = &levels.back().vwgt;
+  }
+
+  std::vector<int> side = grow_bisection(*cur_g, *cur_w, target_frac, rng);
+  for (int pass = 0; pass < opt.refine_passes; ++pass)
+    fm_refine(*cur_g, *cur_w, side, target_frac, opt.imbalance);
+
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    const Graph* fine_g = (it + 1 == levels.rend()) ? &g : &(it + 1)->graph;
+    const std::vector<double>* fine_w = (it + 1 == levels.rend()) ? &vwgt : &(it + 1)->vwgt;
+    std::vector<int> fine_side(static_cast<std::size_t>(fine_g->n));
+    for (index_t v = 0; v < fine_g->n; ++v)
+      fine_side[static_cast<std::size_t>(v)] =
+          side[static_cast<std::size_t>(it->fine_to_coarse[static_cast<std::size_t>(v)])];
+    side = std::move(fine_side);
+    for (int pass = 0; pass < opt.refine_passes; ++pass)
+      fm_refine(*fine_g, *fine_w, side, target_frac, opt.imbalance);
+  }
+  return side;
+}
+
+/// Induced subgraph of vertices with side[v]==which, with parent-id map.
+struct SubGraph {
+  Graph graph;
+  std::vector<double> vwgt;
+  std::vector<index_t> to_parent;
+};
+
+SubGraph induced_subgraph(const Graph& g, const std::vector<double>& vwgt,
+                          const std::vector<int>& side, int which) {
+  SubGraph s;
+  std::vector<index_t> to_sub(static_cast<std::size_t>(g.n), -1);
+  for (index_t v = 0; v < g.n; ++v)
+    if (side[static_cast<std::size_t>(v)] == which) {
+      to_sub[static_cast<std::size_t>(v)] = static_cast<index_t>(s.to_parent.size());
+      s.to_parent.push_back(v);
+      s.vwgt.push_back(vwgt[static_cast<std::size_t>(v)]);
+    }
+  s.graph.n = static_cast<index_t>(s.to_parent.size());
+  s.graph.xadj.assign(static_cast<std::size_t>(s.graph.n) + 1, 0);
+  for (index_t sv = 0; sv < s.graph.n; ++sv) {
+    index_t v = s.to_parent[static_cast<std::size_t>(sv)];
+    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+      index_t u = g.adj[static_cast<std::size_t>(e)];
+      if (to_sub[static_cast<std::size_t>(u)] != -1) {
+        s.graph.adj.push_back(to_sub[static_cast<std::size_t>(u)]);
+        s.graph.ewgt.push_back(g.ewgt[static_cast<std::size_t>(e)]);
+      }
+    }
+    s.graph.xadj[static_cast<std::size_t>(sv) + 1] = static_cast<index_t>(s.graph.adj.size());
+  }
+  return s;
+}
+
+void partition_recursive(const Graph& g, const std::vector<double>& vwgt, int nparts,
+                         int first_part, const PartitionOptions& opt, SplitMix64& rng,
+                         std::span<const index_t> to_parent, std::vector<int>& out) {
+  if (nparts == 1) {
+    for (index_t v = 0; v < g.n; ++v)
+      out[static_cast<std::size_t>(to_parent[static_cast<std::size_t>(v)])] = first_part;
+    return;
+  }
+  int left = nparts / 2;
+  double frac = static_cast<double>(left) / static_cast<double>(nparts);
+  auto side = multilevel_bisect(g, vwgt, frac, opt, rng);
+  for (int which = 0; which < 2; ++which) {
+    auto sub = induced_subgraph(g, vwgt, side, which);
+    std::vector<index_t> parent_ids(sub.to_parent.size());
+    for (std::size_t i = 0; i < sub.to_parent.size(); ++i)
+      parent_ids[i] = to_parent[static_cast<std::size_t>(sub.to_parent[i])];
+    partition_recursive(sub.graph, sub.vwgt, which == 0 ? left : nparts - left,
+                        which == 0 ? first_part : first_part + left, opt, rng, parent_ids, out);
+  }
+}
+
+}  // namespace
+
+PartitionResult partition_graph(const Graph& g, std::span<const double> vweights,
+                                const PartitionOptions& opt) {
+  require(opt.nparts >= 1, "partition_graph: nparts must be positive");
+  require(static_cast<index_t>(vweights.size()) == g.n,
+          "partition_graph: vertex weight size mismatch");
+  require(opt.imbalance >= 1.0, "partition_graph: imbalance must be >= 1");
+
+  PartitionResult res;
+  res.part.assign(static_cast<std::size_t>(g.n), 0);
+  std::vector<double> vw(vweights.begin(), vweights.end());
+  SplitMix64 rng(opt.seed);
+  std::vector<index_t> ids(static_cast<std::size_t>(g.n));
+  std::iota(ids.begin(), ids.end(), index_t{0});
+  partition_recursive(g, vw, opt.nparts, 0, opt, rng, ids, res.part);
+
+  res.edge_cut = edge_cut(g, res.part);
+  res.part_weights.assign(static_cast<std::size_t>(opt.nparts), 0.0);
+  for (index_t v = 0; v < g.n; ++v)
+    res.part_weights[static_cast<std::size_t>(res.part[static_cast<std::size_t>(v)])] +=
+        vweights[static_cast<std::size_t>(v)];
+  return res;
+}
+
+PartitionLayout partition_to_layout(std::span<const int> part, int nparts) {
+  require(nparts >= 1, "partition_to_layout: nparts must be positive");
+  const auto n = static_cast<index_t>(part.size());
+  std::vector<index_t> count(static_cast<std::size_t>(nparts) + 1, 0);
+  for (auto p : part) {
+    require(p >= 0 && p < nparts, "partition_to_layout: part id out of range");
+    ++count[static_cast<std::size_t>(p) + 1];
+  }
+  for (int p = 0; p < nparts; ++p)
+    count[static_cast<std::size_t>(p) + 1] += count[static_cast<std::size_t>(p)];
+  std::vector<index_t> bounds = count;
+
+  std::vector<index_t> perm(static_cast<std::size_t>(n));
+  std::vector<index_t> cursor(count.begin(), count.end() - 1);
+  for (index_t v = 0; v < n; ++v)
+    perm[static_cast<std::size_t>(v)] =
+        cursor[static_cast<std::size_t>(part[static_cast<std::size_t>(v)])]++;
+  return PartitionLayout{Permutation(std::move(perm)), std::move(bounds)};
+}
+
+}  // namespace sa1d

@@ -1,0 +1,70 @@
+// Multilevel k-way graph partitioner — the from-scratch METIS substitute
+// (DESIGN.md §1). Pipeline: heavy-edge-matching coarsening → BFS-grown
+// bisection of the coarsest graph → Fiduccia–Mattheyses boundary refinement
+// during uncoarsening → recursive bisection for k parts.
+//
+// The paper feeds METIS vertex weights equal to the *square* of each
+// column's nonzero count to balance sparse flops (§III-B); helpers below
+// construct exactly that weighting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/ops.hpp"
+#include "util/common.hpp"
+
+namespace sa1d {
+
+/// Undirected graph in CSR adjacency form. No self loops; edges appear in
+/// both endpoints' lists with identical weights.
+struct Graph {
+  index_t n = 0;
+  std::vector<index_t> xadj;  // size n+1
+  std::vector<index_t> adj;   // neighbour lists
+  std::vector<double> ewgt;   // parallel to adj
+
+  [[nodiscard]] index_t degree(index_t v) const {
+    return xadj[static_cast<std::size_t>(v) + 1] - xadj[static_cast<std::size_t>(v)];
+  }
+};
+
+/// Builds the undirected graph of a sparse matrix pattern (A ∪ Aᵀ,
+/// diagonal dropped, duplicate edges merged with summed weights).
+Graph graph_from_matrix(const CscMatrix<double>& a);
+
+/// The paper's flops-balancing vertex weights: (nnz of column j)².
+std::vector<double> flops_vertex_weights(const CscMatrix<double>& a);
+
+struct PartitionOptions {
+  int nparts = 2;
+  double imbalance = 1.05;    ///< max part weight over perfect balance
+  index_t coarsen_limit = 64; ///< stop coarsening below this many vertices
+  int refine_passes = 4;      ///< FM passes per uncoarsening level
+  std::uint64_t seed = 1;
+};
+
+struct PartitionResult {
+  std::vector<int> part;             ///< part id per vertex, in [0, nparts)
+  double edge_cut = 0;               ///< total weight of cut edges
+  std::vector<double> part_weights;  ///< vertex weight per part
+};
+
+/// Partitions `g` into nparts balanced-by-vweight parts minimizing edge cut.
+PartitionResult partition_graph(const Graph& g, std::span<const double> vweights,
+                                const PartitionOptions& opt);
+
+/// Cut weight of an assignment (for tests and diagnostics).
+double edge_cut(const Graph& g, std::span<const int> part);
+
+/// Converts a partition into the 1D distribution it induces: a symmetric
+/// permutation that makes each part's vertices contiguous (stable within a
+/// part to preserve local structure) plus the matching slice boundaries.
+struct PartitionLayout {
+  Permutation perm;              ///< old id -> new id
+  std::vector<index_t> bounds;   ///< P+1 column slice boundaries
+};
+PartitionLayout partition_to_layout(std::span<const int> part, int nparts);
+
+}  // namespace sa1d

@@ -1,0 +1,64 @@
+// Random symmetric permutation (the 2D/3D algorithms' load-balancing
+// preprocessing) and the distributed permutation apply used to charge its
+// true communication cost.
+#pragma once
+
+#include "dist/dist_matrix.hpp"
+#include "runtime/machine.hpp"
+#include "sparse/ops.hpp"
+#include "util/rng.hpp"
+
+namespace sa1d {
+
+/// Fisher–Yates random permutation of [0, n).
+inline Permutation random_permutation(index_t n, std::uint64_t seed) {
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+  SplitMix64 g(seed);
+  for (index_t i = n - 1; i > 0; --i) {
+    auto j = static_cast<index_t>(g.below(static_cast<std::uint64_t>(i + 1)));
+    std::swap(p[static_cast<std::size_t>(i)], p[static_cast<std::size_t>(j)]);
+  }
+  return Permutation(std::move(p));
+}
+
+/// Applies a symmetric permutation to a 1D-distributed matrix by real
+/// all-to-all movement (PAPᵀ), landing on `new_bounds` (defaults to an even
+/// split). This is the instrumented "permutation time" the paper includes
+/// when reporting 2D/3D algorithms with preprocessing cost.
+template <typename VT>
+DistMatrix1D<VT> permute_symmetric_dist(Comm& comm, const DistMatrix1D<VT>& a,
+                                        const Permutation& perm,
+                                        std::vector<index_t> new_bounds = {}) {
+  require(a.nrows() == a.ncols(), "permute_symmetric_dist: matrix must be square");
+  require(perm.size() == a.ncols(), "permute_symmetric_dist: permutation size mismatch");
+  const int P = comm.size();
+  if (new_bounds.empty()) new_bounds = even_split(a.ncols(), P);
+
+  std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
+  {
+    auto ph = comm.phase(Phase::Other);
+    const auto& al = a.local();
+    for (index_t k = 0; k < al.nzc(); ++k) {
+      index_t gj = perm(a.col_lo() + al.col_id(k));
+      int owner = find_owner(std::span<const index_t>(new_bounds), gj);
+      auto rows = al.col_rows_at(k);
+      auto vals = al.col_vals_at(k);
+      for (std::size_t p = 0; p < rows.size(); ++p)
+        send[static_cast<std::size_t>(owner)].push_back({perm(rows[p]), gj, vals[p]});
+    }
+  }
+  auto recv = comm.alltoallv(send);
+
+  auto ph = comm.phase(Phase::Other);
+  index_t lo = new_bounds[static_cast<std::size_t>(comm.rank())];
+  index_t hi = new_bounds[static_cast<std::size_t>(comm.rank()) + 1];
+  CooMatrix<VT> coo(a.nrows(), hi - lo);
+  for (auto& chunk : recv)
+    for (auto& t : chunk) coo.push(t.row, t.col - lo, t.val);
+  coo.canonicalize();
+  return DistMatrix1D<VT>(a.nrows(), a.ncols(), std::move(new_bounds), comm.rank(),
+                          DcscMatrix<VT>::from_coo(coo));
+}
+
+}  // namespace sa1d

@@ -1,0 +1,21 @@
+#include "runtime/cost_model.hpp"
+
+#include <algorithm>
+
+namespace sa1d {
+
+ModeledTime CostModel::run_time(const std::vector<RankReport>& ranks,
+                                int threads_per_rank) const {
+  // The run is bulk-synchronous: each phase completes everywhere before the
+  // next starts, so the elapsed estimate is the max over ranks per phase.
+  ModeledTime out;
+  for (const auto& r : ranks) {
+    ModeledTime t = rank_time(r, threads_per_rank);
+    out.comp = std::max(out.comp, t.comp);
+    out.comm = std::max(out.comm, t.comm);
+    out.other = std::max(out.other, t.other);
+  }
+  return out;
+}
+
+}  // namespace sa1d

@@ -1,0 +1,74 @@
+// α–β network cost model: converts the runtime's exact byte/message counts
+// into modeled communication time. Defaults approximate one Slingshot-11
+// NIC per node as on NERSC Perlmutter (the paper's testbed).
+#pragma once
+
+#include <vector>
+
+#include "runtime/stats.hpp"
+
+namespace sa1d {
+
+struct CostParams {
+  double alpha_inter = 2.0e-6;      ///< per-message latency across nodes (s)
+  double beta_inter = 1.0 / 24e9;   ///< inverse bandwidth across nodes (s/byte)
+  double alpha_intra = 4.0e-7;      ///< per-message latency within a node (s)
+  double beta_intra = 1.0 / 100e9;  ///< inverse bandwidth within a node (s/byte)
+  int ranks_per_node = 16;          ///< rank→node mapping for intra/inter split
+};
+
+/// Modeled per-rank and aggregate times derived from a RankReport.
+struct ModeledTime {
+  double comp = 0.0;
+  double comm = 0.0;
+  double other = 0.0;
+  [[nodiscard]] double total() const { return comp + comm + other; }
+};
+
+class CostModel {
+ public:
+  explicit CostModel(CostParams p = {}) : p_(p) {}
+
+  [[nodiscard]] const CostParams& params() const { return p_; }
+
+  [[nodiscard]] int node_of(int rank) const { return rank / p_.ranks_per_node; }
+
+  /// Modeled network seconds for the RDMA (window get) traffic only —
+  /// the paper's "communication time" component in Fig 4/6/8.
+  [[nodiscard]] double rdma_seconds(const RankReport& r) const {
+    std::uint64_t intra_msgs = r.rdma_msgs - r.rdma_msgs_inter;
+    std::uint64_t intra_bytes = r.rdma_bytes - r.rdma_bytes_inter;
+    return p_.alpha_inter * static_cast<double>(r.rdma_msgs_inter) +
+           p_.beta_inter * static_cast<double>(r.rdma_bytes_inter) +
+           p_.alpha_intra * static_cast<double>(intra_msgs) +
+           p_.beta_intra * static_cast<double>(intra_bytes);
+  }
+
+  /// Modeled network seconds for one rank's recorded traffic.
+  [[nodiscard]] double comm_seconds(const RankReport& r) const {
+    return p_.alpha_inter * static_cast<double>(r.msgs_inter) +
+           p_.beta_inter * static_cast<double>(r.bytes_inter) +
+           p_.alpha_intra * static_cast<double>(r.msgs_intra) +
+           p_.beta_intra * static_cast<double>(r.bytes_intra);
+  }
+
+  /// Modeled per-rank time. `threads_per_rank` applies the measured-Amdahl
+  /// rule from DESIGN.md §5: the Comp phase is parallelizable across
+  /// intra-rank threads; Other is serial; comm is network-bound.
+  [[nodiscard]] ModeledTime rank_time(const RankReport& r, int threads_per_rank = 1) const {
+    ModeledTime t;
+    t.comp = r.comp_s / static_cast<double>(threads_per_rank < 1 ? 1 : threads_per_rank);
+    t.other = r.other_s;
+    t.comm = comm_seconds(r);
+    return t;
+  }
+
+  /// Bulk-synchronous estimate for the whole run: the slowest rank decides.
+  [[nodiscard]] ModeledTime run_time(const std::vector<RankReport>& ranks,
+                                     int threads_per_rank = 1) const;
+
+ private:
+  CostParams p_;
+};
+
+}  // namespace sa1d

@@ -1,0 +1,100 @@
+#include "runtime/machine.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <thread>
+
+#include "util/timer.hpp"
+
+namespace sa1d {
+
+Comm Comm::split(int color, int key) {
+  require(color >= 0, "Comm::split: color must be non-negative");
+  sh_->split_ck[static_cast<std::size_t>(rank_)] = {color, key};
+  sync();
+
+  // Determine my subgroup: parent ranks with my color, ordered by (key, rank).
+  std::vector<int> members;
+  for (int p = 0; p < size(); ++p)
+    if (sh_->split_ck[static_cast<std::size_t>(p)].first == color) members.push_back(p);
+  std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+    return sh_->split_ck[static_cast<std::size_t>(a)].second <
+           sh_->split_ck[static_cast<std::size_t>(b)].second;
+  });
+  int my_pos = static_cast<int>(std::find(members.begin(), members.end(), rank_) -
+                                members.begin());
+
+  if (my_pos == 0) {
+    std::scoped_lock lk(sh_->mu);
+    sh_->split_groups[color] =
+        std::make_shared<detail::CommShared>(static_cast<int>(members.size()));
+  }
+  sync();
+
+  std::shared_ptr<detail::CommShared> sub;
+  {
+    std::scoped_lock lk(sh_->mu);
+    sub = sh_->split_groups.at(color);
+  }
+  sync();
+
+  if (rank_ == 0) {
+    std::scoped_lock lk(sh_->mu);
+    sh_->split_groups.clear();
+  }
+  sync();
+
+  std::vector<int> sub_globals;
+  sub_globals.reserve(members.size());
+  for (int m : members) sub_globals.push_back(global_rank(m));
+  return Comm(my_pos, std::move(sub_globals), std::move(sub), report_, cost_, poison_);
+}
+
+Machine::Machine(int nranks, CostParams cost) : n_(nranks), cost_(cost) {
+  require(nranks >= 1, "Machine: need at least one rank");
+}
+
+RunReport Machine::run(const std::function<void(Comm&)>& body) {
+  auto shared = std::make_shared<detail::CommShared>(n_);
+  auto poison = std::make_shared<std::atomic<bool>>(false);
+
+  RunReport report;
+  report.ranks.assign(static_cast<std::size_t>(n_), RankReport{});
+
+  std::exception_ptr first_error;
+  std::mutex err_mu;
+
+  std::vector<int> identity(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) identity[static_cast<std::size_t>(i)] = i;
+
+  WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n_));
+  for (int r = 0; r < n_; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(r, identity, shared, &report.ranks[static_cast<std::size_t>(r)], &cost_, poison);
+      try {
+        body(comm);
+      } catch (...) {
+        {
+          std::scoped_lock lk(err_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Poison the run and leave all current/future barrier phases so
+        // peers blocked in collectives wake up and observe the failure.
+        poison->store(true, std::memory_order_release);
+        shared->bar.arrive_and_drop();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  report.wall_s = wall.seconds();
+
+  if (first_error) {
+    // Surface the originating error, not the cascading PeerFailure ones.
+    std::rethrow_exception(first_error);
+  }
+  return report;
+}
+
+}  // namespace sa1d

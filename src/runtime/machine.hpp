@@ -1,0 +1,317 @@
+// Simulated distributed-memory machine: P ranks, one std::thread each,
+// running an SPMD body. Substitutes for MPI + RDMA in this environment
+// (see DESIGN.md §1): collectives and passive-target window gets move real
+// bytes between rank address spaces and are instrumented exactly; network
+// time is derived from those counts by CostModel.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/cost_model.hpp"
+#include "runtime/stats.hpp"
+#include "util/common.hpp"
+
+namespace sa1d {
+
+namespace detail {
+
+struct RawBuf {
+  const std::byte* ptr = nullptr;
+  std::size_t bytes = 0;
+};
+
+/// State shared by all ranks of one communicator.
+struct CommShared {
+  explicit CommShared(int nranks)
+      : n(nranks), bar(nranks), slots(static_cast<std::size_t>(nranks)),
+        split_ck(static_cast<std::size_t>(nranks)) {}
+
+  int n;
+  std::barrier<> bar;
+  std::vector<RawBuf> slots;                 // per-rank staging for collectives
+  std::vector<std::vector<RawBuf>> windows;  // windows[id][rank]
+  std::mutex mu;
+  std::map<int, std::shared_ptr<CommShared>> split_groups;
+  std::vector<std::pair<int, int>> split_ck;  // (color, key) staging
+};
+
+}  // namespace detail
+
+/// Opaque handle to an exposed RDMA window (collectively created).
+class Window {
+ public:
+  Window() = default;
+
+ private:
+  friend class Comm;
+  explicit Window(std::size_t id) : id_(id) {}
+  std::size_t id_ = static_cast<std::size_t>(-1);
+};
+
+/// Thrown on surviving ranks when a peer rank's body threw.
+struct PeerFailure : std::runtime_error {
+  PeerFailure() : std::runtime_error("sa1d: a peer rank failed during a collective") {}
+};
+
+/// Per-rank communicator handle (the MPI_Comm analogue).
+class Comm {
+ public:
+  Comm(int rank, std::vector<int> global_ranks, std::shared_ptr<detail::CommShared> sh,
+       RankReport* report, const CostModel* cost, std::shared_ptr<std::atomic<bool>> poison)
+      : rank_(rank),
+        global_ranks_(std::move(global_ranks)),
+        sh_(std::move(sh)),
+        report_(report),
+        cost_(cost),
+        poison_(std::move(poison)) {}
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return sh_->n; }
+  /// Global (machine-level) rank of a member of this communicator.
+  [[nodiscard]] int global_rank(int r) const {
+    return global_ranks_[static_cast<std::size_t>(r)];
+  }
+
+  /// Accumulates thread-CPU time of the enclosed scope into the given phase.
+  [[nodiscard]] PhaseScope phase(Phase p) { return PhaseScope(*report_, p); }
+  [[nodiscard]] RankReport& report() { return *report_; }
+
+  void barrier() { sync(); }
+
+  // ---- collectives -------------------------------------------------------
+
+  /// Gathers one value from each rank; result indexed by rank.
+  template <typename T>
+  std::vector<T> allgather(const T& mine) {
+    publish(&mine, sizeof(T));
+    sync();
+    std::vector<T> out(static_cast<std::size_t>(size()));
+    for (int p = 0; p < size(); ++p) {
+      std::memcpy(&out[static_cast<std::size_t>(p)], sh_->slots[static_cast<std::size_t>(p)].ptr,
+                  sizeof(T));
+      record_recv(p, sizeof(T));
+    }
+    sync();
+    return out;
+  }
+
+  /// Gathers a variable-length array from each rank.
+  template <typename T>
+  std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
+    publish(mine.data(), mine.size_bytes());
+    sync();
+    std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
+    for (int p = 0; p < size(); ++p) {
+      const auto& b = sh_->slots[static_cast<std::size_t>(p)];
+      out[static_cast<std::size_t>(p)].resize(b.bytes / sizeof(T));
+      if (b.bytes > 0) std::memcpy(out[static_cast<std::size_t>(p)].data(), b.ptr, b.bytes);
+      record_recv(p, b.bytes);
+    }
+    sync();
+    return out;
+  }
+
+  /// allgatherv with results concatenated in rank order.
+  template <typename T>
+  std::vector<T> allgatherv_concat(std::span<const T> mine) {
+    auto parts = allgatherv(mine);
+    std::vector<T> out;
+    std::size_t total = 0;
+    for (const auto& p : parts) total += p.size();
+    out.reserve(total);
+    for (const auto& p : parts) out.insert(out.end(), p.begin(), p.end());
+    return out;
+  }
+
+  /// Personalized all-to-all: send[i] goes to rank i; returns recv[i] from rank i.
+  template <typename T>
+  std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send) {
+    require(send.size() == static_cast<std::size_t>(size()), "alltoallv: send.size() != P");
+    publish(&send, sizeof(send));
+    sync();
+    std::vector<std::vector<T>> recv(static_cast<std::size_t>(size()));
+    for (int p = 0; p < size(); ++p) {
+      const auto* peer_send = static_cast<const std::vector<std::vector<T>>*>(
+          static_cast<const void*>(sh_->slots[static_cast<std::size_t>(p)].ptr));
+      const auto& chunk = (*peer_send)[static_cast<std::size_t>(rank_)];
+      recv[static_cast<std::size_t>(p)] = chunk;
+      if (!chunk.empty()) record_recv(p, chunk.size() * sizeof(T));
+    }
+    sync();
+    return recv;
+  }
+
+  /// Broadcast from `root`: non-roots resize and receive.
+  template <typename T>
+  void bcast(std::vector<T>& data, int root) {
+    if (rank_ == root) publish(data.data(), data.size() * sizeof(T));
+    sync();
+    if (rank_ != root) {
+      const auto& b = sh_->slots[static_cast<std::size_t>(root)];
+      data.resize(b.bytes / sizeof(T));
+      if (b.bytes > 0) std::memcpy(data.data(), b.ptr, b.bytes);
+      record_recv(root, b.bytes);
+    }
+    sync();
+  }
+
+  template <typename T, typename Op>
+  T allreduce(const T& mine, Op op) {
+    auto all = allgather(mine);
+    T acc = all[0];
+    for (std::size_t i = 1; i < all.size(); ++i) acc = op(acc, all[i]);
+    return acc;
+  }
+  template <typename T>
+  T allreduce_sum(const T& mine) {
+    return allreduce(mine, [](T a, T b) { return a + b; });
+  }
+  template <typename T>
+  T allreduce_max(const T& mine) {
+    return allreduce(mine, [](T a, T b) { return a > b ? a : b; });
+  }
+
+  /// Splits into sub-communicators by color; ranks ordered by (key, rank).
+  Comm split(int color, int key);
+
+  // ---- passive-target RDMA windows ---------------------------------------
+
+  /// Collectively exposes a local array; every rank must call this.
+  /// The buffer must stay alive (and unmodified) until a barrier/collective
+  /// separates the last remote get from buffer destruction — the same
+  /// discipline MPI_Win_free imposes.
+  template <typename T>
+  Window expose(std::span<const T> data) {
+    sync();  // entry barrier: no rank can be in get() while the table grows
+    if (rank_ == 0) {
+      std::scoped_lock lk(sh_->mu);
+      sh_->windows.emplace_back(static_cast<std::size_t>(size()));
+    }
+    sync();
+    std::size_t id = sh_->windows.size() - 1;
+    sh_->windows[id][static_cast<std::size_t>(rank_)] = {
+        reinterpret_cast<const std::byte*>(data.data()), data.size_bytes()};
+    sync();
+    return Window(id);
+  }
+
+  /// Number of T elements in `target`'s exposed window.
+  template <typename T>
+  [[nodiscard]] index_t window_nelems(const Window& w, int target) const {
+    return static_cast<index_t>(
+        sh_->windows[w.id_][static_cast<std::size_t>(target)].bytes / sizeof(T));
+  }
+
+  /// One-sided get (the MPI_Get analogue): copies `count` elements starting
+  /// at `elem_offset` from target's window into dst. Counts as one RDMA
+  /// message unless target == self (local access, not a network message).
+  template <typename T>
+  void get(const Window& w, int target, index_t elem_offset, index_t count, T* dst) {
+    const auto& b = sh_->windows[w.id_][static_cast<std::size_t>(target)];
+    std::size_t off = static_cast<std::size_t>(elem_offset) * sizeof(T);
+    std::size_t len = static_cast<std::size_t>(count) * sizeof(T);
+    require(off + len <= b.bytes, "Window::get: out of range");
+    if (len > 0) std::memcpy(dst, b.ptr + off, len);
+    if (target == rank_) {
+      report_->bytes_local += len;
+    } else {
+      record_recv(target, len);
+      report_->rdma_bytes += len;
+      report_->rdma_msgs += 1;
+      if (cost_->node_of(global_rank(target)) != cost_->node_of(global_rank(rank_))) {
+        report_->rdma_bytes_inter += len;
+        report_->rdma_msgs_inter += 1;
+      }
+    }
+  }
+
+ private:
+  void publish(const void* p, std::size_t bytes) {
+    sh_->slots[static_cast<std::size_t>(rank_)] = {static_cast<const std::byte*>(p), bytes};
+  }
+
+  void sync() {
+    if (poison_->load(std::memory_order_acquire)) throw PeerFailure{};
+    sh_->bar.arrive_and_wait();
+    if (poison_->load(std::memory_order_acquire)) throw PeerFailure{};
+  }
+
+  /// Receiver-side accounting; intra/inter split uses *global* rank ids.
+  void record_recv(int from, std::size_t bytes) {
+    if (from == rank_) {
+      report_->bytes_local += bytes;
+      return;
+    }
+    bool same_node = cost_->node_of(global_rank(from)) == cost_->node_of(global_rank(rank_));
+    if (same_node) {
+      report_->bytes_intra += bytes;
+      report_->msgs_intra += 1;
+    } else {
+      report_->bytes_inter += bytes;
+      report_->msgs_inter += 1;
+    }
+  }
+
+  int rank_;
+  std::vector<int> global_ranks_;
+  std::shared_ptr<detail::CommShared> sh_;
+  RankReport* report_;
+  const CostModel* cost_;
+  std::shared_ptr<std::atomic<bool>> poison_;
+};
+
+/// Result of one Machine::run.
+struct RunReport {
+  std::vector<RankReport> ranks;
+  double wall_s = 0.0;
+
+  [[nodiscard]] std::uint64_t total_bytes_network() const {
+    std::uint64_t b = 0;
+    for (const auto& r : ranks) b += r.bytes_network();
+    return b;
+  }
+  [[nodiscard]] std::uint64_t total_msgs_network() const {
+    std::uint64_t m = 0;
+    for (const auto& r : ranks) m += r.msgs_network();
+    return m;
+  }
+  [[nodiscard]] std::uint64_t total_rdma_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& r : ranks) b += r.rdma_bytes;
+    return b;
+  }
+  [[nodiscard]] std::uint64_t total_rdma_msgs() const {
+    std::uint64_t m = 0;
+    for (const auto& r : ranks) m += r.rdma_msgs;
+    return m;
+  }
+};
+
+/// The simulated machine. Construct with the rank count and cost parameters,
+/// then run one or more SPMD bodies.
+class Machine {
+ public:
+  explicit Machine(int nranks, CostParams cost = {});
+
+  [[nodiscard]] int nranks() const { return n_; }
+  [[nodiscard]] const CostModel& cost() const { return cost_; }
+
+  /// Runs `body` on every rank (one thread each); rethrows the first rank
+  /// exception after all threads joined.
+  RunReport run(const std::function<void(Comm&)>& body);
+
+ private:
+  int n_;
+  CostModel cost_;
+};
+
+}  // namespace sa1d

@@ -1,0 +1,62 @@
+// Per-rank communication and computation accounting. Byte and message
+// counts are exact properties of the executed algorithm; times are split
+// into measured CPU phases and (separately) model-derived network time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/timer.hpp"
+
+namespace sa1d {
+
+/// Phase classification mirroring the paper's Fig 4 breakdown.
+enum class Phase {
+  Comp,   // local SpGEMM (parallelizable across OpenMP-style threads)
+  Other,  // serial bookkeeping: Ã/DCSC assembly, metadata exchange, copies
+};
+
+/// Everything one simulated rank did during a Machine::run.
+struct RankReport {
+  // Measured thread-CPU seconds per phase.
+  double comp_s = 0.0;
+  double other_s = 0.0;
+
+  // Exact transport counters (receiver side).
+  std::uint64_t bytes_inter = 0;  // from ranks on other nodes
+  std::uint64_t bytes_intra = 0;  // from ranks on the same node
+  std::uint64_t bytes_local = 0;  // self-access (not a network message)
+  std::uint64_t msgs_inter = 0;
+  std::uint64_t msgs_intra = 0;
+
+  // RDMA-only counters (subset of the above; Figs 5/6 report these).
+  std::uint64_t rdma_bytes = 0;
+  std::uint64_t rdma_msgs = 0;
+  std::uint64_t rdma_bytes_inter = 0;
+  std::uint64_t rdma_msgs_inter = 0;
+
+  [[nodiscard]] std::uint64_t bytes_network() const { return bytes_inter + bytes_intra; }
+  [[nodiscard]] std::uint64_t msgs_network() const { return msgs_inter + msgs_intra; }
+};
+
+/// RAII phase timer: accumulates thread-CPU time into the report on exit.
+class PhaseScope {
+ public:
+  PhaseScope(RankReport& r, Phase p) : report_(r), phase_(p) {}
+  PhaseScope(const PhaseScope&) = delete;
+  PhaseScope& operator=(const PhaseScope&) = delete;
+  ~PhaseScope() {
+    double s = timer_.seconds();
+    if (phase_ == Phase::Comp)
+      report_.comp_s += s;
+    else
+      report_.other_s += s;
+  }
+
+ private:
+  RankReport& report_;
+  Phase phase_;
+  CpuTimer timer_;
+};
+
+}  // namespace sa1d

@@ -1,0 +1,75 @@
+// Compressed Sparse Row format — the row-major dual of CSC. Used by the
+// SpMV kernels and by consumers (e.g. PETSc-style solvers) whose 1D row
+// distribution the paper's algorithm is designed to slot into.
+#pragma once
+
+#include "sparse/csc.hpp"
+#include "sparse/ops.hpp"
+
+namespace sa1d {
+
+template <typename VT = double>
+class CsrMatrix {
+ public:
+  using value_type = VT;
+
+  CsrMatrix() : rowptr_(1, 0) {}
+  CsrMatrix(index_t nrows, index_t ncols, std::vector<index_t> rowptr,
+            std::vector<index_t> colids, std::vector<VT> vals)
+      : nrows_(nrows),
+        ncols_(ncols),
+        rowptr_(std::move(rowptr)),
+        colids_(std::move(colids)),
+        vals_(std::move(vals)) {
+    require(rowptr_.size() == static_cast<std::size_t>(nrows) + 1, "CsrMatrix: bad rowptr size");
+    require(colids_.size() == vals_.size(), "CsrMatrix: colids/vals size mismatch");
+    require(rowptr_.front() == 0 && rowptr_.back() == static_cast<index_t>(colids_.size()),
+            "CsrMatrix: bad rowptr bounds");
+  }
+
+  /// CSC -> CSR: transpose the CSC structure (cols of Aᵀ are rows of A).
+  static CsrMatrix from_csc(const CscMatrix<VT>& a) {
+    auto at = transpose(a);
+    return CsrMatrix(a.nrows(), a.ncols(), at.colptr(), at.rowids(), at.vals());
+  }
+
+  [[nodiscard]] CscMatrix<VT> to_csc() const {
+    // Our rows are the columns of Aᵀ in CSC form; transpose back.
+    CscMatrix<VT> at(ncols_, nrows_, rowptr_, colids_, vals_);
+    return transpose(at);
+  }
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] index_t nnz() const { return static_cast<index_t>(colids_.size()); }
+
+  [[nodiscard]] index_t row_nnz(index_t i) const {
+    return rowptr_[static_cast<std::size_t>(i) + 1] - rowptr_[static_cast<std::size_t>(i)];
+  }
+  [[nodiscard]] std::span<const index_t> row_cols(index_t i) const {
+    return {colids_.data() + rowptr_[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(row_nnz(i))};
+  }
+  [[nodiscard]] std::span<const VT> row_vals(index_t i) const {
+    return {vals_.data() + rowptr_[static_cast<std::size_t>(i)],
+            static_cast<std::size_t>(row_nnz(i))};
+  }
+
+  [[nodiscard]] const std::vector<index_t>& rowptr() const { return rowptr_; }
+  [[nodiscard]] const std::vector<index_t>& colids() const { return colids_; }
+  [[nodiscard]] const std::vector<VT>& vals() const { return vals_; }
+
+  friend bool operator==(const CsrMatrix& a, const CsrMatrix& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ && a.rowptr_ == b.rowptr_ &&
+           a.colids_ == b.colids_ && a.vals_ == b.vals_;
+  }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<index_t> rowptr_;
+  std::vector<index_t> colids_;
+  std::vector<VT> vals_;
+};
+
+}  // namespace sa1d

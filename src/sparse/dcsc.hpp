@@ -1,0 +1,133 @@
+// Double Compressed Sparse Column (Buluç & Gilbert, IPDPS 2008): the format
+// the paper uses for local submatrices. Column pointers are stored only for
+// the nzc nonzero columns, making storage O(nnz + nzc) instead of
+// O(nnz + ncols) — essential for hypersparse 1D/2D slices.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "util/common.hpp"
+
+namespace sa1d {
+
+/// DCSC sparse matrix.
+///   jc : global/local ids of nonzero columns, ascending (size nzc)
+///   cp : prefix offsets into ir/vals per nonzero column (size nzc+1)
+///   ir : row ids, sorted within each column
+template <typename VT = double>
+class DcscMatrix {
+ public:
+  using value_type = VT;
+
+  DcscMatrix() : cp_(1, 0) {}
+  DcscMatrix(index_t nrows, index_t ncols) : nrows_(nrows), ncols_(ncols), cp_(1, 0) {
+    require(nrows >= 0 && ncols >= 0, "DcscMatrix: negative dimension");
+  }
+  DcscMatrix(index_t nrows, index_t ncols, std::vector<index_t> jc, std::vector<index_t> cp,
+             std::vector<index_t> ir, std::vector<VT> vals)
+      : nrows_(nrows),
+        ncols_(ncols),
+        jc_(std::move(jc)),
+        cp_(std::move(cp)),
+        ir_(std::move(ir)),
+        vals_(std::move(vals)) {
+    require(cp_.size() == jc_.size() + 1, "DcscMatrix: cp/jc size mismatch");
+    require(ir_.size() == vals_.size(), "DcscMatrix: ir/vals size mismatch");
+    require(cp_.front() == 0 && cp_.back() == static_cast<index_t>(ir_.size()),
+            "DcscMatrix: bad cp bounds");
+  }
+
+  static DcscMatrix from_csc(const CscMatrix<VT>& a) {
+    DcscMatrix out(a.nrows(), a.ncols());
+    for (index_t j = 0; j < a.ncols(); ++j) {
+      if (a.col_nnz(j) == 0) continue;
+      out.jc_.push_back(j);
+      auto rows = a.col_rows(j);
+      auto vals = a.col_vals(j);
+      out.ir_.insert(out.ir_.end(), rows.begin(), rows.end());
+      out.vals_.insert(out.vals_.end(), vals.begin(), vals.end());
+      out.cp_.push_back(static_cast<index_t>(out.ir_.size()));
+    }
+    return out;
+  }
+
+  static DcscMatrix from_coo(const CooMatrix<VT>& coo) {
+    return from_csc(CscMatrix<VT>::from_coo(coo));
+  }
+
+  [[nodiscard]] CscMatrix<VT> to_csc() const {
+    std::vector<index_t> colptr(static_cast<std::size_t>(ncols_) + 1, 0);
+    for (std::size_t k = 0; k < jc_.size(); ++k)
+      colptr[static_cast<std::size_t>(jc_[k]) + 1] = cp_[k + 1] - cp_[k];
+    for (std::size_t j = 0; j < static_cast<std::size_t>(ncols_); ++j) colptr[j + 1] += colptr[j];
+    return CscMatrix<VT>(nrows_, ncols_, std::move(colptr), ir_, vals_);
+  }
+
+  [[nodiscard]] index_t nrows() const { return nrows_; }
+  [[nodiscard]] index_t ncols() const { return ncols_; }
+  [[nodiscard]] index_t nnz() const { return static_cast<index_t>(ir_.size()); }
+  /// Number of nonzero columns.
+  [[nodiscard]] index_t nzc() const { return static_cast<index_t>(jc_.size()); }
+
+  /// Column id of the k-th nonzero column.
+  [[nodiscard]] index_t col_id(index_t k) const { return jc_[static_cast<std::size_t>(k)]; }
+  [[nodiscard]] index_t col_nnz_at(index_t k) const {
+    return cp_[static_cast<std::size_t>(k) + 1] - cp_[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::span<const index_t> col_rows_at(index_t k) const {
+    return {ir_.data() + cp_[static_cast<std::size_t>(k)], static_cast<std::size_t>(col_nnz_at(k))};
+  }
+  [[nodiscard]] std::span<const VT> col_vals_at(index_t k) const {
+    return {vals_.data() + cp_[static_cast<std::size_t>(k)],
+            static_cast<std::size_t>(col_nnz_at(k))};
+  }
+
+  /// Position of column id `j` among nonzero columns, or -1 if structurally empty.
+  [[nodiscard]] index_t find_col(index_t j) const {
+    auto it = std::lower_bound(jc_.begin(), jc_.end(), j);
+    if (it == jc_.end() || *it != j) return -1;
+    return static_cast<index_t>(it - jc_.begin());
+  }
+
+  [[nodiscard]] const std::vector<index_t>& jc() const { return jc_; }
+  [[nodiscard]] const std::vector<index_t>& cp() const { return cp_; }
+  [[nodiscard]] const std::vector<index_t>& ir() const { return ir_; }
+  [[nodiscard]] const std::vector<VT>& vals() const { return vals_; }
+
+  /// Structural invariants (used by tests): jc ascending, cp monotone,
+  /// rows sorted in-column, every stored column nonempty.
+  [[nodiscard]] bool check_invariants() const {
+    if (cp_.size() != jc_.size() + 1 || cp_.front() != 0) return false;
+    if (cp_.back() != static_cast<index_t>(ir_.size())) return false;
+    for (std::size_t k = 0; k + 1 < jc_.size(); ++k)
+      if (jc_[k] >= jc_[k + 1]) return false;
+    for (std::size_t k = 0; k < jc_.size(); ++k) {
+      if (cp_[k] >= cp_[k + 1]) return false;  // stored columns must be nonempty
+      for (index_t p = cp_[k] + 1; p < cp_[k + 1]; ++p)
+        if (ir_[static_cast<std::size_t>(p) - 1] >= ir_[static_cast<std::size_t>(p)]) return false;
+    }
+    for (auto j : jc_)
+      if (j < 0 || j >= ncols_) return false;
+    for (auto r : ir_)
+      if (r < 0 || r >= nrows_) return false;
+    return true;
+  }
+
+  friend bool operator==(const DcscMatrix& a, const DcscMatrix& b) {
+    return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ && a.jc_ == b.jc_ && a.cp_ == b.cp_ &&
+           a.ir_ == b.ir_ && a.vals_ == b.vals_;
+  }
+
+ private:
+  index_t nrows_ = 0;
+  index_t ncols_ = 0;
+  std::vector<index_t> jc_;
+  std::vector<index_t> cp_;
+  std::vector<index_t> ir_;
+  std::vector<VT> vals_;
+};
+
+}  // namespace sa1d

@@ -1,0 +1,126 @@
+// Element-wise sparse matrix operations (CombBLAS-style EWiseMult/Apply):
+// the masking and scaling primitives the betweenness-centrality traversals
+// are built from. All operate column-by-column on sorted CSC.
+#pragma once
+
+#include <functional>
+
+#include "sparse/csc.hpp"
+#include "util/common.hpp"
+
+namespace sa1d {
+
+/// C = A + B (union of patterns, values added where both present).
+template <typename VT>
+CscMatrix<VT> ewise_add(const CscMatrix<VT>& a, const CscMatrix<VT>& b) {
+  require(a.nrows() == b.nrows() && a.ncols() == b.ncols(), "ewise_add: shape mismatch");
+  std::vector<index_t> colptr{0};
+  std::vector<index_t> rows;
+  std::vector<VT> vals;
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto ar = a.col_rows(j);
+    auto av = a.col_vals(j);
+    auto br = b.col_rows(j);
+    auto bv = b.col_vals(j);
+    std::size_t i = 0, k = 0;
+    while (i < ar.size() || k < br.size()) {
+      if (k == br.size() || (i < ar.size() && ar[i] < br[k])) {
+        rows.push_back(ar[i]);
+        vals.push_back(av[i]);
+        ++i;
+      } else if (i == ar.size() || br[k] < ar[i]) {
+        rows.push_back(br[k]);
+        vals.push_back(bv[k]);
+        ++k;
+      } else {
+        rows.push_back(ar[i]);
+        vals.push_back(av[i] + bv[k]);
+        ++i;
+        ++k;
+      }
+    }
+    colptr.push_back(static_cast<index_t>(rows.size()));
+  }
+  return CscMatrix<VT>(a.nrows(), a.ncols(), std::move(colptr), std::move(rows),
+                       std::move(vals));
+}
+
+/// C = A restricted to positions NOT present in `mask` (pattern difference).
+/// The BFS "remove already-visited vertices" step.
+template <typename VT, typename MT>
+CscMatrix<VT> ewise_mask_not(const CscMatrix<VT>& a, const CscMatrix<MT>& mask) {
+  require(a.nrows() == mask.nrows() && a.ncols() == mask.ncols(),
+          "ewise_mask_not: shape mismatch");
+  std::vector<index_t> colptr{0};
+  std::vector<index_t> rows;
+  std::vector<VT> vals;
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto ar = a.col_rows(j);
+    auto av = a.col_vals(j);
+    auto mr = mask.col_rows(j);
+    std::size_t k = 0;
+    for (std::size_t i = 0; i < ar.size(); ++i) {
+      while (k < mr.size() && mr[k] < ar[i]) ++k;
+      if (k < mr.size() && mr[k] == ar[i]) continue;
+      rows.push_back(ar[i]);
+      vals.push_back(av[i]);
+    }
+    colptr.push_back(static_cast<index_t>(rows.size()));
+  }
+  return CscMatrix<VT>(a.nrows(), a.ncols(), std::move(colptr), std::move(rows),
+                       std::move(vals));
+}
+
+/// C = f(A, B) on the pattern intersection (EWiseMult-style).
+template <typename VT, typename F>
+CscMatrix<VT> ewise_intersect(const CscMatrix<VT>& a, const CscMatrix<VT>& b, F&& f) {
+  require(a.nrows() == b.nrows() && a.ncols() == b.ncols(), "ewise_intersect: shape mismatch");
+  std::vector<index_t> colptr{0};
+  std::vector<index_t> rows;
+  std::vector<VT> vals;
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto ar = a.col_rows(j);
+    auto av = a.col_vals(j);
+    auto br = b.col_rows(j);
+    auto bv = b.col_vals(j);
+    std::size_t i = 0, k = 0;
+    while (i < ar.size() && k < br.size()) {
+      if (ar[i] < br[k]) {
+        ++i;
+      } else if (br[k] < ar[i]) {
+        ++k;
+      } else {
+        rows.push_back(ar[i]);
+        vals.push_back(f(av[i], bv[k]));
+        ++i;
+        ++k;
+      }
+    }
+    colptr.push_back(static_cast<index_t>(rows.size()));
+  }
+  return CscMatrix<VT>(a.nrows(), a.ncols(), std::move(colptr), std::move(rows),
+                       std::move(vals));
+}
+
+/// In-pattern value transform: C has A's pattern with values f(value).
+template <typename VT, typename F>
+CscMatrix<VT> ewise_apply(const CscMatrix<VT>& a, F&& f) {
+  std::vector<VT> vals(a.vals());
+  for (auto& v : vals) v = f(v);
+  return CscMatrix<VT>(a.nrows(), a.ncols(), a.colptr(), a.rowids(), std::move(vals));
+}
+
+/// Row sums: out[i] = Σ_j A(i, j).
+template <typename VT>
+std::vector<VT> row_sums(const CscMatrix<VT>& a) {
+  std::vector<VT> out(static_cast<std::size_t>(a.nrows()), VT{0});
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto rows = a.col_rows(j);
+    auto vals = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p)
+      out[static_cast<std::size_t>(rows[p])] += vals[p];
+  }
+  return out;
+}
+
+}  // namespace sa1d

@@ -1,0 +1,253 @@
+// Seeded synthetic sparse-matrix generators. These stand in for the paper's
+// SuiteSparse inputs (no network access in this environment); each generator
+// reproduces the *structure class* that drives the paper's results:
+// clustered vs. scattered nonzeros. See DESIGN.md §1/§4.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "sparse/coo.hpp"
+#include "sparse/csc.hpp"
+#include "sparse/ops.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+
+namespace sa1d {
+
+/// Erdős–Rényi G(n, d/n): ~d nonzeros per column, uniformly scattered.
+/// The paper identifies random graphs as the worst case for 1D SpGEMM.
+template <typename VT = double>
+CscMatrix<VT> erdos_renyi(index_t n, double avg_nnz_per_col, std::uint64_t seed,
+                          bool symmetric = false) {
+  require(n > 0 && avg_nnz_per_col > 0, "erdos_renyi: bad parameters");
+  SplitMix64 rng(seed);
+  CooMatrix<VT> coo(n, n);
+  auto expected = static_cast<index_t>(avg_nnz_per_col * static_cast<double>(n));
+  for (index_t k = 0; k < expected; ++k) {
+    auto r = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    auto c = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    VT v = static_cast<VT>(1.0 + rng.uniform());
+    coo.push(r, c, v);
+    if (symmetric && r != c) coo.push(c, r, v);
+  }
+  coo.canonicalize();
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+/// R-MAT (Chakrabarti et al.): power-law degree distribution with no spatial
+/// locality — our stand-in for protein-interaction networks (eukarya).
+template <typename VT = double>
+CscMatrix<VT> rmat(int scale, index_t edge_factor, std::uint64_t seed, double a = 0.57,
+                   double b = 0.19, double c = 0.19, bool symmetric = true) {
+  require(scale > 0 && scale < 31 && edge_factor > 0, "rmat: bad parameters");
+  index_t n = index_t{1} << scale;
+  SplitMix64 rng(seed);
+  CooMatrix<VT> coo(n, n);
+  index_t edges = n * edge_factor;
+  for (index_t e = 0; e < edges; ++e) {
+    index_t r = 0, col = 0;
+    for (int bit = 0; bit < scale; ++bit) {
+      double u = rng.uniform();
+      int quad = u < a ? 0 : (u < a + b ? 1 : (u < a + b + c ? 2 : 3));
+      r = (r << 1) | (quad >> 1);
+      col = (col << 1) | (quad & 1);
+    }
+    VT v = static_cast<VT>(1.0 + rng.uniform());
+    coo.push(r, col, v);
+    if (symmetric && r != col) coo.push(col, r, v);
+  }
+  coo.canonicalize();
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+/// 2D 5-point (or 9-point) finite-difference mesh on a k×k grid, natural order.
+template <typename VT = double>
+CscMatrix<VT> mesh2d(index_t k, bool nine_point = false) {
+  require(k > 0, "mesh2d: k must be positive");
+  index_t n = k * k;
+  CooMatrix<VT> coo(n, n);
+  auto id = [k](index_t x, index_t y) { return x * k + y; };
+  for (index_t x = 0; x < k; ++x) {
+    for (index_t y = 0; y < k; ++y) {
+      index_t v = id(x, y);
+      coo.push(v, v, static_cast<VT>(4.0));
+      for (index_t dx = -1; dx <= 1; ++dx) {
+        for (index_t dy = -1; dy <= 1; ++dy) {
+          if (dx == 0 && dy == 0) continue;
+          if (!nine_point && dx != 0 && dy != 0) continue;
+          index_t nx = x + dx, ny = y + dy;
+          if (nx < 0 || nx >= k || ny < 0 || ny >= k) continue;
+          coo.push(v, id(nx, ny), static_cast<VT>(-1.0));
+        }
+      }
+    }
+  }
+  coo.canonicalize();
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+/// 3D 27-point stencil mesh on a k×k×k grid, natural order — the stand-in
+/// for queen_4147 (3D structural problem with strong natural locality).
+template <typename VT = double>
+CscMatrix<VT> mesh3d(index_t k) {
+  require(k > 0, "mesh3d: k must be positive");
+  index_t n = k * k * k;
+  CooMatrix<VT> coo(n, n);
+  auto id = [k](index_t x, index_t y, index_t z) { return (x * k + y) * k + z; };
+  for (index_t x = 0; x < k; ++x)
+    for (index_t y = 0; y < k; ++y)
+      for (index_t z = 0; z < k; ++z) {
+        index_t v = id(x, y, z);
+        for (index_t dx = -1; dx <= 1; ++dx)
+          for (index_t dy = -1; dy <= 1; ++dy)
+            for (index_t dz = -1; dz <= 1; ++dz) {
+              index_t nx = x + dx, ny = y + dy, nz = z + dz;
+              if (nx < 0 || nx >= k || ny < 0 || ny >= k || nz < 0 || nz >= k) continue;
+              VT val = (dx == 0 && dy == 0 && dz == 0) ? static_cast<VT>(26.0)
+                                                       : static_cast<VT>(-1.0);
+              coo.push(v, id(nx, ny, nz), val);
+            }
+      }
+  coo.canonicalize();
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+/// Banded matrix with uniformly random nonzeros inside the band.
+template <typename VT = double>
+CscMatrix<VT> banded(index_t n, index_t bandwidth, double density, std::uint64_t seed) {
+  require(n > 0 && bandwidth > 0 && density > 0 && density <= 1, "banded: bad parameters");
+  SplitMix64 rng(seed);
+  CooMatrix<VT> coo(n, n);
+  for (index_t j = 0; j < n; ++j) {
+    index_t lo = std::max<index_t>(0, j - bandwidth);
+    index_t hi = std::min<index_t>(n, j + bandwidth + 1);
+    for (index_t i = lo; i < hi; ++i)
+      if (i == j || rng.uniform() < density) coo.push(i, j, static_cast<VT>(1.0 + rng.uniform()));
+  }
+  coo.canonicalize();
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+/// Block-clustered matrix: `nblocks` diagonal blocks that are dense-ish
+/// (intra_density) with sparse random coupling between neighbouring blocks
+/// (inter_density). Mimics hv15r's clustered CFD structure.
+template <typename VT = double>
+CscMatrix<VT> block_clustered(index_t n, index_t nblocks, double intra_avg_deg,
+                              double inter_avg_deg, std::uint64_t seed, bool symmetric = false) {
+  require(n > 0 && nblocks > 0 && nblocks <= n, "block_clustered: bad parameters");
+  SplitMix64 rng(seed);
+  CooMatrix<VT> coo(n, n);
+  auto bounds = even_split(n, static_cast<int>(nblocks));
+  for (index_t b = 0; b < nblocks; ++b) {
+    index_t lo = bounds[static_cast<std::size_t>(b)], hi = bounds[static_cast<std::size_t>(b) + 1];
+    index_t bn = hi - lo;
+    auto intra = static_cast<index_t>(intra_avg_deg * static_cast<double>(bn));
+    for (index_t k = 0; k < intra; ++k) {
+      auto r = lo + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(bn)));
+      auto c = lo + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(bn)));
+      VT v = static_cast<VT>(1.0 + rng.uniform());
+      coo.push(r, c, v);
+      if (symmetric && r != c) coo.push(c, r, v);
+    }
+    // Coupling to the next block only (keeps clustering strong).
+    if (b + 1 < nblocks) {
+      index_t nlo = hi, nhi = bounds[static_cast<std::size_t>(b) + 2];
+      auto inter = static_cast<index_t>(inter_avg_deg * static_cast<double>(bn));
+      for (index_t k = 0; k < inter; ++k) {
+        auto r = nlo + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(nhi - nlo)));
+        auto c = lo + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(bn)));
+        VT v = static_cast<VT>(rng.uniform());
+        coo.push(r, c, v);
+        if (symmetric) coo.push(c, r, v);
+      }
+    }
+    // Diagonal for nonsingularity.
+    for (index_t i = lo; i < hi; ++i) coo.push(i, i, static_cast<VT>(4.0));
+  }
+  coo.canonicalize();
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+/// Community graph with the structure *hidden* behind a random relabeling:
+/// strong clusters exist (a partitioner can recover them) but the natural
+/// ordering shows no locality. This mimics eukarya, where the paper finds
+/// no exploitable natural structure yet a 2× gain from METIS partitioning.
+template <typename VT = double>
+CscMatrix<VT> hidden_community(index_t n, index_t ncommunities, double intra_avg_deg,
+                               double inter_avg_deg, std::uint64_t seed) {
+  require(n > 0 && ncommunities > 0 && ncommunities <= n, "hidden_community: bad parameters");
+  SplitMix64 rng(seed);
+  CooMatrix<VT> coo(n, n);
+  auto bounds = even_split(n, static_cast<int>(ncommunities));
+  // Dense-ish intra-community edges.
+  for (index_t b = 0; b < ncommunities; ++b) {
+    index_t lo = bounds[static_cast<std::size_t>(b)], hi = bounds[static_cast<std::size_t>(b) + 1];
+    index_t bn = hi - lo;
+    auto intra = static_cast<index_t>(intra_avg_deg * static_cast<double>(bn));
+    for (index_t k = 0; k < intra; ++k) {
+      auto r = lo + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(bn)));
+      auto c = lo + static_cast<index_t>(rng.below(static_cast<std::uint64_t>(bn)));
+      VT v = static_cast<VT>(1.0 + rng.uniform());
+      coo.push(r, c, v);
+      if (r != c) coo.push(c, r, v);
+    }
+  }
+  // Sparse inter-community edges between *random* community pairs: keeps the
+  // small-world diameter of real protein networks (unlike a block chain).
+  auto inter = static_cast<index_t>(inter_avg_deg * static_cast<double>(n));
+  for (index_t k = 0; k < inter; ++k) {
+    auto r = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    auto c = static_cast<index_t>(rng.below(static_cast<std::uint64_t>(n)));
+    if (r == c) continue;
+    VT v = static_cast<VT>(rng.uniform());
+    coo.push(r, c, v);
+    coo.push(c, r, v);
+  }
+  coo.canonicalize();
+  auto clustered = CscMatrix<VT>::from_coo(coo);
+  // Random symmetric relabeling (Fisher–Yates on vertex ids).
+  SplitMix64 prng(seed ^ 0xabcdef1234567ULL);
+  std::vector<index_t> p(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+  for (index_t i = n - 1; i > 0; --i)
+    std::swap(p[static_cast<std::size_t>(i)],
+              p[static_cast<std::size_t>(prng.below(static_cast<std::uint64_t>(i + 1)))]);
+  Permutation perm(std::move(p));
+  return permute_symmetric(clustered, perm);
+}
+
+/// KKT / saddle-point structure [A  B; Bᵀ 0] where A is a 2D mesh Laplacian
+/// and B is a sparse tall coupling block. Mimics stokes / nlpkkt structure.
+template <typename VT = double>
+CscMatrix<VT> kkt_saddle(index_t mesh_k, double coupling_frac, std::uint64_t seed) {
+  require(mesh_k > 1 && coupling_frac > 0 && coupling_frac <= 1, "kkt_saddle: bad parameters");
+  CscMatrix<VT> a = mesh2d<VT>(mesh_k);
+  index_t na = a.nrows();
+  auto nb = static_cast<index_t>(coupling_frac * static_cast<double>(na));
+  index_t n = na + nb;
+  SplitMix64 rng(seed);
+  CooMatrix<VT> coo(n, n);
+  for (index_t j = 0; j < na; ++j) {
+    auto rows = a.col_rows(j);
+    auto vals = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) coo.push(rows[p], j, vals[p]);
+  }
+  // Each constraint row couples to ~3 primal variables, clustered around a
+  // position proportional to the constraint index (preserves locality).
+  for (index_t c = 0; c < nb; ++c) {
+    index_t center = (c * na) / std::max<index_t>(nb, 1);
+    for (int k = 0; k < 3; ++k) {
+      index_t r = std::min<index_t>(
+          na - 1, center + static_cast<index_t>(rng.below(32)));
+      VT v = static_cast<VT>(1.0 + rng.uniform());
+      coo.push(r, na + c, v);
+      coo.push(na + c, r, v);
+    }
+  }
+  coo.canonicalize();
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+}  // namespace sa1d

@@ -1,0 +1,86 @@
+#include "sparse/mmio.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "util/common.hpp"
+
+namespace sa1d {
+
+namespace {
+
+std::string lower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  return s;
+}
+
+}  // namespace
+
+CooMatrix<double> read_matrix_market(std::istream& in) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)), "mmio: empty stream");
+
+  std::istringstream hdr(line);
+  std::string banner, object, format, field, symmetry;
+  hdr >> banner >> object >> format >> field >> symmetry;
+  require(banner == "%%MatrixMarket", "mmio: missing MatrixMarket banner");
+  require(lower(object) == "matrix" && lower(format) == "coordinate",
+          "mmio: only coordinate matrices supported");
+  field = lower(field);
+  symmetry = lower(symmetry);
+  require(field == "real" || field == "integer" || field == "pattern",
+          "mmio: unsupported field type: " + field);
+  require(symmetry == "general" || symmetry == "symmetric" || symmetry == "skew-symmetric",
+          "mmio: unsupported symmetry: " + symmetry);
+
+  // Skip comments.
+  while (std::getline(in, line)) {
+    if (!line.empty() && line[0] != '%') break;
+  }
+  std::istringstream dims(line);
+  index_t nrows = 0, ncols = 0, nnz = 0;
+  dims >> nrows >> ncols >> nnz;
+  require(nrows >= 0 && ncols >= 0 && nnz >= 0, "mmio: bad dimensions line");
+
+  CooMatrix<double> out(nrows, ncols);
+  const bool pattern = field == "pattern";
+  const double skew = symmetry == "skew-symmetric" ? -1.0 : 1.0;
+  for (index_t k = 0; k < nnz; ++k) {
+    require(static_cast<bool>(std::getline(in, line)), "mmio: truncated entry list");
+    std::istringstream e(line);
+    index_t r = 0, c = 0;
+    double v = 1.0;
+    e >> r >> c;
+    if (!pattern) e >> v;
+    require(r >= 1 && r <= nrows && c >= 1 && c <= ncols, "mmio: index out of range");
+    out.push(r - 1, c - 1, v);
+    if (symmetry != "general" && r != c) out.push(c - 1, r - 1, skew * v);
+  }
+  out.canonicalize();
+  return out;
+}
+
+CooMatrix<double> read_matrix_market_file(const std::string& path) {
+  std::ifstream f(path);
+  require(f.good(), "mmio: cannot open file: " + path);
+  return read_matrix_market(f);
+}
+
+void write_matrix_market(std::ostream& out, const CooMatrix<double>& m) {
+  out.precision(17);  // round-trip exact for double
+  out << "%%MatrixMarket matrix coordinate real general\n";
+  out << m.nrows() << " " << m.ncols() << " " << m.nnz() << "\n";
+  for (const auto& t : m.triples())
+    out << (t.row + 1) << " " << (t.col + 1) << " " << t.val << "\n";
+}
+
+void write_matrix_market_file(const std::string& path, const CooMatrix<double>& m) {
+  std::ofstream f(path);
+  require(f.good(), "mmio: cannot open file for writing: " + path);
+  write_matrix_market(f, m);
+}
+
+}  // namespace sa1d

@@ -1,0 +1,22 @@
+// Minimal Matrix Market (.mtx) reader/writer for `coordinate real general /
+// symmetric / pattern` matrices — enough to interoperate with SuiteSparse
+// downloads when they are available.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sparse/coo.hpp"
+
+namespace sa1d {
+
+/// Reads a Matrix Market coordinate matrix. Symmetric/skew-symmetric storage
+/// is expanded to full; `pattern` entries get value 1.0.
+CooMatrix<double> read_matrix_market(std::istream& in);
+CooMatrix<double> read_matrix_market_file(const std::string& path);
+
+/// Writes in `coordinate real general` form (1-based indices).
+void write_matrix_market(std::ostream& out, const CooMatrix<double>& m);
+void write_matrix_market_file(const std::string& path, const CooMatrix<double>& m);
+
+}  // namespace sa1d

@@ -1,0 +1,162 @@
+// Structural operations on sparse matrices: transpose, permutation,
+// sub-matrix extraction, comparison, symmetrization, degree statistics.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "sparse/csc.hpp"
+#include "sparse/dcsc.hpp"
+#include "util/common.hpp"
+
+namespace sa1d {
+
+/// Transpose via counting sort: O(nnz + nrows).
+template <typename VT>
+CscMatrix<VT> transpose(const CscMatrix<VT>& a) {
+  std::vector<index_t> rowptr(static_cast<std::size_t>(a.nrows()) + 1, 0);
+  for (index_t j = 0; j < a.ncols(); ++j)
+    for (auto r : a.col_rows(j)) ++rowptr[static_cast<std::size_t>(r) + 1];
+  for (std::size_t i = 0; i < static_cast<std::size_t>(a.nrows()); ++i) rowptr[i + 1] += rowptr[i];
+
+  std::vector<index_t> rowids(static_cast<std::size_t>(a.nnz()));
+  std::vector<VT> vals(static_cast<std::size_t>(a.nnz()));
+  std::vector<index_t> cursor(rowptr.begin(), rowptr.end() - 1);
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto rows = a.col_rows(j);
+    auto vls = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      index_t pos = cursor[static_cast<std::size_t>(rows[p])]++;
+      rowids[static_cast<std::size_t>(pos)] = j;
+      vals[static_cast<std::size_t>(pos)] = vls[p];
+    }
+  }
+  return CscMatrix<VT>(a.ncols(), a.nrows(), std::move(rowptr), std::move(rowids),
+                       std::move(vals));
+}
+
+/// A permutation is new_id[old_id]; identity() and inverse() helpers.
+class Permutation {
+ public:
+  Permutation() = default;
+  explicit Permutation(std::vector<index_t> new_of_old) : p_(std::move(new_of_old)) {
+#ifndef NDEBUG
+    std::vector<bool> seen(p_.size(), false);
+    for (auto v : p_) {
+      assert(v >= 0 && v < static_cast<index_t>(p_.size()) && !seen[static_cast<std::size_t>(v)]);
+      seen[static_cast<std::size_t>(v)] = true;
+    }
+#endif
+  }
+
+  static Permutation identity(index_t n) {
+    std::vector<index_t> p(static_cast<std::size_t>(n));
+    for (index_t i = 0; i < n; ++i) p[static_cast<std::size_t>(i)] = i;
+    return Permutation(std::move(p));
+  }
+
+  [[nodiscard]] index_t size() const { return static_cast<index_t>(p_.size()); }
+  [[nodiscard]] index_t operator()(index_t old_id) const {
+    return p_[static_cast<std::size_t>(old_id)];
+  }
+
+  [[nodiscard]] Permutation inverse() const {
+    std::vector<index_t> inv(p_.size());
+    for (std::size_t i = 0; i < p_.size(); ++i)
+      inv[static_cast<std::size_t>(p_[i])] = static_cast<index_t>(i);
+    return Permutation(std::move(inv));
+  }
+
+  [[nodiscard]] const std::vector<index_t>& vec() const { return p_; }
+
+ private:
+  std::vector<index_t> p_;
+};
+
+/// Symmetric permutation: returns P A Pᵀ, i.e. row i → rowperm(i), col j → colperm(j).
+template <typename VT>
+CscMatrix<VT> permute(const CscMatrix<VT>& a, const Permutation& rowperm,
+                      const Permutation& colperm) {
+  require(rowperm.size() == a.nrows() && colperm.size() == a.ncols(),
+          "permute: permutation size mismatch");
+  CooMatrix<VT> coo(a.nrows(), a.ncols());
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto rows = a.col_rows(j);
+    auto vals = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) coo.push(rowperm(rows[p]), colperm(j), vals[p]);
+  }
+  coo.canonicalize();
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+template <typename VT>
+CscMatrix<VT> permute_symmetric(const CscMatrix<VT>& a, const Permutation& p) {
+  require(a.nrows() == a.ncols(), "permute_symmetric: matrix must be square");
+  return permute(a, p, p);
+}
+
+/// Extracts columns [lo, hi) as a standalone matrix (global row ids kept).
+template <typename VT>
+CscMatrix<VT> extract_cols(const CscMatrix<VT>& a, index_t lo, index_t hi) {
+  require(0 <= lo && lo <= hi && hi <= a.ncols(), "extract_cols: bad range");
+  std::vector<index_t> colptr(static_cast<std::size_t>(hi - lo) + 1, 0);
+  std::vector<index_t> rowids;
+  std::vector<VT> vals;
+  for (index_t j = lo; j < hi; ++j) {
+    auto rows = a.col_rows(j);
+    auto vls = a.col_vals(j);
+    rowids.insert(rowids.end(), rows.begin(), rows.end());
+    vals.insert(vals.end(), vls.begin(), vls.end());
+    colptr[static_cast<std::size_t>(j - lo) + 1] = static_cast<index_t>(rowids.size());
+  }
+  return CscMatrix<VT>(a.nrows(), hi - lo, std::move(colptr), std::move(rowids), std::move(vals));
+}
+
+/// Pattern symmetrization: returns A ∪ Aᵀ with values summed where both exist.
+template <typename VT>
+CscMatrix<VT> symmetrize(const CscMatrix<VT>& a) {
+  require(a.nrows() == a.ncols(), "symmetrize: matrix must be square");
+  CooMatrix<VT> coo(a.nrows(), a.ncols());
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto rows = a.col_rows(j);
+    auto vals = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p) {
+      coo.push(rows[p], j, vals[p]);
+      if (rows[p] != j) coo.push(j, rows[p], vals[p]);
+    }
+  }
+  coo.canonicalize();
+  // Summation double-counts symmetric pairs; halve off-diagonal duplicates is
+  // not meaningful for pattern use, so keep sum semantics (documented).
+  return CscMatrix<VT>::from_coo(coo);
+}
+
+/// Approximate equality: same pattern, values within abs/rel tolerance.
+template <typename VT>
+bool approx_equal(const CscMatrix<VT>& a, const CscMatrix<VT>& b, double tol = 1e-9) {
+  if (a.nrows() != b.nrows() || a.ncols() != b.ncols() || a.nnz() != b.nnz()) return false;
+  if (a.colptr() != b.colptr() || a.rowids() != b.rowids()) return false;
+  for (std::size_t i = 0; i < a.vals().size(); ++i) {
+    double x = static_cast<double>(a.vals()[i]);
+    double y = static_cast<double>(b.vals()[i]);
+    if (std::abs(x - y) > tol * std::max({1.0, std::abs(x), std::abs(y)})) return false;
+  }
+  return true;
+}
+
+/// Pattern copy: same structure, all values 1.0.
+template <typename VT>
+CscMatrix<double> to_pattern(const CscMatrix<VT>& a) {
+  std::vector<double> ones(static_cast<std::size_t>(a.nnz()), 1.0);
+  return CscMatrix<double>(a.nrows(), a.ncols(), a.colptr(), a.rowids(), std::move(ones));
+}
+
+/// Per-column nonzero counts (the degree vector in the graph view).
+template <typename VT>
+std::vector<index_t> col_nnz_vector(const CscMatrix<VT>& a) {
+  std::vector<index_t> d(static_cast<std::size_t>(a.ncols()));
+  for (index_t j = 0; j < a.ncols(); ++j) d[static_cast<std::size_t>(j)] = a.col_nnz(j);
+  return d;
+}
+
+}  // namespace sa1d

@@ -1,0 +1,60 @@
+// Dense boolean vector used for the paper's H-vector (nonzero rows of B_i).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/common.hpp"
+
+namespace sa1d {
+
+/// Packed bit vector with O(1) set/test; word-level scan helpers.
+/// Represents the dense boolean vector H_i of Algorithm 1.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(index_t n) : n_(n), words_((static_cast<std::size_t>(n) + 63) / 64, 0) {}
+
+  [[nodiscard]] index_t size() const { return n_; }
+
+  void set(index_t i) { words_[static_cast<std::size_t>(i) >> 6] |= 1ULL << (i & 63); }
+  void clear(index_t i) { words_[static_cast<std::size_t>(i) >> 6] &= ~(1ULL << (i & 63)); }
+  [[nodiscard]] bool test(index_t i) const {
+    return (words_[static_cast<std::size_t>(i) >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Number of set bits.
+  [[nodiscard]] index_t count() const {
+    index_t c = 0;
+    for (auto w : words_) c += __builtin_popcountll(w);
+    return c;
+  }
+
+  /// True if any bit in [lo, hi) is set.
+  [[nodiscard]] bool any_in_range(index_t lo, index_t hi) const {
+    for (index_t i = lo; i < hi; ++i)
+      if (test(i)) return true;  // simple; ranges here are short block spans
+    return false;
+  }
+
+  /// Indices of all set bits, ascending.
+  [[nodiscard]] std::vector<index_t> to_indices() const {
+    std::vector<index_t> out;
+    out.reserve(static_cast<std::size_t>(count()));
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t bits = words_[w];
+      while (bits) {
+        int b = __builtin_ctzll(bits);
+        out.push_back(static_cast<index_t>(w * 64 + static_cast<std::size_t>(b)));
+        bits &= bits - 1;
+      }
+    }
+    return out;
+  }
+
+ private:
+  index_t n_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace sa1d

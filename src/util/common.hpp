@@ -1,0 +1,74 @@
+// Common small utilities shared across sa1d modules.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace sa1d {
+
+/// Default index type. 64-bit throughout, matching the paper's ParMETIS
+/// configuration (64-bit indices, double values).
+using index_t = std::int64_t;
+
+/// Throws std::invalid_argument with `msg` if `cond` is false.
+/// Used for validating public-API arguments (C++ Core Guidelines I.6).
+inline void require(bool cond, const std::string& msg) {
+  if (!cond) throw std::invalid_argument(msg);
+}
+
+/// Checked narrowing conversion for sizes/indices.
+template <typename To, typename From>
+To checked_cast(From v) {
+  auto r = static_cast<To>(v);
+  if (static_cast<From>(r) != v) throw std::overflow_error("checked_cast: value out of range");
+  return r;
+}
+
+/// Exclusive prefix sum: out[i] = sum of in[0..i), out has size in.size()+1.
+template <typename T>
+std::vector<T> exclusive_scan_vec(std::span<const T> in) {
+  std::vector<T> out(in.size() + 1, T{0});
+  for (std::size_t i = 0; i < in.size(); ++i) out[i + 1] = out[i] + in[i];
+  return out;
+}
+
+/// ceil(a / b) for positive integers.
+template <typename T>
+constexpr T ceil_div(T a, T b) {
+  return (a + b - 1) / b;
+}
+
+/// Splits `n` items into `parts` contiguous ranges as evenly as possible.
+/// Returns boundaries of size parts+1 with boundaries[0]=0, back()=n.
+inline std::vector<index_t> even_split(index_t n, int parts) {
+  require(parts > 0, "even_split: parts must be positive");
+  std::vector<index_t> b(static_cast<std::size_t>(parts) + 1);
+  index_t base = n / parts, rem = n % parts;
+  b[0] = 0;
+  for (int i = 0; i < parts; ++i) b[i + 1] = b[i] + base + (i < rem ? 1 : 0);
+  return b;
+}
+
+/// Returns the index of the range in `boundaries` containing `x`
+/// (boundaries as produced by even_split; boundaries[i] <= x < boundaries[i+1]).
+inline int find_owner(std::span<const index_t> boundaries, index_t x) {
+  assert(!boundaries.empty() && x >= boundaries.front() && x < boundaries.back());
+  // Binary search over the boundary array.
+  std::size_t lo = 0, hi = boundaries.size() - 1;
+  while (hi - lo > 1) {
+    std::size_t mid = (lo + hi) / 2;
+    if (boundaries[mid] <= x)
+      lo = mid;
+    else
+      hi = mid;
+  }
+  return static_cast<int>(lo);
+}
+
+}  // namespace sa1d

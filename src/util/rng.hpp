@@ -1,0 +1,43 @@
+// Deterministic random number generation. All sa1d generators and
+// randomized algorithms take explicit seeds so experiments are reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace sa1d {
+
+/// SplitMix64: tiny, fast, high-quality seeding/stateless hash generator.
+/// Used both as an RNG and to derive independent streams from one seed.
+class SplitMix64 {
+ public:
+  using result_type = std::uint64_t;
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  result_type operator()() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Derives an independent child seed (e.g. one stream per rank).
+  [[nodiscard]] std::uint64_t fork(std::uint64_t salt) const {
+    SplitMix64 g(state_ ^ (salt * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL));
+    return g();
+  }
+
+  /// Uniform integer in [0, n).
+  std::uint64_t below(std::uint64_t n) { return (*this)() % n; }
+
+  /// Uniform double in [0, 1).
+  double uniform() { return static_cast<double>((*this)() >> 11) * 0x1.0p-53; }
+
+ private:
+  std::uint64_t state_;
+};
+
+}  // namespace sa1d

@@ -1,0 +1,42 @@
+// Wall-clock and per-thread CPU timers used for phase breakdowns.
+#pragma once
+
+#include <chrono>
+#include <ctime>
+
+namespace sa1d {
+
+/// Monotonic wall-clock stopwatch (seconds).
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+  void reset() { start_ = clock::now(); }
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Per-thread CPU-time stopwatch (seconds). Unlike wall time, this is
+/// meaningful when many simulated ranks share one physical core: each
+/// rank-thread is only charged for cycles it actually consumed.
+class CpuTimer {
+ public:
+  CpuTimer() : start_(now()) {}
+  void reset() { start_ = now(); }
+  [[nodiscard]] double seconds() const { return now() - start_; }
+
+ private:
+  static double now() {
+    timespec ts{};
+    clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts);
+    return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
+  }
+  double start_;
+};
+
+}  // namespace sa1d

@@ -1,0 +1,168 @@
+// Tests for the AMG substrate: MIS-2, aggregation, restriction operator,
+// and the distributed Galerkin product.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/amg.hpp"
+#include "sparse/generators.hpp"
+
+namespace sa1d {
+namespace {
+
+/// Checks the two MIS-2 defining properties on the pattern of `a`.
+template <typename VT>
+void check_mis2(const CscMatrix<VT>& a, const std::vector<index_t>& roots) {
+  std::set<index_t> rootset(roots.begin(), roots.end());
+  const index_t n = a.ncols();
+  // Independence: no two roots within distance 2 (no common neighbour, no edge).
+  std::vector<int> near_root(static_cast<std::size_t>(n), 0);
+  for (auto r : roots) {
+    for (auto u : a.col_rows(r)) {
+      if (u != r && rootset.count(u)) FAIL() << "roots " << r << "," << u << " adjacent";
+    }
+  }
+  // Common-neighbour check: each vertex may neighbour at most one root.
+  for (index_t v = 0; v < n; ++v) {
+    int cnt = 0;
+    for (auto u : a.col_rows(v))
+      if (u != v && rootset.count(u)) ++cnt;
+    EXPECT_LE(cnt, 1) << "vertex " << v << " neighbours " << cnt << " roots";
+  }
+  // Maximality: every non-root must be within distance 2 of some root.
+  std::vector<char> covered(static_cast<std::size_t>(n), 0);
+  for (auto r : roots) {
+    covered[static_cast<std::size_t>(r)] = 1;
+    for (auto u : a.col_rows(r)) {
+      covered[static_cast<std::size_t>(u)] = 1;
+      for (auto w : a.col_rows(u)) covered[static_cast<std::size_t>(w)] = 1;
+    }
+  }
+  for (index_t v = 0; v < n; ++v) EXPECT_TRUE(covered[static_cast<std::size_t>(v)]) << v;
+}
+
+TEST(Mis2, PathGraph) {
+  // Path of 7 vertices: a valid MIS-2 spaces roots >= 3 apart.
+  CooMatrix<double> m(7, 7);
+  for (index_t i = 0; i + 1 < 7; ++i) {
+    m.push(i, i + 1, 1.0);
+    m.push(i + 1, i, 1.0);
+  }
+  auto a = CscMatrix<double>::from_coo(m);
+  auto roots = mis2(a, 3);
+  check_mis2(a, roots);
+  EXPECT_GE(roots.size(), 2u);
+}
+
+TEST(Mis2, MeshAndRandomGraphs) {
+  check_mis2(mesh2d<double>(15), mis2(mesh2d<double>(15), 1));
+  auto er = erdos_renyi<double>(300, 4.0, 7, /*symmetric=*/true);
+  check_mis2(er, mis2(er, 1));
+  auto m3 = mesh3d<double>(7);
+  check_mis2(m3, mis2(m3, 2));
+}
+
+TEST(Mis2, Deterministic) {
+  auto a = mesh2d<double>(10);
+  EXPECT_EQ(mis2(a, 5), mis2(a, 5));
+}
+
+TEST(Mis2, RejectsRectangular) {
+  CscMatrix<double> a(3, 4);
+  EXPECT_THROW(mis2(a), std::invalid_argument);
+}
+
+TEST(Aggregate, CoversEveryVertexWithValidRoot) {
+  auto a = mesh2d<double>(12);
+  auto roots = mis2(a, 9);
+  auto agg = aggregate_mis2(a, roots);
+  for (index_t v = 0; v < a.ncols(); ++v) {
+    EXPECT_GE(agg[static_cast<std::size_t>(v)], 0);
+  }
+  // Roots map to their own aggregate ids.
+  for (std::size_t r = 0; r < roots.size(); ++r)
+    EXPECT_EQ(agg[static_cast<std::size_t>(roots[r])], static_cast<index_t>(r));
+}
+
+TEST(Aggregate, IsolatedVerticesGetSingletons) {
+  CooMatrix<double> m(5, 5);
+  m.push(0, 1, 1.0);
+  m.push(1, 0, 1.0);  // vertices 2,3,4 isolated
+  auto a = CscMatrix<double>::from_coo(m);
+  auto roots = mis2(a, 1);
+  auto agg = aggregate_mis2(a, roots);
+  std::set<index_t> ids(agg.begin(), agg.end());
+  for (auto v : agg) EXPECT_GE(v, 0);
+  // Each isolated vertex must sit alone or be a root itself.
+  EXPECT_GE(ids.size(), 3u);
+}
+
+TEST(Restriction, OneNonzeroPerRow) {
+  // Table III's structural property.
+  auto a = mesh3d<double>(6);
+  auto r = restriction_operator(a, 11);
+  EXPECT_EQ(r.nrows(), a.ncols());
+  EXPECT_EQ(r.nnz(), r.nrows());
+  auto rt = transpose(r);
+  for (index_t row = 0; row < rt.ncols(); ++row) EXPECT_EQ(rt.col_nnz(row), 1);
+  // Tall and skinny: many fewer aggregates than vertices.
+  EXPECT_LT(r.ncols(), r.nrows() / 3);
+  // Every aggregate non-empty (columns of R).
+  for (index_t j = 0; j < r.ncols(); ++j) EXPECT_GE(r.col_nnz(j), 1);
+}
+
+TEST(Restriction, ValuesAreOnes) {
+  auto r = restriction_operator(mesh2d<double>(10), 2);
+  for (auto v : r.vals()) EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(Galerkin, MatchesSerialTripleProduct) {
+  auto a = mesh2d<double>(10);
+  auto r = restriction_operator(a, 3);
+  auto want = spgemm(spgemm(transpose(r), a, LocalKernel::Spa), r, LocalKernel::Spa);
+  for (auto right : {RightMultAlgo::SparsityAware1d, RightMultAlgo::OuterProduct1d}) {
+    Machine m(4);
+    m.run([&](Comm& c) {
+      auto res = galerkin_product(c, a, r, {}, right);
+      EXPECT_TRUE(approx_equal(res.rtar.gather(c), want, 1e-9));
+      EXPECT_TRUE(approx_equal(res.rta.gather(c),
+                               spgemm(transpose(r), a, LocalKernel::Spa), 1e-9));
+    });
+  }
+}
+
+TEST(Galerkin, CoarseOperatorKeepsSymmetry) {
+  auto a = mesh2d<double>(12);  // symmetric operator
+  auto r = restriction_operator(a, 5);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto res = galerkin_product(c, a, r);
+    auto coarse = res.rtar.gather(c);
+    EXPECT_TRUE(approx_equal(coarse, transpose(coarse), 1e-9));
+    EXPECT_EQ(coarse.nrows(), r.ncols());
+  });
+}
+
+TEST(Galerkin, RejectsMismatchedR) {
+  auto a = mesh2d<double>(6);
+  auto r = restriction_operator(mesh2d<double>(5), 1);
+  Machine m(2);
+  EXPECT_THROW(m.run([&](Comm& c) { galerkin_product(c, a, r); }), std::invalid_argument);
+}
+
+// Small symmetric clustered matrix standing in for the queen dataset.
+static CscMatrix<double> make_dataset_for_test() { return mesh3d<double>(5); }
+
+TEST(Galerkin, GalerkinOfDatasetAnalogueRunsAtTinyScale) {
+  auto a = make_dataset_for_test();
+  auto r = restriction_operator(a, 7);
+  auto want = spgemm(spgemm(transpose(r), a, LocalKernel::Spa), r, LocalKernel::Spa);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto res = galerkin_product(c, a, r);
+    EXPECT_TRUE(approx_equal(res.rtar.gather(c), want, 1e-9));
+  });
+}
+
+}  // namespace
+}  // namespace sa1d

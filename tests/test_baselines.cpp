@@ -1,0 +1,207 @@
+// Tests for the baseline distributed algorithms: outer-product 1D
+// (Algorithm 3), naive ring 1D, 2D sparse SUMMA, Split-3D.
+#include <gtest/gtest.h>
+
+#include "core/outer_product.hpp"
+#include "core/spgemm1d.hpp"
+#include "dist/naive1d.hpp"
+#include "dist/spgemm3d.hpp"
+#include "dist/summa2d.hpp"
+#include "sparse/generators.hpp"
+
+namespace sa1d {
+namespace {
+
+CscMatrix<double> random_rect(index_t m, index_t n, int edges, std::uint64_t seed) {
+  CooMatrix<double> c(m, n);
+  SplitMix64 g(seed);
+  for (int e = 0; e < edges; ++e)
+    c.push(static_cast<index_t>(g.below(static_cast<std::uint64_t>(m))),
+           static_cast<index_t>(g.below(static_cast<std::uint64_t>(n))), 1.0 + g.uniform());
+  c.canonicalize();
+  return CscMatrix<double>::from_coo(c);
+}
+
+// ---- Outer product (Algorithm 3) ----------------------------------------
+
+TEST(OuterProduct1d, MatchesSerialSquare) {
+  auto a = erdos_renyi<double>(120, 5.0, 3);
+  auto want = spgemm(a, a, LocalKernel::Spa);
+  for (int P : {1, 3, 5}) {
+    Machine m(P);
+    m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      auto got = spgemm_outer_product_1d(c, da, da).gather(c);
+      EXPECT_TRUE(approx_equal(got, want, 1e-9)) << "P=" << P;
+    });
+  }
+}
+
+TEST(OuterProduct1d, MatchesSerialRectangular) {
+  auto a = random_rect(60, 40, 250, 5);
+  auto b = random_rect(40, 30, 180, 6);
+  auto want = spgemm(a, b, LocalKernel::Spa);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    auto db = DistMatrix1D<double>::from_global(c, b);
+    auto got = spgemm_outer_product_1d(c, da, db).gather(c);
+    EXPECT_TRUE(approx_equal(got, want, 1e-9));
+  });
+}
+
+TEST(OuterProduct1d, AgreesWithSparsityAware1d) {
+  auto a = mesh2d<double>(11);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    auto c1 = spgemm_1d(c, da, da).gather(c);
+    auto c2 = spgemm_outer_product_1d(c, da, da).gather(c);
+    EXPECT_TRUE(approx_equal(c1, c2, 1e-9));
+  });
+}
+
+TEST(OuterProduct1d, DimensionMismatchThrows) {
+  Machine m(2);
+  EXPECT_THROW(m.run([&](Comm& c) {
+    auto a = DistMatrix1D<double>::from_global(c, erdos_renyi<double>(10, 2.0, 1));
+    auto b = DistMatrix1D<double>::from_global(c, erdos_renyi<double>(12, 2.0, 1));
+    spgemm_outer_product_1d(c, a, b);
+  }),
+               std::invalid_argument);
+}
+
+// ---- Naive ring 1D -------------------------------------------------------
+
+TEST(NaiveRing1d, MatchesSerial) {
+  auto a = erdos_renyi<double>(90, 4.0, 17);
+  auto want = spgemm(a, a, LocalKernel::Spa);
+  for (int P : {1, 2, 5}) {
+    Machine m(P);
+    m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      auto got = spgemm_naive_ring_1d(c, da, da).gather(c);
+      EXPECT_TRUE(approx_equal(got, want, 1e-9)) << "P=" << P;
+    });
+  }
+}
+
+TEST(NaiveRing1d, MovesWholeAAcrossRing) {
+  // Ballard's analysis: the ring circulates all of A through every rank, so
+  // network traffic is ~(P-1) x nnz(A) triples — far above sparsity-aware.
+  auto a = block_clustered<double>(256, 8, 6.0, 0.25, 9);
+  const int P = 4;
+  Machine m(P);
+  auto ring = m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    spgemm_naive_ring_1d(c, da, da);
+  });
+  auto aware = m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    spgemm_1d(c, da, da);
+  });
+  EXPECT_GT(ring.total_bytes_network(), 2 * aware.total_bytes_network());
+}
+
+// ---- 2D sparse SUMMA -----------------------------------------------------
+
+TEST(Summa2d, MatchesSerialOnPerfectSquares) {
+  auto a = erdos_renyi<double>(80, 4.0, 21);
+  auto want = spgemm(a, a, LocalKernel::Spa);
+  for (int P : {1, 4, 9}) {
+    Machine m(P);
+    m.run([&](Comm& c) {
+      auto blk = spgemm_summa_2d(c, a, a);
+      auto got = gather_coo(c, blk);
+      EXPECT_TRUE(approx_equal(got, want, 1e-9)) << "P=" << P;
+    });
+  }
+}
+
+TEST(Summa2d, RectangularOperands) {
+  auto a = random_rect(50, 36, 200, 7);
+  auto b = random_rect(36, 44, 200, 8);
+  auto want = spgemm(a, b, LocalKernel::Spa);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto got = gather_coo(c, spgemm_summa_2d(c, a, b));
+    EXPECT_TRUE(approx_equal(got, want, 1e-9));
+  });
+}
+
+TEST(Summa2d, RejectsNonSquareProcessCount) {
+  Machine m(6);
+  auto a = erdos_renyi<double>(20, 2.0, 2);
+  EXPECT_THROW(m.run([&](Comm& c) { spgemm_summa_2d(c, a, a); }), std::invalid_argument);
+}
+
+// ---- Split-3D --------------------------------------------------------------
+
+TEST(Split3d, ValidLayerCounts) {
+  EXPECT_EQ(valid_layer_counts(16), (std::vector<int>{1, 4, 16}));
+  EXPECT_EQ(valid_layer_counts(8), (std::vector<int>{2, 8}));
+  EXPECT_EQ(valid_layer_counts(1), (std::vector<int>{1}));
+}
+
+TEST(Split3d, MatchesSerialAcrossLayerCounts) {
+  auto a = erdos_renyi<double>(70, 4.0, 13);
+  auto want = spgemm(a, a, LocalKernel::Spa);
+  for (int layers : {1, 2, 4, 8}) {
+    int P = 8;
+    if (P % layers != 0) continue;
+    int q2 = P / layers;
+    int q = static_cast<int>(std::sqrt(q2));
+    if (q * q != q2) continue;
+    Machine m(P);
+    m.run([&](Comm& c) {
+      auto got = gather_coo(c, spgemm_split_3d(c, a, a, layers));
+      EXPECT_TRUE(approx_equal(got, want, 1e-9)) << "layers=" << layers;
+    });
+  }
+}
+
+TEST(Split3d, LayersEqualOneMatchesSumma) {
+  auto a = mesh2d<double>(9);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto c3 = gather_coo(c, spgemm_split_3d(c, a, a, 1));
+    auto c2 = gather_coo(c, spgemm_summa_2d(c, a, a));
+    EXPECT_TRUE(approx_equal(c3, c2, 1e-9));
+  });
+}
+
+TEST(Split3d, RejectsBadLayerCount) {
+  Machine m(8);
+  auto a = erdos_renyi<double>(20, 2.0, 2);
+  EXPECT_THROW(m.run([&](Comm& c) { spgemm_split_3d(c, a, a, 3); }), std::invalid_argument);
+}
+
+TEST(Split3d, RectangularOperands) {
+  auto a = random_rect(48, 32, 180, 9);
+  auto b = random_rect(32, 40, 180, 10);
+  auto want = spgemm(a, b, LocalKernel::Spa);
+  Machine m(8);
+  m.run([&](Comm& c) {
+    auto got = gather_coo(c, spgemm_split_3d(c, a, b, 2));
+    EXPECT_TRUE(approx_equal(got, want, 1e-9));
+  });
+}
+
+// ---- Cross-algorithm agreement -------------------------------------------
+
+TEST(AllAlgorithms, AgreeOnOneInput) {
+  auto a = block_clustered<double>(144, 6, 5.0, 0.5, 14);
+  auto want = spgemm(a, a, LocalKernel::Spa);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    EXPECT_TRUE(approx_equal(spgemm_1d(c, da, da).gather(c), want, 1e-9));
+    EXPECT_TRUE(approx_equal(spgemm_outer_product_1d(c, da, da).gather(c), want, 1e-9));
+    EXPECT_TRUE(approx_equal(spgemm_naive_ring_1d(c, da, da).gather(c), want, 1e-9));
+    EXPECT_TRUE(approx_equal(gather_coo(c, spgemm_summa_2d(c, a, a)), want, 1e-9));
+    EXPECT_TRUE(approx_equal(gather_coo(c, spgemm_split_3d(c, a, a, 4)), want, 1e-9));
+  });
+}
+
+}  // namespace
+}  // namespace sa1d

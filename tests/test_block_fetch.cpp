@@ -1,0 +1,144 @@
+// Property tests for Algorithm 2 (block fetch): coverage, message bound,
+// monotonicity in K.
+#include <gtest/gtest.h>
+
+#include "core/block_fetch.hpp"
+#include "util/rng.hpp"
+
+namespace sa1d {
+namespace {
+
+std::vector<bool> random_needed(index_t n, double density, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  std::vector<bool> v(static_cast<std::size_t>(n));
+  for (index_t i = 0; i < n; ++i) v[static_cast<std::size_t>(i)] = g.uniform() < density;
+  return v;
+}
+
+void check_plan_invariants(const std::vector<FetchRange>& plan, index_t nzc, index_t k,
+                           const std::vector<bool>& needed) {
+  // Ranges disjoint, ascending, within bounds.
+  index_t prev_end = 0;
+  for (const auto& r : plan) {
+    EXPECT_LE(prev_end, r.begin);
+    EXPECT_LT(r.begin, r.end);
+    EXPECT_LE(r.end, nzc);
+    prev_end = r.end;
+  }
+  // Message bound: M <= K.
+  EXPECT_LE(static_cast<index_t>(plan.size()), k);
+  // Coverage: every needed position is inside some range.
+  std::vector<bool> covered(static_cast<std::size_t>(nzc), false);
+  for (const auto& r : plan)
+    for (index_t p = r.begin; p < r.end; ++p) covered[static_cast<std::size_t>(p)] = true;
+  for (index_t p = 0; p < nzc; ++p)
+    if (needed[static_cast<std::size_t>(p)]) EXPECT_TRUE(covered[static_cast<std::size_t>(p)]);
+}
+
+TEST(BlockFetch, EmptyOwner) {
+  auto plan = block_fetch_plan(0, 16, {});
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(BlockFetch, NothingNeeded) {
+  auto plan = block_fetch_plan(100, 8, std::vector<bool>(100, false));
+  EXPECT_TRUE(plan.empty());
+}
+
+TEST(BlockFetch, EverythingNeededYieldsKGroups) {
+  auto plan = block_fetch_plan(100, 8, std::vector<bool>(100, true));
+  EXPECT_EQ(plan.size(), 8u);
+  check_plan_invariants(plan, 100, 8, std::vector<bool>(100, true));
+}
+
+TEST(BlockFetch, KLargerThanNzc) {
+  std::vector<bool> needed(5, true);
+  auto plan = block_fetch_plan(5, 100, needed);
+  EXPECT_EQ(plan.size(), 5u);  // one group per column at most
+  check_plan_invariants(plan, 5, 100, needed);
+}
+
+TEST(BlockFetch, SingleColumnNeeded) {
+  std::vector<bool> needed(1000, false);
+  needed[537] = true;
+  auto plan = block_fetch_plan(1000, 10, needed);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_LE(plan[0].begin, 537);
+  EXPECT_GT(plan[0].end, 537);
+  // One group of ~100 columns: the overshoot the paper trades for latency.
+  EXPECT_EQ(plan[0].end - plan[0].begin, 100);
+}
+
+TEST(BlockFetch, PaperExampleK2) {
+  // Fig 1: 2 blocks per owner; needing only the 2nd column of a 2-col block
+  // still fetches the whole block.
+  std::vector<bool> needed{false, true};
+  auto plan = block_fetch_plan(2, 2, needed);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], (FetchRange{1, 2}));
+  // With K=1 (one block), the unneeded first column rides along.
+  plan = block_fetch_plan(2, 1, needed);
+  ASSERT_EQ(plan.size(), 1u);
+  EXPECT_EQ(plan[0], (FetchRange{0, 2}));
+}
+
+TEST(BlockFetch, MergeAdjacentReducesMessageCount) {
+  std::vector<bool> needed(100, true);
+  auto unmerged = block_fetch_plan(100, 10, needed, false);
+  auto merged = block_fetch_plan(100, 10, needed, true);
+  EXPECT_EQ(unmerged.size(), 10u);
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0], (FetchRange{0, 100}));
+}
+
+TEST(BlockFetch, RejectsBadArgs) {
+  EXPECT_THROW(block_fetch_plan(10, 0, std::vector<bool>(10)), std::invalid_argument);
+  EXPECT_THROW(block_fetch_plan(10, 4, std::vector<bool>(9)), std::invalid_argument);
+}
+
+TEST(BlockFetch, PlanElements) {
+  // cp = prefix of per-column nnz {3, 1, 4, 1}.
+  std::vector<index_t> cp{0, 3, 4, 8, 9};
+  std::vector<FetchRange> plan{{0, 2}, {3, 4}};
+  EXPECT_EQ(plan_elements(plan, cp), 4 + 1);
+}
+
+class BlockFetchSweep : public ::testing::TestWithParam<std::tuple<int, int, double>> {};
+
+TEST_P(BlockFetchSweep, InvariantsHold) {
+  auto [nzc, k, density] = GetParam();
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    auto needed = random_needed(nzc, density, seed);
+    auto plan = block_fetch_plan(nzc, k, needed);
+    check_plan_invariants(plan, nzc, k, needed);
+    // Merged variant covers the same set with fewer or equal messages.
+    auto merged = block_fetch_plan(nzc, k, needed, true);
+    check_plan_invariants(merged, nzc, k, needed);
+    EXPECT_LE(merged.size(), plan.size());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, BlockFetchSweep,
+                         ::testing::Combine(::testing::Values(1, 7, 64, 1000),
+                                            ::testing::Values(1, 4, 64, 2048),
+                                            ::testing::Values(0.01, 0.3, 0.9)));
+
+TEST(BlockFetch, LargerKNeverFetchesMoreElements) {
+  // With finer granularity (larger K) the plan's element volume shrinks or
+  // stays equal — the communication-volume half of the Fig 6 tradeoff.
+  auto needed = random_needed(4096, 0.05, 99);
+  std::vector<index_t> cp(4097);
+  SplitMix64 g(3);
+  for (std::size_t i = 1; i < cp.size(); ++i)
+    cp[i] = cp[i - 1] + 1 + static_cast<index_t>(g.below(16));
+  index_t prev = -1;
+  for (index_t k : {1, 4, 16, 64, 256, 1024, 4096}) {
+    auto plan = block_fetch_plan(4096, k, needed);
+    index_t elems = plan_elements(plan, cp);
+    if (prev >= 0) EXPECT_LE(elems, prev) << "K=" << k;
+    prev = elems;
+  }
+}
+
+}  // namespace
+}  // namespace sa1d

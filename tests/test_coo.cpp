@@ -1,0 +1,80 @@
+// Unit tests for the COO triples format.
+#include <gtest/gtest.h>
+
+#include "sparse/coo.hpp"
+
+namespace sa1d {
+namespace {
+
+TEST(Coo, EmptyMatrix) {
+  CooMatrix<double> m(3, 4);
+  EXPECT_EQ(m.nrows(), 3);
+  EXPECT_EQ(m.ncols(), 4);
+  EXPECT_EQ(m.nnz(), 0);
+  EXPECT_TRUE(m.is_canonical());
+}
+
+TEST(Coo, RejectsNegativeDims) {
+  EXPECT_THROW(CooMatrix<double>(-1, 2), std::invalid_argument);
+}
+
+TEST(Coo, PushAndCanonicalizeSortsColumnMajor) {
+  CooMatrix<double> m(4, 4);
+  m.push(3, 1, 1.0);
+  m.push(0, 1, 2.0);
+  m.push(2, 0, 3.0);
+  EXPECT_FALSE(m.is_canonical());
+  m.canonicalize();
+  ASSERT_EQ(m.nnz(), 3);
+  EXPECT_EQ(m.triples()[0], (Triple<double>{2, 0, 3.0}));
+  EXPECT_EQ(m.triples()[1], (Triple<double>{0, 1, 2.0}));
+  EXPECT_EQ(m.triples()[2], (Triple<double>{3, 1, 1.0}));
+  EXPECT_TRUE(m.is_canonical());
+}
+
+TEST(Coo, CanonicalizeMergesDuplicatesByAddition) {
+  CooMatrix<double> m(2, 2);
+  m.push(1, 1, 2.5);
+  m.push(1, 1, 0.5);
+  m.push(0, 0, 1.0);
+  m.canonicalize();
+  ASSERT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.triples()[1].val, 3.0);
+}
+
+TEST(Coo, CanonicalizeKeepsExplicitZerosByDefault) {
+  CooMatrix<double> m(2, 2);
+  m.push(0, 0, 1.0);
+  m.push(0, 0, -1.0);
+  m.canonicalize();
+  EXPECT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.triples()[0].val, 0.0);
+}
+
+TEST(Coo, CanonicalizeDropZeros) {
+  CooMatrix<double> m(2, 2);
+  m.push(0, 0, 1.0);
+  m.push(0, 0, -1.0);
+  m.push(1, 0, 2.0);
+  m.canonicalize(/*drop_zeros=*/true);
+  ASSERT_EQ(m.nnz(), 1);
+  EXPECT_EQ(m.triples()[0].row, 1);
+}
+
+TEST(Coo, EqualityComparesDimsAndTriples) {
+  CooMatrix<double> a(2, 2), b(2, 2), c(3, 2);
+  a.push(0, 0, 1.0);
+  b.push(0, 0, 1.0);
+  EXPECT_EQ(a, b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(Coo, ConstructFromTripleVector) {
+  std::vector<Triple<double>> t{{0, 0, 1.0}, {1, 1, 2.0}};
+  CooMatrix<double> m(2, 2, t);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_TRUE(m.is_canonical());
+}
+
+}  // namespace
+}  // namespace sa1d

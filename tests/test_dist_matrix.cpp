@@ -1,0 +1,99 @@
+// Tests for the 1D distributed matrix container.
+#include <gtest/gtest.h>
+
+#include "dist/dist_matrix.hpp"
+#include "sparse/generators.hpp"
+
+namespace sa1d {
+namespace {
+
+TEST(DistMatrix1D, FromGlobalEvenSplitRoundTrips) {
+  auto a = erdos_renyi<double>(97, 5.0, 3);  // odd size: uneven slices
+  for (int p : {1, 2, 4, 7}) {
+    Machine m(p);
+    m.run([&](Comm& c) {
+      auto d = DistMatrix1D<double>::from_global(c, a);
+      EXPECT_EQ(d.nrows(), 97);
+      EXPECT_EQ(d.ncols(), 97);
+      EXPECT_EQ(d.global_nnz(c), a.nnz());
+      auto back = d.gather(c);
+      EXPECT_EQ(back, a);
+    });
+  }
+}
+
+TEST(DistMatrix1D, CustomBounds) {
+  auto a = erdos_renyi<double>(50, 4.0, 9);
+  Machine m(3);
+  m.run([&](Comm& c) {
+    std::vector<index_t> bounds{0, 5, 40, 50};
+    auto d = DistMatrix1D<double>::from_global(c, a, bounds);
+    EXPECT_EQ(d.local_ncols(), bounds[static_cast<std::size_t>(c.rank()) + 1] -
+                                   bounds[static_cast<std::size_t>(c.rank())]);
+    EXPECT_EQ(d.gather(c), a);
+  });
+}
+
+TEST(DistMatrix1D, EmptySliceIsFine) {
+  auto a = erdos_renyi<double>(20, 3.0, 5);
+  Machine m(3);
+  m.run([&](Comm& c) {
+    std::vector<index_t> bounds{0, 20, 20, 20};  // ranks 1,2 own nothing
+    auto d = DistMatrix1D<double>::from_global(c, a, bounds);
+    if (c.rank() > 0) EXPECT_EQ(d.local().nnz(), 0);
+    EXPECT_EQ(d.gather(c), a);
+  });
+}
+
+TEST(DistMatrix1D, GlobalColIds) {
+  auto a = mesh2d<double>(6);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto d = DistMatrix1D<double>::from_global(c, a);
+    for (index_t k = 0; k < d.local().nzc(); ++k) {
+      index_t g = d.global_col(k);
+      EXPECT_GE(g, d.col_lo());
+      EXPECT_LT(g, d.col_hi());
+    }
+  });
+}
+
+TEST(DistMatrix1D, ValidatesConstruction) {
+  Machine m(2);
+  m.run([&](Comm& c) {
+    DcscMatrix<double> empty(10, 5);
+    // bounds not covering ncols
+    EXPECT_THROW(DistMatrix1D<double>(10, 10, {0, 5, 9}, c.rank(), empty),
+                 std::invalid_argument);
+    // local width mismatch
+    EXPECT_THROW(DistMatrix1D<double>(10, 10, {0, 6, 10}, 0, empty), std::invalid_argument);
+  });
+}
+
+TEST(WeightedSplit, BalancesWeights) {
+  std::vector<double> w(100, 1.0);
+  for (std::size_t i = 0; i < 50; ++i) w[i] = 9.0;  // heavy first half
+  auto b = weighted_split(w, 4);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 100);
+  // Parts of the heavy half must be narrower than parts of the light half.
+  EXPECT_LT(b[1], 25);
+  double total = 9 * 50 + 50;
+  for (int p = 0; p < 4; ++p) {
+    double pw = 0;
+    for (index_t j = b[static_cast<std::size_t>(p)]; j < b[static_cast<std::size_t>(p) + 1]; ++j)
+      pw += w[static_cast<std::size_t>(j)];
+    EXPECT_LT(pw, 0.5 * total);  // no part hoards half the weight
+  }
+}
+
+TEST(WeightedSplit, MonotoneBounds) {
+  std::vector<double> w{5, 1, 1, 1, 1, 1, 1, 5};
+  auto b = weighted_split(w, 3);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LE(b[i], b[i + 1]);
+  EXPECT_EQ(b.back(), 8);
+}
+
+}  // namespace
+}  // namespace sa1d

@@ -1,0 +1,108 @@
+// Tests for element-wise sparse operations.
+#include <gtest/gtest.h>
+
+#include "sparse/ewise.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace sa1d {
+namespace {
+
+CscMatrix<double> from_triples(index_t m, index_t n,
+                               std::vector<Triple<double>> t) {
+  CooMatrix<double> c(m, n, std::move(t));
+  c.canonicalize();
+  return CscMatrix<double>::from_coo(c);
+}
+
+TEST(EwiseAdd, UnionPatternSummedOverlap) {
+  auto a = from_triples(3, 3, {{0, 0, 1.0}, {1, 1, 2.0}});
+  auto b = from_triples(3, 3, {{1, 1, 3.0}, {2, 2, 4.0}});
+  auto c = ewise_add(a, b);
+  EXPECT_EQ(c.nnz(), 3);
+  EXPECT_DOUBLE_EQ(c.col_vals(1)[0], 5.0);
+  EXPECT_DOUBLE_EQ(c.col_vals(0)[0], 1.0);
+  EXPECT_DOUBLE_EQ(c.col_vals(2)[0], 4.0);
+}
+
+TEST(EwiseAdd, EmptyOperand) {
+  auto a = from_triples(2, 2, {{0, 0, 1.0}});
+  CscMatrix<double> z(2, 2);
+  EXPECT_EQ(ewise_add(a, z), a);
+  EXPECT_EQ(ewise_add(z, a), a);
+}
+
+TEST(EwiseAdd, ShapeMismatchThrows) {
+  CscMatrix<double> a(2, 2), b(2, 3);
+  EXPECT_THROW(ewise_add(a, b), std::invalid_argument);
+}
+
+TEST(EwiseAdd, AgreesWithCooMerge) {
+  auto a = erdos_renyi<double>(60, 3.0, 1);
+  auto b = erdos_renyi<double>(60, 3.0, 2);
+  auto want_coo = a.to_coo();
+  auto b_coo = b.to_coo();
+  for (const auto& t : b_coo.triples()) want_coo.push(t.row, t.col, t.val);
+  want_coo.canonicalize();
+  EXPECT_TRUE(approx_equal(ewise_add(a, b), CscMatrix<double>::from_coo(want_coo)));
+}
+
+TEST(EwiseMaskNot, RemovesMaskedPositions) {
+  auto a = from_triples(3, 3, {{0, 0, 1.0}, {1, 0, 2.0}, {2, 2, 3.0}});
+  auto mask = from_triples(3, 3, {{1, 0, 9.0}, {0, 1, 9.0}});
+  auto c = ewise_mask_not(a, mask);
+  EXPECT_EQ(c.nnz(), 2);
+  EXPECT_EQ(c.col_rows(0).size(), 1u);
+  EXPECT_EQ(c.col_rows(0)[0], 0);
+  EXPECT_EQ(c.col_rows(2)[0], 2);
+}
+
+TEST(EwiseMaskNot, FullMaskYieldsEmpty) {
+  auto a = erdos_renyi<double>(40, 3.0, 4);
+  EXPECT_EQ(ewise_mask_not(a, a).nnz(), 0);
+}
+
+TEST(EwiseMaskNot, EmptyMaskIsIdentity) {
+  auto a = erdos_renyi<double>(40, 3.0, 4);
+  CscMatrix<double> z(40, 40);
+  EXPECT_EQ(ewise_mask_not(a, z), a);
+}
+
+TEST(EwiseIntersect, MultipliesOnOverlap) {
+  auto a = from_triples(3, 3, {{0, 0, 2.0}, {1, 1, 3.0}});
+  auto b = from_triples(3, 3, {{1, 1, 4.0}, {2, 2, 5.0}});
+  auto c = ewise_intersect(a, b, [](double x, double y) { return x * y; });
+  ASSERT_EQ(c.nnz(), 1);
+  EXPECT_DOUBLE_EQ(c.col_vals(1)[0], 12.0);
+}
+
+TEST(EwiseIntersect, DisjointYieldsEmpty) {
+  auto a = from_triples(2, 2, {{0, 0, 1.0}});
+  auto b = from_triples(2, 2, {{1, 1, 1.0}});
+  EXPECT_EQ(ewise_intersect(a, b, [](double x, double) { return x; }).nnz(), 0);
+}
+
+TEST(EwiseApply, TransformsValuesKeepsPattern) {
+  auto a = erdos_renyi<double>(30, 3.0, 7);
+  auto c = ewise_apply(a, [](double v) { return 2.0 * v; });
+  EXPECT_EQ(c.colptr(), a.colptr());
+  EXPECT_EQ(c.rowids(), a.rowids());
+  for (std::size_t i = 0; i < c.vals().size(); ++i)
+    EXPECT_DOUBLE_EQ(c.vals()[i], 2.0 * a.vals()[i]);
+}
+
+TEST(RowSums, MatchesDense) {
+  auto a = erdos_renyi<double>(25, 4.0, 9);
+  auto rs = row_sums(a);
+  std::vector<double> want(25, 0.0);
+  for (index_t j = 0; j < 25; ++j) {
+    auto rows = a.col_rows(j);
+    auto vals = a.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p)
+      want[static_cast<std::size_t>(rows[p])] += vals[p];
+  }
+  for (std::size_t i = 0; i < 25; ++i) EXPECT_NEAR(rs[i], want[i], 1e-12);
+}
+
+}  // namespace
+}  // namespace sa1d

@@ -1,0 +1,140 @@
+// Unit tests for synthetic matrix generators and the dataset registry.
+#include <gtest/gtest.h>
+
+#include "sparse/datasets.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace sa1d {
+namespace {
+
+TEST(ErdosRenyi, Deterministic) {
+  auto a = erdos_renyi<double>(100, 4.0, 7);
+  auto b = erdos_renyi<double>(100, 4.0, 7);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ErdosRenyi, ApproxDensity) {
+  auto a = erdos_renyi<double>(2000, 8.0, 3);
+  double per_col = static_cast<double>(a.nnz()) / 2000.0;
+  EXPECT_GT(per_col, 6.0);
+  EXPECT_LT(per_col, 9.0);  // duplicates get merged, so <= 8
+}
+
+TEST(ErdosRenyi, SymmetricFlag) {
+  auto a = erdos_renyi<double>(300, 3.0, 5, /*symmetric=*/true);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(ErdosRenyi, RejectsBadParams) {
+  EXPECT_THROW(erdos_renyi<double>(0, 4.0, 1), std::invalid_argument);
+  EXPECT_THROW(erdos_renyi<double>(10, -1.0, 1), std::invalid_argument);
+}
+
+TEST(Rmat, DimensionsAndDeterminism) {
+  auto a = rmat<double>(10, 8, 9);
+  EXPECT_EQ(a.nrows(), 1024);
+  EXPECT_EQ(a, rmat<double>(10, 8, 9));
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(Rmat, SkewedDegrees) {
+  auto a = rmat<double>(12, 16, 4);
+  index_t maxdeg = 0;
+  for (index_t j = 0; j < a.ncols(); ++j) maxdeg = std::max(maxdeg, a.col_nnz(j));
+  double avg = static_cast<double>(a.nnz()) / static_cast<double>(a.ncols());
+  EXPECT_GT(static_cast<double>(maxdeg), 8.0 * avg);  // power-law head
+}
+
+TEST(Mesh2d, FivePointStencilCounts) {
+  auto a = mesh2d<double>(10);
+  EXPECT_EQ(a.nrows(), 100);
+  // Interior vertex: self + 4 neighbours.
+  index_t interior = 5 * 10 + 5;
+  EXPECT_EQ(a.col_nnz(interior), 5);
+  // Corner: self + 2 neighbours.
+  EXPECT_EQ(a.col_nnz(0), 3);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(Mesh2d, NinePoint) {
+  auto a = mesh2d<double>(8, /*nine_point=*/true);
+  index_t interior = 3 * 8 + 3;
+  EXPECT_EQ(a.col_nnz(interior), 9);
+}
+
+TEST(Mesh3d, TwentySevenPointStencil) {
+  auto a = mesh3d<double>(6);
+  EXPECT_EQ(a.nrows(), 216);
+  index_t interior = (2 * 6 + 2) * 6 + 2;
+  EXPECT_EQ(a.col_nnz(interior), 27);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+}
+
+TEST(Banded, NonzerosInsideBand) {
+  auto a = banded<double>(200, 5, 0.5, 31);
+  for (index_t j = 0; j < a.ncols(); ++j)
+    for (auto r : a.col_rows(j)) EXPECT_LE(std::abs(r - j), 5);
+  EXPECT_GE(a.nnz(), 200);  // at least the diagonal
+}
+
+TEST(BlockClustered, MostNnzInsideBlocks) {
+  index_t n = 1024, nb = 8;
+  auto a = block_clustered<double>(n, nb, 8.0, 0.25, 17);
+  auto bounds = even_split(n, static_cast<int>(nb));
+  index_t inside = 0;
+  for (index_t j = 0; j < n; ++j) {
+    int bj = find_owner(bounds, j);
+    for (auto r : a.col_rows(j))
+      if (find_owner(bounds, r) == bj) ++inside;
+  }
+  EXPECT_GT(static_cast<double>(inside) / static_cast<double>(a.nnz()), 0.85);
+}
+
+TEST(KktSaddle, StructureAndSymmetry) {
+  auto a = kkt_saddle<double>(20, 0.3, 3);
+  EXPECT_GT(a.nrows(), 400);
+  EXPECT_TRUE(is_pattern_symmetric(a));
+  // Constraint block (bottom-right) has an empty diagonal block: entries in
+  // constraint columns must all point back at primal rows.
+  index_t na = 400;
+  for (index_t j = na; j < a.ncols(); ++j)
+    for (auto r : a.col_rows(j)) EXPECT_LT(r, na);
+}
+
+TEST(Datasets, AllBuildAtTinyScaleAndAreDeterministic) {
+  for (auto d : all_datasets()) {
+    auto m = make_dataset(d, 0.1);
+    auto m2 = make_dataset(d, 0.1);
+    EXPECT_GT(m.nnz(), 0) << dataset_name(d);
+    EXPECT_EQ(m, m2) << dataset_name(d);
+    EXPECT_EQ(m.nrows(), m.ncols()) << dataset_name(d);
+  }
+}
+
+TEST(Datasets, StatsMatchMatrix) {
+  auto m = make_dataset(Dataset::QueenLike, 0.1);
+  auto s = dataset_stats(Dataset::QueenLike, m);
+  EXPECT_EQ(s.rows, m.nrows());
+  EXPECT_EQ(s.nnz, m.nnz());
+  EXPECT_TRUE(s.symmetric);
+}
+
+TEST(Datasets, SymmetryMatchesPaperTable2) {
+  // Table II: queen/eukarya/nlpkkt symmetric; stokes/hv15r not.
+  EXPECT_TRUE(dataset_stats(Dataset::QueenLike, make_dataset(Dataset::QueenLike, 0.1)).symmetric);
+  EXPECT_TRUE(
+      dataset_stats(Dataset::EukaryaLike, make_dataset(Dataset::EukaryaLike, 0.1)).symmetric);
+  EXPECT_TRUE(
+      dataset_stats(Dataset::NlpkktLike, make_dataset(Dataset::NlpkktLike, 0.1)).symmetric);
+  EXPECT_FALSE(dataset_stats(Dataset::Hv15rLike, make_dataset(Dataset::Hv15rLike, 0.1)).symmetric);
+  EXPECT_FALSE(dataset_stats(Dataset::StokesLike, make_dataset(Dataset::StokesLike, 0.1)).symmetric);
+}
+
+TEST(Datasets, HasStructureFlag) {
+  EXPECT_TRUE(dataset_has_structure(Dataset::QueenLike));
+  EXPECT_FALSE(dataset_has_structure(Dataset::EukaryaLike));
+}
+
+}  // namespace
+}  // namespace sa1d

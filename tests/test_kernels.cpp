@@ -1,0 +1,198 @@
+// Unit + property tests for the local SpGEMM kernels and semirings.
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "kernels/spgemm_local.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace sa1d {
+namespace {
+
+/// Dense reference multiply for ground truth.
+CscMatrix<double> dense_ref(const CscMatrix<double>& a, const CscMatrix<double>& b) {
+  std::vector<std::vector<double>> c(static_cast<std::size_t>(a.nrows()),
+                                     std::vector<double>(static_cast<std::size_t>(b.ncols()), 0));
+  for (index_t j = 0; j < b.ncols(); ++j) {
+    auto ks = b.col_rows(j);
+    auto vs = b.col_vals(j);
+    for (std::size_t p = 0; p < ks.size(); ++p) {
+      auto ars = a.col_rows(ks[p]);
+      auto avs = a.col_vals(ks[p]);
+      for (std::size_t q = 0; q < ars.size(); ++q)
+        c[static_cast<std::size_t>(ars[q])][static_cast<std::size_t>(j)] += avs[q] * vs[p];
+    }
+  }
+  CooMatrix<double> coo(a.nrows(), b.ncols());
+  for (index_t i = 0; i < a.nrows(); ++i)
+    for (index_t j = 0; j < b.ncols(); ++j)
+      if (c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)] != 0.0)
+        coo.push(i, j, c[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]);
+  return CscMatrix<double>::from_coo(coo);
+}
+
+TEST(Semiring, PlusTimes) {
+  EXPECT_DOUBLE_EQ(PlusTimes<>::add(2, 3), 5);
+  EXPECT_DOUBLE_EQ(PlusTimes<>::multiply(2, 3), 6);
+  EXPECT_DOUBLE_EQ(PlusTimes<>::zero(), 0);
+}
+
+TEST(Semiring, MinPlus) {
+  EXPECT_DOUBLE_EQ(MinPlus<>::add(2, 3), 2);
+  EXPECT_DOUBLE_EQ(MinPlus<>::multiply(2, 3), 5);
+  EXPECT_TRUE(std::isinf(MinPlus<>::zero()));
+}
+
+TEST(Semiring, OrAnd) {
+  EXPECT_TRUE(OrAnd::add(false, true));
+  EXPECT_FALSE(OrAnd::multiply(true, false));
+}
+
+TEST(Semiring, PlusSelect2nd) {
+  EXPECT_DOUBLE_EQ(PlusSelect2nd<>::multiply(99.0, 3.0), 3.0);
+  EXPECT_DOUBLE_EQ(PlusSelect2nd<>::add(1.0, 2.0), 3.0);
+}
+
+TEST(SymbolicFlops, MatchesHandCount) {
+  // A: col0 has 2 nnz, col1 has 1 nnz. B col0 selects A cols {0,1}.
+  CooMatrix<double> ca(3, 2), cb(2, 1);
+  ca.push(0, 0, 1);
+  ca.push(2, 0, 1);
+  ca.push(1, 1, 1);
+  cb.push(0, 0, 1);
+  cb.push(1, 0, 1);
+  auto a = CscMatrix<double>::from_coo(ca);
+  auto b = CscMatrix<double>::from_coo(cb);
+  auto f = symbolic_flops(a, b);
+  ASSERT_EQ(f.size(), 1u);
+  EXPECT_EQ(f[0], 3);
+  EXPECT_EQ(total_flops(a, b), 3);
+}
+
+TEST(SymbolicFlops, RejectsDimMismatch) {
+  auto a = erdos_renyi<double>(10, 2.0, 1);
+  auto b = erdos_renyi<double>(11, 2.0, 1);
+  EXPECT_THROW(symbolic_flops(a, b), std::invalid_argument);
+}
+
+TEST(SpgemmLocal, IdentityTimesA) {
+  auto a = erdos_renyi<double>(50, 4.0, 5);
+  CooMatrix<double> ic(50, 50);
+  for (index_t i = 0; i < 50; ++i) ic.push(i, i, 1.0);
+  auto eye = CscMatrix<double>::from_coo(ic);
+  for (auto k : {LocalKernel::Spa, LocalKernel::Heap, LocalKernel::Hash, LocalKernel::Hybrid}) {
+    EXPECT_TRUE(approx_equal(spgemm(eye, a, k), a)) << kernel_name(k);
+    EXPECT_TRUE(approx_equal(spgemm(a, eye, k), a)) << kernel_name(k);
+  }
+}
+
+TEST(SpgemmLocal, EmptyOperands) {
+  CscMatrix<double> a(5, 4), b(4, 3);
+  auto c = spgemm(a, b);
+  EXPECT_EQ(c.nrows(), 5);
+  EXPECT_EQ(c.ncols(), 3);
+  EXPECT_EQ(c.nnz(), 0);
+}
+
+TEST(SpgemmLocal, DimensionMismatchThrows) {
+  CscMatrix<double> a(5, 4), b(5, 3);
+  EXPECT_THROW(spgemm(a, b), std::invalid_argument);
+}
+
+TEST(SpgemmLocal, RectangularMatchesDense) {
+  auto a = erdos_renyi<double>(40, 3.0, 11);
+  CooMatrix<double> cb(40, 25);
+  SplitMix64 g(5);
+  for (int e = 0; e < 120; ++e)
+    cb.push(static_cast<index_t>(g.below(40)), static_cast<index_t>(g.below(25)),
+            1.0 + g.uniform());
+  cb.canonicalize();
+  auto b = CscMatrix<double>::from_coo(cb);
+  auto want = dense_ref(a, b);
+  for (auto k : {LocalKernel::Spa, LocalKernel::Heap, LocalKernel::Hash, LocalKernel::Hybrid})
+    EXPECT_TRUE(approx_equal(spgemm(a, b, k), want, 1e-9)) << kernel_name(k);
+}
+
+TEST(SpgemmLocal, OrAndSemiringGivesReachability) {
+  auto a = mesh2d<double>(6);
+  auto c = spgemm_local<OrAnd, double>(a, a, LocalKernel::Spa);
+  // Patterns must match plus-times pattern (no numeric cancellation here).
+  auto num = spgemm(a, a, LocalKernel::Spa);
+  EXPECT_EQ(c.colptr(), num.colptr());
+  EXPECT_EQ(c.rowids(), num.rowids());
+  for (auto v : c.vals()) EXPECT_DOUBLE_EQ(v, 1.0);  // true -> 1.0
+}
+
+TEST(SpgemmLocal, MinPlusShortestTwoHop) {
+  // Path graph 0-1-2 with weights 1, 2: two-hop distance 0->2 is 3.
+  CooMatrix<double> m(3, 3);
+  m.push(1, 0, 1.0);
+  m.push(0, 1, 1.0);
+  m.push(2, 1, 2.0);
+  m.push(1, 2, 2.0);
+  auto a = CscMatrix<double>::from_coo(m);
+  auto d2 = spgemm_local<MinPlus<double>, double>(a, a, LocalKernel::Spa);
+  // Entry (2,0): min over k of a(2,k)+a(k,0) = 2+1 = 3.
+  bool found = false;
+  for (std::size_t p = 0; p < d2.col_rows(0).size(); ++p)
+    if (d2.col_rows(0)[p] == 2) {
+      EXPECT_DOUBLE_EQ(d2.col_vals(0)[p], 3.0);
+      found = true;
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(SpgemmLocal, ThreadedMatchesSerial) {
+  auto a = erdos_renyi<double>(300, 6.0, 23);
+  auto want = spgemm(a, a, LocalKernel::Hash, 1);
+  for (int t : {2, 3, 8}) EXPECT_EQ(spgemm(a, a, LocalKernel::Hash, t), want) << t << " threads";
+}
+
+TEST(SpgemmLocal, RejectsBadThreadCount) {
+  auto a = erdos_renyi<double>(10, 2.0, 3);
+  EXPECT_THROW(spgemm(a, a, LocalKernel::Hash, 0), std::invalid_argument);
+}
+
+// Property sweep: all kernels agree with SPA across structures and seeds.
+using KernelCase = std::tuple<LocalKernel, int /*seed*/, int /*gen*/>;
+class KernelEquivalence : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(KernelEquivalence, MatchesSpaReference) {
+  auto [kernel, seed, gen] = GetParam();
+  CscMatrix<double> a;
+  switch (gen) {
+    case 0: a = erdos_renyi<double>(120, 5.0, static_cast<std::uint64_t>(seed)); break;
+    case 1: a = rmat<double>(7, 8, static_cast<std::uint64_t>(seed)); break;
+    case 2: a = mesh2d<double>(12); break;
+    case 3:
+      a = block_clustered<double>(128, 8, 6.0, 0.5, static_cast<std::uint64_t>(seed));
+      break;
+    default: FAIL();
+  }
+  auto want = spgemm(a, a, LocalKernel::Spa);
+  auto got = spgemm(a, a, kernel);
+  EXPECT_TRUE(approx_equal(got, want, 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KernelEquivalence,
+    ::testing::Combine(::testing::Values(LocalKernel::Heap, LocalKernel::Hash,
+                                         LocalKernel::Hybrid),
+                       ::testing::Values(1, 2, 3), ::testing::Values(0, 1, 2, 3)),
+    [](const ::testing::TestParamInfo<KernelCase>& info) {
+      return std::string(kernel_name(std::get<0>(info.param))) + "_s" +
+             std::to_string(std::get<1>(info.param)) + "_g" +
+             std::to_string(std::get<2>(info.param));
+    });
+
+TEST(SpgemmLocal, HybridThresholdBoundaryBehaviour) {
+  // Hybrid must agree with reference regardless of where columns fall
+  // relative to the flops threshold; exercise both tiny and heavy columns.
+  auto heavy = erdos_renyi<double>(400, 30.0, 41);
+  auto want = spgemm(heavy, heavy, LocalKernel::Spa);
+  EXPECT_TRUE(approx_equal(spgemm(heavy, heavy, LocalKernel::Hybrid), want, 1e-9));
+}
+
+}  // namespace
+}  // namespace sa1d

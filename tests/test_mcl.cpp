@@ -1,0 +1,115 @@
+// Tests for the Markov Cluster application (expansion via distributed
+// squaring — the paper's flagship SpGEMM workload).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "apps/mcl.hpp"
+#include "sparse/generators.hpp"
+
+namespace sa1d {
+namespace {
+
+/// Two cliques joined by a single bridge edge: MCL must split them.
+CscMatrix<double> two_cliques(index_t k) {
+  CooMatrix<double> m(2 * k, 2 * k);
+  for (index_t i = 0; i < k; ++i)
+    for (index_t j = i + 1; j < k; ++j) {
+      m.push(i, j, 1.0);
+      m.push(j, i, 1.0);
+      m.push(k + i, k + j, 1.0);
+      m.push(k + j, k + i, 1.0);
+    }
+  m.push(0, k, 0.5);
+  m.push(k, 0, 0.5);
+  m.canonicalize();
+  return CscMatrix<double>::from_coo(m);
+}
+
+TEST(Mcl, SplitsTwoCliques) {
+  auto a = two_cliques(8);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto res = mcl_cluster(c, a);
+    EXPECT_TRUE(res.converged);
+    EXPECT_EQ(res.nclusters, 2);
+    // Every vertex of the first clique shares a cluster; likewise second.
+    for (index_t v = 1; v < 8; ++v) EXPECT_EQ(res.cluster[0], res.cluster[static_cast<std::size_t>(v)]);
+    for (index_t v = 9; v < 16; ++v)
+      EXPECT_EQ(res.cluster[8], res.cluster[static_cast<std::size_t>(v)]);
+    EXPECT_NE(res.cluster[0], res.cluster[8]);
+  });
+}
+
+TEST(Mcl, RecoverHiddenCommunitiesApproximately) {
+  // 4 communities with weak coupling; MCL should find >= 3 clusters and
+  // place most vertex pairs of a community together.
+  auto a = hidden_community<double>(96, 4, 10.0, 0.08, 7);
+  Machine m(3);
+  m.run([&](Comm& c) {
+    auto res = mcl_cluster(c, a);
+    EXPECT_GE(res.nclusters, 3);
+    EXPECT_LE(res.nclusters, 24);  // not shattered into singletons
+  });
+}
+
+TEST(Mcl, DisconnectedComponentsStaySeparate) {
+  CooMatrix<double> m(6, 6);
+  m.push(0, 1, 1.0);
+  m.push(1, 0, 1.0);
+  m.push(2, 3, 1.0);
+  m.push(3, 2, 1.0);
+  // 4, 5 isolated
+  m.canonicalize();
+  auto a = CscMatrix<double>::from_coo(m);
+  Machine machine(2);
+  machine.run([&](Comm& c) {
+    auto res = mcl_cluster(c, a);
+    EXPECT_EQ(res.nclusters, 4);
+    EXPECT_EQ(res.cluster[0], res.cluster[1]);
+    EXPECT_EQ(res.cluster[2], res.cluster[3]);
+    EXPECT_NE(res.cluster[0], res.cluster[2]);
+    EXPECT_NE(res.cluster[4], res.cluster[5]);
+  });
+}
+
+TEST(Mcl, DeterministicAcrossP) {
+  auto a = hidden_community<double>(64, 4, 8.0, 0.1, 9);
+  std::vector<index_t> ref;
+  for (int P : {1, 2, 4}) {
+    Machine m(P);
+    m.run([&](Comm& c) {
+      auto res = mcl_cluster(c, a);
+      if (c.rank() == 0) {
+        if (ref.empty())
+          ref = res.cluster;
+        else
+          EXPECT_EQ(res.cluster, ref) << "P=" << P;
+      }
+    });
+  }
+}
+
+TEST(Mcl, RejectsBadArguments) {
+  Machine m(2);
+  CscMatrix<double> rect(3, 4);
+  EXPECT_THROW(m.run([&](Comm& c) { mcl_cluster(c, rect); }), std::invalid_argument);
+  auto a = two_cliques(4);
+  MclOptions opt;
+  opt.inflation = 1.0;
+  EXPECT_THROW(m.run([&](Comm& c) { mcl_cluster(c, a, opt); }), std::invalid_argument);
+}
+
+TEST(Mcl, InflatePruneNormalizesColumns) {
+  auto a = erdos_renyi<double>(40, 4.0, 11);
+  auto m = mcldetail::inflate_prune(a, 2.0, 0.0);
+  for (index_t j = 0; j < m.ncols(); ++j) {
+    if (m.col_nnz(j) == 0) continue;
+    double sum = 0;
+    for (auto v : m.col_vals(j)) sum += v;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace sa1d

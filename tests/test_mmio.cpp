@@ -1,0 +1,105 @@
+// Unit tests for Matrix Market I/O.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "sparse/generators.hpp"
+#include "sparse/mmio.hpp"
+
+namespace sa1d {
+namespace {
+
+TEST(Mmio, ReadGeneralReal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "% a comment\n"
+      "3 3 2\n"
+      "1 1 1.5\n"
+      "3 2 -2.0\n");
+  auto m = read_matrix_market(in);
+  EXPECT_EQ(m.nrows(), 3);
+  EXPECT_EQ(m.nnz(), 2);
+  EXPECT_EQ(m.triples()[0], (Triple<double>{0, 0, 1.5}));
+  EXPECT_EQ(m.triples()[1], (Triple<double>{2, 1, -2.0}));
+}
+
+TEST(Mmio, SymmetricExpansion) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "3 3 2\n"
+      "2 1 4.0\n"
+      "2 2 5.0\n");
+  auto m = read_matrix_market(in);
+  EXPECT_EQ(m.nnz(), 3);  // off-diagonal mirrored, diagonal not
+}
+
+TEST(Mmio, SkewSymmetricNegatesMirror) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "2 1 3.0\n");
+  auto m = read_matrix_market(in);
+  ASSERT_EQ(m.nnz(), 2);
+  EXPECT_DOUBLE_EQ(m.triples()[0].val, 3.0);   // (1,0)
+  EXPECT_DOUBLE_EQ(m.triples()[1].val, -3.0);  // (0,1)
+}
+
+TEST(Mmio, PatternGetsOnes) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate pattern general\n"
+      "2 2 1\n"
+      "1 2\n");
+  auto m = read_matrix_market(in);
+  ASSERT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.triples()[0].val, 1.0);
+}
+
+TEST(Mmio, RejectsBadBanner) {
+  std::istringstream in("%%NotMatrixMarket matrix coordinate real general\n1 1 0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsArrayFormat) {
+  std::istringstream in("%%MatrixMarket matrix array real general\n1 1\n1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsOutOfRangeIndex) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "3 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsTruncatedEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 3\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, WriteReadRoundTrip) {
+  auto a = erdos_renyi<double>(40, 3.0, 21);
+  auto coo = a.to_coo();
+  std::ostringstream out;
+  write_matrix_market(out, coo);
+  std::istringstream in(out.str());
+  auto back = read_matrix_market(in);
+  EXPECT_EQ(back.nrows(), coo.nrows());
+  ASSERT_EQ(back.nnz(), coo.nnz());
+  for (index_t i = 0; i < coo.nnz(); ++i) {
+    EXPECT_EQ(back.triples()[static_cast<std::size_t>(i)].row,
+              coo.triples()[static_cast<std::size_t>(i)].row);
+    EXPECT_NEAR(back.triples()[static_cast<std::size_t>(i)].val,
+                coo.triples()[static_cast<std::size_t>(i)].val, 1e-6);
+  }
+}
+
+TEST(Mmio, MissingFileThrows) {
+  EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace sa1d

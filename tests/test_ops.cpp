@@ -1,0 +1,136 @@
+// Unit tests for structural ops: transpose, permutation, extraction,
+// symmetrization, comparison.
+#include <gtest/gtest.h>
+
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace sa1d {
+namespace {
+
+TEST(Transpose, SmallKnown) {
+  CooMatrix<double> m(2, 3);
+  m.push(0, 1, 5.0);
+  m.push(1, 2, 7.0);
+  auto a = CscMatrix<double>::from_coo(m);
+  auto at = transpose(a);
+  EXPECT_EQ(at.nrows(), 3);
+  EXPECT_EQ(at.ncols(), 2);
+  EXPECT_EQ(at.col_rows(0).size(), 1u);
+  EXPECT_EQ(at.col_rows(0)[0], 1);
+  EXPECT_DOUBLE_EQ(at.col_vals(1)[0], 7.0);
+}
+
+TEST(Transpose, InvolutionOnRandom) {
+  auto a = erdos_renyi<double>(150, 5.0, 3);
+  EXPECT_EQ(transpose(transpose(a)), a);
+}
+
+TEST(Transpose, RowsSortedWithinColumns) {
+  auto a = erdos_renyi<double>(100, 8.0, 17);
+  auto at = transpose(a);
+  for (index_t j = 0; j < at.ncols(); ++j) {
+    auto rows = at.col_rows(j);
+    EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+  }
+}
+
+TEST(Permutation, IdentityAndInverse) {
+  auto p = Permutation::identity(5);
+  for (index_t i = 0; i < 5; ++i) EXPECT_EQ(p(i), i);
+  Permutation q({2, 0, 1});
+  auto qi = q.inverse();
+  for (index_t i = 0; i < 3; ++i) EXPECT_EQ(qi(q(i)), i);
+}
+
+TEST(Permute, SymmetricRoundTrip) {
+  auto a = erdos_renyi<double>(80, 4.0, 5, /*symmetric=*/true);
+  Permutation p = Permutation::identity(80);
+  // Reverse permutation.
+  std::vector<index_t> rev(80);
+  for (index_t i = 0; i < 80; ++i) rev[static_cast<std::size_t>(i)] = 79 - i;
+  Permutation r(std::move(rev));
+  auto b = permute_symmetric(a, r);
+  auto back = permute_symmetric(b, r.inverse());
+  EXPECT_EQ(back, a);
+}
+
+TEST(Permute, PreservesNnz) {
+  auto a = erdos_renyi<double>(60, 3.0, 9);
+  std::vector<index_t> v(60);
+  SplitMix64 g(4);
+  for (index_t i = 0; i < 60; ++i) v[static_cast<std::size_t>(i)] = i;
+  for (index_t i = 59; i > 0; --i)
+    std::swap(v[static_cast<std::size_t>(i)],
+              v[static_cast<std::size_t>(g.below(static_cast<std::uint64_t>(i + 1)))]);
+  auto b = permute_symmetric(a, Permutation(std::move(v)));
+  EXPECT_EQ(b.nnz(), a.nnz());
+}
+
+TEST(Permute, RejectsSizeMismatch) {
+  auto a = erdos_renyi<double>(10, 2.0, 1);
+  EXPECT_THROW(permute(a, Permutation::identity(5), Permutation::identity(10)),
+               std::invalid_argument);
+}
+
+TEST(ExtractCols, SliceMatchesOriginal) {
+  auto a = erdos_renyi<double>(50, 4.0, 2);
+  auto s = extract_cols(a, 10, 30);
+  EXPECT_EQ(s.nrows(), 50);
+  EXPECT_EQ(s.ncols(), 20);
+  for (index_t j = 0; j < 20; ++j) {
+    auto want_rows = a.col_rows(10 + j);
+    auto got_rows = s.col_rows(j);
+    ASSERT_EQ(want_rows.size(), got_rows.size());
+    for (std::size_t p = 0; p < want_rows.size(); ++p) EXPECT_EQ(want_rows[p], got_rows[p]);
+  }
+}
+
+TEST(ExtractCols, EmptyRange) {
+  auto a = erdos_renyi<double>(20, 2.0, 8);
+  auto s = extract_cols(a, 5, 5);
+  EXPECT_EQ(s.ncols(), 0);
+  EXPECT_EQ(s.nnz(), 0);
+}
+
+TEST(ExtractCols, RejectsBadRange) {
+  auto a = erdos_renyi<double>(20, 2.0, 8);
+  EXPECT_THROW(extract_cols(a, 5, 30), std::invalid_argument);
+  EXPECT_THROW(extract_cols(a, -1, 5), std::invalid_argument);
+}
+
+TEST(Symmetrize, PatternIsSymmetric) {
+  auto a = erdos_renyi<double>(70, 3.0, 12, /*symmetric=*/false);
+  auto s = symmetrize(a);
+  auto st = transpose(s);
+  EXPECT_EQ(s.colptr(), st.colptr());
+  EXPECT_EQ(s.rowids(), st.rowids());
+}
+
+TEST(Symmetrize, RejectsRectangular) {
+  CooMatrix<double> m(2, 3);
+  auto a = CscMatrix<double>::from_coo(m);
+  EXPECT_THROW(symmetrize(a), std::invalid_argument);
+}
+
+TEST(ApproxEqual, DetectsValueDrift) {
+  auto a = erdos_renyi<double>(30, 3.0, 6);
+  EXPECT_TRUE(approx_equal(a, a));
+  auto coo = a.to_coo();
+  coo.triples()[0].val += 1e-3;
+  auto b = CscMatrix<double>::from_coo(coo);
+  EXPECT_FALSE(approx_equal(a, b));
+  coo.triples()[0].val -= 1e-3 - 1e-12;
+  auto c = CscMatrix<double>::from_coo(coo);
+  EXPECT_TRUE(approx_equal(a, c));
+}
+
+TEST(ColNnzVector, MatchesAccessors) {
+  auto a = erdos_renyi<double>(40, 4.0, 13);
+  auto d = col_nnz_vector(a);
+  for (index_t j = 0; j < a.ncols(); ++j)
+    EXPECT_EQ(d[static_cast<std::size_t>(j)], a.col_nnz(j));
+}
+
+}  // namespace
+}  // namespace sa1d

@@ -1,0 +1,240 @@
+// Tests for the multilevel graph partitioner (METIS substitute) and the
+// partition-to-distribution plumbing.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/spgemm1d.hpp"
+#include "part/partitioner.hpp"
+#include "part/permutation.hpp"
+#include "sparse/generators.hpp"
+
+namespace sa1d {
+namespace {
+
+std::vector<double> unit_weights(index_t n) { return std::vector<double>(static_cast<std::size_t>(n), 1.0); }
+
+TEST(GraphFromMatrix, DropsDiagonalAndSymmetrizes) {
+  CooMatrix<double> m(4, 4);
+  m.push(0, 0, 1.0);  // diagonal: dropped
+  m.push(1, 0, 1.0);  // edge {0,1}
+  m.push(0, 1, 1.0);  // duplicate of {0,1}: merged
+  m.push(3, 2, 1.0);  // edge {2,3}
+  auto g = graph_from_matrix(CscMatrix<double>::from_coo(m));
+  EXPECT_EQ(g.n, 4);
+  EXPECT_EQ(g.adj.size(), 4u);  // two undirected edges
+  EXPECT_EQ(g.degree(0), 1);
+  EXPECT_EQ(g.degree(1), 1);
+  EXPECT_EQ(g.degree(2), 1);
+  EXPECT_EQ(g.degree(3), 1);
+}
+
+TEST(GraphFromMatrix, RejectsRectangular) {
+  CscMatrix<double> a(3, 4);
+  EXPECT_THROW(graph_from_matrix(a), std::invalid_argument);
+}
+
+TEST(FlopsWeights, SquaresColumnCounts) {
+  auto a = mesh2d<double>(5);
+  auto w = flops_vertex_weights(a);
+  for (index_t j = 0; j < a.ncols(); ++j) {
+    auto d = static_cast<double>(a.col_nnz(j));
+    EXPECT_DOUBLE_EQ(w[static_cast<std::size_t>(j)], d * d);
+  }
+}
+
+TEST(EdgeCut, HandComputed) {
+  // Path 0-1-2-3 split {0,1} vs {2,3}: cut = 1 edge.
+  CooMatrix<double> m(4, 4);
+  m.push(1, 0, 1);
+  m.push(2, 1, 1);
+  m.push(3, 2, 1);
+  auto g = graph_from_matrix(symmetrize(CscMatrix<double>::from_coo(m)));
+  std::vector<int> part{0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(edge_cut(g, part), 1.0);
+  std::vector<int> bad{0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(edge_cut(g, bad), 3.0);
+}
+
+void check_partition(const Graph& g, const std::vector<double>& w, int nparts,
+                     double max_imbalance) {
+  PartitionOptions opt;
+  opt.nparts = nparts;
+  auto res = partition_graph(g, w, opt);
+  ASSERT_EQ(res.part.size(), static_cast<std::size_t>(g.n));
+  // All parts used and within range.
+  std::vector<int> seen(static_cast<std::size_t>(nparts), 0);
+  for (auto p : res.part) {
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, nparts);
+    seen[static_cast<std::size_t>(p)] = 1;
+  }
+  EXPECT_EQ(std::accumulate(seen.begin(), seen.end(), 0), nparts);
+  // Balance.
+  double total = std::accumulate(w.begin(), w.end(), 0.0);
+  double perfect = total / nparts;
+  for (auto pw : res.part_weights) EXPECT_LE(pw, perfect * max_imbalance);
+  // Reported cut matches recomputation.
+  EXPECT_DOUBLE_EQ(res.edge_cut, edge_cut(g, res.part));
+}
+
+TEST(Partitioner, Mesh2dBalanced) {
+  auto a = mesh2d<double>(24);
+  auto g = graph_from_matrix(a);
+  check_partition(g, unit_weights(g.n), 4, 1.30);
+}
+
+TEST(Partitioner, Mesh2dCutNearOptimal) {
+  // A k x k mesh bisected optimally cuts ~k edges; we allow 3x slack.
+  index_t k = 24;
+  auto g = graph_from_matrix(mesh2d<double>(k));
+  PartitionOptions opt;
+  opt.nparts = 2;
+  auto res = partition_graph(g, unit_weights(g.n), opt);
+  EXPECT_LE(res.edge_cut, 3.0 * static_cast<double>(k));
+}
+
+TEST(Partitioner, BeatsRandomPartitionOnMesh) {
+  auto g = graph_from_matrix(mesh2d<double>(20));
+  PartitionOptions opt;
+  opt.nparts = 8;
+  auto res = partition_graph(g, unit_weights(g.n), opt);
+  // Random assignment cuts ~ (1 - 1/8) of all edges.
+  SplitMix64 rng(5);
+  std::vector<int> rnd(static_cast<std::size_t>(g.n));
+  for (auto& p : rnd) p = static_cast<int>(rng.below(8));
+  EXPECT_LT(res.edge_cut, 0.4 * edge_cut(g, rnd));
+}
+
+TEST(Partitioner, WeightedBalance) {
+  auto a = rmat<double>(9, 8, 3);
+  auto g = graph_from_matrix(a);
+  auto w = flops_vertex_weights(a);
+  PartitionOptions opt;
+  opt.nparts = 4;
+  auto res = partition_graph(g, w, opt);
+  double total = std::accumulate(w.begin(), w.end(), 0.0);
+  for (auto pw : res.part_weights) EXPECT_LE(pw, 0.55 * total);  // no hoarding
+}
+
+TEST(Partitioner, NpartsOneIsTrivial) {
+  auto g = graph_from_matrix(mesh2d<double>(6));
+  auto res = partition_graph(g, unit_weights(g.n), {.nparts = 1});
+  for (auto p : res.part) EXPECT_EQ(p, 0);
+  EXPECT_DOUBLE_EQ(res.edge_cut, 0.0);
+}
+
+TEST(Partitioner, NonPowerOfTwoParts) {
+  auto g = graph_from_matrix(mesh2d<double>(18));
+  check_partition(g, unit_weights(g.n), 5, 1.4);
+  check_partition(g, unit_weights(g.n), 7, 1.45);
+}
+
+TEST(Partitioner, Deterministic) {
+  auto g = graph_from_matrix(mesh2d<double>(15));
+  PartitionOptions opt;
+  opt.nparts = 4;
+  opt.seed = 12;
+  auto a = partition_graph(g, unit_weights(g.n), opt);
+  auto b = partition_graph(g, unit_weights(g.n), opt);
+  EXPECT_EQ(a.part, b.part);
+}
+
+TEST(Partitioner, RejectsBadArgs) {
+  auto g = graph_from_matrix(mesh2d<double>(4));
+  EXPECT_THROW(partition_graph(g, unit_weights(g.n), {.nparts = 0}), std::invalid_argument);
+  EXPECT_THROW(partition_graph(g, unit_weights(3), {.nparts = 2}), std::invalid_argument);
+  PartitionOptions opt;
+  opt.nparts = 2;
+  opt.imbalance = 0.9;
+  EXPECT_THROW(partition_graph(g, unit_weights(g.n), opt), std::invalid_argument);
+}
+
+TEST(PartitionLayout, PermutationGroupsParts) {
+  std::vector<int> part{1, 0, 1, 0, 2};
+  auto layout = partition_to_layout(part, 3);
+  EXPECT_EQ(layout.bounds, (std::vector<index_t>{0, 2, 4, 5}));
+  // Vertices of part 0 land in [0,2), part 1 in [2,4), part 2 in [4,5).
+  for (std::size_t v = 0; v < part.size(); ++v) {
+    index_t nv = layout.perm(static_cast<index_t>(v));
+    int p = part[v];
+    EXPECT_GE(nv, layout.bounds[static_cast<std::size_t>(p)]);
+    EXPECT_LT(nv, layout.bounds[static_cast<std::size_t>(p) + 1]);
+  }
+}
+
+TEST(PartitionLayout, StableWithinPart) {
+  std::vector<int> part{0, 1, 0, 1, 0};
+  auto layout = partition_to_layout(part, 2);
+  // Part-0 vertices 0,2,4 must keep their relative order.
+  EXPECT_LT(layout.perm(0), layout.perm(2));
+  EXPECT_LT(layout.perm(2), layout.perm(4));
+}
+
+TEST(PartitionLayout, RejectsOutOfRangeIds) {
+  std::vector<int> part{0, 5};
+  EXPECT_THROW(partition_to_layout(part, 2), std::invalid_argument);
+}
+
+TEST(PartitionPipeline, ReducesCommVolumeOnScatteredMatrix) {
+  // The eukarya scenario: no natural-order locality, but hidden communities
+  // a partitioner can recover (the paper's 2× METIS gain).
+  auto a = hidden_community<double>(512, 16, 8.0, 0.5, 8);
+  auto g = graph_from_matrix(a);
+  auto w = flops_vertex_weights(a);
+  PartitionOptions opt;
+  opt.nparts = 8;
+  auto res = partition_graph(g, w, opt);
+  auto layout = partition_to_layout(res.part, 8);
+  auto apart = permute_symmetric(a, layout.perm);
+
+  Machine m(8);
+  auto natural = m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    spgemm_1d(c, da, da);
+  });
+  auto parted = m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, apart, layout.bounds);
+    spgemm_1d(c, da, da);
+  });
+  EXPECT_LT(parted.total_rdma_bytes(), natural.total_rdma_bytes());
+}
+
+TEST(RandomPermutation, IsAPermutation) {
+  auto p = random_permutation(100, 3);
+  std::vector<bool> seen(100, false);
+  for (index_t i = 0; i < 100; ++i) {
+    index_t v = p(i);
+    ASSERT_GE(v, 0);
+    ASSERT_LT(v, 100);
+    EXPECT_FALSE(seen[static_cast<std::size_t>(v)]);
+    seen[static_cast<std::size_t>(v)] = true;
+  }
+}
+
+TEST(PermuteSymmetricDist, MatchesSerialPermute) {
+  auto a = erdos_renyi<double>(80, 4.0, 5, true);
+  auto perm = random_permutation(80, 17);
+  auto want = permute_symmetric(a, perm);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    auto dp = permute_symmetric_dist(c, da, perm);
+    EXPECT_EQ(dp.gather(c), want);
+  });
+}
+
+TEST(PermuteSymmetricDist, LandsOnRequestedBounds) {
+  auto a = erdos_renyi<double>(60, 3.0, 6, true);
+  auto perm = random_permutation(60, 4);
+  Machine m(3);
+  m.run([&](Comm& c) {
+    std::vector<index_t> bounds{0, 10, 40, 60};
+    auto dp = permute_symmetric_dist(c, DistMatrix1D<double>::from_global(c, a), perm, bounds);
+    EXPECT_EQ(dp.bounds(), bounds);
+    EXPECT_EQ(dp.gather(c), permute_symmetric(a, perm));
+  });
+}
+
+}  // namespace
+}  // namespace sa1d

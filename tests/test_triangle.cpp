@@ -1,0 +1,78 @@
+// Tests for triangle counting (serial reference and distributed 1D).
+#include <gtest/gtest.h>
+
+#include "apps/triangle.hpp"
+#include "sparse/generators.hpp"
+
+namespace sa1d {
+namespace {
+
+CscMatrix<double> from_edges(index_t n, std::vector<std::pair<index_t, index_t>> edges) {
+  CooMatrix<double> m(n, n);
+  for (auto [u, v] : edges) {
+    m.push(u, v, 1.0);
+    m.push(v, u, 1.0);
+  }
+  m.canonicalize();
+  return CscMatrix<double>::from_coo(m);
+}
+
+TEST(LowerTriangle, KeepsStrictlyBelowDiagonal) {
+  CooMatrix<double> m(3, 3);
+  m.push(0, 0, 1.0);
+  m.push(2, 1, 2.0);
+  m.push(1, 2, 3.0);
+  auto l = lower_triangle(CscMatrix<double>::from_coo(m));
+  ASSERT_EQ(l.nnz(), 1);
+  EXPECT_EQ(l.col_rows(1)[0], 2);
+}
+
+TEST(TrianglesSerial, SingleTriangle) {
+  auto a = from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  EXPECT_EQ(count_triangles_serial(a), 1);
+}
+
+TEST(TrianglesSerial, K4HasFourTriangles) {
+  auto a = from_edges(4, {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}});
+  EXPECT_EQ(count_triangles_serial(a), 4);
+}
+
+TEST(TrianglesSerial, TreeHasNone) {
+  auto a = from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {3, 4}});
+  EXPECT_EQ(count_triangles_serial(a), 0);
+}
+
+TEST(TrianglesSerial, CompleteGraphBinomial) {
+  // K_n has n-choose-3 triangles.
+  index_t n = 9;
+  std::vector<std::pair<index_t, index_t>> edges;
+  for (index_t i = 0; i < n; ++i)
+    for (index_t j = i + 1; j < n; ++j) edges.emplace_back(i, j);
+  EXPECT_EQ(count_triangles_serial(from_edges(n, edges)), 84);  // C(9,3)
+}
+
+TEST(TrianglesDistributed, MatchesSerialAcrossGraphsAndP) {
+  std::vector<CscMatrix<double>> graphs;
+  graphs.push_back(erdos_renyi<double>(200, 6.0, 3, /*symmetric=*/true));
+  graphs.push_back(mesh2d<double>(12, /*nine_point=*/true));
+  graphs.push_back(hidden_community<double>(256, 8, 8.0, 0.5, 5));
+  for (const auto& g : graphs) {
+    auto want = count_triangles_serial(g);
+    for (int P : {1, 3, 8}) {
+      Machine m(P);
+      m.run([&](Comm& c) { EXPECT_EQ(count_triangles_1d(c, g), want) << "P=" << P; });
+    }
+  }
+}
+
+TEST(TrianglesDistributed, MeshHasKnownCount) {
+  // 9-point k x k mesh: each interior 2x2 cell contributes 4 triangles.
+  auto a = mesh2d<double>(6, /*nine_point=*/true);
+  auto serial = count_triangles_serial(a);
+  EXPECT_GT(serial, 0);
+  Machine m(4);
+  m.run([&](Comm& c) { EXPECT_EQ(count_triangles_1d(c, a), serial); });
+}
+
+}  // namespace
+}  // namespace sa1d

@@ -1,0 +1,154 @@
+// Unit tests for src/util: common helpers, RNG, bit vector, timers.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "util/bitvector.hpp"
+#include "util/common.hpp"
+#include "util/rng.hpp"
+#include "util/timer.hpp"
+
+namespace sa1d {
+namespace {
+
+TEST(Require, ThrowsOnFalse) {
+  EXPECT_THROW(require(false, "boom"), std::invalid_argument);
+  EXPECT_NO_THROW(require(true, "ok"));
+}
+
+TEST(CheckedCast, RoundTripsInRange) {
+  EXPECT_EQ(checked_cast<int>(std::int64_t{42}), 42);
+  EXPECT_EQ(checked_cast<std::int64_t>(7), 7);
+}
+
+TEST(CheckedCast, ThrowsOutOfRange) {
+  EXPECT_THROW(checked_cast<std::int8_t>(std::int64_t{1000}), std::overflow_error);
+}
+
+TEST(ExclusiveScan, Basic) {
+  std::vector<index_t> in{3, 1, 4};
+  auto out = exclusive_scan_vec<index_t>(in);
+  EXPECT_EQ(out, (std::vector<index_t>{0, 3, 4, 8}));
+}
+
+TEST(ExclusiveScan, Empty) {
+  std::vector<index_t> in;
+  auto out = exclusive_scan_vec<index_t>(in);
+  EXPECT_EQ(out, (std::vector<index_t>{0}));
+}
+
+TEST(CeilDiv, Values) {
+  EXPECT_EQ(ceil_div<index_t>(10, 3), 4);
+  EXPECT_EQ(ceil_div<index_t>(9, 3), 3);
+  EXPECT_EQ(ceil_div<index_t>(1, 100), 1);
+}
+
+TEST(EvenSplit, CoversAndBalances) {
+  auto b = even_split(10, 3);
+  ASSERT_EQ(b.size(), 4u);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 10);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) {
+    index_t len = b[i + 1] - b[i];
+    EXPECT_GE(len, 3);
+    EXPECT_LE(len, 4);
+  }
+}
+
+TEST(EvenSplit, MoreParterThanItems) {
+  auto b = even_split(2, 5);
+  EXPECT_EQ(b.back(), 2);
+  EXPECT_EQ(b.size(), 6u);
+}
+
+TEST(EvenSplit, RejectsNonPositiveParts) {
+  EXPECT_THROW(even_split(5, 0), std::invalid_argument);
+}
+
+TEST(FindOwner, LocatesRange) {
+  auto b = even_split(100, 7);
+  for (index_t x = 0; x < 100; ++x) {
+    int o = find_owner(b, x);
+    EXPECT_LE(b[static_cast<std::size_t>(o)], x);
+    EXPECT_LT(x, b[static_cast<std::size_t>(o) + 1]);
+  }
+}
+
+TEST(SplitMix64, Deterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(SplitMix64, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(SplitMix64, UniformInUnitInterval) {
+  SplitMix64 g(7);
+  double sum = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double u = g.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / n, 0.5, 0.02);
+}
+
+TEST(SplitMix64, ForkIndependentStreams) {
+  SplitMix64 g(99);
+  SplitMix64 c1(g.fork(1)), c2(g.fork(2));
+  EXPECT_NE(c1(), c2());
+}
+
+TEST(BitVector, SetTestClear) {
+  BitVector v(130);
+  EXPECT_EQ(v.count(), 0);
+  v.set(0);
+  v.set(64);
+  v.set(129);
+  EXPECT_TRUE(v.test(0));
+  EXPECT_TRUE(v.test(64));
+  EXPECT_TRUE(v.test(129));
+  EXPECT_FALSE(v.test(1));
+  EXPECT_EQ(v.count(), 3);
+  v.clear(64);
+  EXPECT_FALSE(v.test(64));
+  EXPECT_EQ(v.count(), 2);
+}
+
+TEST(BitVector, AnyInRange) {
+  BitVector v(256);
+  v.set(100);
+  EXPECT_TRUE(v.any_in_range(0, 256));
+  EXPECT_TRUE(v.any_in_range(100, 101));
+  EXPECT_FALSE(v.any_in_range(0, 100));
+  EXPECT_FALSE(v.any_in_range(101, 256));
+}
+
+TEST(BitVector, ToIndicesAscending) {
+  BitVector v(200);
+  std::set<index_t> want{3, 63, 64, 65, 127, 128, 199};
+  for (auto i : want) v.set(i);
+  auto got = v.to_indices();
+  EXPECT_TRUE(std::is_sorted(got.begin(), got.end()));
+  EXPECT_EQ(std::set<index_t>(got.begin(), got.end()), want);
+}
+
+TEST(Timers, Advance) {
+  WallTimer w;
+  CpuTimer c;
+  volatile double x = 0;
+  for (int i = 0; i < 1000000; ++i) x = x + 1.0;
+  EXPECT_GT(w.seconds(), 0.0);
+  EXPECT_GT(c.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace sa1d
