@@ -1,26 +1,53 @@
-// google-benchmark microbenchmarks of the local SpGEMM kernels (the
-// compute substrate of every distributed algorithm): heap vs hash vs
-// hybrid vs SPA across structure classes and fill factors.
+// Microbenchmarks of the local SpGEMM kernels (the compute substrate of
+// every distributed algorithm): heap vs hash vs hybrid vs SPA across
+// structure classes and fill factors.
+//
+// Two modes:
+//   - default: google-benchmark harness (human-oriented, CLI filters work)
+//   - --json[=PATH]: manual timing harness that writes the machine-readable
+//     BENCH_local_spgemm.json (GFLOP/s per kernel × dataset × threads) so
+//     successive PRs can track the local-multiply trajectory; see
+//     EXPERIMENTS.md for the schema and DESIGN.md §3 for the bench index.
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
 #include "kernels/spgemm_local.hpp"
 #include "sparse/generators.hpp"
+#include "util/timer.hpp"
 
 namespace {
 
 using namespace sa1d;
 
-const CscMatrix<double>& matrix_for(int gen) {
-  static const CscMatrix<double> er = erdos_renyi<double>(4096, 8.0, 11);
-  static const CscMatrix<double> mesh = mesh2d<double>(64);
-  static const CscMatrix<double> clustered = block_clustered<double>(4096, 32, 8.0, 0.5, 7);
-  static const CscMatrix<double> skewed = rmat<double>(12, 8, 3);
+constexpr int kNumDatasets = 4;
+
+CscMatrix<double> make_bench_matrix(int gen, double scale) {
+  auto n = static_cast<index_t>(4096 * scale);
   switch (gen) {
-    case 0: return er;
-    case 1: return mesh;
-    case 2: return clustered;
-    default: return skewed;
+    case 0: return erdos_renyi<double>(std::max<index_t>(n, 64), 8.0, 11);
+    case 1: return mesh2d<double>(std::max<index_t>(static_cast<index_t>(64 * std::sqrt(scale)), 8));
+    case 2: return block_clustered<double>(std::max<index_t>(n, 64), 32, 8.0, 0.5, 7);
+    default: {
+      auto sc = std::max(4, static_cast<int>(12 + std::log2(std::max(scale, 0.01))));
+      return rmat<double>(sc, 8, 3);
+    }
   }
+}
+
+const CscMatrix<double>& matrix_for(int gen) {
+  static std::vector<CscMatrix<double>> cache = [] {
+    std::vector<CscMatrix<double>> m;
+    m.reserve(kNumDatasets);
+    for (int g = 0; g < kNumDatasets; ++g) m.push_back(make_bench_matrix(g, bench::bench_scale()));
+    return m;
+  }();
+  return cache[static_cast<std::size_t>(gen)];
 }
 
 const char* gen_name(int gen) {
@@ -54,6 +81,83 @@ void BM_Symbolic(benchmark::State& state) {
   state.SetLabel(gen_name(static_cast<int>(state.range(0))));
 }
 
+// ---- machine-readable JSON harness ----------------------------------------
+
+struct JsonRow {
+  const char* kernel;
+  const char* dataset;
+  int threads;
+  double gflops;
+  double best_ms;
+  index_t flops;
+  index_t out_nnz;
+  int reps;
+};
+
+/// Best-of-N wall time of one multiply configuration; at least `min_reps`
+/// repetitions and at least `min_seconds` of total measurement.
+JsonRow measure(LocalKernel k, int gen, int threads, int min_reps = 3,
+                double min_seconds = 0.25) {
+  const auto& a = matrix_for(gen);
+  index_t flops = total_flops(a, a);
+  double best = 1e300, total = 0;
+  index_t out_nnz = 0;
+  int reps = 0;
+  while (reps < min_reps || total < min_seconds) {
+    WallTimer t;
+    auto c = spgemm(a, a, k, threads);
+    double s = t.seconds();
+    out_nnz = c.nnz();
+    best = std::min(best, s);
+    total += s;
+    ++reps;
+    if (reps > 200) break;
+  }
+  // One flop = one multiply + one add, per the usual SpGEMM convention.
+  double gflops = 2.0 * static_cast<double>(flops) / best / 1e9;
+  return {kernel_name(k), gen_name(gen), threads, gflops, 1e3 * best, flops, out_nnz, reps};
+}
+
+int run_json(const std::string& path) {
+  // Open the output before measuring: a bad path should fail in
+  // milliseconds, not after minutes of timing runs.
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return 1;
+  }
+  const LocalKernel kernels[] = {LocalKernel::Spa, LocalKernel::Heap, LocalKernel::Hash,
+                                 LocalKernel::Hybrid};
+  const int thread_counts[] = {1, 2, 4};
+  std::vector<JsonRow> rows;
+  for (int gen = 0; gen < kNumDatasets; ++gen)
+    for (auto k : kernels)
+      for (int t : thread_counts) {
+        rows.push_back(measure(k, gen, t));
+        std::fprintf(stderr, "  %-7s %-12s t=%d  %8.3f ms  %7.3f GFLOP/s\n",
+                     rows.back().kernel, rows.back().dataset, t, rows.back().best_ms,
+                     rows.back().gflops);
+      }
+  std::fprintf(f, "{\n  \"bench\": \"local_spgemm\",\n  \"scale\": %.4f,\n", bench::bench_scale());
+  std::fprintf(f, "  \"unit\": \"GFLOP/s\",\n");
+  std::fprintf(f, "  \"flop_definition\": \"2 * sum_j flops(j); flops(j) = sum_{k in B(:,j)} nnz(A(:,k))\",\n");
+  std::fprintf(f, "  \"results\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(f,
+                 "    {\"kernel\": \"%s\", \"dataset\": \"%s\", \"threads\": %d, "
+                 "\"gflops\": %.6f, \"best_ms\": %.6f, \"flops\": %lld, \"output_nnz\": %lld, "
+                 "\"reps\": %d}%s\n",
+                 r.kernel, r.dataset, r.threads, r.gflops, r.best_ms,
+                 static_cast<long long>(r.flops), static_cast<long long>(r.out_nnz), r.reps,
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return 0;
+}
+
 }  // namespace
 
 BENCHMARK(BM_Spgemm)
@@ -66,4 +170,14 @@ BENCHMARK(BM_Spgemm)
 
 BENCHMARK(BM_Symbolic)->DenseRange(0, 3)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) return run_json("BENCH_local_spgemm.json");
+    if (std::strncmp(argv[i], "--json=", 7) == 0) return run_json(argv[i] + 7);
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

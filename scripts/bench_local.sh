@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Builds the Release microbench and writes BENCH_local_spgemm.json at the
+# repo root (GFLOP/s per kernel × dataset × threads; schema in
+# EXPERIMENTS.md). Usage: scripts/bench_local.sh [SA1D_SCALE]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+SCALE="${1:-${SA1D_SCALE:-1}}"
+BUILD_DIR=build-bench
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" --target microbench_local_kernels -j "$(nproc)"
+
+SA1D_SCALE="$SCALE" "./$BUILD_DIR/microbench_local_kernels" \
+  --json="$(pwd)/BENCH_local_spgemm.json"
+echo "BENCH_local_spgemm.json written (SA1D_SCALE=$SCALE)"

@@ -124,7 +124,10 @@ inline GalerkinResult galerkin_product(Comm& comm, const CscMatrix<double>& a_gl
   if (right == RightMultAlgo::SparsityAware1d) {
     res.rtar = spgemm_1d(comm, res.rta, r, opt);
   } else {
-    res.rtar = spgemm_outer_product_1d(comm, res.rta, r);
+    // Forward the local-kernel configuration: the outer product runs the
+    // same two-phase local engine as the sparsity-aware path.
+    res.rtar = spgemm_outer_product_1d(comm, res.rta, r,
+                                       OuterProductOptions{opt.kernel, opt.threads});
   }
   return res;
 }

@@ -193,7 +193,7 @@ inline BcResult betweenness_batch(Comm& comm, const CscMatrix<double>& a_global,
   CscMatrix<double> delta_l(n, bhi - blo);  // local slice of Delta
   for (int l = res.nlevels; l >= 1; --l) {
     // W = frontier_l ⊙ (1 + Delta) / Sigma  (on frontier_l's pattern).
-    DistMatrix1D<double> w(n, b, fbounds, comm.rank(), DcscMatrix<double>(n, bhi - blo));
+    DistMatrix1D<double> w;
     {
       auto ph = comm.phase(Phase::Other);
       auto fl = frontiers[static_cast<std::size_t>(l)].local().to_csc();

@@ -38,6 +38,9 @@ CscMatrix<VT> inflate_prune(const CscMatrix<VT>& m, double r, double prune) {
   std::vector<index_t> colptr{0};
   std::vector<index_t> rows;
   std::vector<VT> vals;
+  colptr.reserve(static_cast<std::size_t>(m.ncols()) + 1);
+  rows.reserve(static_cast<std::size_t>(m.nnz()));
+  vals.reserve(static_cast<std::size_t>(m.nnz()));
   for (index_t j = 0; j < m.ncols(); ++j) {
     auto cr = m.col_rows(j);
     auto cv = m.col_vals(j);

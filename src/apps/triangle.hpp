@@ -20,6 +20,9 @@ CscMatrix<VT> lower_triangle(const CscMatrix<VT>& a) {
   std::vector<index_t> colptr{0};
   std::vector<index_t> rows;
   std::vector<VT> vals;
+  colptr.reserve(static_cast<std::size_t>(a.ncols()) + 1);
+  rows.reserve(static_cast<std::size_t>(a.nnz()) / 2 + 1);
+  vals.reserve(static_cast<std::size_t>(a.nnz()) / 2 + 1);
   for (index_t j = 0; j < a.ncols(); ++j) {
     auto r = a.col_rows(j);
     auto v = a.col_vals(j);

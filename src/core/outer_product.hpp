@@ -48,30 +48,47 @@ DistMatrix1D<VT> spgemm_outer_product_1d(Comm& comm, const DistMatrix1D<VT>& a,
   }
   auto recv = comm.alltoallv(send);
 
-  // (2) Local outer product. Build row-major access to the received B rows,
-  // then expand against A_i's columns; accumulate triples of partial C.
+  // (2) Local outer product C_partial = A_i · B_rows_i through the
+  // two-phase local SpGEMM engine (kernel/threads honor `opt`): assemble the
+  // received B rows as a CSC block over the inner slice — compacted to the
+  // nonzero global columns, so per-rank cost scales with received nnz, not
+  // the global column dimension — multiply, then scatter C_partial's
+  // columns to their owners.
   std::vector<std::vector<Triple<VT>>> c_send(static_cast<std::size_t>(P));
   {
-    auto ph = comm.phase(Phase::Comp);
-    // rows_of[g - col_lo] -> list of (col, val) of B(g, :).
-    std::vector<std::vector<std::pair<index_t, VT>>> rows_of(
-        static_cast<std::size_t>(a.local_ncols()));
-    for (const auto& chunk : recv)
-      for (const auto& t : chunk)
-        rows_of[static_cast<std::size_t>(t.row - a.col_lo())].emplace_back(t.col, t.val);
-
-    const auto& al = a.local();
-    for (index_t k = 0; k < al.nzc(); ++k) {
-      const auto& brow = rows_of[static_cast<std::size_t>(al.col_id(k))];
-      if (brow.empty()) continue;
-      auto arows = al.col_rows_at(k);
-      auto avals = al.col_vals_at(k);
-      for (const auto& [ccol, bval] : brow) {
-        int owner = find_owner(std::span<const index_t>(b.bounds()), ccol);
-        auto& out = c_send[static_cast<std::size_t>(owner)];
-        for (std::size_t p = 0; p < arows.size(); ++p)
-          out.push_back({arows[p], ccol, avals[p] * bval});
-      }
+    CscMatrix<VT> a_csc, b_csc;
+    std::vector<index_t> gcols;  // compacted position -> global C column
+    {
+      auto ph = comm.phase(Phase::Other);
+      a_csc = a.local().to_csc();  // nrows × local inner width
+      for (const auto& chunk : recv)
+        for (const auto& t : chunk) gcols.push_back(t.col);
+      std::sort(gcols.begin(), gcols.end());
+      gcols.erase(std::unique(gcols.begin(), gcols.end()), gcols.end());
+      CooMatrix<VT> brows(a.local_ncols(), static_cast<index_t>(gcols.size()));
+      for (const auto& chunk : recv)
+        for (const auto& t : chunk) {
+          auto cj = static_cast<index_t>(
+              std::lower_bound(gcols.begin(), gcols.end(), t.col) - gcols.begin());
+          brows.push(t.row - a.col_lo(), cj, t.val);
+        }
+      brows.canonicalize();
+      b_csc = CscMatrix<VT>::from_coo(brows);
+    }
+    CscMatrix<VT> c_partial;
+    {
+      auto ph = comm.phase(Phase::Comp);
+      c_partial = spgemm_local<PlusTimes<VT>, VT>(a_csc, b_csc, opt.kernel, opt.threads);
+    }
+    auto ph = comm.phase(Phase::Other);
+    for (index_t cj = 0; cj < c_partial.ncols(); ++cj) {
+      if (c_partial.col_nnz(cj) == 0) continue;
+      const index_t j = gcols[static_cast<std::size_t>(cj)];
+      int owner = find_owner(std::span<const index_t>(b.bounds()), j);
+      auto& out = c_send[static_cast<std::size_t>(owner)];
+      auto rows = c_partial.col_rows(cj);
+      auto vals = c_partial.col_vals(cj);
+      for (std::size_t p = 0; p < rows.size(); ++p) out.push_back({rows[p], j, vals[p]});
     }
   }
 

@@ -113,6 +113,20 @@ DistMatrix1D<VT> spgemm_1d(Comm& comm, const DistMatrix1D<VT>& a, const DistMatr
   std::vector<index_t> atilde_colptr{0};
   std::vector<index_t> atilde_rows;
   std::vector<VT> atilde_vals;
+  if (!opt.sparsity_aware) {
+    // Oblivious mode keeps every nonzero column of A, so Ã's exact width
+    // and nnz are both known from the replicated metadata. (Sparsity-aware
+    // mode keeps a small subset; pre-reserving the full bound there would
+    // defeat the compaction's memory savings.)
+    std::size_t nzc_total = 0, nnz_total = 0;
+    for (const auto& g : meta.gids) nzc_total += g.size();
+    for (const auto& cp : meta.cp)
+      if (!cp.empty()) nnz_total += static_cast<std::size_t>(cp.back());
+    atilde_gids.reserve(nzc_total);
+    atilde_colptr.reserve(nzc_total + 1);
+    atilde_rows.reserve(nnz_total);
+    atilde_vals.reserve(nnz_total);
+  }
 
   std::vector<index_t> buf_ir;
   std::vector<VT> buf_val;

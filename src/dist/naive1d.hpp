@@ -1,0 +1,85 @@
+// Naive ring 1D SpGEMM (Ballard et al.'s "1D block column" baseline): every
+// rank needs all of A, so the A slices are circulated around a ring and each
+// rank multiplies every slice against its stationary B_i. Communication is
+// ~(P-1)·nnz(A) triples regardless of sparsity structure — the volume the
+// sparsity-aware Algorithm 1 exists to avoid.
+#pragma once
+
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "kernels/spgemm_local.hpp"
+#include "runtime/machine.hpp"
+
+namespace sa1d {
+
+/// Ring 1D SpGEMM baseline. Collective. C inherits B's column distribution.
+template <typename VT>
+DistMatrix1D<VT> spgemm_naive_ring_1d(Comm& comm, const DistMatrix1D<VT>& a,
+                                      const DistMatrix1D<VT>& b) {
+  require(a.ncols() == b.nrows(), "spgemm_naive_ring_1d: inner dimension mismatch");
+  const int P = comm.size();
+  const int me = comm.rank();
+
+  // Circulating payload: my A slice as triples with global column ids,
+  // column-major sorted (DCSC order) so each hop can rebuild column ranges
+  // with one scan.
+  std::vector<Triple<VT>> circ;
+  {
+    auto ph = comm.phase(Phase::Other);
+    circ.reserve(static_cast<std::size_t>(a.local_nnz()));
+    for (index_t k = 0; k < a.local().nzc(); ++k) {
+      index_t gcol = a.global_col(k);
+      auto rows = a.local().col_rows_at(k);
+      auto vals = a.local().col_vals_at(k);
+      for (std::size_t p = 0; p < rows.size(); ++p) circ.push_back({rows[p], gcol, vals[p]});
+    }
+  }
+
+  CooMatrix<VT> acc(a.nrows(), b.local_ncols());
+  const auto& bl = b.local();
+  for (int step = 0; step < P; ++step) {
+    {
+      auto ph = comm.phase(Phase::Comp);
+      // Group the circulating slice into columns (triples are column-major).
+      std::vector<index_t> gcol_ids;
+      std::vector<std::size_t> starts;
+      for (std::size_t p = 0; p < circ.size(); ++p) {
+        if (p == 0 || circ[p].col != circ[p - 1].col) {
+          gcol_ids.push_back(circ[p].col);
+          starts.push_back(p);
+        }
+      }
+      starts.push_back(circ.size());
+      // C_i += A_slice · B_i restricted to B rows matching the slice columns.
+      for (index_t j = 0; j < bl.nzc(); ++j) {
+        auto brows = bl.col_rows_at(j);
+        auto bvals = bl.col_vals_at(j);
+        for (std::size_t p = 0; p < brows.size(); ++p) {
+          auto it = std::lower_bound(gcol_ids.begin(), gcol_ids.end(), brows[p]);
+          if (it == gcol_ids.end() || *it != brows[p]) continue;
+          auto kpos = static_cast<std::size_t>(it - gcol_ids.begin());
+          for (std::size_t q = starts[kpos]; q < starts[kpos + 1]; ++q)
+            acc.push(circ[q].row, bl.col_id(j), circ[q].val * bvals[p]);
+        }
+      }
+    }
+    if (step + 1 < P) {
+      // Shift the slice one hop around the ring.
+      std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
+      send[static_cast<std::size_t>((me + 1) % P)] = std::move(circ);
+      auto recv = comm.alltoallv(send);
+      circ = std::move(recv[static_cast<std::size_t>((me - 1 + P) % P)]);
+    }
+  }
+
+  DcscMatrix<VT> c_local;
+  {
+    auto ph = comm.phase(Phase::Other);
+    acc.canonicalize();
+    c_local = DcscMatrix<VT>::from_coo(acc);
+  }
+  return DistMatrix1D<VT>(a.nrows(), b.ncols(), b.bounds(), me, std::move(c_local));
+}
+
+}  // namespace sa1d

@@ -1,0 +1,69 @@
+// Split-3D SpGEMM (Azad et al. 2016's third dimension): P = c·q² ranks form
+// c layers of q×q grids. The inner dimension is split across layers; each
+// layer runs 2D sparse SUMMA on its slice pair A(:,K_l)·B(K_l,:), and the
+// per-layer partial C's are merged during gather (the "split" reduction).
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "dist/summa2d.hpp"
+
+namespace sa1d {
+
+/// Layer counts c for which P = c·q² with integral q, ascending.
+inline std::vector<int> valid_layer_counts(int P) {
+  std::vector<int> out;
+  for (int c = 1; c <= P; ++c) {
+    if (P % c != 0) continue;
+    int q2 = P / c;
+    int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(q2))));
+    if (q * q == q2) out.push_back(c);
+  }
+  return out;
+}
+
+/// Split-3D SpGEMM. Collective; requires P = layers·q². Returns this rank's
+/// partial C as COO in global coordinates (partials of the same entry live
+/// on different layers; gather_coo merges them by addition).
+template <typename VT>
+CooMatrix<VT> spgemm_split_3d(Comm& comm, const CscMatrix<VT>& a, const CscMatrix<VT>& b,
+                              int layers, LocalKernel kernel = LocalKernel::Hybrid,
+                              int threads = 1) {
+  require(a.ncols() == b.nrows(), "spgemm_split_3d: inner dimension mismatch");
+  const int P = comm.size();
+  require(layers >= 1 && layers <= P && P % layers == 0,
+          "spgemm_split_3d: layer count must divide P");
+  const int q2 = P / layers;
+  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(q2))));
+  require(q * q == q2, "spgemm_split_3d: P/layers must be a perfect square");
+
+  const int layer = comm.rank() / q2;
+  Comm layer_comm = comm.split(layer, comm.rank());
+
+  auto kb = even_split(a.ncols(), layers);
+  const index_t klo = kb[static_cast<std::size_t>(layer)];
+  const index_t khi = kb[static_cast<std::size_t>(layer) + 1];
+
+  // My layer's inner-dimension slice pair: A(:, K_l) and B(K_l, :).
+  CscMatrix<VT> a_l, b_l;
+  {
+    auto ph = comm.phase(Phase::Other);
+    a_l = extract_cols(a, klo, khi);
+    CooMatrix<VT> brows(khi - klo, b.ncols());
+    for (index_t j = 0; j < b.ncols(); ++j) {
+      auto rows = b.col_rows(j);
+      auto vals = b.col_vals(j);
+      for (std::size_t p = 0; p < rows.size(); ++p)
+        if (rows[p] >= klo && rows[p] < khi) brows.push(rows[p] - klo, j, vals[p]);
+    }
+    b_l = CscMatrix<VT>::from_coo(brows);
+  }
+
+  auto part = spgemm_summa_2d(layer_comm, a_l, b_l, kernel, threads);
+  // Re-dimension the partial to the full product shape (row ids are already
+  // global; the layer only narrowed the contracted dimension).
+  return CooMatrix<VT>(a.nrows(), b.ncols(), std::move(part.triples()));
+}
+
+}  // namespace sa1d

@@ -1,0 +1,114 @@
+// 2D sparse SUMMA (Buluç & Gilbert; the CombBLAS algorithm the paper
+// benchmarks against): ranks form a √P×√P grid, C(i,j) is accumulated over
+// √P stages of row-broadcast A(i,k) and column-broadcast B(k,j) block
+// multiplies. Operands are replicated on entry (block distribution is
+// internal); the result is returned as each rank's local partial COO with
+// global coordinates — gather_coo() reassembles and merges.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "kernels/spgemm_local.hpp"
+#include "runtime/machine.hpp"
+
+namespace sa1d {
+
+/// Reassembles a replicated CSC matrix from per-rank partial COO blocks
+/// (global coordinates); duplicates across ranks are merged by addition.
+/// Collective.
+template <typename VT>
+CscMatrix<VT> gather_coo(Comm& comm, const CooMatrix<VT>& part) {
+  auto chunks = comm.allgatherv(std::span<const Triple<VT>>(part.triples()));
+  CooMatrix<VT> all(part.nrows(), part.ncols());
+  for (auto& chunk : chunks)
+    for (auto& t : chunk) all.push(t.row, t.col, t.val);
+  all.canonicalize();
+  return CscMatrix<VT>::from_coo(all);
+}
+
+namespace summadetail {
+
+/// Triples of m's block [rlo,rhi)×[clo,chi) with block-local coordinates,
+/// column-major sorted.
+template <typename VT>
+std::vector<Triple<VT>> block_triples(const CscMatrix<VT>& m, index_t rlo, index_t rhi,
+                                      index_t clo, index_t chi) {
+  std::vector<Triple<VT>> out;
+  for (index_t j = clo; j < chi; ++j) {
+    auto rows = m.col_rows(j);
+    auto vals = m.col_vals(j);
+    for (std::size_t p = 0; p < rows.size(); ++p)
+      if (rows[p] >= rlo && rows[p] < rhi) out.push_back({rows[p] - rlo, j - clo, vals[p]});
+  }
+  return out;
+}
+
+template <typename VT>
+CscMatrix<VT> csc_from_block(index_t nrows, index_t ncols, std::vector<Triple<VT>> triples) {
+  return CscMatrix<VT>::from_coo(CooMatrix<VT>(nrows, ncols, std::move(triples)));
+}
+
+}  // namespace summadetail
+
+/// 2D sparse SUMMA. Collective; requires a perfect-square process count.
+/// Returns this rank's C block as COO in global coordinates.
+template <typename VT>
+CooMatrix<VT> spgemm_summa_2d(Comm& comm, const CscMatrix<VT>& a, const CscMatrix<VT>& b,
+                              LocalKernel kernel = LocalKernel::Hybrid, int threads = 1) {
+  require(a.ncols() == b.nrows(), "spgemm_summa_2d: inner dimension mismatch");
+  const int P = comm.size();
+  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(P))));
+  require(q * q == P, "spgemm_summa_2d: process count must be a perfect square");
+  const int gi = comm.rank() / q;
+  const int gj = comm.rank() % q;
+
+  auto rb = even_split(a.nrows(), q);  // row blocks of A and C
+  auto kb = even_split(a.ncols(), q);  // inner-dimension blocks
+  auto cb = even_split(b.ncols(), q);  // column blocks of B and C
+
+  Comm row_comm = comm.split(gi, gj);  // sub-rank within a row == grid column
+  Comm col_comm = comm.split(gj, gi);  // sub-rank within a column == grid row
+
+  const index_t rlo = rb[static_cast<std::size_t>(gi)], rhi = rb[static_cast<std::size_t>(gi) + 1];
+  const index_t clo = cb[static_cast<std::size_t>(gj)], chi = cb[static_cast<std::size_t>(gj) + 1];
+
+  CooMatrix<VT> acc(a.nrows(), b.ncols());
+  for (int k = 0; k < q; ++k) {
+    const index_t klo = kb[static_cast<std::size_t>(k)], khi = kb[static_cast<std::size_t>(k) + 1];
+
+    std::vector<Triple<VT>> abuf, bbuf;
+    {
+      auto ph = comm.phase(Phase::Other);
+      if (gj == k) abuf = summadetail::block_triples(a, rlo, rhi, klo, khi);
+      if (gi == k) bbuf = summadetail::block_triples(b, klo, khi, clo, chi);
+    }
+    row_comm.bcast(abuf, k);  // A(gi, k) along grid row gi
+    col_comm.bcast(bbuf, k);  // B(k, gj) along grid column gj
+
+    CscMatrix<VT> c_blk;
+    {
+      auto ph = comm.phase(Phase::Comp);
+      auto a_blk = summadetail::csc_from_block(rhi - rlo, khi - klo, std::move(abuf));
+      auto b_blk = summadetail::csc_from_block(khi - klo, chi - clo, std::move(bbuf));
+      c_blk = spgemm_local<PlusTimes<VT>, VT>(a_blk, b_blk, kernel, threads);
+    }
+    {
+      auto ph = comm.phase(Phase::Other);
+      for (index_t j = 0; j < c_blk.ncols(); ++j) {
+        auto rows = c_blk.col_rows(j);
+        auto vals = c_blk.col_vals(j);
+        for (std::size_t p = 0; p < rows.size(); ++p)
+          acc.push(rows[p] + rlo, j + clo, vals[p]);
+      }
+    }
+  }
+  {
+    auto ph = comm.phase(Phase::Other);
+    acc.canonicalize();  // merge contributions across the q stages
+  }
+  return acc;
+}
+
+}  // namespace sa1d

@@ -1,0 +1,203 @@
+// Differential tests of the two-phase local SpGEMM engine: all four
+// accumulator classes must produce *bit-identical* CSC output (structure
+// and values) across semirings, thread counts, and adversarial shapes —
+// the engine guarantees a fixed per-row ⊕ order — and the symbolic phase
+// must predict the numeric structure exactly.
+#include <gtest/gtest.h>
+
+#include "kernels/spgemm_local.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+#include "util/rng.hpp"
+
+namespace sa1d {
+namespace {
+
+constexpr LocalKernel kAllKernels[] = {LocalKernel::Spa, LocalKernel::Heap, LocalKernel::Hash,
+                                       LocalKernel::Hybrid};
+constexpr int kThreadCounts[] = {1, 2, 7};
+
+/// Adversarial generator: a mix of empty columns, singleton columns, dense
+/// columns, and scattered columns, with values in {±1, ±0.5} so numeric
+/// cancellation (explicit zeros) actually occurs.
+CscMatrix<double> adversarial(index_t m, index_t n, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  CooMatrix<double> coo(m, n);
+  auto val = [&]() {
+    switch (g.below(4)) {
+      case 0: return 1.0;
+      case 1: return -1.0;
+      case 2: return 0.5;
+      default: return -0.5;
+    }
+  };
+  for (index_t j = 0; j < n; ++j) {
+    switch (g.below(6)) {
+      case 0: break;  // structurally empty column
+      case 1:         // singleton column (exercises the 1-list copy path)
+        coo.push(static_cast<index_t>(g.below(static_cast<std::uint64_t>(m))), j, val());
+        break;
+      case 2:  // dense column (exercises the SPA classes)
+        for (index_t i = 0; i < m; ++i)
+          if (g.below(3) != 0) coo.push(i, j, val());
+        break;
+      default: {  // scattered column
+        auto cnt = 1 + g.below(12);
+        for (std::uint64_t e = 0; e < cnt; ++e)
+          coo.push(static_cast<index_t>(g.below(static_cast<std::uint64_t>(m))), j, val());
+      }
+    }
+  }
+  // Singleton rows: a few rows whose only nonzero is planted here.
+  coo.canonicalize();
+  return CscMatrix<double>::from_coo(coo);
+}
+
+/// The engine falls back to one thread below 2^14 flops/thread; the
+/// threads>1 assertions are vacuous unless the input carries enough work to
+/// actually engage the parallel partition for every tested thread count.
+void require_parallel_work(const CscMatrix<double>& a, const CscMatrix<double>& b) {
+  ASSERT_GT(total_flops(a, b), 7 * (index_t{1} << 14));
+}
+
+TEST(TwoPhaseDifferential, PlusTimesBitIdenticalAcrossKernelsAndThreads) {
+  for (std::uint64_t seed : {1u, 2u, 3u}) {
+    auto a = adversarial(400, 300, seed);
+    auto b = adversarial(300, 350, seed + 100);
+    require_parallel_work(a, b);
+    auto ref = spgemm_local<PlusTimes<double>, double>(a, b, LocalKernel::Spa, 1);
+    for (auto k : kAllKernels)
+      for (int t : kThreadCounts)
+        EXPECT_EQ((spgemm_local<PlusTimes<double>, double>(a, b, k, t)), ref)
+            << kernel_name(k) << " t=" << t << " seed=" << seed;
+  }
+}
+
+TEST(TwoPhaseDifferential, MinPlusBitIdenticalAcrossKernelsAndThreads) {
+  for (std::uint64_t seed : {5u, 6u}) {
+    auto a = adversarial(350, 350, seed);
+    require_parallel_work(a, a);
+    auto ref = spgemm_local<MinPlus<double>, double>(a, a, LocalKernel::Spa, 1);
+    for (auto k : kAllKernels)
+      for (int t : kThreadCounts)
+        EXPECT_EQ((spgemm_local<MinPlus<double>, double>(a, a, k, t)), ref)
+            << kernel_name(k) << " t=" << t << " seed=" << seed;
+  }
+}
+
+TEST(TwoPhaseDifferential, SkewedParallelPartition) {
+  // Power-law columns stress flop_balanced_split's uneven ranges with the
+  // parallel path genuinely engaged.
+  auto a = rmat<double>(10, 8, 3);
+  require_parallel_work(a, a);
+  auto ref = spgemm_local<PlusTimes<double>, double>(a, a, LocalKernel::Spa, 1);
+  for (auto k : kAllKernels)
+    for (int t : kThreadCounts)
+      EXPECT_EQ((spgemm_local<PlusTimes<double>, double>(a, a, k, t)), ref)
+          << kernel_name(k) << " t=" << t;
+}
+
+TEST(TwoPhaseDifferential, OrAndBitIdenticalAcrossKernels) {
+  auto a = adversarial(80, 80, 9);
+  auto ref = spgemm_local<OrAnd, double>(a, a, LocalKernel::Spa, 1);
+  for (auto k : kAllKernels)
+    for (int t : kThreadCounts)
+      EXPECT_EQ((spgemm_local<OrAnd, double>(a, a, k, t)), ref) << kernel_name(k);
+}
+
+TEST(TwoPhaseDifferential, HypersparseLargeRowDimension) {
+  // Large row ids force the hash class under Hybrid and exercise the
+  // generation-tagged table where a -1 sentinel key could have collided.
+  const index_t m = index_t{1} << 21;
+  SplitMix64 g(13);
+  CooMatrix<double> ca(m, 40);
+  for (int e = 0; e < 600; ++e)
+    ca.push(static_cast<index_t>(g.below(static_cast<std::uint64_t>(m))),
+            static_cast<index_t>(g.below(40)), 1.0 + g.uniform());
+  // Include the extreme row ids explicitly.
+  ca.push(0, 0, 1.0);
+  ca.push(m - 1, 0, 1.0);
+  ca.canonicalize();
+  auto a = CscMatrix<double>::from_coo(ca);
+  auto b = adversarial(40, 30, 17);
+  auto ref = spgemm_local<PlusTimes<double>, double>(a, b, LocalKernel::Spa, 1);
+  for (auto k : kAllKernels)
+    for (int t : kThreadCounts)
+      EXPECT_EQ((spgemm_local<PlusTimes<double>, double>(a, b, k, t)), ref)
+          << kernel_name(k) << " t=" << t;
+}
+
+TEST(TwoPhaseSymbolic, NnzPredictionMatchesNumericExactly) {
+  for (std::uint64_t seed : {21u, 22u, 23u}) {
+    auto a = adversarial(120, 90, seed);
+    auto b = adversarial(90, 60, seed + 50);
+    auto predicted = symbolic_nnz(a, b);
+    ASSERT_EQ(predicted.size(), static_cast<std::size_t>(b.ncols()));
+    for (auto k : kAllKernels) {
+      auto c = spgemm(a, b, k);
+      index_t total = 0;
+      for (index_t j = 0; j < c.ncols(); ++j) {
+        EXPECT_EQ(c.col_nnz(j), predicted[static_cast<std::size_t>(j)])
+            << "col " << j << " kernel " << kernel_name(k);
+        total += predicted[static_cast<std::size_t>(j)];
+      }
+      EXPECT_EQ(c.nnz(), total);
+    }
+  }
+}
+
+TEST(TwoPhaseSymbolic, CancellationKeepsStructuralZeros) {
+  // +1/-1 values cancel numerically; the structural entry must survive so
+  // symbolic nnz stays exact.
+  CooMatrix<double> ca(4, 2), cb(2, 1);
+  ca.push(0, 0, 1.0);
+  ca.push(0, 1, -1.0);
+  cb.push(0, 0, 1.0);
+  cb.push(1, 0, 1.0);
+  auto a = CscMatrix<double>::from_coo(ca);
+  auto b = CscMatrix<double>::from_coo(cb);
+  auto predicted = symbolic_nnz(a, b);
+  ASSERT_EQ(predicted.size(), 1u);
+  EXPECT_EQ(predicted[0], 1);
+  for (auto k : kAllKernels) {
+    auto c = spgemm(a, b, k);
+    EXPECT_EQ(c.nnz(), 1) << kernel_name(k);
+    EXPECT_DOUBLE_EQ(c.vals()[0], 0.0) << kernel_name(k);
+  }
+}
+
+TEST(FlopBalancedSplit, CoversAndBalancesSkewedWork) {
+  // One hub column holds half the flops; the split must isolate it.
+  std::vector<index_t> flops(100, 10);
+  flops[7] = 1000;
+  auto b = flop_balanced_split(flops, 4);
+  ASSERT_EQ(b.size(), 5u);
+  EXPECT_EQ(b.front(), 0);
+  EXPECT_EQ(b.back(), 100);
+  for (std::size_t i = 0; i + 1 < b.size(); ++i) EXPECT_LE(b[i], b[i + 1]);
+  // The range containing column 7 must be narrow (the hub dominates).
+  for (int p = 0; p < 4; ++p) {
+    if (b[static_cast<std::size_t>(p)] <= 7 && 7 < b[static_cast<std::size_t>(p) + 1])
+      EXPECT_LT(b[static_cast<std::size_t>(p) + 1] - b[static_cast<std::size_t>(p)], 40);
+  }
+}
+
+TEST(FlopBalancedSplit, DegenerateInputs) {
+  std::vector<index_t> empty;
+  auto b0 = flop_balanced_split(empty, 3);
+  EXPECT_EQ(b0, (std::vector<index_t>{0, 0, 0, 0}));
+  std::vector<index_t> zeros(10, 0);
+  auto b1 = flop_balanced_split(zeros, 2);
+  EXPECT_EQ(b1.front(), 0);
+  EXPECT_EQ(b1.back(), 10);
+}
+
+TEST(TwoPhaseEngine, MoreThreadsThanColumns) {
+  auto a = adversarial(30, 3, 31);
+  auto b = adversarial(3, 2, 32);
+  auto ref = spgemm(a, b, LocalKernel::Spa, 1);
+  EXPECT_EQ(spgemm(a, b, LocalKernel::Hybrid, 16), ref);
+}
+
+}  // namespace
+}  // namespace sa1d
