@@ -47,7 +47,10 @@ inline LevelSeries bc_series_1d(Machine& m, const CscMatrix<double>& a,
       rr.rdma_bytes_inter = s.rdma_bytes_inter;
       rr.rdma_msgs_inter = s.rdma_msgs_inter;
       double comm = m.cost().rdma_seconds(rr);
-      double t = s.comp_s + comm;
+      // plan_s keeps the series comparable to the baselines (their one-shot
+      // local multiplies charge symbolic work to Comp); on reused plans it
+      // is zero and the amortization shows up directly in the series.
+      double t = s.comp_s + s.plan_s + comm;
       double mx = c.allreduce_max(t);
       comm_acc += c.allreduce_max(comm);
       if (c.rank() == 0) (s.forward ? f : b).push_back(1e3 * mx);

@@ -4,6 +4,8 @@
 // DESIGN.md §3 for the index and EXPERIMENTS.md for recorded results.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -24,16 +26,19 @@ inline double bench_scale() {
 inline CscMatrix<double> load(Dataset d) { return make_dataset(d, bench_scale()); }
 
 /// Modeled elapsed seconds of one phase-accounted run (DESIGN.md §5):
-/// max over ranks of comp/threads + other + modeled network time.
+/// max over ranks of comp/threads + plan + other + modeled network time.
+/// `plan` is the inspector side of the plan/execute split — one-shot runs
+/// pay it once, iterated runs amortize it toward zero.
 struct Breakdown {
-  double comm = 0, comp = 0, other = 0;
-  [[nodiscard]] double total() const { return comm + comp + other; }
+  double comm = 0, comp = 0, plan = 0, other = 0;
+  [[nodiscard]] double total() const { return comm + comp + plan + other; }
 };
 
 inline Breakdown modeled(const RunReport& rep, const CostModel& cm, int threads_per_rank = 1) {
   Breakdown b;
   for (const auto& r : rep.ranks) {
     b.comp = std::max(b.comp, r.comp_s / threads_per_rank);
+    b.plan = std::max(b.plan, r.plan_s);
     b.other = std::max(b.other, r.other_s + (cm.comm_seconds(r) - cm.rdma_seconds(r)));
     b.comm = std::max(b.comm, cm.rdma_seconds(r));
   }
@@ -48,6 +53,7 @@ inline std::vector<Breakdown> per_rank_modeled(const RunReport& rep, const CostM
   for (const auto& r : rep.ranks) {
     Breakdown b;
     b.comp = r.comp_s / threads_per_rank;
+    b.plan = r.plan_s;
     b.other = r.other_s + (cm.comm_seconds(r) - cm.rdma_seconds(r));
     b.comm = cm.rdma_seconds(r);
     out.push_back(b);
@@ -56,10 +62,10 @@ inline std::vector<Breakdown> per_rank_modeled(const RunReport& rep, const CostM
 }
 
 inline void print_rank_breakdown(const char* label, const std::vector<Breakdown>& ranks) {
-  std::printf("  %-28s rank:  comm(ms)  comp(ms) other(ms)\n", label);
+  std::printf("  %-28s rank:  comm(ms)  comp(ms)  plan(ms) other(ms)\n", label);
   for (std::size_t r = 0; r < ranks.size(); ++r)
-    std::printf("  %-28s %5zu  %9.3f %9.3f %9.3f\n", "", r, 1e3 * ranks[r].comm,
-                1e3 * ranks[r].comp, 1e3 * ranks[r].other);
+    std::printf("  %-28s %5zu  %9.3f %9.3f %9.3f %9.3f\n", "", r, 1e3 * ranks[r].comm,
+                1e3 * ranks[r].comp, 1e3 * ranks[r].plan, 1e3 * ranks[r].other);
 }
 
 inline void print_rank_summary(const char* label, const std::vector<Breakdown>& ranks) {
@@ -67,17 +73,19 @@ inline void print_rank_summary(const char* label, const std::vector<Breakdown>& 
   for (const auto& b : ranks) {
     mx.comm = std::max(mx.comm, b.comm);
     mx.comp = std::max(mx.comp, b.comp);
+    mx.plan = std::max(mx.plan, b.plan);
     mx.other = std::max(mx.other, b.other);
     sum.comm += b.comm;
     sum.comp += b.comp;
+    sum.plan += b.plan;
     sum.other += b.other;
   }
   auto n = static_cast<double>(ranks.size());
   std::printf(
-      "  %-28s comm max/avg %8.3f/%8.3f ms  comp max/avg %8.3f/%8.3f ms  other max/avg "
-      "%8.3f/%8.3f ms\n",
+      "  %-28s comm max/avg %8.3f/%8.3f ms  comp max/avg %8.3f/%8.3f ms  plan max/avg "
+      "%8.3f/%8.3f ms  other max/avg %8.3f/%8.3f ms\n",
       label, 1e3 * mx.comm, 1e3 * sum.comm / n, 1e3 * mx.comp, 1e3 * sum.comp / n,
-      1e3 * mx.other, 1e3 * sum.other / n);
+      1e3 * mx.plan, 1e3 * sum.plan / n, 1e3 * mx.other, 1e3 * sum.other / n);
 }
 
 inline double mib(std::uint64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }

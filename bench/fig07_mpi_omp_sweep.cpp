@@ -17,8 +17,8 @@ int main() {
 
   for (int cores : {256, 1024}) {
     std::printf("\n-- %d cores (p ranks x t threads) --\n", cores);
-    std::printf("%8s %8s %12s %12s %12s %12s\n", "p", "t", "comm ms", "comp ms", "other ms",
-                "total ms");
+    std::printf("%8s %8s %12s %12s %12s %12s %12s\n", "p", "t", "comm ms", "comp ms", "plan ms",
+                "other ms", "total ms");
     for (int p : {16, 64, 256, 1024}) {
       if (p > cores) continue;
       int t = cores / p;
@@ -30,8 +30,8 @@ int main() {
         spgemm_1d(c, da, da);
       });
       auto b = bench::modeled(rep, m.cost(), t);
-      std::printf("%8d %8d %12.3f %12.3f %12.3f %12.3f\n", p, t, 1e3 * b.comm, 1e3 * b.comp,
-                  1e3 * b.other, 1e3 * b.total());
+      std::printf("%8d %8d %12.3f %12.3f %12.3f %12.3f %12.3f\n", p, t, 1e3 * b.comm,
+                  1e3 * b.comp, 1e3 * b.plan, 1e3 * b.other, 1e3 * b.total());
     }
   }
   std::printf("\n(paper: 64-256 ranks optimal; extremes lose to serial overhead or comm)\n");

@@ -32,8 +32,8 @@ int main() {
     auto ranks = bench::per_rank_modeled(rep, m.cost());
     bench::print_rank_summary(label, ranks);
     auto b = bench::modeled(rep, m.cost());
-    std::printf("  %-28s TOTAL %8.3f ms (comm %.3f, comp %.3f, other %.3f)\n", label,
-                1e3 * b.total(), 1e3 * b.comm, 1e3 * b.comp, 1e3 * b.other);
+    std::printf("  %-28s TOTAL %8.3f ms (comm %.3f, comp %.3f, plan %.3f, other %.3f)\n", label,
+                1e3 * b.total(), 1e3 * b.comm, 1e3 * b.comp, 1e3 * b.plan, 1e3 * b.other);
   };
 
   std::printf("\n-- queen-like, R^T A, %d ranks --\n", P);

@@ -59,7 +59,7 @@ int main() {
               static_cast<unsigned long long>(report.total_rdma_msgs()));
   CostModel cm(cost);
   ModeledTime t = cm.run_time(report.ranks);
-  std::printf("modeled time: %.3f ms (comp %.3f + comm %.3f + other %.3f)\n",
-              1e3 * t.total(), 1e3 * t.comp, 1e3 * t.comm, 1e3 * t.other);
+  std::printf("modeled time: %.3f ms (comp %.3f + comm %.3f + plan %.3f + other %.3f)\n",
+              1e3 * t.total(), 1e3 * t.comp, 1e3 * t.comm, 1e3 * t.plan, 1e3 * t.other);
   return 0;
 }

@@ -1,16 +1,47 @@
 #!/usr/bin/env bash
-# Builds the Release microbench and writes BENCH_local_spgemm.json at the
-# repo root (GFLOP/s per kernel × dataset × threads; schema in
-# EXPERIMENTS.md). Usage: scripts/bench_local.sh [SA1D_SCALE]
+# Builds the Release benches and writes the machine-readable perf artifacts
+# at the repo root:
+#   BENCH_local_spgemm.json  — local-kernel GFLOP/s (microbench; needs
+#                              google-benchmark; schema in EXPERIMENTS.md)
+#   BENCH_comm_1d.json       — communication trajectory of the 1D pipeline:
+#                              fig05 (comm volume / CV / iterated plan-reuse)
+#                              + fig06 (block-fetch K sweep), each with exact
+#                              RDMA byte+call counts and the plan-vs-execute
+#                              time split
+# Usage: scripts/bench_local.sh [--comm-only|--local-only] [SA1D_SCALE]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
+
+MODE=all
+case "${1:-}" in
+  --comm-only) MODE=comm; shift ;;
+  --local-only) MODE=local; shift ;;
+esac
 SCALE="${1:-${SA1D_SCALE:-1}}"
 BUILD_DIR=build-bench
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" --target microbench_local_kernels -j "$(nproc)"
 
-SA1D_SCALE="$SCALE" "./$BUILD_DIR/microbench_local_kernels" \
-  --json="$(pwd)/BENCH_local_spgemm.json"
-echo "BENCH_local_spgemm.json written (SA1D_SCALE=$SCALE)"
+if [ "$MODE" != comm ]; then
+  cmake --build "$BUILD_DIR" --target microbench_local_kernels -j "$(nproc)"
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/microbench_local_kernels" \
+    --json="$(pwd)/BENCH_local_spgemm.json"
+  echo "BENCH_local_spgemm.json written (SA1D_SCALE=$SCALE)"
+fi
+
+if [ "$MODE" != local ]; then
+  cmake --build "$BUILD_DIR" --target fig05_comm_volume --target fig06_block_fetch -j "$(nproc)"
+  tmpdir="$(mktemp -d)"
+  trap 'rm -rf "$tmpdir"' EXIT
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig05_comm_volume" --json="$tmpdir/fig05.json"
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig06_block_fetch" --json="$tmpdir/fig06.json"
+  {
+    printf '{\n"bench": "comm_1d",\n"scale": %s,\n"fig05_comm_volume": ' "$SCALE"
+    cat "$tmpdir/fig05.json"
+    printf ',\n"fig06_block_fetch": '
+    cat "$tmpdir/fig06.json"
+    printf '}\n'
+  } > BENCH_comm_1d.json
+  echo "BENCH_comm_1d.json written (SA1D_SCALE=$SCALE)"
+fi

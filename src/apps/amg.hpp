@@ -6,7 +6,8 @@
 // exactly one nonzero (each fine vertex belongs to exactly one aggregate).
 #pragma once
 
-#include <queue>
+#include <algorithm>
+#include <cstdint>
 #include <vector>
 
 #include "core/outer_product.hpp"
@@ -104,32 +105,64 @@ struct GalerkinResult {
   DistMatrix1D<double> rtar;  ///< RᵀAR (nagg × nagg), 1D distributed
 };
 
+/// Cached-plan Galerkin product. The restriction operator R is fixed per
+/// AMG setup, and the symbolic structure of RᵀA (and of (RᵀA)·R) depends
+/// only on the sparsity patterns of Rᵀ, A, R — so both sparsity-aware
+/// multiplies hold one SpgemmPlan1D each and replay it every time the
+/// operator is recomputed over an unchanged pattern (time-stepping,
+/// Newton/Jacobian refresh: new values, frozen hierarchy). A structure
+/// change is detected by the plans' fingerprints and triggers a replan.
+class GalerkinOperator {
+ public:
+  /// Collective. Distributes Rᵀ and R; no multiply happens yet.
+  GalerkinOperator(Comm& comm, const CscMatrix<double>& r_global,
+                   const Spgemm1dOptions& opt = {},
+                   RightMultAlgo right = RightMultAlgo::OuterProduct1d)
+      : opt_(opt), right_(right) {
+    rt_ = DistMatrix1D<double>::from_global(comm, transpose(r_global));
+    r_ = DistMatrix1D<double>::from_global(comm, r_global);
+  }
+
+  /// Computes RᵀAR for the given A (collective). First call builds the
+  /// plans; later calls with the same A pattern reuse them (only value
+  /// fetches + numeric passes).
+  GalerkinResult compute(Comm& comm, const CscMatrix<double>& a_global) {
+    require(a_global.nrows() == a_global.ncols(), "GalerkinOperator: A must be square");
+    require(rt_.ncols() == a_global.nrows(), "GalerkinOperator: R/A dimension mismatch");
+    auto a = DistMatrix1D<double>::from_global(comm, a_global);
+
+    GalerkinResult res;
+    res.rta = spgemm_1d_cached(comm, plan_rta_, rt_, a, opt_);
+    if (right_ == RightMultAlgo::SparsityAware1d) {
+      res.rtar = spgemm_1d_cached(comm, plan_rtar_, res.rta, r_, opt_);
+    } else {
+      // Forward the local-kernel configuration: the outer product runs the
+      // same two-phase local engine as the sparsity-aware path.
+      res.rtar = spgemm_outer_product_1d(comm, res.rta, r_,
+                                         OuterProductOptions{opt_.kernel, opt_.threads});
+    }
+    return res;
+  }
+
+ private:
+  Spgemm1dOptions opt_;
+  RightMultAlgo right_;
+  DistMatrix1D<double> rt_, r_;
+  SpgemmPlan1D<double> plan_rta_, plan_rtar_;
+};
+
 /// Distributed Galerkin product RᵀAR (the AMG bottleneck the paper targets).
 /// Left multiplication RᵀA always uses the sparsity-aware 1D algorithm; the
-/// right multiplication is selectable (Fig 12 compares the two).
+/// right multiplication is selectable (Fig 12 compares the two). One-shot
+/// wrapper over GalerkinOperator; setups that recompute the product should
+/// hold the operator and call compute() per refresh.
 inline GalerkinResult galerkin_product(Comm& comm, const CscMatrix<double>& a_global,
                                        const CscMatrix<double>& r_global,
                                        const Spgemm1dOptions& opt = {},
                                        RightMultAlgo right = RightMultAlgo::OuterProduct1d) {
-  require(a_global.nrows() == a_global.ncols(), "galerkin_product: A must be square");
   require(r_global.nrows() == a_global.ncols(), "galerkin_product: R/A dimension mismatch");
-  auto rt_global = transpose(r_global);
-
-  auto rt = DistMatrix1D<double>::from_global(comm, rt_global);
-  auto a = DistMatrix1D<double>::from_global(comm, a_global);
-  auto r = DistMatrix1D<double>::from_global(comm, r_global);
-
-  GalerkinResult res;
-  res.rta = spgemm_1d(comm, rt, a, opt);
-  if (right == RightMultAlgo::SparsityAware1d) {
-    res.rtar = spgemm_1d(comm, res.rta, r, opt);
-  } else {
-    // Forward the local-kernel configuration: the outer product runs the
-    // same two-phase local engine as the sparsity-aware path.
-    res.rtar = spgemm_outer_product_1d(comm, res.rta, r,
-                                       OuterProductOptions{opt.kernel, opt.threads});
-  }
-  return res;
+  GalerkinOperator op(comm, r_global, opt, right);
+  return op.compute(comm, a_global);
 }
 
 }  // namespace sa1d

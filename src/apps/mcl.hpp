@@ -5,6 +5,7 @@
 // clusters are the weakly connected components of the attractor pattern.
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <functional>
 #include <vector>
@@ -114,9 +115,14 @@ inline MclResult mcl_cluster(Comm& comm, const CscMatrix<double>& a_global,
 
   auto dm = DistMatrix1D<double>::from_global(comm, m0);
   MclResult res;
+  // Expansion plan, reused across rounds: pruning changes M's structure in
+  // early rounds (each change replans), but as the iteration approaches its
+  // attractor the pattern freezes and the cached plan replays with zero
+  // metadata collectives and zero symbolic work.
+  SpgemmPlan1D<double> expansion;
   for (int it = 0; it < opt.max_iterations; ++it) {
     res.iterations = it + 1;
-    auto expanded = spgemm_1d(comm, dm, dm, opt.mult);
+    auto expanded = spgemm_1d_cached(comm, expansion, dm, dm, opt.mult);
     CscMatrix<double> next_local;
     double local_change = 0;
     {

@@ -7,6 +7,9 @@
 // j←k→? ... composed through the masked product.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/spgemm1d.hpp"
 #include "sparse/ewise.hpp"
 #include "sparse/ops.hpp"
@@ -74,6 +77,8 @@ std::int64_t count_triangles_1d(Comm& comm, const CscMatrix<VT>& a,
   require(a.nrows() == a.ncols(), "count_triangles_1d: matrix must be square");
   auto l = lower_triangle(to_pattern(a));
   auto dl = DistMatrix1D<double>::from_global(comm, l);
+  // Triangle counting multiplies exactly once: the one-shot plan-then-
+  // execute wrapper is the right shape of the inspector–executor API here.
   auto db = spgemm_1d(comm, dl, dl, opt);
 
   // Local masked sum: entries of B = L·L that are also edges of L.

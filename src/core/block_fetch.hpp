@@ -5,6 +5,8 @@
 // still covering every required column.
 #pragma once
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "util/common.hpp"

@@ -7,6 +7,8 @@
 //   3. redistribute C partials to the owners of C's column slices and merge
 #pragma once
 
+#include <algorithm>
+#include <span>
 #include <vector>
 
 #include "dist/dist_matrix.hpp"
@@ -75,10 +77,19 @@ DistMatrix1D<VT> spgemm_outer_product_1d(Comm& comm, const DistMatrix1D<VT>& a,
       brows.canonicalize();
       b_csc = CscMatrix<VT>::from_coo(brows);
     }
+    // The local multiply runs through the engine's explicit symbolic/numeric
+    // split so the structural analysis is accounted as Plan time (matching
+    // the sparsity-aware path's inspector/executor breakdown).
     CscMatrix<VT> c_partial;
     {
+      LocalSymbolic sym;
+      std::vector<detail::Workspace<PlusTimes<VT>>> ws;
+      {
+        auto ph = comm.phase(Phase::Plan);
+        sym = spgemm_local_symbolic<PlusTimes<VT>, VT>(a_csc, b_csc, opt.kernel, opt.threads, &ws);
+      }
       auto ph = comm.phase(Phase::Comp);
-      c_partial = spgemm_local<PlusTimes<VT>, VT>(a_csc, b_csc, opt.kernel, opt.threads);
+      c_partial = spgemm_local_numeric<PlusTimes<VT>, VT>(a_csc, b_csc, sym, &ws);
     }
     auto ph = comm.phase(Phase::Other);
     for (index_t cj = 0; cj < c_partial.ncols(); ++cj) {

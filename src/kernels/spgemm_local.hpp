@@ -580,18 +580,34 @@ std::vector<index_t> symbolic_nnz(const CscMatrix<VT>& a, const CscMatrix<VT>& b
   return counts;
 }
 
-/// C = A ⊕.⊗ B with the chosen accumulator. `threads` > 1 splits C's columns
-/// across std::threads on flop-balanced boundaries; the output is identical
-/// (bit for bit) for every thread count and every accumulator choice.
+/// Cached symbolic result of one local multiply: everything the numeric
+/// pass needs that depends only on the operands' *structure*. Reusable
+/// across value changes (the inspector–executor split of the 1D pipeline
+/// caches one of these inside SpgemmPlan1D).
+struct LocalSymbolic {
+  index_t nrows = 0;                ///< C's row dimension (= a.nrows())
+  index_t ncols = 0;                ///< C's column dimension (= b.ncols())
+  int nt = 1;                       ///< resolved thread count
+  std::vector<index_t> bounds;      ///< flop-balanced thread boundaries, size nt+1
+  std::vector<index_t> colptr;      ///< exact C colptr, size ncols+1
+  std::vector<std::uint8_t> klass;  ///< per-column accumulator class
+};
+
+/// Symbolic phase on its own: exact per-column output nnz, accumulator
+/// class, and the flop-balanced thread partition. Structural only — valid
+/// for any value assignment over the same sparsity pattern. `workspaces`
+/// (optional) lets callers keep the per-thread scratch warm across calls;
+/// it is resized to the resolved thread count.
 template <SemiringConcept SR, typename VT>
-CscMatrix<VT> spgemm_local(const CscMatrix<VT>& a, const CscMatrix<VT>& b,
-                           LocalKernel kernel = LocalKernel::Hybrid, int threads = 1) {
-  require(a.ncols() == b.nrows(), "spgemm_local: inner dimension mismatch");
-  require(threads >= 1, "spgemm_local: threads must be >= 1");
+LocalSymbolic spgemm_local_symbolic(const CscMatrix<VT>& a, const CscMatrix<VT>& b,
+                                    LocalKernel kernel = LocalKernel::Hybrid, int threads = 1,
+                                    std::vector<detail::Workspace<SR>>* workspaces = nullptr) {
+  require(a.ncols() == b.nrows(), "spgemm_local_symbolic: inner dimension mismatch");
+  require(threads >= 1, "spgemm_local_symbolic: threads must be >= 1");
   const index_t n = b.ncols();
 
-  // Phase 0: per-column flops, O(nnz(B)) — drives both the thread partition
-  // and the per-column accumulator choice.
+  // Per-column flops, O(nnz(B)) — drives both the thread partition and the
+  // per-column accumulator choice.
   auto flops = symbolic_flops(a, b);
   index_t work = 0;
   for (auto f : flops) work += f;
@@ -603,31 +619,70 @@ CscMatrix<VT> spgemm_local(const CscMatrix<VT>& a, const CscMatrix<VT>& b,
   constexpr index_t kMinFlopsPerThread = index_t{1} << 14;
   const int nt = static_cast<int>(std::clamp<index_t>(
       std::min<index_t>(work / kMinFlopsPerThread + 1, std::max<index_t>(n, 1)), 1, threads));
-  auto bounds = flop_balanced_split(flops, nt);
 
-  std::vector<detail::Workspace<SR>> workspaces(static_cast<std::size_t>(nt));
+  LocalSymbolic sym;
+  sym.nrows = a.nrows();
+  sym.ncols = n;
+  sym.nt = nt;
+  sym.bounds = flop_balanced_split(flops, nt);
+  sym.colptr.assign(static_cast<std::size_t>(n) + 1, 0);
+  sym.klass.assign(static_cast<std::size_t>(n), 0);
 
-  // Phase 1: symbolic — exact nnz and accumulator class of every column.
-  std::vector<index_t> colptr(static_cast<std::size_t>(n) + 1, 0);
-  std::vector<std::uint8_t> klass(static_cast<std::size_t>(n), 0);
+  std::vector<detail::Workspace<SR>> local_ws;
+  auto& ws = workspaces != nullptr ? *workspaces : local_ws;
+  if (ws.size() < static_cast<std::size_t>(nt)) ws.resize(static_cast<std::size_t>(nt));
+
   detail::parallel_for_parts(nt, [&](int t) {
     detail::symbolic_range<SR, VT>(
-        a, b, bounds[static_cast<std::size_t>(t)], bounds[static_cast<std::size_t>(t) + 1],
-        kernel, flops, workspaces[static_cast<std::size_t>(t)],
-        std::span<index_t>(colptr).subspan(1), klass);
+        a, b, sym.bounds[static_cast<std::size_t>(t)], sym.bounds[static_cast<std::size_t>(t) + 1],
+        kernel, flops, ws[static_cast<std::size_t>(t)],
+        std::span<index_t>(sym.colptr).subspan(1), sym.klass);
   });
-  for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j) colptr[j + 1] += colptr[j];
-  const auto total = static_cast<std::size_t>(colptr.back());
+  for (std::size_t j = 0; j < static_cast<std::size_t>(n); ++j)
+    sym.colptr[j + 1] += sym.colptr[j];
+  return sym;
+}
 
-  // Phase 2: numeric — write into the exactly pre-sized output in place.
+/// Numeric phase replaying a cached symbolic result: writes row ids and
+/// values straight into the exactly pre-sized output. The operands must
+/// have the structure the symbolic pass analyzed (values may differ).
+template <SemiringConcept SR, typename VT>
+CscMatrix<VT> spgemm_local_numeric(const CscMatrix<VT>& a, const CscMatrix<VT>& b,
+                                   const LocalSymbolic& sym,
+                                   std::vector<detail::Workspace<SR>>* workspaces = nullptr) {
+  require(a.nrows() == sym.nrows && b.ncols() == sym.ncols,
+          "spgemm_local_numeric: operand dimensions do not match the symbolic plan");
+  require(a.ncols() == b.nrows(), "spgemm_local_numeric: inner dimension mismatch");
+  const auto total = static_cast<std::size_t>(sym.colptr.back());
+
+  std::vector<detail::Workspace<SR>> local_ws;
+  auto& ws = workspaces != nullptr ? *workspaces : local_ws;
+  if (ws.size() < static_cast<std::size_t>(sym.nt))
+    ws.resize(static_cast<std::size_t>(sym.nt));
+
   std::vector<index_t> rowids(total);
   std::vector<VT> vals(total);
-  detail::parallel_for_parts(nt, [&](int t) {
-    detail::run_range<SR, VT>(a, b, bounds[static_cast<std::size_t>(t)],
-                              bounds[static_cast<std::size_t>(t) + 1], colptr, klass,
-                              workspaces[static_cast<std::size_t>(t)], rowids.data(), vals.data());
+  detail::parallel_for_parts(sym.nt, [&](int t) {
+    detail::run_range<SR, VT>(a, b, sym.bounds[static_cast<std::size_t>(t)],
+                              sym.bounds[static_cast<std::size_t>(t) + 1], sym.colptr, sym.klass,
+                              ws[static_cast<std::size_t>(t)], rowids.data(), vals.data());
   });
-  return CscMatrix<VT>(a.nrows(), n, std::move(colptr), std::move(rowids), std::move(vals));
+  return CscMatrix<VT>(sym.nrows, sym.ncols, sym.colptr, std::move(rowids), std::move(vals));
+}
+
+/// C = A ⊕.⊗ B with the chosen accumulator. `threads` > 1 splits C's columns
+/// across std::threads on flop-balanced boundaries; the output is identical
+/// (bit for bit) for every thread count and every accumulator choice.
+/// One-shot convenience over the symbolic/numeric split; the per-thread
+/// workspaces stay warm between the two phases.
+template <SemiringConcept SR, typename VT>
+CscMatrix<VT> spgemm_local(const CscMatrix<VT>& a, const CscMatrix<VT>& b,
+                           LocalKernel kernel = LocalKernel::Hybrid, int threads = 1) {
+  require(a.ncols() == b.nrows(), "spgemm_local: inner dimension mismatch");
+  require(threads >= 1, "spgemm_local: threads must be >= 1");
+  std::vector<detail::Workspace<SR>> workspaces;
+  auto sym = spgemm_local_symbolic<SR, VT>(a, b, kernel, threads, &workspaces);
+  return spgemm_local_numeric<SR, VT>(a, b, sym, &workspaces);
 }
 
 /// Convenience numeric wrapper over plus-times.

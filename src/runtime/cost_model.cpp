@@ -13,6 +13,7 @@ ModeledTime CostModel::run_time(const std::vector<RankReport>& ranks,
     ModeledTime t = rank_time(r, threads_per_rank);
     out.comp = std::max(out.comp, t.comp);
     out.comm = std::max(out.comm, t.comm);
+    out.plan = std::max(out.plan, t.plan);
     out.other = std::max(out.other, t.other);
   }
   return out;

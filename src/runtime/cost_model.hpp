@@ -3,6 +3,7 @@
 // NIC per node as on NERSC Perlmutter (the paper's testbed).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "runtime/stats.hpp"
@@ -17,12 +18,16 @@ struct CostParams {
   int ranks_per_node = 16;          ///< rank→node mapping for intra/inter split
 };
 
-/// Modeled per-rank and aggregate times derived from a RankReport.
+/// Modeled per-rank and aggregate times derived from a RankReport. `plan`
+/// is the inspector side of the plan/execute split (metadata, masks,
+/// symbolic analysis) — a one-time cost that amortizes across reused
+/// executions; `other` is per-execute serial bookkeeping.
 struct ModeledTime {
   double comp = 0.0;
   double comm = 0.0;
+  double plan = 0.0;
   double other = 0.0;
-  [[nodiscard]] double total() const { return comp + comm + other; }
+  [[nodiscard]] double total() const { return comp + comm + plan + other; }
 };
 
 class CostModel {
@@ -54,10 +59,11 @@ class CostModel {
 
   /// Modeled per-rank time. `threads_per_rank` applies the measured-Amdahl
   /// rule from DESIGN.md §5: the Comp phase is parallelizable across
-  /// intra-rank threads; Other is serial; comm is network-bound.
+  /// intra-rank threads; Plan and Other are serial; comm is network-bound.
   [[nodiscard]] ModeledTime rank_time(const RankReport& r, int threads_per_rank = 1) const {
     ModeledTime t;
     t.comp = r.comp_s / static_cast<double>(threads_per_rank < 1 ? 1 : threads_per_rank);
+    t.plan = r.plan_s;
     t.other = r.other_s;
     t.comm = comm_seconds(r);
     return t;

@@ -4,22 +4,27 @@
 #pragma once
 
 #include <cstdint>
-#include <vector>
 
 #include "util/timer.hpp"
 
 namespace sa1d {
 
-/// Phase classification mirroring the paper's Fig 4 breakdown.
+/// Phase classification mirroring the paper's Fig 4 breakdown, refined by
+/// the inspector–executor split: the one-time planning work (metadata
+/// exchange, H∩D masks, block-fetch planning, symbolic analysis) is
+/// accounted separately from per-execute bookkeeping, so iterated
+/// multiplies can show the plan cost amortizing to zero.
 enum class Phase {
-  Comp,   // local SpGEMM (parallelizable across OpenMP-style threads)
-  Other,  // serial bookkeeping: Ã/DCSC assembly, metadata exchange, copies
+  Comp,   // local SpGEMM numeric pass (parallelizable across threads)
+  Plan,   // inspector: metadata, needed masks, fetch plan, symbolic pass
+  Other,  // per-execute bookkeeping: value copies, DCSC assembly, merges
 };
 
 /// Everything one simulated rank did during a Machine::run.
 struct RankReport {
   // Measured thread-CPU seconds per phase.
   double comp_s = 0.0;
+  double plan_s = 0.0;
   double other_s = 0.0;
 
   // Exact transport counters (receiver side).
@@ -47,10 +52,11 @@ class PhaseScope {
   PhaseScope& operator=(const PhaseScope&) = delete;
   ~PhaseScope() {
     double s = timer_.seconds();
-    if (phase_ == Phase::Comp)
-      report_.comp_s += s;
-    else
-      report_.other_s += s;
+    switch (phase_) {
+      case Phase::Comp: report_.comp_s += s; break;
+      case Phase::Plan: report_.plan_s += s; break;
+      case Phase::Other: report_.other_s += s; break;
+    }
   }
 
  private:

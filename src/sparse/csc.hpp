@@ -88,6 +88,10 @@ class CscMatrix {
   [[nodiscard]] const std::vector<index_t>& colptr() const { return colptr_; }
   [[nodiscard]] const std::vector<index_t>& rowids() const { return rowids_; }
   [[nodiscard]] const std::vector<VT>& vals() const { return vals_; }
+  /// Mutable view of the value array only — the structure (colptr/rowids)
+  /// stays fixed. Lets the inspector–executor replay overwrite values in
+  /// place between numeric passes instead of rebuilding the matrix.
+  [[nodiscard]] std::vector<VT>& mutable_vals() { return vals_; }
 
   friend bool operator==(const CscMatrix& a, const CscMatrix& b) {
     return a.nrows_ == b.nrows_ && a.ncols_ == b.ncols_ && a.colptr_ == b.colptr_ &&

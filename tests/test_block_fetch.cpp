@@ -82,6 +82,65 @@ TEST(BlockFetch, PaperExampleK2) {
   EXPECT_EQ(plan[0], (FetchRange{0, 2}));
 }
 
+/// Reference for the merge_adjacent extension: back-to-back ranges of the
+/// unmerged plan collapse into one message; nothing else changes.
+std::vector<FetchRange> coalesce(const std::vector<FetchRange>& plan) {
+  std::vector<FetchRange> out;
+  for (const auto& r : plan) {
+    if (!out.empty() && out.back().end == r.begin)
+      out.back().end = r.end;
+    else
+      out.push_back(r);
+  }
+  return out;
+}
+
+TEST(BlockFetch, MergeAdjacentCoalescesAcrossGroups) {
+  // 100 columns in 10 groups of 10. Needed: a run spanning groups 1-3 and
+  // an isolated hit in group 7 — merging must fuse the run into one message
+  // while keeping the isolated group separate.
+  std::vector<bool> needed(100, false);
+  for (int i = 12; i <= 38; ++i) needed[static_cast<std::size_t>(i)] = true;  // groups 1,2,3
+  needed[75] = true;                                                          // group 7
+  auto unmerged = block_fetch_plan(100, 10, needed, false);
+  auto merged = block_fetch_plan(100, 10, needed, true);
+  ASSERT_EQ(unmerged.size(), 4u);
+  ASSERT_EQ(merged.size(), 2u);  // strictly below the unmerged count
+  EXPECT_EQ(merged[0], (FetchRange{10, 40}));
+  EXPECT_EQ(merged[1], (FetchRange{70, 80}));
+  check_plan_invariants(merged, 100, 10, needed);
+}
+
+TEST(BlockFetch, MergedPlanIsExactlyTheCoalescedUnmergedPlan) {
+  // Merging is precisely "coalesce adjacent chosen groups": same coverage,
+  // same element volume, strictly fewer messages whenever any two chosen
+  // groups touch. Swept across sizes, K, densities, seeds.
+  for (index_t nzc : {7, 64, 1000}) {
+    for (index_t k : {2, 10, 64}) {
+      for (double density : {0.05, 0.4, 0.95}) {
+        for (std::uint64_t seed = 0; seed < 4; ++seed) {
+          auto needed = random_needed(nzc, density, seed);
+          auto unmerged = block_fetch_plan(nzc, k, needed, false);
+          auto merged = block_fetch_plan(nzc, k, needed, true);
+          EXPECT_EQ(merged, coalesce(unmerged)) << "nzc=" << nzc << " k=" << k;
+          check_plan_invariants(merged, nzc, k, needed);
+          bool any_adjacent = coalesce(unmerged).size() < unmerged.size();
+          if (any_adjacent)
+            EXPECT_LT(merged.size(), unmerged.size()) << "nzc=" << nzc << " k=" << k;
+          else
+            EXPECT_EQ(merged.size(), unmerged.size()) << "nzc=" << nzc << " k=" << k;
+          // Identical coverage -> identical moved volume for any cp.
+          std::vector<index_t> cp(static_cast<std::size_t>(nzc) + 1);
+          SplitMix64 g(seed + 101);
+          for (std::size_t i = 1; i < cp.size(); ++i)
+            cp[i] = cp[i - 1] + 1 + static_cast<index_t>(g.below(8));
+          EXPECT_EQ(plan_elements(merged, cp), plan_elements(unmerged, cp));
+        }
+      }
+    }
+  }
+}
+
 TEST(BlockFetch, MergeAdjacentReducesMessageCount) {
   std::vector<bool> needed(100, true);
   auto unmerged = block_fetch_plan(100, 10, needed, false);

@@ -185,6 +185,11 @@ TEST(Stats, PhaseScopesAccumulate) {
       for (int i = 0; i < 500000; ++i) x = x + 1;
     }
     {
+      auto ph = c.phase(Phase::Plan);
+      volatile double x = 0;
+      for (int i = 0; i < 200000; ++i) x = x + 1;
+    }
+    {
       auto ph = c.phase(Phase::Other);
       volatile double x = 0;
       for (int i = 0; i < 100000; ++i) x = x + 1;
@@ -192,6 +197,7 @@ TEST(Stats, PhaseScopesAccumulate) {
   });
   for (const auto& r : rep.ranks) {
     EXPECT_GT(r.comp_s, 0.0);
+    EXPECT_GT(r.plan_s, 0.0);
     EXPECT_GT(r.other_s, 0.0);
   }
 }
@@ -279,10 +285,12 @@ TEST(CostModel, ThreadsShrinkCompOnly) {
   CostModel cm{CostParams{}};
   RankReport r;
   r.comp_s = 8.0;
+  r.plan_s = 2.0;
   r.other_s = 1.0;
   auto t1 = cm.rank_time(r, 1);
   auto t8 = cm.rank_time(r, 8);
   EXPECT_DOUBLE_EQ(t8.comp, t1.comp / 8);
+  EXPECT_DOUBLE_EQ(t8.plan, t1.plan);  // inspector work is serial
   EXPECT_DOUBLE_EQ(t8.other, t1.other);
 }
 
