@@ -1,20 +1,162 @@
-// Fig 9: strong scaling of the squaring operation, comparing the
-// sparsity-aware 1D algorithm (no permutation) against 2D sparse SUMMA and
-// Split-3D (randomly permuted, reported with and without permutation cost),
-// on the four structured datasets. Paper result: 1D is up to an order of
-// magnitude faster on hv15r/queen and stays ahead on stokes/nlpkkt once
-// permutation time is charged.
+// Fig 9: strong scaling of the squaring operation across the unified
+// spgemm_dist backends — sparsity-aware 1D vs ring-1D vs 2D sparse SUMMA vs
+// Split-3D — on the four structured datasets plus the canonical ER and
+// RMAT shapes. All backends run 1D-in/1D-out through the same front-end on
+// the same runtime, so modeled times and comm volumes are apples-to-apples.
+// Paper result: 1D is up to an order of magnitude faster on hv15r/queen and
+// stays ahead on stokes/nlpkkt once permutation time is charged.
+//
+// --json[=PATH] writes the BENCH_dist_backends fragment at P=16: for every
+// dataset, the per-backend modeled breakdown and exact comm bytes, plus
+// Algo::Auto's pick, its per-backend cost predictions, and the measured
+// winner (acceptance: the pick matches the measurement on er/rmat).
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
-#include "core/spgemm1d.hpp"
-#include "dist/spgemm3d.hpp"
-#include "dist/summa2d.hpp"
+#include "dist/dist_spgemm.hpp"
 #include "part/permutation.hpp"
 
 namespace {
 
 using namespace sa1d;
+
+struct NamedMatrix {
+  std::string name;
+  CscMatrix<double> a;
+};
+
+std::vector<NamedMatrix> bench_matrices() {
+  std::vector<NamedMatrix> out;
+  const double scale = bench::bench_scale();
+  // Canonical random shapes (the paper's synthetic baselines).
+  auto er_n = std::max<index_t>(256, static_cast<index_t>(20000.0 * scale));
+  out.push_back({"er", erdos_renyi<double>(er_n, 8.0, 4242)});
+  int rsc = std::clamp(static_cast<int>(std::lround(std::log2(16000.0 * scale))), 8, 24);
+  out.push_back({"rmat", rmat<double>(rsc, 8, 4243)});
+  for (auto d : {Dataset::QueenLike, Dataset::StokesLike, Dataset::Hv15rLike,
+                 Dataset::NlpkktLike})
+    out.push_back({dataset_name(d), bench::load(d)});
+  return out;
+}
+
+struct BackendMeasure {
+  Algo algo = Algo::Auto;
+  bench::Breakdown bd;
+  std::uint64_t rdma_bytes = 0;
+  std::uint64_t coll_bytes = 0;
+};
+
+/// `reps` takes the best-of-N modeled time (byte counts are exact and
+/// identical across reps; CPU phase timings vary 5-15% on the shared
+/// container, and the JSON path compares backends, so it smooths them).
+BackendMeasure measure(Machine& m, const CscMatrix<double>& a, Algo algo, int reps = 1) {
+  BackendMeasure out;
+  out.algo = algo;
+  for (int rep_i = 0; rep_i < reps; ++rep_i) {
+    auto rep = m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      DistSpgemmOptions opt;
+      opt.algo = algo;
+      if (algo == Algo::Split3D) opt.layers = distdetail::default_split3d_layers(m.nranks());
+      spgemm_dist(c, da, da, opt);
+    });
+    auto bd = bench::modeled(rep, m.cost());
+    if (rep_i == 0 || bd.total() < out.bd.total()) out.bd = bd;
+    out.rdma_bytes = rep.total_rdma_bytes();
+    out.coll_bytes = rep.total_coll_bytes_received();
+  }
+  return out;
+}
+
+std::vector<Algo> feasible(int P) {
+  std::vector<Algo> out{Algo::SparseAware1D, Algo::Ring1D};
+  if (summa_grid_side(P) > 0) out.push_back(Algo::Summa2D);
+  if (split3d_has_nontrivial_layers(P)) out.push_back(Algo::Split3D);
+  return out;
+}
+
+void run_json(const char* json_path) {
+  const int P = 16;
+  CostParams cp = calibrate_cost_params();
+  cp.ranks_per_node = 16;
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"P\": %d, \"split3d_layers\": %d,\n  \"rows\": [\n", P,
+               distdetail::default_split3d_layers(P));
+
+  auto mats = bench_matrices();
+  for (std::size_t mi = 0; mi < mats.size(); ++mi) {
+    const auto& nm = mats[mi];
+    Machine m(P, cp);
+
+    std::vector<BackendMeasure> ms;
+    for (Algo algo : feasible(P)) ms.push_back(measure(m, nm.a, algo, /*reps=*/2));
+    Algo winner = ms.front().algo;
+    double best = ms.front().bd.total();
+    for (const auto& b : ms)
+      if (b.bd.total() < best) {
+        best = b.bd.total();
+        winner = b.algo;
+      }
+
+    // Auto: record the dispatch decision and its per-backend predictions
+    // (inputs + choose_algo only — the winning backend was already measured
+    // above, so no extra multiply runs).
+    DistSpgemmStats st;
+    m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, nm.a);
+      auto in = gather_algo_cost_inputs(c, da, da);
+      int layers = 1;
+      std::vector<AlgoPrediction> preds;
+      Algo pick = choose_algo(c.cost(), in, 0, &layers, &preds);
+      if (c.rank() == 0) {
+        st.requested = Algo::Auto;
+        st.chosen = pick;
+        st.layers = layers;
+        st.inputs = in;
+        st.predictions = preds;
+      }
+    });
+
+    std::fprintf(f, "    {\"dataset\": \"%s\", \"nnz\": %lld,\n      \"backends\": {\n",
+                 nm.name.c_str(), static_cast<long long>(nm.a.nnz()));
+    for (std::size_t i = 0; i < ms.size(); ++i) {
+      const auto& b = ms[i];
+      std::fprintf(f,
+                   "        \"%s\": {\"total_ms\": %.3f, \"comm_ms\": %.3f, \"comp_ms\": %.3f, "
+                   "\"plan_ms\": %.3f, \"other_ms\": %.3f, \"rdma_bytes\": %llu, "
+                   "\"coll_bytes\": %llu}%s\n",
+                   algo_name(b.algo), 1e3 * b.bd.total(), 1e3 * b.bd.comm, 1e3 * b.bd.comp,
+                   1e3 * b.bd.plan, 1e3 * b.bd.other,
+                   static_cast<unsigned long long>(b.rdma_bytes),
+                   static_cast<unsigned long long>(b.coll_bytes),
+                   i + 1 < ms.size() ? "," : "");
+    }
+    std::fprintf(f, "      },\n      \"auto\": {\"pick\": \"%s\", \"layers\": %d, "
+                    "\"needed_fraction\": %.4f,\n        \"predicted_ms\": {",
+                 algo_name(st.chosen), st.layers, st.inputs.needed_fraction);
+    for (std::size_t i = 0; i < st.predictions.size(); ++i) {
+      const auto& pr = st.predictions[i];
+      std::fprintf(f, "\"%s\": %.3f%s", algo_name(pr.algo),
+                   pr.feasible ? 1e3 * pr.total_s() : -1.0,
+                   i + 1 < st.predictions.size() ? ", " : "");
+    }
+    std::fprintf(f, "},\n        \"measured_winner\": \"%s\", \"pick_matches_measured\": %s}\n",
+                 algo_name(winner), st.chosen == winner ? "true" : "false");
+    std::fprintf(f, "    }%s\n", mi + 1 < mats.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", json_path);
+}
 
 /// Modeled seconds of the distributed random permutation (the 2D/3D
 /// preprocessing the paper charges separately).
@@ -28,40 +170,52 @@ double permutation_cost(Machine& m, const CscMatrix<double>& a, const Permutatio
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sa1d;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_dist_backends_fig09.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  if (json_path != nullptr) {
+    run_json(json_path);
+    return 0;
+  }
+
   bench::banner("fig09_squaring_scaling", "Fig 9",
-                "2D/3D are from-scratch CombBLAS-style reimplementations on the same runtime");
+                "all backends 1D-in/1D-out through spgemm_dist on the same runtime");
   std::printf("%-13s %5s %-18s %12s %14s\n", "dataset", "P", "algorithm", "kernel ms",
               "kernel+perm ms");
 
+  CostParams cp = calibrate_cost_params();
+  cp.ranks_per_node = 16;
   for (auto d : {Dataset::QueenLike, Dataset::StokesLike, Dataset::Hv15rLike,
                  Dataset::NlpkktLike}) {
     auto a = bench::load(d);
     auto perm = random_permutation(a.ncols(), 7);
     auto aperm = permute_symmetric(a, perm);
     for (int P : {4, 16, 64}) {
-      CostParams cp;
-      cp.ranks_per_node = 16;
       Machine m(P, cp);
 
-      // Sparsity-aware 1D: original ordering, no permutation needed.
+      // Sparsity-aware 1D and ring-1D: original ordering, no permutation.
       {
-        auto rep = m.run([&](Comm& c) {
-          auto da = DistMatrix1D<double>::from_global(c, a);
-          spgemm_1d(c, da, da);
-        });
-        double ms = 1e3 * bench::modeled(rep, m.cost()).total();
+        auto r = measure(m, a, Algo::SparseAware1D);
+        double ms = 1e3 * r.bd.total();
         std::printf("%-13s %5d %-18s %12.2f %14.2f\n", dataset_name(d), P, "1D sparsity-aware",
                     ms, ms);
+      }
+      {
+        auto r = measure(m, a, Algo::Ring1D);
+        double ms = 1e3 * r.bd.total();
+        std::printf("%-13s %5d %-18s %12.2f %14.2f\n", dataset_name(d), P, "1D ring", ms, ms);
       }
 
       double perm_s = permutation_cost(m, a, perm);
 
       // 2D sparse SUMMA on the randomly permuted input.
-      {
-        auto rep = m.run([&](Comm& c) { spgemm_summa_2d(c, aperm, aperm); });
-        double ms = 1e3 * bench::modeled(rep, m.cost()).total();
+      if (summa_grid_side(P) > 0) {
+        auto r = measure(m, aperm, Algo::Summa2D);
+        double ms = 1e3 * r.bd.total();
         std::printf("%-13s %5d %-18s %12.2f %14.2f\n", dataset_name(d), P, "2D SUMMA (rand)",
                     ms, ms + 1e3 * perm_s);
       }
@@ -71,7 +225,13 @@ int main() {
       int best_c = 0;
       for (int layers : valid_layer_counts(P)) {
         if (layers == 1 || layers == P) continue;  // ==2D / degenerate extremes
-        auto rep = m.run([&](Comm& c) { spgemm_split_3d(c, aperm, aperm, layers); });
+        auto rep = m.run([&](Comm& c) {
+          auto da = DistMatrix1D<double>::from_global(c, aperm);
+          DistSpgemmOptions opt;
+          opt.algo = Algo::Split3D;
+          opt.layers = layers;
+          spgemm_dist(c, da, da, opt);
+        });
         double ms = 1e3 * bench::modeled(rep, m.cost()).total();
         if (best_ms < 0 || ms < best_ms) {
           best_ms = ms;
@@ -81,6 +241,16 @@ int main() {
       if (best_ms >= 0)
         std::printf("%-13s %5d %-18s %12.2f %14.2f  (c=%d)\n", dataset_name(d), P,
                     "3D split (rand)", best_ms, best_ms + 1e3 * perm_s, best_c);
+
+      // What would Auto have run here?
+      DistSpgemmStats st;
+      m.run([&](Comm& c) {
+        auto da = DistMatrix1D<double>::from_global(c, a);
+        DistSpgemmStats local;
+        spgemm_dist(c, da, da, {}, &local);
+        if (c.rank() == 0) st = local;
+      });
+      std::printf("%-13s %5d auto -> %s\n", dataset_name(d), P, algo_name(st.chosen));
     }
   }
   return 0;

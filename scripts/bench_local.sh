@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
 # Builds the Release benches and writes the machine-readable perf artifacts
 # at the repo root:
-#   BENCH_local_spgemm.json  — local-kernel GFLOP/s (microbench; needs
-#                              google-benchmark; schema in EXPERIMENTS.md)
-#   BENCH_comm_1d.json       — communication trajectory of the 1D pipeline:
-#                              fig05 (comm volume / CV / iterated plan-reuse)
-#                              + fig06 (block-fetch K sweep), each with exact
-#                              RDMA byte+call counts and the plan-vs-execute
-#                              time split
-# Usage: scripts/bench_local.sh [--comm-only|--local-only] [SA1D_SCALE]
+#   BENCH_local_spgemm.json    — local-kernel GFLOP/s (microbench; needs
+#                                google-benchmark; schema in EXPERIMENTS.md)
+#   BENCH_comm_1d.json         — communication trajectory of the 1D pipeline:
+#                                fig05 (comm volume / CV / iterated plan-reuse)
+#                                + fig06 (block-fetch K sweep), each with exact
+#                                RDMA byte+call counts and the plan-vs-execute
+#                                time split
+#   BENCH_dist_backends.json   — the unified spgemm_dist backend comparison:
+#                                fig08 (per-backend phase breakdown + comm
+#                                volumes) + fig09 (per-dataset backend ranking,
+#                                Auto's pick and per-algo cost predictions vs
+#                                the measured winner)
+# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only] [SA1D_SCALE]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -17,20 +22,21 @@ MODE=all
 case "${1:-}" in
   --comm-only) MODE=comm; shift ;;
   --local-only) MODE=local; shift ;;
+  --dist-only) MODE=dist; shift ;;
 esac
 SCALE="${1:-${SA1D_SCALE:-1}}"
 BUILD_DIR=build-bench
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 
-if [ "$MODE" != comm ]; then
+if [ "$MODE" = all ] || [ "$MODE" = local ]; then
   cmake --build "$BUILD_DIR" --target microbench_local_kernels -j "$(nproc)"
   SA1D_SCALE="$SCALE" "./$BUILD_DIR/microbench_local_kernels" \
     --json="$(pwd)/BENCH_local_spgemm.json"
   echo "BENCH_local_spgemm.json written (SA1D_SCALE=$SCALE)"
 fi
 
-if [ "$MODE" != local ]; then
+if [ "$MODE" = all ] || [ "$MODE" = comm ]; then
   cmake --build "$BUILD_DIR" --target fig05_comm_volume --target fig06_block_fetch -j "$(nproc)"
   tmpdir="$(mktemp -d)"
   trap 'rm -rf "$tmpdir"' EXIT
@@ -44,4 +50,21 @@ if [ "$MODE" != local ]; then
     printf '}\n'
   } > BENCH_comm_1d.json
   echo "BENCH_comm_1d.json written (SA1D_SCALE=$SCALE)"
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = dist ]; then
+  cmake --build "$BUILD_DIR" --target fig08_strong_scaling_breakdown \
+    --target fig09_squaring_scaling -j "$(nproc)"
+  tmpdir2="$(mktemp -d)"
+  trap 'rm -rf "${tmpdir:-}" "$tmpdir2"' EXIT
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig08_strong_scaling_breakdown" --json="$tmpdir2/fig08.json"
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig09_squaring_scaling" --json="$tmpdir2/fig09.json"
+  {
+    printf '{\n"bench": "dist_backends",\n"scale": %s,\n"fig08_backend_breakdown": ' "$SCALE"
+    cat "$tmpdir2/fig08.json"
+    printf ',\n"fig09_backend_compare": '
+    cat "$tmpdir2/fig09.json"
+    printf '}\n'
+  } > BENCH_dist_backends.json
+  echo "BENCH_dist_backends.json written (SA1D_SCALE=$SCALE)"
 fi

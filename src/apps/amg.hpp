@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "core/outer_product.hpp"
-#include "core/spgemm1d.hpp"
+#include "dist/dist_spgemm.hpp"
 #include "sparse/csc.hpp"
 #include "sparse/ops.hpp"
 #include "util/rng.hpp"
@@ -114,11 +114,15 @@ struct GalerkinResult {
 /// change is detected by the plans' fingerprints and triggers a replan.
 class GalerkinOperator {
  public:
-  /// Collective. Distributes Rᵀ and R; no multiply happens yet.
+  /// Collective. Distributes Rᵀ and R; no multiply happens yet. `backend`
+  /// selects the distributed algorithm for the SpGEMM-routed multiplies
+  /// (the left multiply always, the right one unless RightMultAlgo says
+  /// outer-product); SparseAware1D keeps the cached-plan fast path.
   GalerkinOperator(Comm& comm, const CscMatrix<double>& r_global,
                    const Spgemm1dOptions& opt = {},
-                   RightMultAlgo right = RightMultAlgo::OuterProduct1d)
-      : opt_(opt), right_(right) {
+                   RightMultAlgo right = RightMultAlgo::OuterProduct1d,
+                   Algo backend = Algo::SparseAware1D, int layers = 0)
+      : opt_{backend, opt, layers}, right_(right) {
     rt_ = DistMatrix1D<double>::from_global(comm, transpose(r_global));
     r_ = DistMatrix1D<double>::from_global(comm, r_global);
   }
@@ -132,36 +136,39 @@ class GalerkinOperator {
     auto a = DistMatrix1D<double>::from_global(comm, a_global);
 
     GalerkinResult res;
-    res.rta = spgemm_1d_cached(comm, plan_rta_, rt_, a, opt_);
+    res.rta = spgemm_dist(comm, rt_, a, opt_, nullptr, &plan_rta_);
     if (right_ == RightMultAlgo::SparsityAware1d) {
-      res.rtar = spgemm_1d_cached(comm, plan_rtar_, res.rta, r_, opt_);
+      res.rtar = spgemm_dist(comm, res.rta, r_, opt_, nullptr, &plan_rtar_);
     } else {
       // Forward the local-kernel configuration: the outer product runs the
       // same two-phase local engine as the sparsity-aware path.
       res.rtar = spgemm_outer_product_1d(comm, res.rta, r_,
-                                         OuterProductOptions{opt_.kernel, opt_.threads});
+                                         OuterProductOptions{opt_.sa1d.kernel,
+                                                             opt_.sa1d.threads});
     }
     return res;
   }
 
  private:
-  Spgemm1dOptions opt_;
+  DistSpgemmOptions opt_;
   RightMultAlgo right_;
   DistMatrix1D<double> rt_, r_;
   SpgemmPlan1D<double> plan_rta_, plan_rtar_;
 };
 
 /// Distributed Galerkin product RᵀAR (the AMG bottleneck the paper targets).
-/// Left multiplication RᵀA always uses the sparsity-aware 1D algorithm; the
-/// right multiplication is selectable (Fig 12 compares the two). One-shot
-/// wrapper over GalerkinOperator; setups that recompute the product should
-/// hold the operator and call compute() per refresh.
+/// `backend` selects the distributed algorithm for the SpGEMM-routed
+/// multiplies (left always; right too unless RightMultAlgo picks the
+/// outer product — Fig 12 compares the two right-multiply algorithms).
+/// One-shot wrapper over GalerkinOperator; setups that recompute the
+/// product should hold the operator and call compute() per refresh.
 inline GalerkinResult galerkin_product(Comm& comm, const CscMatrix<double>& a_global,
                                        const CscMatrix<double>& r_global,
                                        const Spgemm1dOptions& opt = {},
-                                       RightMultAlgo right = RightMultAlgo::OuterProduct1d) {
+                                       RightMultAlgo right = RightMultAlgo::OuterProduct1d,
+                                       Algo backend = Algo::SparseAware1D, int layers = 0) {
   require(r_global.nrows() == a_global.ncols(), "galerkin_product: R/A dimension mismatch");
-  GalerkinOperator op(comm, r_global, opt, right);
+  GalerkinOperator op(comm, r_global, opt, right, backend, layers);
   return op.compute(comm, a_global);
 }
 

@@ -14,7 +14,7 @@
 #include <span>
 #include <vector>
 
-#include "core/spgemm1d.hpp"
+#include "dist/dist_spgemm.hpp"
 #include "sparse/ewise.hpp"
 #include "sparse/ops.hpp"
 #include "util/rng.hpp"
@@ -131,6 +131,10 @@ DistMatrix1D<double> local_map(const DistMatrix1D<double>& m, F&& f) {
 struct BcOptions {
   Spgemm1dOptions mult;        ///< options for every SpGEMM inside BC
   index_t max_levels = 1000;   ///< safety bound on BFS depth
+  /// Distributed backend for the traversal SpGEMMs; SparseAware1D keeps the
+  /// per-direction cached plans.
+  Algo backend = Algo::SparseAware1D;
+  int layers = 0;              ///< Split3D layer count; 0 = auto
 };
 
 struct BcResult {
@@ -173,11 +177,12 @@ inline BcResult betweenness_batch(Comm& comm, const CscMatrix<double>& a_global,
   // plan replays whenever consecutive frontiers keep the same structure
   // (saturated levels); structure changes replan via the fingerprint check.
   SpgemmPlan1D<double> fwd_plan, bwd_plan;
+  DistSpgemmOptions mult{opt.backend, opt.mult, opt.layers};
   int level = 0;
   while (f.global_nnz(comm) > 0 && level < opt.max_levels) {
     ++level;
     RankReport before = comm.report();
-    auto next = spgemm_1d_cached(comm, fwd_plan, da, f, opt.mult);
+    auto next = spgemm_dist(comm, da, f, mult, nullptr, &fwd_plan);
     res.level_stats.push_back(bcdetail::level_delta(level, true, before, comm.report()));
 
     auto ph = comm.phase(Phase::Other);
@@ -218,7 +223,7 @@ inline BcResult betweenness_batch(Comm& comm, const CscMatrix<double>& a_global,
     }
 
     RankReport before = comm.report();
-    auto u = spgemm_1d_cached(comm, bwd_plan, dat, w, opt.mult);  // pull backward
+    auto u = spgemm_dist(comm, dat, w, mult, nullptr, &bwd_plan);  // pull backward
     res.level_stats.push_back(bcdetail::level_delta(l, false, before, comm.report()));
 
     auto ph = comm.phase(Phase::Other);

@@ -10,7 +10,7 @@
 #include <functional>
 #include <vector>
 
-#include "core/spgemm1d.hpp"
+#include "dist/dist_spgemm.hpp"
 #include "sparse/ewise.hpp"
 #include "sparse/ops.hpp"
 
@@ -22,6 +22,10 @@ struct MclOptions {
   int max_iterations = 64;
   double convergence_eps = 1e-6;///< max |M - M_prev| entry change to stop
   Spgemm1dOptions mult;         ///< options for the expansion SpGEMM
+  /// Distributed backend for the expansion (the paper's comparative knob);
+  /// SparseAware1D keeps the cached-plan fast path.
+  Algo backend = Algo::SparseAware1D;
+  int layers = 0;               ///< Split3D layer count; 0 = auto
 };
 
 struct MclResult {
@@ -120,9 +124,10 @@ inline MclResult mcl_cluster(Comm& comm, const CscMatrix<double>& a_global,
   // attractor the pattern freezes and the cached plan replays with zero
   // metadata collectives and zero symbolic work.
   SpgemmPlan1D<double> expansion;
+  DistSpgemmOptions mult{opt.backend, opt.mult, opt.layers};
   for (int it = 0; it < opt.max_iterations; ++it) {
     res.iterations = it + 1;
-    auto expanded = spgemm_1d_cached(comm, expansion, dm, dm, opt.mult);
+    auto expanded = spgemm_dist(comm, dm, dm, mult, nullptr, &expansion);
     CscMatrix<double> next_local;
     double local_change = 0;
     {

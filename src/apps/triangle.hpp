@@ -10,7 +10,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "core/spgemm1d.hpp"
+#include "dist/dist_spgemm.hpp"
 #include "sparse/ewise.hpp"
 #include "sparse/ops.hpp"
 
@@ -69,17 +69,17 @@ std::int64_t count_triangles_serial(const CscMatrix<VT>& a) {
   return count;
 }
 
-/// Distributed triangle count: B = L·L with the sparsity-aware 1D SpGEMM,
-/// then the L-masked sum. Collective; every rank returns the global count.
+/// Distributed triangle count on any spgemm_dist backend: B = L·L, then
+/// the L-masked sum. Collective; every rank returns the global count.
 template <typename VT>
-std::int64_t count_triangles_1d(Comm& comm, const CscMatrix<VT>& a,
-                                const Spgemm1dOptions& opt = {}) {
-  require(a.nrows() == a.ncols(), "count_triangles_1d: matrix must be square");
+std::int64_t count_triangles_dist(Comm& comm, const CscMatrix<VT>& a,
+                                  const DistSpgemmOptions& opt = {}) {
+  require(a.nrows() == a.ncols(), "count_triangles_dist: matrix must be square");
   auto l = lower_triangle(to_pattern(a));
   auto dl = DistMatrix1D<double>::from_global(comm, l);
-  // Triangle counting multiplies exactly once: the one-shot plan-then-
-  // execute wrapper is the right shape of the inspector–executor API here.
-  auto db = spgemm_1d(comm, dl, dl, opt);
+  // Triangle counting multiplies exactly once: the one-shot dispatch is the
+  // right shape of the inspector–executor API here.
+  auto db = spgemm_dist(comm, dl, dl, opt);
 
   // Local masked sum: entries of B = L·L that are also edges of L.
   double local = 0;
@@ -93,6 +93,13 @@ std::int64_t count_triangles_1d(Comm& comm, const CscMatrix<VT>& a,
   }
   double total = comm.allreduce_sum(local);
   return static_cast<std::int64_t>(total + 0.5);
+}
+
+/// Sparsity-aware-1D convenience wrapper (the original entry point).
+template <typename VT>
+std::int64_t count_triangles_1d(Comm& comm, const CscMatrix<VT>& a,
+                                const Spgemm1dOptions& opt = {}) {
+  return count_triangles_dist(comm, a, DistSpgemmOptions{Algo::SparseAware1D, opt, 0});
 }
 
 }  // namespace sa1d

@@ -177,7 +177,7 @@ StructureFingerprint fingerprint_of(const DistMatrix1D<VT>& a, const DistMatrix1
 /// gets and the numeric local pass, with zero metadata collectives and
 /// zero symbolic work. The handle is rank-local (SPMD style), like
 /// DistMatrix1D itself.
-template <typename VT>
+template <typename VT, typename SR = PlusTimes<VT>>
 class SpgemmPlan1D {
  public:
   SpgemmPlan1D() = default;
@@ -360,7 +360,7 @@ class SpgemmPlan1D {
       // (8), symbolic half: exact C colptr, per-column accumulator class,
       // and the flop-balanced thread partition — structural, so the
       // value-free shells are all it needs.
-      sym_ = spgemm_local_symbolic<PlusTimes<VT>, VT>(atilde_m_, btilde_m_, opt.kernel,
+      sym_ = spgemm_local_symbolic<SR, VT>(atilde_m_, btilde_m_, opt.kernel,
                                                       opt.threads, &ws_);
     }
 
@@ -432,7 +432,7 @@ class SpgemmPlan1D {
     CscMatrix<VT> c_local;
     {
       auto ph = comm.phase(Phase::Comp);
-      c_local = spgemm_local_numeric<PlusTimes<VT>, VT>(atilde_m_, btilde_m_, sym_, &ws_);
+      c_local = spgemm_local_numeric<SR, VT>(atilde_m_, btilde_m_, sym_, &ws_);
     }
 
     // Keep A's value window alive until every rank finished fetching.
@@ -530,7 +530,7 @@ class SpgemmPlan1D {
 
   // Local engine's cached symbolic result + warm per-thread workspaces.
   LocalSymbolic sym_;
-  std::vector<detail::Workspace<PlusTimes<VT>>> ws_;
+  std::vector<detail::Workspace<SR>> ws_;
 
   Spgemm1dInfo plan_info_{};
   index_t plan_rdma_calls_ = 0;
@@ -544,10 +544,10 @@ class SpgemmPlan1D {
 /// Phase accounting: inspector work (metadata, masks, fetch planning,
 /// symbolic) → Plan; value assembly + output conversion → Other; the
 /// numeric local multiply → Comp; window gets → RDMA counters.
-template <typename VT>
+template <typename SRIn = void, typename VT>
 DistMatrix1D<VT> spgemm_1d(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
                            const Spgemm1dOptions& opt = {}, Spgemm1dInfo* info_out = nullptr) {
-  SpgemmPlan1D<VT> plan(comm, a, b, opt);
+  SpgemmPlan1D<VT, ResolveSemiring<SRIn, VT>> plan(comm, a, b, opt);
   auto c = plan.execute_verified(comm, a, b, info_out);
   if (info_out != nullptr) info_out->rdma_calls += plan.plan_rdma_calls();
   return c;
@@ -560,14 +560,15 @@ DistMatrix1D<VT> spgemm_1d(Comm& comm, const DistMatrix1D<VT>& a, const DistMatr
 /// skips its own O(nnz) re-hash. The empty()/matches() decision is uniform
 /// across ranks, which keeps the replan collective deadlock-free. The app
 /// loops (MCL rounds, BC levels, AMG setup refreshes) all go through this.
-template <typename VT>
-DistMatrix1D<VT> spgemm_1d_cached(Comm& comm, SpgemmPlan1D<VT>& plan, const DistMatrix1D<VT>& a,
-                                  const DistMatrix1D<VT>& b, const Spgemm1dOptions& opt = {},
+template <typename VT, typename SR>
+DistMatrix1D<VT> spgemm_1d_cached(Comm& comm, SpgemmPlan1D<VT, SR>& plan,
+                                  const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                                  const Spgemm1dOptions& opt = {},
                                   Spgemm1dInfo* info_out = nullptr) {
   // An option change invalidates the plan just like a structure change:
   // every option field shapes the fetch plan or the local pass.
   if (plan.empty() || plan.options() != opt || !plan.matches(comm, a, b))
-    plan = SpgemmPlan1D<VT>(comm, a, b, opt);
+    plan = SpgemmPlan1D<VT, SR>(comm, a, b, opt);
   return plan.execute_verified(comm, a, b, info_out);
 }
 

@@ -97,16 +97,24 @@ class DistMatrix1D {
     return comm.allreduce_sum(local_.nnz());
   }
 
-  /// Reassembles the full matrix on every rank. Collective; O(nnz) traffic.
-  [[nodiscard]] CscMatrix<VT> gather(Comm& comm) const {
-    std::vector<Triple<VT>> mine;
-    mine.reserve(static_cast<std::size_t>(local_.nnz()));
+  /// This rank's slice as COO triples in *global* coordinates (rank-local,
+  /// no communication). The interchange form of the slice: gather() and
+  /// the replicated-operand baseline wrappers are built on it.
+  [[nodiscard]] CooMatrix<VT> local_to_coo_global() const {
+    CooMatrix<VT> out(nrows_, ncols_);
     for (index_t k = 0; k < local_.nzc(); ++k) {
       index_t gcol = global_col(k);
       auto rows = local_.col_rows_at(k);
       auto vals = local_.col_vals_at(k);
-      for (std::size_t p = 0; p < rows.size(); ++p) mine.push_back({rows[p], gcol, vals[p]});
+      for (std::size_t p = 0; p < rows.size(); ++p) out.push(rows[p], gcol, vals[p]);
     }
+    return out;
+  }
+
+  /// Reassembles the full matrix on every rank. Collective; O(nnz) traffic.
+  [[nodiscard]] CscMatrix<VT> gather(Comm& comm) const {
+    auto coo = local_to_coo_global();
+    auto mine = std::move(coo.triples());
     auto chunks = comm.allgatherv(std::span<const Triple<VT>>(mine));
     CooMatrix<VT> all(nrows_, ncols_);
     for (auto& chunk : chunks)

@@ -1,0 +1,280 @@
+// The unified distributed SpGEMM front-end: one entry point over the
+// sparsity-aware 1D algorithm (paper Algorithm 1), the naive ring-1D
+// baseline, 2D sparse SUMMA, and Split-3D. Every backend takes 1D
+// column-distributed operands and returns C in B's column distribution
+// (the 2D/3D backends redistribute through dist/redistribute.hpp), so the
+// paper's comparative experiments — and the applications — can switch
+// algorithms with one enum.
+//
+// Algo::Auto gathers cheap structural statistics (replicated metadata from
+// the inspector's Algorithm 2 machinery: nnz, nzc, needed-fraction, planned
+// fetch volume) and asks CostModel::predict to rank the concrete backends;
+// the decision and the per-algorithm predictions are recorded in
+// DistSpgemmStats. DESIGN.md §7 documents the dispatcher, the
+// redistribution data flow, and the cost-model features.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/spgemm1d.hpp"
+#include "dist/naive1d.hpp"
+#include "dist/spgemm3d.hpp"
+#include "dist/summa2d.hpp"
+#include "runtime/cost_model.hpp"
+#include "sparse/generators.hpp"
+#include "util/timer.hpp"
+
+namespace sa1d {
+
+struct DistSpgemmOptions {
+  /// Which backend runs; Auto lets the cost model decide.
+  Algo algo = Algo::Auto;
+  /// Sparsity-aware 1D knobs; `sa1d.kernel` and `sa1d.threads` also drive
+  /// the local multiplies of every other backend.
+  Spgemm1dOptions sa1d;
+  /// Split-3D layer count; 0 = pick the best valid layering (cost model
+  /// under Auto, smallest non-trivial one otherwise).
+  int layers = 0;
+
+  friend bool operator==(const DistSpgemmOptions&, const DistSpgemmOptions&) = default;
+};
+
+/// What one spgemm_dist call decided and why. `predictions` (one entry per
+/// concrete backend, infeasible ones marked) and `inputs` are filled when
+/// the cost model ran, i.e. under Algo::Auto.
+struct DistSpgemmStats {
+  Algo requested = Algo::Auto;
+  Algo chosen = Algo::Auto;
+  int layers = 1;  ///< layer count used when chosen == Split3D
+  AlgoCostInputs inputs{};
+  std::vector<AlgoPrediction> predictions;
+};
+
+/// Measures this host's local-SpGEMM flop rate and COO triple-processing
+/// rate once (cached) and returns `base` with the calibrated compute rates
+/// filled in, so CostModel::predict shares a unit system with the measured
+/// phase times. ~10 ms on first call.
+inline CostParams calibrate_cost_params(CostParams base = {}) {
+  struct Rates {
+    double flop_s;
+    double triple_s;
+  };
+  static const Rates r = [] {
+    Rates out{};
+    auto a = erdos_renyi<double>(2000, 12.0, 987);
+    std::vector<detail::Workspace<PlusTimes<double>>> ws;
+    auto sym = spgemm_local_symbolic<PlusTimes<double>, double>(a, a, LocalKernel::Hybrid, 1, &ws);
+    spgemm_local_numeric<PlusTimes<double>, double>(a, a, sym, &ws);  // warm caches
+    CpuTimer tf;
+    auto c = spgemm_local_numeric<PlusTimes<double>, double>(a, a, sym, &ws);
+    out.flop_s = tf.seconds() / static_cast<double>(std::max<index_t>(total_flops(a, a), 1));
+
+    auto triples = c.to_coo().triples();
+    SplitMix64 g(13);
+    for (std::size_t i = triples.size(); i > 1; --i)
+      std::swap(triples[i - 1], triples[static_cast<std::size_t>(g.below(i))]);
+    CooMatrix<double> m(c.nrows(), c.ncols(), std::move(triples));
+    CpuTimer tt;
+    m.canonicalize();
+    out.triple_s = tt.seconds() / static_cast<double>(std::max<index_t>(m.nnz(), 1));
+    return out;
+  }();
+  base.flop_s = r.flop_s;
+  base.triple_s = r.triple_s;
+  return base;
+}
+
+/// Gathers the structural statistics CostModel::predict consumes: one
+/// metadata allgather (the same D/cp exchange the SA-1D inspector performs)
+/// plus local scans, then global reductions — every field is a global
+/// aggregate, so all ranks derive the identical Auto decision. Collective;
+/// CPU time is accounted as Phase::Plan.
+template <typename VT>
+AlgoCostInputs gather_algo_cost_inputs(Comm& comm, const DistMatrix1D<VT>& a,
+                                       const DistMatrix1D<VT>& b,
+                                       const Spgemm1dOptions& opt = {}) {
+  AlgoCostInputs in;
+  in.P = comm.size();
+  in.threads = opt.threads;
+  in.m = a.nrows();
+  in.k = a.ncols();
+  in.n = b.ncols();
+  in.value_bytes = sizeof(VT);
+  in.index_bytes = sizeof(index_t);
+
+  auto meta = detail1d::gather_a_metadata(comm, a);
+
+  std::uint64_t local_flops = 0, fetch_elems = 0, fetch_msgs = 0;
+  std::uint64_t needed = 0, remote_nzc = 0;
+  {
+    auto ph = comm.phase(Phase::Plan);
+    BitVector h = detail1d::nonzero_rows(b.local(), a.ncols());
+
+    // Structural flops of this rank's C columns: Σ nnz(A(:,k)) over the
+    // nonzeros B(k, j) of the local B slice, looked up in the replicated
+    // metadata.
+    const auto& bounds = a.bounds();
+    for (auto rk : b.local().ir()) {
+      const int owner = find_owner(std::span<const index_t>(bounds), rk);
+      const auto& gids = meta.gids[static_cast<std::size_t>(owner)];
+      const auto& cp = meta.cp[static_cast<std::size_t>(owner)];
+      auto it = std::lower_bound(gids.begin(), gids.end(), rk);
+      if (it == gids.end() || *it != rk) continue;
+      const auto pos = static_cast<std::size_t>(it - gids.begin());
+      local_flops += static_cast<std::uint64_t>(cp[pos + 1] - cp[pos]);
+    }
+
+    // The SA-1D fetch plan this rank would execute (Algorithm 2 over the
+    // H∩D masks) — volume and message counts without moving any data.
+    for (int r = 0; r < comm.size(); ++r) {
+      if (r == comm.rank()) continue;
+      const auto& gids = meta.gids[static_cast<std::size_t>(r)];
+      const auto nzc = static_cast<index_t>(gids.size());
+      if (nzc == 0) continue;
+      remote_nzc += static_cast<std::uint64_t>(nzc);
+      std::vector<bool> need(static_cast<std::size_t>(nzc), !opt.sparsity_aware);
+      if (opt.sparsity_aware) {
+        for (index_t p = 0; p < nzc; ++p)
+          if (h.test(gids[static_cast<std::size_t>(p)])) need[static_cast<std::size_t>(p)] = true;
+      }
+      for (index_t p = 0; p < nzc; ++p)
+        if (need[static_cast<std::size_t>(p)]) ++needed;
+      auto plan = block_fetch_plan(nzc, opt.block_fetch_k, need, opt.merge_adjacent_blocks);
+      fetch_msgs += static_cast<std::uint64_t>(plan.size());
+      fetch_elems += static_cast<std::uint64_t>(
+          plan_elements(plan, std::span<const index_t>(meta.cp[static_cast<std::size_t>(r)])));
+    }
+  }
+
+  in.nnz_a = static_cast<std::uint64_t>(comm.allreduce_sum(a.local_nnz()));
+  in.nnz_b = static_cast<std::uint64_t>(comm.allreduce_sum(b.local_nnz()));
+  in.nzc_a = static_cast<std::uint64_t>(comm.allreduce_sum(a.local().nzc()));
+  in.flops = comm.allreduce_sum(local_flops);
+  in.max_rank_flops = comm.allreduce_max(local_flops);
+  in.sa1d_fetch_elems = comm.allreduce_sum(fetch_elems);
+  in.sa1d_fetch_msgs = comm.allreduce_sum(fetch_msgs);
+  const std::uint64_t needed_total = comm.allreduce_sum(needed);
+  const std::uint64_t remote_total = comm.allreduce_sum(remote_nzc);
+  in.needed_fraction = remote_total == 0
+                           ? 0.0
+                           : static_cast<double>(needed_total) / static_cast<double>(remote_total);
+  return in;
+}
+
+/// Ranks the concrete backends on `in` and returns the cheapest feasible
+/// one. Split-3D is scored at its best valid layer count (or `layers_opt`
+/// when the caller pinned one); the count used lands in `layers_out`.
+/// Deterministic in the inputs — no communication.
+inline Algo choose_algo(const CostModel& cm, AlgoCostInputs in, int layers_opt, int* layers_out,
+                        std::vector<AlgoPrediction>* predictions) {
+  std::vector<AlgoPrediction> preds;
+
+  in.layers = 1;
+  preds.push_back(cm.predict(in, Algo::SparseAware1D));
+  preds.push_back(cm.predict(in, Algo::Ring1D));
+  preds.push_back(cm.predict(in, Algo::Summa2D));
+
+  // Split-3D: try every non-trivial layering (c = 1 is SUMMA) and keep the
+  // best; an explicit layer request pins the candidate.
+  AlgoPrediction best3d;
+  best3d.algo = Algo::Split3D;
+  best3d.note = layers_opt > 0 ? "the requested layer count cannot form layers x q x q grids"
+                               : "no non-trivial layer count divides P into square grids";
+  int best_layers = 1;
+  for (int c : valid_layer_counts(in.P)) {
+    if (layers_opt > 0) {
+      if (c != layers_opt) continue;  // pinned: score exactly the request
+    } else if (c == 1 || c == in.P) {
+      continue;  // c=1 is SUMMA; c=P collapses layers to single ranks
+    }
+    in.layers = c;
+    auto pr = cm.predict(in, Algo::Split3D);
+    if (pr.feasible && (!best3d.feasible || pr.total_s() < best3d.total_s())) {
+      best3d = pr;
+      best_layers = c;
+    }
+  }
+  preds.push_back(best3d);
+
+  Algo chosen = Algo::SparseAware1D;
+  double best = -1.0;
+  for (const auto& pr : preds) {
+    if (!pr.feasible) continue;
+    if (best < 0.0 || pr.total_s() < best) {
+      best = pr.total_s();
+      chosen = pr.algo;
+    }
+  }
+  if (layers_out != nullptr) *layers_out = chosen == Algo::Split3D ? best_layers : 1;
+  if (predictions != nullptr) *predictions = std::move(preds);
+  return chosen;
+}
+
+namespace distdetail {
+
+/// Layer count for an explicit Split3D request with layers = 0: the
+/// smallest *non-degenerate* layering (1 < c < P), falling back to 1
+/// (= SUMMA on one layer) when P is a perfect square with no middle
+/// option, and to the only valid (degenerate) count otherwise.
+inline int default_split3d_layers(int P) {
+  auto valid = valid_layer_counts(P);
+  for (int c : valid)
+    if (c > 1 && c < P) return c;
+  for (int c : valid)
+    if (c == 1) return 1;
+  return valid.empty() ? 0 : valid.front();
+}
+
+}  // namespace distdetail
+
+/// The unified distributed SpGEMM: C = A ⊕.⊗ B with A, B, C all 1D
+/// column-distributed; C inherits B's column distribution whichever backend
+/// runs. Collective. `stats` (optional) receives the dispatch decision and,
+/// under Auto, the inputs and per-backend predictions. `plan` (optional)
+/// caches the SA-1D inspector across iterated calls exactly like
+/// spgemm_1d_cached — ignored by the other backends.
+template <typename SRIn = void, typename VT>
+DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                             const DistSpgemmOptions& opt = {}, DistSpgemmStats* stats = nullptr,
+                             SpgemmPlan1D<VT, ResolveSemiring<SRIn, VT>>* plan = nullptr) {
+  require(a.ncols() == b.nrows(), "spgemm_dist: inner dimension mismatch");
+
+  Algo algo = opt.algo;
+  int layers = opt.layers;
+  DistSpgemmStats scratch;
+  DistSpgemmStats& st = stats != nullptr ? *stats : scratch;
+  st = DistSpgemmStats{};
+  st.requested = opt.algo;
+
+  if (algo == Algo::Auto) {
+    st.inputs = gather_algo_cost_inputs(comm, a, b, opt.sa1d);
+    auto ph = comm.phase(Phase::Plan);
+    algo = choose_algo(comm.cost(), st.inputs, opt.layers, &layers, &st.predictions);
+  } else if (algo == Algo::Split3D && layers == 0) {
+    layers = distdetail::default_split3d_layers(comm.size());
+  }
+
+  st.chosen = algo;
+  st.layers = algo == Algo::Split3D ? layers : 1;
+
+  switch (algo) {
+    case Algo::Auto: break;  // unreachable: resolved above
+    case Algo::SparseAware1D:
+      if (plan != nullptr) return spgemm_1d_cached(comm, *plan, a, b, opt.sa1d);
+      return spgemm_1d<SRIn>(comm, a, b, opt.sa1d);
+    case Algo::Ring1D:
+      return spgemm_naive_ring_1d<SRIn>(comm, a, b);
+    case Algo::Summa2D:
+      require_summa_grid(comm.size(), "spgemm_dist(Algo::Summa2D)");
+      return spgemm_summa_2d_dist<SRIn>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads);
+    case Algo::Split3D:
+      require_split3d_layers(comm.size(), layers, "spgemm_dist(Algo::Split3D)");
+      return spgemm_split_3d_dist<SRIn>(comm, a, b, layers, opt.sa1d.kernel, opt.sa1d.threads);
+  }
+  require(false, "spgemm_dist: unknown algorithm");
+  return {};
+}
+
+}  // namespace sa1d

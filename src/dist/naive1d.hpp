@@ -8,15 +8,18 @@
 #include <vector>
 
 #include "dist/dist_matrix.hpp"
+#include "kernels/semiring.hpp"
 #include "kernels/spgemm_local.hpp"
 #include "runtime/machine.hpp"
 
 namespace sa1d {
 
-/// Ring 1D SpGEMM baseline. Collective. C inherits B's column distribution.
-template <typename VT>
+/// Ring 1D SpGEMM baseline. Collective. C inherits B's column distribution;
+/// products and partial merges run over the chosen semiring.
+template <typename SRIn = void, typename VT>
 DistMatrix1D<VT> spgemm_naive_ring_1d(Comm& comm, const DistMatrix1D<VT>& a,
                                       const DistMatrix1D<VT>& b) {
+  using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_naive_ring_1d: inner dimension mismatch");
   const int P = comm.size();
   const int me = comm.rank();
@@ -60,14 +63,17 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(Comm& comm, const DistMatrix1D<VT>& a,
           if (it == gcol_ids.end() || *it != brows[p]) continue;
           auto kpos = static_cast<std::size_t>(it - gcol_ids.begin());
           for (std::size_t q = starts[kpos]; q < starts[kpos + 1]; ++q)
-            acc.push(circ[q].row, bl.col_id(j), circ[q].val * bvals[p]);
+            acc.push(circ[q].row, bl.col_id(j), SR::multiply(circ[q].val, bvals[p]));
         }
       }
     }
     if (step + 1 < P) {
       // Shift the slice one hop around the ring.
       std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
-      send[static_cast<std::size_t>((me + 1) % P)] = std::move(circ);
+      {
+        auto ph = comm.phase(Phase::Other);
+        send[static_cast<std::size_t>((me + 1) % P)] = std::move(circ);
+      }
       auto recv = comm.alltoallv(send);
       circ = std::move(recv[static_cast<std::size_t>((me - 1 + P) % P)]);
     }
@@ -76,7 +82,7 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(Comm& comm, const DistMatrix1D<VT>& a,
   DcscMatrix<VT> c_local;
   {
     auto ph = comm.phase(Phase::Other);
-    acc.canonicalize();
+    acc.canonicalize_with([](VT x, VT y) { return SR::add(x, y); });
     c_local = DcscMatrix<VT>::from_coo(acc);
   }
   return DistMatrix1D<VT>(a.nrows(), b.ncols(), b.bounds(), me, std::move(c_local));

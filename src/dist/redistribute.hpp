@@ -1,0 +1,126 @@
+// Redistribution primitives between the 1D column distribution (the
+// library's canonical layout) and the 2D/3D process-grid block layouts the
+// SUMMA-family backends compute on. Every primitive is a single
+// personalized all-to-all — O(nnz/P) per rank, no rank-0 gather — and is
+// Phase-scoped so the cost shows up in the comparable RankReport breakdown.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "runtime/machine.hpp"
+#include "sparse/coo.hpp"
+
+namespace sa1d {
+
+/// Validates that P ranks can form the √P×√P SUMMA grid; the error names
+/// the nearest usable rank counts and the any-P alternatives.
+inline void require_summa_grid(int P, const char* who) {
+  if (summa_grid_side(P) > 0) return;
+  int lo = 1;
+  while ((lo + 1) * (lo + 1) <= P) ++lo;
+  std::string msg = std::string(who) + ": P=" + std::to_string(P) +
+                    " ranks cannot form a square process grid; run with a perfect-square rank"
+                    " count (nearest: " +
+                    std::to_string(lo * lo) + " or " + std::to_string((lo + 1) * (lo + 1)) +
+                    "), or use Algo::SparseAware1D / Algo::Ring1D / Algo::Auto, which accept"
+                    " any P";
+  require(false, msg);
+}
+
+/// Validates that P = layers·q² with integral q; the error lists every
+/// valid layer count for this P (or says none exists).
+inline void require_split3d_layers(int P, int layers, const char* who) {
+  if (layers >= 1 && layers <= P && P % layers == 0 && summa_grid_side(P / layers) > 0) return;
+  // P = P·1² always holds, so at least one (possibly degenerate) layer
+  // count exists for every P; list them all.
+  auto valid = valid_layer_counts(P);
+  std::string msg = std::string(who) + ": layers=" + std::to_string(layers) + " with P=" +
+                    std::to_string(P) + " ranks cannot form layers x q x q grids (P must equal"
+                    " layers*q*q); valid layer counts for P=" +
+                    std::to_string(P) + " are {";
+  for (std::size_t i = 0; i < valid.size(); ++i)
+    msg += (i != 0U ? ", " : "") + std::to_string(valid[i]);
+  msg += "}; Algo::SparseAware1D / Algo::Ring1D / Algo::Auto accept any P";
+  require(false, msg);
+}
+
+/// Redistributes a 1D column-distributed matrix into the blocks of a
+/// process grid: the rank `rank_of(bi, bj)` receives block
+/// [row_bounds[bi], row_bounds[bi+1]) × [col_bounds[bj], col_bounds[bj+1])
+/// in block-local coordinates; this rank's own block (`my_bi`, `my_bj`) is
+/// returned as CSC. The bounds arrays may describe any rectangular tiling
+/// (the 3D backend passes layer-concatenated inner bounds), so one
+/// primitive serves both grid shapes. Collective.
+template <typename VT, typename RankOf>
+CscMatrix<VT> redistribute_1d_to_2d_grid(Comm& comm, const DistMatrix1D<VT>& m,
+                                         std::span<const index_t> row_bounds,
+                                         std::span<const index_t> col_bounds, RankOf rank_of,
+                                         int my_bi, int my_bj) {
+  const int P = comm.size();
+  std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
+  {
+    auto ph = comm.phase(Phase::Other);
+    const auto& ml = m.local();
+    for (index_t k = 0; k < ml.nzc(); ++k) {
+      const index_t gcol = m.global_col(k);
+      const int bj = find_owner(col_bounds, gcol);
+      const index_t clo = col_bounds[static_cast<std::size_t>(bj)];
+      auto rows = ml.col_rows_at(k);
+      auto vals = ml.col_vals_at(k);
+      for (std::size_t p = 0; p < rows.size(); ++p) {
+        const int bi = find_owner(row_bounds, rows[p]);
+        send[static_cast<std::size_t>(rank_of(bi, bj))].push_back(
+            {rows[p] - row_bounds[static_cast<std::size_t>(bi)], gcol - clo, vals[p]});
+      }
+    }
+  }
+  auto recv = comm.alltoallv(send);
+  auto ph = comm.phase(Phase::Other);
+  const index_t nr = row_bounds[static_cast<std::size_t>(my_bi) + 1] -
+                     row_bounds[static_cast<std::size_t>(my_bi)];
+  const index_t nc = col_bounds[static_cast<std::size_t>(my_bj) + 1] -
+                     col_bounds[static_cast<std::size_t>(my_bj)];
+  CooMatrix<VT> blk(nr, nc);
+  for (auto& chunk : recv)
+    for (auto& t : chunk) blk.push(t.row, t.col, t.val);
+  // The source was canonical and each nonzero has one target, so this only
+  // sorts — no duplicate can arise, and the merge is semiring-neutral.
+  blk.canonicalize();
+  return CscMatrix<VT>::from_coo(blk);
+}
+
+/// Scatters per-rank partial products (COO, global coordinates) into the 1D
+/// column distribution given by `out_bounds`, merging duplicates — partials
+/// of the same entry from different SUMMA stages or 3D layers — with the
+/// semiring's ⊕. One all-to-all by column owner; the result is born
+/// distributed (no global gather). Collective.
+template <typename SR, typename VT>
+DistMatrix1D<VT> redistribute_coo_to_1d(Comm& comm, const CooMatrix<VT>& part, index_t nrows,
+                                        index_t ncols, std::vector<index_t> out_bounds) {
+  const int P = comm.size();
+  require(out_bounds.size() == static_cast<std::size_t>(P) + 1,
+          "redistribute_coo_to_1d: out_bounds size must be P+1");
+  std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
+  {
+    auto ph = comm.phase(Phase::Other);
+    for (const auto& t : part.triples())
+      send[static_cast<std::size_t>(find_owner(std::span<const index_t>(out_bounds), t.col))]
+          .push_back(t);
+  }
+  auto recv = comm.alltoallv(send);
+  auto ph = comm.phase(Phase::Other);
+  const index_t lo = out_bounds[static_cast<std::size_t>(comm.rank())];
+  const index_t hi = out_bounds[static_cast<std::size_t>(comm.rank()) + 1];
+  CooMatrix<VT> local(nrows, hi - lo);
+  for (auto& chunk : recv)
+    for (auto& t : chunk) local.push(t.row, t.col - lo, t.val);
+  local.canonicalize_with([](typename SR::value_type x, typename SR::value_type y) {
+    return SR::add(x, y);
+  });
+  return DistMatrix1D<VT>(nrows, ncols, std::move(out_bounds), comm.rank(),
+                          DcscMatrix<VT>::from_coo(local));
+}
+
+}  // namespace sa1d

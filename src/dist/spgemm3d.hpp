@@ -1,69 +1,100 @@
 // Split-3D SpGEMM (Azad et al. 2016's third dimension): P = c·q² ranks form
 // c layers of q×q grids. The inner dimension is split across layers; each
 // layer runs 2D sparse SUMMA on its slice pair A(:,K_l)·B(K_l,:), and the
-// per-layer partial C's are merged during gather (the "split" reduction).
+// per-layer partial C's are merged by the semiring's ⊕ while scattering the
+// result back into B's column distribution (the "split" reduction) — one
+// all-to-all, no rank-0 gather. Operands arrive 1D-distributed and are
+// routed straight to their (layer, grid) owners: each nonzero has exactly
+// one target, so the inbound redistribution is also a single all-to-all.
 #pragma once
 
-#include <cmath>
 #include <vector>
 
 #include "dist/summa2d.hpp"
 
 namespace sa1d {
 
-/// Layer counts c for which P = c·q² with integral q, ascending.
-inline std::vector<int> valid_layer_counts(int P) {
-  std::vector<int> out;
-  for (int c = 1; c <= P; ++c) {
-    if (P % c != 0) continue;
-    int q2 = P / c;
-    int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(q2))));
-    if (q * q == q2) out.push_back(c);
+/// Split-3D SpGEMM over 1D-distributed operands. Collective; requires
+/// P = layers·q² (require_split3d_layers lists the valid layer counts
+/// otherwise). C is returned in B's column distribution.
+template <typename SRIn = void, typename VT>
+DistMatrix1D<VT> spgemm_split_3d_dist(Comm& comm, const DistMatrix1D<VT>& a,
+                                      const DistMatrix1D<VT>& b, int layers,
+                                      LocalKernel kernel = LocalKernel::Hybrid,
+                                      int threads = 1) {
+  using SR = ResolveSemiring<SRIn, VT>;
+  require(a.ncols() == b.nrows(), "spgemm_split_3d_dist: inner dimension mismatch");
+  const int P = comm.size();
+  require_split3d_layers(P, layers, "spgemm_split_3d_dist");
+  const int q2 = P / layers;
+  const int q = summa_grid_side(q2);
+  const int layer = comm.rank() / q2;
+  const int gi = (comm.rank() % q2) / q;
+  const int gj = (comm.rank() % q2) % q;
+
+  auto rb = even_split(a.nrows(), q);   // row blocks (shared by every layer)
+  auto cb = even_split(b.ncols(), q);   // C/B column blocks (shared too)
+  auto kl = even_split(a.ncols(), layers);  // inner dimension across layers
+
+  // Flat inner bounds, layer-major: c·q tiles covering [0, k). A tile's
+  // flat index decodes to (layer, within-layer grid coordinate), which lets
+  // the generic 1D→grid primitive route both operands in one all-to-all
+  // each, straight to their (layer, gi, gj) owners.
+  std::vector<index_t> kflat;
+  kflat.reserve(static_cast<std::size_t>(layers) * static_cast<std::size_t>(q) + 1);
+  kflat.push_back(0);
+  std::vector<std::vector<index_t>> kb_layer(static_cast<std::size_t>(layers));
+  for (int l = 0; l < layers; ++l) {
+    const index_t klo = kl[static_cast<std::size_t>(l)];
+    const index_t khi = kl[static_cast<std::size_t>(l) + 1];
+    kb_layer[static_cast<std::size_t>(l)] = even_split(khi - klo, q);
+    for (int t = 1; t <= q; ++t)
+      kflat.push_back(klo + kb_layer[static_cast<std::size_t>(l)][static_cast<std::size_t>(t)]);
   }
-  return out;
+
+  // A block (rb[bi] × inner tile): tile owner is (layer of tile, row bi,
+  // grid column = tile position within the layer).
+  auto rank_of_a = [q, q2](int bi, int bjflat) {
+    return (bjflat / q) * q2 + bi * q + (bjflat % q);
+  };
+  // B block (inner tile × cb[bj]): tile owner is (layer, grid row = tile
+  // position, column bj).
+  auto rank_of_b = [q, q2](int biflat, int bj) {
+    return (biflat / q) * q2 + (biflat % q) * q + bj;
+  };
+  auto my_a = redistribute_1d_to_2d_grid(comm, a, std::span<const index_t>(rb),
+                                         std::span<const index_t>(kflat), rank_of_a, gi,
+                                         layer * q + gj);
+  auto my_b = redistribute_1d_to_2d_grid(comm, b, std::span<const index_t>(kflat),
+                                         std::span<const index_t>(cb), rank_of_b,
+                                         layer * q + gi, gj);
+
+  // Each layer's q×q grid runs SUMMA on its inner slice; partials land in
+  // `acc` with global coordinates, and the final scatter merges across both
+  // stages and layers with ⊕.
+  Comm layer_comm = comm.split(layer, comm.rank());
+  CooMatrix<VT> acc(a.nrows(), b.ncols());
+  summadetail::summa_stages<SR>(layer_comm, my_a, my_b, std::span<const index_t>(rb),
+                                std::span<const index_t>(kb_layer[static_cast<std::size_t>(layer)]),
+                                std::span<const index_t>(cb), kernel, threads, acc);
+  return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds());
 }
 
-/// Split-3D SpGEMM. Collective; requires P = layers·q². Returns this rank's
-/// partial C as COO in global coordinates (partials of the same entry live
-/// on different layers; gather_coo merges them by addition).
+/// Replicated-operand wrapper (the original baseline API): distributes the
+/// globals, runs the 1D-in/1D-out Split-3D, and returns this rank's C
+/// column slice as COO in global coordinates — gather_coo() reassembles.
+/// Layer partials are already merged, so the COO parts are disjoint.
 template <typename VT>
 CooMatrix<VT> spgemm_split_3d(Comm& comm, const CscMatrix<VT>& a, const CscMatrix<VT>& b,
                               int layers, LocalKernel kernel = LocalKernel::Hybrid,
                               int threads = 1) {
   require(a.ncols() == b.nrows(), "spgemm_split_3d: inner dimension mismatch");
-  const int P = comm.size();
-  require(layers >= 1 && layers <= P && P % layers == 0,
-          "spgemm_split_3d: layer count must divide P");
-  const int q2 = P / layers;
-  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(q2))));
-  require(q * q == q2, "spgemm_split_3d: P/layers must be a perfect square");
-
-  const int layer = comm.rank() / q2;
-  Comm layer_comm = comm.split(layer, comm.rank());
-
-  auto kb = even_split(a.ncols(), layers);
-  const index_t klo = kb[static_cast<std::size_t>(layer)];
-  const index_t khi = kb[static_cast<std::size_t>(layer) + 1];
-
-  // My layer's inner-dimension slice pair: A(:, K_l) and B(K_l, :).
-  CscMatrix<VT> a_l, b_l;
-  {
-    auto ph = comm.phase(Phase::Other);
-    a_l = extract_cols(a, klo, khi);
-    CooMatrix<VT> brows(khi - klo, b.ncols());
-    for (index_t j = 0; j < b.ncols(); ++j) {
-      auto rows = b.col_rows(j);
-      auto vals = b.col_vals(j);
-      for (std::size_t p = 0; p < rows.size(); ++p)
-        if (rows[p] >= klo && rows[p] < khi) brows.push(rows[p] - klo, j, vals[p]);
-    }
-    b_l = CscMatrix<VT>::from_coo(brows);
-  }
-
-  auto part = spgemm_summa_2d(layer_comm, a_l, b_l, kernel, threads);
-  // Re-dimension the partial to the full product shape (row ids are already
-  // global; the layer only narrowed the contracted dimension).
-  return CooMatrix<VT>(a.nrows(), b.ncols(), std::move(part.triples()));
+  require_split3d_layers(comm.size(), layers, "spgemm_split_3d");
+  auto da = DistMatrix1D<VT>::from_global(comm, a);
+  auto db = DistMatrix1D<VT>::from_global(comm, b);
+  auto dc = spgemm_split_3d_dist(comm, da, db, layers, kernel, threads);
+  auto ph = comm.phase(Phase::Other);
+  return dc.local_to_coo_global();
 }
 
 }  // namespace sa1d

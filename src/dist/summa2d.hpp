@@ -1,15 +1,22 @@
 // 2D sparse SUMMA (Buluç & Gilbert; the CombBLAS algorithm the paper
 // benchmarks against): ranks form a √P×√P grid, C(i,j) is accumulated over
 // √P stages of row-broadcast A(i,k) and column-broadcast B(k,j) block
-// multiplies. Operands are replicated on entry (block distribution is
-// internal); the result is returned as each rank's local partial COO with
-// global coordinates — gather_coo() reassembles and merges.
+// multiplies.
+//
+// The primary entry point is 1D-in/1D-out: operands arrive in the library's
+// canonical column distribution, are scattered onto the grid by one
+// all-to-all (dist/redistribute.hpp), and the per-stage partials are
+// scattered back into B's column distribution with a semiring-⊕ merge — no
+// global gather anywhere, and every byte moves through Phase-scoped,
+// instrumented collectives so the RankReport breakdown is comparable with
+// the other spgemm_dist backends. The replicated-operand wrapper of the
+// original baseline API remains for one-shot comparisons.
 #pragma once
 
-#include <cmath>
 #include <vector>
 
 #include "dist/dist_matrix.hpp"
+#include "dist/redistribute.hpp"
 #include "kernels/spgemm_local.hpp"
 #include "runtime/machine.hpp"
 
@@ -30,17 +37,15 @@ CscMatrix<VT> gather_coo(Comm& comm, const CooMatrix<VT>& part) {
 
 namespace summadetail {
 
-/// Triples of m's block [rlo,rhi)×[clo,chi) with block-local coordinates,
-/// column-major sorted.
+/// All triples of a CSC block (block-local coordinates, column-major).
 template <typename VT>
-std::vector<Triple<VT>> block_triples(const CscMatrix<VT>& m, index_t rlo, index_t rhi,
-                                      index_t clo, index_t chi) {
+std::vector<Triple<VT>> csc_triples(const CscMatrix<VT>& m) {
   std::vector<Triple<VT>> out;
-  for (index_t j = clo; j < chi; ++j) {
+  out.reserve(static_cast<std::size_t>(m.nnz()));
+  for (index_t j = 0; j < m.ncols(); ++j) {
     auto rows = m.col_rows(j);
     auto vals = m.col_vals(j);
-    for (std::size_t p = 0; p < rows.size(); ++p)
-      if (rows[p] >= rlo && rows[p] < rhi) out.push_back({rows[p] - rlo, j - clo, vals[p]});
+    for (std::size_t p = 0; p < rows.size(); ++p) out.push_back({rows[p], j, vals[p]});
   }
   return out;
 }
@@ -50,39 +55,34 @@ CscMatrix<VT> csc_from_block(index_t nrows, index_t ncols, std::vector<Triple<VT
   return CscMatrix<VT>::from_coo(CooMatrix<VT>(nrows, ncols, std::move(triples)));
 }
 
-}  // namespace summadetail
-
-/// 2D sparse SUMMA. Collective; requires a perfect-square process count.
-/// Returns this rank's C block as COO in global coordinates.
-template <typename VT>
-CooMatrix<VT> spgemm_summa_2d(Comm& comm, const CscMatrix<VT>& a, const CscMatrix<VT>& b,
-                              LocalKernel kernel = LocalKernel::Hybrid, int threads = 1) {
-  require(a.ncols() == b.nrows(), "spgemm_summa_2d: inner dimension mismatch");
-  const int P = comm.size();
-  const int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(P))));
-  require(q * q == P, "spgemm_summa_2d: process count must be a perfect square");
+/// The SUMMA stage loop over one q×q grid: accumulates this rank's partial
+/// C(gi, gj) into `acc` in *global* coordinates (rb/cb are global bounds).
+/// The grid owns A blocks split by (rb, kb) and B blocks by (kb, cb);
+/// `comm` is the grid communicator (a layer of the 3D backend, or
+/// everything for 2D). Stage partials of the same entry are merged with ⊕
+/// before `acc` is handed back, so the caller ships post-merge volume.
+template <typename SR, typename VT>
+void summa_stages(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my_b,
+                  std::span<const index_t> rb, std::span<const index_t> kb,
+                  std::span<const index_t> cb, LocalKernel kernel, int threads,
+                  CooMatrix<VT>& acc) {
+  const int q = summa_grid_side(comm.size());
   const int gi = comm.rank() / q;
   const int gj = comm.rank() % q;
-
-  auto rb = even_split(a.nrows(), q);  // row blocks of A and C
-  auto kb = even_split(a.ncols(), q);  // inner-dimension blocks
-  auto cb = even_split(b.ncols(), q);  // column blocks of B and C
-
   Comm row_comm = comm.split(gi, gj);  // sub-rank within a row == grid column
   Comm col_comm = comm.split(gj, gi);  // sub-rank within a column == grid row
 
-  const index_t rlo = rb[static_cast<std::size_t>(gi)], rhi = rb[static_cast<std::size_t>(gi) + 1];
-  const index_t clo = cb[static_cast<std::size_t>(gj)], chi = cb[static_cast<std::size_t>(gj) + 1];
+  const index_t rlo = rb[static_cast<std::size_t>(gi)];
+  const index_t clo = cb[static_cast<std::size_t>(gj)];
 
-  CooMatrix<VT> acc(a.nrows(), b.ncols());
   for (int k = 0; k < q; ++k) {
     const index_t klo = kb[static_cast<std::size_t>(k)], khi = kb[static_cast<std::size_t>(k) + 1];
 
     std::vector<Triple<VT>> abuf, bbuf;
     {
       auto ph = comm.phase(Phase::Other);
-      if (gj == k) abuf = summadetail::block_triples(a, rlo, rhi, klo, khi);
-      if (gi == k) bbuf = summadetail::block_triples(b, klo, khi, clo, chi);
+      if (gj == k) abuf = csc_triples(my_a);
+      if (gi == k) bbuf = csc_triples(my_b);
     }
     row_comm.bcast(abuf, k);  // A(gi, k) along grid row gi
     col_comm.bcast(bbuf, k);  // B(k, gj) along grid column gj
@@ -90,9 +90,14 @@ CooMatrix<VT> spgemm_summa_2d(Comm& comm, const CscMatrix<VT>& a, const CscMatri
     CscMatrix<VT> c_blk;
     {
       auto ph = comm.phase(Phase::Comp);
-      auto a_blk = summadetail::csc_from_block(rhi - rlo, khi - klo, std::move(abuf));
-      auto b_blk = summadetail::csc_from_block(khi - klo, chi - clo, std::move(bbuf));
-      c_blk = spgemm_local<PlusTimes<VT>, VT>(a_blk, b_blk, kernel, threads);
+      auto a_blk = csc_from_block(rb[static_cast<std::size_t>(gi) + 1] -
+                                      rb[static_cast<std::size_t>(gi)],
+                                  khi - klo, std::move(abuf));
+      auto b_blk = csc_from_block(khi - klo,
+                                  cb[static_cast<std::size_t>(gj) + 1] -
+                                      cb[static_cast<std::size_t>(gj)],
+                                  std::move(bbuf));
+      c_blk = spgemm_local<SR, VT>(a_blk, b_blk, kernel, threads);
     }
     {
       auto ph = comm.phase(Phase::Other);
@@ -105,10 +110,63 @@ CooMatrix<VT> spgemm_summa_2d(Comm& comm, const CscMatrix<VT>& a, const CscMatri
     }
   }
   {
+    // Merge the up-to-q per-stage partials of each C entry locally before
+    // the scatter: the all-to-all then carries post-merge volume (what the
+    // cost model prices), not q× duplicates.
     auto ph = comm.phase(Phase::Other);
-    acc.canonicalize();  // merge contributions across the q stages
+    acc.canonicalize_with([](VT x, VT y) { return SR::add(x, y); });
   }
-  return acc;
+}
+
+}  // namespace summadetail
+
+/// 2D sparse SUMMA over 1D-distributed operands. Collective; requires a
+/// perfect-square process count (require_summa_grid explains the options
+/// otherwise). C is returned in B's column distribution; partial entries
+/// across the √P stages are merged with the semiring's ⊕.
+template <typename SRIn = void, typename VT>
+DistMatrix1D<VT> spgemm_summa_2d_dist(Comm& comm, const DistMatrix1D<VT>& a,
+                                      const DistMatrix1D<VT>& b,
+                                      LocalKernel kernel = LocalKernel::Hybrid,
+                                      int threads = 1) {
+  using SR = ResolveSemiring<SRIn, VT>;
+  require(a.ncols() == b.nrows(), "spgemm_summa_2d_dist: inner dimension mismatch");
+  const int P = comm.size();
+  require_summa_grid(P, "spgemm_summa_2d_dist");
+  const int q = summa_grid_side(P);
+  const int gi = comm.rank() / q;
+  const int gj = comm.rank() % q;
+
+  auto rb = even_split(a.nrows(), q);  // row blocks of A and C
+  auto kb = even_split(a.ncols(), q);  // inner-dimension blocks
+  auto cb = even_split(b.ncols(), q);  // column blocks of B and C
+
+  auto rank_of = [q](int bi, int bj) { return bi * q + bj; };
+  auto my_a = redistribute_1d_to_2d_grid(comm, a, std::span<const index_t>(rb),
+                                         std::span<const index_t>(kb), rank_of, gi, gj);
+  auto my_b = redistribute_1d_to_2d_grid(comm, b, std::span<const index_t>(kb),
+                                         std::span<const index_t>(cb), rank_of, gi, gj);
+
+  CooMatrix<VT> acc(a.nrows(), b.ncols());
+  summadetail::summa_stages<SR>(comm, my_a, my_b, std::span<const index_t>(rb),
+                                std::span<const index_t>(kb), std::span<const index_t>(cb),
+                                kernel, threads, acc);
+  return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds());
+}
+
+/// Replicated-operand wrapper (the original baseline API): distributes the
+/// globals, runs the 1D-in/1D-out SUMMA, and returns this rank's C column
+/// slice as COO in global coordinates — gather_coo() reassembles.
+template <typename VT>
+CooMatrix<VT> spgemm_summa_2d(Comm& comm, const CscMatrix<VT>& a, const CscMatrix<VT>& b,
+                              LocalKernel kernel = LocalKernel::Hybrid, int threads = 1) {
+  require(a.ncols() == b.nrows(), "spgemm_summa_2d: inner dimension mismatch");
+  require_summa_grid(comm.size(), "spgemm_summa_2d");
+  auto da = DistMatrix1D<VT>::from_global(comm, a);
+  auto db = DistMatrix1D<VT>::from_global(comm, b);
+  auto dc = spgemm_summa_2d_dist(comm, da, db, kernel, threads);
+  auto ph = comm.phase(Phase::Other);
+  return dc.local_to_coo_global();
 }
 
 }  // namespace sa1d

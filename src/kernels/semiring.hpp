@@ -6,6 +6,7 @@
 #include <algorithm>
 #include <concepts>
 #include <limits>
+#include <type_traits>
 
 namespace sa1d {
 
@@ -43,6 +44,12 @@ struct MinPlus {
   static T add(T a, T b) { return std::min(a, b); }
   static T multiply(T a, T b) { return a + b; }
 };
+
+/// Resolves the semiring of a distributed entry point: callers omit the
+/// argument (void) to get plus-times over their value type, or name any
+/// semiring explicitly — spgemm_dist<MinPlus<double>>(…).
+template <typename SR, typename VT>
+using ResolveSemiring = std::conditional_t<std::is_void_v<SR>, PlusTimes<VT>, SR>;
 
 /// (+, select-second): multiply ignores the A value. With a 0/1 adjacency
 /// pattern this propagates and sums B values along edges — the multi-source

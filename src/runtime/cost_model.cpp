@@ -1,6 +1,7 @@
 #include "runtime/cost_model.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace sa1d {
 
@@ -17,6 +18,134 @@ ModeledTime CostModel::run_time(const std::vector<RankReport>& ranks,
     out.other = std::max(out.other, t.other);
   }
   return out;
+}
+
+int summa_grid_side(int P) {
+  int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(P))));
+  return q * q == P ? q : 0;
+}
+
+std::vector<int> valid_layer_counts(int P) {
+  std::vector<int> out;
+  for (int c = 1; c <= P; ++c) {
+    if (P % c != 0) continue;
+    if (summa_grid_side(P / c) > 0) out.push_back(c);
+  }
+  return out;
+}
+
+bool split3d_has_nontrivial_layers(int P) {
+  for (int c : valid_layer_counts(P))
+    if (c > 1 && c < P) return true;
+  return false;
+}
+
+double CostModel::alpha_eff(int P) const {
+  if (P <= p_.ranks_per_node) return p_.alpha_intra;
+  double f_inter = 1.0 - static_cast<double>(p_.ranks_per_node) / static_cast<double>(P);
+  return f_inter * p_.alpha_inter + (1.0 - f_inter) * p_.alpha_intra;
+}
+
+double CostModel::beta_eff(int P) const {
+  if (P <= p_.ranks_per_node) return p_.beta_intra;
+  double f_inter = 1.0 - static_cast<double>(p_.ranks_per_node) / static_cast<double>(P);
+  return f_inter * p_.beta_inter + (1.0 - f_inter) * p_.beta_intra;
+}
+
+AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
+  AlgoPrediction pr;
+  pr.algo = algo;
+  const auto P = static_cast<double>(in.P < 1 ? 1 : in.P);
+  const auto threads = static_cast<double>(in.threads < 1 ? 1 : in.threads);
+  const double alpha = alpha_eff(in.P);
+  const double beta = beta_eff(in.P);
+  const double trip = static_cast<double>(2 * in.index_bytes + in.value_bytes);
+  const double elem = static_cast<double>(in.index_bytes + in.value_bytes);
+  const auto nnz_a = static_cast<double>(in.nnz_a);
+  const auto nnz_b = static_cast<double>(in.nnz_b);
+  const auto flops = static_cast<double>(in.flops);
+  // Merged-output proxy: each flop yields one pre-merge partial triple; the
+  // backends that ship partial C pay for roughly half of them post-merge.
+  const double cnnz_est = flops / 2.0;
+
+  switch (algo) {
+    case Algo::Auto:
+      pr.note = "auto is a dispatch policy, not a backend";
+      return pr;
+
+    case Algo::SparseAware1D: {
+      pr.feasible = true;
+      const auto msgs = static_cast<double>(in.sa1d_fetch_msgs) / P;
+      // One-shot pipeline fetches structure and values of every planned
+      // block — 2 gets per block (hence 2α per message), moving one index
+      // word + one value per element in total — plus the replicated
+      // metadata allgather (gids + cp ≈ 2 index words per nonzero column).
+      const double fetch_bytes = static_cast<double>(in.sa1d_fetch_elems) * elem / P;
+      const double meta_bytes = static_cast<double>(in.nzc_a) * 2.0 *
+                                static_cast<double>(in.index_bytes);
+      pr.comm_s = alpha * 2.0 * msgs + beta * (fetch_bytes + meta_bytes);
+      pr.comp_s = static_cast<double>(in.max_rank_flops) * p_.flop_s / threads;
+      // Ã/B̃ assembly + output conversion scale with the moved elements and
+      // the stationary operand slice.
+      pr.other_s = p_.triple_s *
+                   (static_cast<double>(in.sa1d_fetch_elems) + nnz_b + cnnz_est) / P;
+      return pr;
+    }
+
+    case Algo::Ring1D: {
+      pr.feasible = true;
+      // Every A slice visits every rank: (P-1) hops of ~nnz_a/P triples.
+      pr.comm_s = alpha * (P - 1.0) + beta * trip * nnz_a * (P - 1.0) / P;
+      pr.comp_s = static_cast<double>(in.max_rank_flops) * p_.flop_s / threads;
+      // The accumulator holds one partial triple per flop until the final
+      // canonicalize (full triple rate: sort + merge); the per-hop column
+      // regrouping only *scans* the circulating slice (≈ nnz_a per rank
+      // over all hops), which costs about a quarter of the sort rate.
+      pr.other_s = p_.triple_s * (flops / P + nnz_a / 4.0);
+      return pr;
+    }
+
+    case Algo::Summa2D: {
+      const int q = summa_grid_side(in.P);
+      if (q == 0) {
+        pr.note = "P is not a perfect square";
+        return pr;
+      }
+      pr.feasible = true;
+      const double qd = static_cast<double>(q);
+      // Redistribution in (A and B blocks) and out (merged C partials), plus
+      // √P stages of row/column block broadcasts.
+      const double redist = trip * (nnz_a + nnz_b + cnnz_est) / P;
+      const double bcast = trip * (nnz_a + nnz_b) / qd;
+      pr.comm_s = alpha * (2.0 * qd + 3.0 * P) + beta * (redist + bcast);
+      pr.comp_s = flops * p_.flop_s / (P * threads);
+      pr.other_s = p_.triple_s * ((nnz_a + nnz_b) / qd + flops / P + redist / trip);
+      return pr;
+    }
+
+    case Algo::Split3D: {
+      const int c = in.layers;
+      if (c < 1 || in.P % c != 0 || summa_grid_side(in.P / c) == 0) {
+        pr.note = "layers do not divide P into square grids";
+        return pr;
+      }
+      pr.feasible = true;
+      const double cd = static_cast<double>(c);
+      const double qd = static_cast<double>(summa_grid_side(in.P / c));
+      // Like SUMMA per layer on 1/c of the inner dimension: broadcast volume
+      // shrinks by c·…/q_c, at the price of shipping partial C per *layer* —
+      // cross-layer duplicates are only merged at the 1D scatter, so the
+      // out volume grows toward c× the merged nnz, capped by the flop count.
+      const double c_out = std::min(flops, cd * cnnz_est);
+      const double redist = trip * (nnz_a + nnz_b + c_out) / P;
+      const double bcast = trip * (nnz_a + nnz_b) / (cd * qd);
+      pr.comm_s = alpha * (2.0 * qd + 3.0 * P) + beta * (redist + bcast);
+      pr.comp_s = flops * p_.flop_s / (P * threads);
+      pr.other_s = p_.triple_s * ((nnz_a + nnz_b) / (cd * qd) + flops / P + redist / trip);
+      return pr;
+    }
+  }
+  return pr;
 }
 
 }  // namespace sa1d

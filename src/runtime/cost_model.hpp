@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "runtime/stats.hpp"
+#include "util/common.hpp"
 
 namespace sa1d {
 
@@ -16,6 +17,62 @@ struct CostParams {
   double alpha_intra = 4.0e-7;      ///< per-message latency within a node (s)
   double beta_intra = 1.0 / 100e9;  ///< inverse bandwidth within a node (s/byte)
   int ranks_per_node = 16;          ///< rank→node mapping for intra/inter split
+
+  // Compute-rate constants for CostModel::predict. The defaults approximate
+  // the recorded microbench numbers (EXPERIMENTS.md); calibrate_cost_params()
+  // in dist/dist_spgemm.hpp measures them on the current host so Auto's
+  // predictions live in the same unit system as the measured phase times.
+  double flop_s = 6.0e-9;    ///< seconds per local SpGEMM flop (numeric pass)
+  double triple_s = 3.0e-8;  ///< seconds per COO triple packed/routed/merged
+};
+
+/// The distributed SpGEMM backends spgemm_dist dispatches over. Auto asks
+/// CostModel::predict to rank the concrete four and runs the winner.
+enum class Algo { Auto, SparseAware1D, Ring1D, Summa2D, Split3D };
+
+inline const char* algo_name(Algo a) {
+  switch (a) {
+    case Algo::Auto: return "auto";
+    case Algo::SparseAware1D: return "sa1d";
+    case Algo::Ring1D: return "ring1d";
+    case Algo::Summa2D: return "summa2d";
+    case Algo::Split3D: return "split3d";
+  }
+  return "?";
+}
+
+/// Cheap structural statistics of one distributed multiply C = A·B, gathered
+/// from replicated metadata before any algorithm runs (gather_algo_cost_inputs
+/// in dist/dist_spgemm.hpp). Everything here is a global aggregate, so every
+/// rank derives the identical Auto decision from its own copy.
+struct AlgoCostInputs {
+  int P = 1;            ///< communicator size
+  int threads = 1;      ///< simulated threads per rank
+  int layers = 1;       ///< Split3D layer count the prediction assumes
+  index_t m = 0;        ///< rows of A / C
+  index_t k = 0;        ///< inner dimension
+  index_t n = 0;        ///< columns of B / C
+  std::uint64_t nnz_a = 0;
+  std::uint64_t nnz_b = 0;
+  std::uint64_t nzc_a = 0;              ///< nonzero columns of A (metadata volume)
+  std::uint64_t flops = 0;              ///< structural multiply count, global
+  std::uint64_t max_rank_flops = 0;     ///< max per-rank flops under B's 1D layout
+  std::uint64_t sa1d_fetch_elems = 0;   ///< planned remote fetch volume (elements)
+  std::uint64_t sa1d_fetch_msgs = 0;    ///< planned RDMA block fetches
+  double needed_fraction = 1.0;         ///< avg |H∩D| / nzc over remote pairs
+  std::size_t value_bytes = sizeof(double);
+  std::size_t index_bytes = sizeof(index_t);
+};
+
+/// Modeled per-rank seconds for one backend on one AlgoCostInputs.
+struct AlgoPrediction {
+  Algo algo = Algo::Auto;
+  bool feasible = false;
+  const char* note = "";  ///< why infeasible / which layer count was assumed
+  double comm_s = 0.0;
+  double comp_s = 0.0;
+  double other_s = 0.0;
+  [[nodiscard]] double total_s() const { return comm_s + comp_s + other_s; }
 };
 
 /// Modeled per-rank and aggregate times derived from a RankReport. `plan`
@@ -73,8 +130,34 @@ class CostModel {
   [[nodiscard]] ModeledTime run_time(const std::vector<RankReport>& ranks,
                                      int threads_per_rank = 1) const;
 
+  /// Effective α/β for a random peer pair at communicator size P: a blend of
+  /// the intra- and inter-node parameters by the expected cross-node
+  /// fraction under the block rank→node mapping.
+  [[nodiscard]] double alpha_eff(int P) const;
+  [[nodiscard]] double beta_eff(int P) const;
+
+  /// Predicts the per-rank cost of running `algo` on the given structural
+  /// inputs (DESIGN.md §7 documents the formulas). `feasible` is false when
+  /// the process count cannot form the backend's grid; Split3D uses
+  /// `in.layers`. Deterministic in the inputs, so every rank reaches the
+  /// same Auto decision without extra communication.
+  [[nodiscard]] AlgoPrediction predict(const AlgoCostInputs& in, Algo algo) const;
+
  private:
   CostParams p_;
 };
+
+/// Grid-shape helpers shared by the 2D/3D backends, their validation
+/// errors, and the cost model's feasibility checks.
+/// Side of the √P×√P SUMMA grid, or 0 when P is not a perfect square.
+[[nodiscard]] int summa_grid_side(int P);
+/// Layer counts c with P = c·q² for integral q, ascending (always contains
+/// P itself via q = 1; contains 1 iff P is a perfect square).
+[[nodiscard]] std::vector<int> valid_layer_counts(int P);
+/// True iff P admits a non-degenerate Split-3D layering: some c with
+/// 1 < c < P (c = 1 is plain SUMMA, c = P collapses every layer to one
+/// rank). Auto and the backend-comparison benches dispatch on this;
+/// explicit Algo::Split3D requests may still pin a degenerate count.
+[[nodiscard]] bool split3d_has_nontrivial_layers(int P);
 
 }  // namespace sa1d

@@ -84,6 +84,9 @@ class Comm {
   /// Accumulates thread-CPU time of the enclosed scope into the given phase.
   [[nodiscard]] PhaseScope phase(Phase p) { return PhaseScope(*report_, p); }
   [[nodiscard]] RankReport& report() { return *report_; }
+  /// The machine's cost model (algorithm selection reads α/β from here so
+  /// its predictions are coherent with the modeled report times).
+  [[nodiscard]] const CostModel& cost() const { return *cost_; }
 
   void barrier() { sync(); }
 
@@ -93,6 +96,8 @@ class Comm {
   template <typename T>
   std::vector<T> allgather(const T& mine) {
     publish(&mine, sizeof(T));
+    for (int p = 0; p < size(); ++p)
+      if (p != rank_) record_send(p, sizeof(T));
     sync();
     std::vector<T> out(static_cast<std::size_t>(size()));
     for (int p = 0; p < size(); ++p) {
@@ -108,6 +113,8 @@ class Comm {
   template <typename T>
   std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
     publish(mine.data(), mine.size_bytes());
+    for (int p = 0; p < size(); ++p)
+      if (p != rank_) record_send(p, mine.size_bytes());
     sync();
     std::vector<std::vector<T>> out(static_cast<std::size_t>(size()));
     for (int p = 0; p < size(); ++p) {
@@ -136,7 +143,16 @@ class Comm {
   template <typename T>
   std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send) {
     require(send.size() == static_cast<std::size_t>(size()), "alltoallv: send.size() != P");
-    publish(&send, sizeof(send));
+    // The staging slot shares a pointer to the whole send table; the bytes
+    // field is the *payload* volume (summed per-destination chunks), not the
+    // outer vector header size, so volume accounting matches what moves.
+    std::size_t payload = 0;
+    for (int p = 0; p < size(); ++p) {
+      const auto& chunk = send[static_cast<std::size_t>(p)];
+      payload += chunk.size() * sizeof(T);
+      if (p != rank_ && !chunk.empty()) record_send(p, chunk.size() * sizeof(T));
+    }
+    publish(&send, payload);
     sync();
     std::vector<std::vector<T>> recv(static_cast<std::size_t>(size()));
     for (int p = 0; p < size(); ++p) {
@@ -153,7 +169,11 @@ class Comm {
   /// Broadcast from `root`: non-roots resize and receive.
   template <typename T>
   void bcast(std::vector<T>& data, int root) {
-    if (rank_ == root) publish(data.data(), data.size() * sizeof(T));
+    if (rank_ == root) {
+      publish(data.data(), data.size() * sizeof(T));
+      for (int p = 0; p < size(); ++p)
+        if (p != root) record_send(p, data.size() * sizeof(T));
+    }
     sync();
     if (rank_ != root) {
       const auto& b = sh_->slots[static_cast<std::size_t>(root)];
@@ -245,6 +265,21 @@ class Comm {
     if (poison_->load(std::memory_order_acquire)) throw PeerFailure{};
   }
 
+  /// Sender-side accounting for two-sided collectives: the payload bytes
+  /// this rank addressed to `to`. Mirrors record_recv so machine-wide
+  /// collective sent == collective received, byte for byte and message for
+  /// message (the alltoallv regression in test_runtime).
+  void record_send(int to, std::size_t bytes) {
+    bool same_node = cost_->node_of(global_rank(to)) == cost_->node_of(global_rank(rank_));
+    if (same_node) {
+      report_->sent_bytes_intra += bytes;
+      report_->sent_msgs_intra += 1;
+    } else {
+      report_->sent_bytes_inter += bytes;
+      report_->sent_msgs_inter += 1;
+    }
+  }
+
   /// Receiver-side accounting; intra/inter split uses *global* rank ids.
   void record_recv(int from, std::size_t bytes) {
     if (from == rank_) {
@@ -282,6 +317,28 @@ struct RunReport {
   [[nodiscard]] std::uint64_t total_msgs_network() const {
     std::uint64_t m = 0;
     for (const auto& r : ranks) m += r.msgs_network();
+    return m;
+  }
+  /// Machine-wide collective sent volume; equals total_coll_bytes_received()
+  /// on every run (the send/recv mirror invariant).
+  [[nodiscard]] std::uint64_t total_sent_bytes() const {
+    std::uint64_t b = 0;
+    for (const auto& r : ranks) b += r.sent_bytes_network();
+    return b;
+  }
+  [[nodiscard]] std::uint64_t total_sent_msgs() const {
+    std::uint64_t m = 0;
+    for (const auto& r : ranks) m += r.sent_msgs_network();
+    return m;
+  }
+  [[nodiscard]] std::uint64_t total_coll_bytes_received() const {
+    std::uint64_t b = 0;
+    for (const auto& r : ranks) b += r.coll_bytes_received();
+    return b;
+  }
+  [[nodiscard]] std::uint64_t total_coll_msgs_received() const {
+    std::uint64_t m = 0;
+    for (const auto& r : ranks) m += r.coll_msgs_received();
     return m;
   }
   [[nodiscard]] std::uint64_t total_rdma_bytes() const {

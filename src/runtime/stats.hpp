@@ -34,6 +34,16 @@ struct RankReport {
   std::uint64_t msgs_inter = 0;
   std::uint64_t msgs_intra = 0;
 
+  // Sender-side counters for two-sided collectives (allgather/alltoallv/
+  // bcast): the per-destination payload this rank injected into the
+  // network. One-sided window gets have no active sender, so machine-wide
+  // collective sent bytes must equal collective received bytes
+  // (bytes_network() - rdma_bytes); test_runtime asserts this invariant.
+  std::uint64_t sent_bytes_inter = 0;
+  std::uint64_t sent_bytes_intra = 0;
+  std::uint64_t sent_msgs_inter = 0;
+  std::uint64_t sent_msgs_intra = 0;
+
   // RDMA-only counters (subset of the above; Figs 5/6 report these).
   std::uint64_t rdma_bytes = 0;
   std::uint64_t rdma_msgs = 0;
@@ -42,6 +52,16 @@ struct RankReport {
 
   [[nodiscard]] std::uint64_t bytes_network() const { return bytes_inter + bytes_intra; }
   [[nodiscard]] std::uint64_t msgs_network() const { return msgs_inter + msgs_intra; }
+  [[nodiscard]] std::uint64_t sent_bytes_network() const {
+    return sent_bytes_inter + sent_bytes_intra;
+  }
+  [[nodiscard]] std::uint64_t sent_msgs_network() const {
+    return sent_msgs_inter + sent_msgs_intra;
+  }
+  /// Receiver-side bytes that arrived through two-sided collectives (the
+  /// counterpart of the sent_* counters).
+  [[nodiscard]] std::uint64_t coll_bytes_received() const { return bytes_network() - rdma_bytes; }
+  [[nodiscard]] std::uint64_t coll_msgs_received() const { return msgs_network() - rdma_msgs; }
 };
 
 /// RAII phase timer: accumulates thread-CPU time into the report on exit.

@@ -34,12 +34,15 @@
 
 #include "dist/dist_matrix.hpp"
 #include "dist/naive1d.hpp"
+#include "dist/redistribute.hpp"
 #include "dist/spgemm3d.hpp"
 #include "dist/summa2d.hpp"
 
 #include "core/block_fetch.hpp"
 #include "core/outer_product.hpp"
 #include "core/spgemm1d.hpp"
+
+#include "dist/dist_spgemm.hpp"
 
 #include "part/partitioner.hpp"
 #include "part/permutation.hpp"

@@ -46,19 +46,28 @@ class CooMatrix {
   [[nodiscard]] const std::vector<Triple<VT>>& triples() const { return t_; }
   std::vector<Triple<VT>>& triples() { return t_; }
 
-  /// Sorts column-major (col, then row) and merges duplicates by addition.
+  /// Sorts column-major (col, then row) and merges duplicates with `add`
+  /// (any associative/commutative ⊕ — the distributed backends pass their
+  /// semiring's add so partial-product merges keep semiring semantics).
   /// Drops explicit zeros produced by cancellation only if `drop_zeros`.
-  void canonicalize(bool drop_zeros = false) {
+  template <typename Add>
+  void canonicalize_with(Add add, bool drop_zeros = false) {
     std::sort(t_.begin(), t_.end(), [](const Triple<VT>& a, const Triple<VT>& b) {
       return a.col != b.col ? a.col < b.col : a.row < b.row;
     });
     std::size_t w = 0;
     for (std::size_t i = 0; i < t_.size();) {
       Triple<VT> acc = t_[i++];
-      while (i < t_.size() && t_[i].row == acc.row && t_[i].col == acc.col) acc.val += t_[i++].val;
+      while (i < t_.size() && t_[i].row == acc.row && t_[i].col == acc.col)
+        acc.val = add(acc.val, t_[i++].val);
       if (!drop_zeros || acc.val != VT{}) t_[w++] = acc;
     }
     t_.resize(w);
+  }
+
+  /// canonicalize_with over plain addition (the numeric semiring's merge).
+  void canonicalize(bool drop_zeros = false) {
+    canonicalize_with([](VT a, VT b) { return a + b; }, drop_zeros);
   }
 
   /// True if triples are column-major sorted with no duplicates.

@@ -1,0 +1,350 @@
+// The unified spgemm_dist front-end: cross-backend bit-identity over the
+// differential operand suite (ER / RMAT / rectangular / hypersparse /
+// empty-rank, both semirings), per-phase accounting for every backend,
+// grid-shape validation errors, and the cost-model Auto dispatch.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/triangle.hpp"
+#include "dist/dist_spgemm.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace sa1d {
+namespace {
+
+// Small-integer values make every ⊕ order exact in doubles, so "the same
+// result" is bit-for-bit identity, not approximate agreement — different
+// backends associate the semiring reduction differently.
+CscMatrix<double> with_integer_values(CscMatrix<double> a, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  std::vector<double> v(a.vals().size());
+  for (auto& x : v) x = static_cast<double>(1 + g.below(7));
+  return CscMatrix<double>(a.nrows(), a.ncols(), a.colptr(), a.rowids(), std::move(v));
+}
+
+CscMatrix<double> random_rect(index_t m, index_t n, int edges, std::uint64_t seed) {
+  CooMatrix<double> c(m, n);
+  SplitMix64 g(seed);
+  for (int e = 0; e < edges; ++e)
+    c.push(static_cast<index_t>(g.below(static_cast<std::uint64_t>(m))),
+           static_cast<index_t>(g.below(static_cast<std::uint64_t>(n))),
+           static_cast<double>(1 + g.below(5)));
+  c.canonicalize();
+  return CscMatrix<double>::from_coo(c);
+}
+
+/// Hypersparse: nnz ≪ n, whole column ranges empty (some ranks hold nothing).
+CscMatrix<double> hypersparse(index_t n, int edges, std::uint64_t seed) {
+  CooMatrix<double> c(n, n);
+  SplitMix64 g(seed);
+  for (int e = 0; e < edges; ++e)
+    c.push(static_cast<index_t>(g.below(static_cast<std::uint64_t>(n) / 3)),
+           static_cast<index_t>(g.below(static_cast<std::uint64_t>(n) / 3)),
+           static_cast<double>(1 + g.below(3)));
+  c.canonicalize();
+  return CscMatrix<double>::from_coo(c);
+}
+
+::testing::AssertionResult bit_equal(const CscMatrix<double>& got, const CscMatrix<double>& want) {
+  if (got.nrows() != want.nrows() || got.ncols() != want.ncols())
+    return ::testing::AssertionFailure() << "dimension mismatch";
+  if (got.colptr() != want.colptr()) return ::testing::AssertionFailure() << "colptr differs";
+  if (got.rowids() != want.rowids()) return ::testing::AssertionFailure() << "rowids differ";
+  if (got.vals() != want.vals())
+    return ::testing::AssertionFailure() << "values differ (not bit-identical)";
+  return ::testing::AssertionSuccess();
+}
+
+// Differential coverage deliberately includes *degenerate* Split-3D
+// layerings (c = P, one rank per layer) that Auto would never dispatch:
+// explicit backend requests run them, so they must be bit-correct too.
+std::vector<Algo> feasible_backends(int P) {
+  std::vector<Algo> out{Algo::SparseAware1D, Algo::Ring1D};
+  if (summa_grid_side(P) > 0) out.push_back(Algo::Summa2D);
+  if (!valid_layer_counts(P).empty()) out.push_back(Algo::Split3D);
+  return out;
+}
+
+/// Runs every feasible backend through spgemm_dist over both semirings and
+/// asserts the gathered results are bit-identical to the serial reference.
+void check_all_backends(const CscMatrix<double>& a, const CscMatrix<double>& b, int P,
+                        const std::vector<index_t>& a_bounds = {},
+                        const std::vector<index_t>& b_bounds = {}) {
+  auto want_pt = spgemm_local<PlusTimes<double>, double>(a, b, LocalKernel::Spa);
+  auto want_mp = spgemm_local<MinPlus<double>, double>(a, b, LocalKernel::Spa);
+  Machine m(P);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a, a_bounds);
+    auto db = DistMatrix1D<double>::from_global(c, b, b_bounds);
+    for (Algo algo : feasible_backends(P)) {
+      DistSpgemmOptions opt;
+      opt.algo = algo;
+      auto got = spgemm_dist(c, da, db, opt);
+      // Every backend returns C in B's column distribution.
+      EXPECT_EQ(got.bounds(), db.bounds()) << algo_name(algo);
+      EXPECT_TRUE(bit_equal(got.gather(c), want_pt)) << "plus-times " << algo_name(algo);
+      auto got_mp = spgemm_dist<MinPlus<double>>(c, da, db, opt);
+      EXPECT_TRUE(bit_equal(got_mp.gather(c), want_mp)) << "min-plus " << algo_name(algo);
+    }
+  });
+}
+
+// ---- cross-backend differential suite ------------------------------------
+
+TEST(DistSpgemmDifferential, ErdosRenyiSquare) {
+  auto a = with_integer_values(erdos_renyi<double>(180, 5.0, 11), 1);
+  auto b = with_integer_values(erdos_renyi<double>(180, 5.0, 12), 2);
+  for (int P : {1, 4, 8, 9}) check_all_backends(a, b, P);
+}
+
+TEST(DistSpgemmDifferential, RmatSquaring) {
+  auto a = with_integer_values(rmat<double>(8, 6, 21), 3);
+  for (int P : {4, 16}) check_all_backends(a, a, P);
+}
+
+TEST(DistSpgemmDifferential, RectangularOperands) {
+  auto a = random_rect(90, 60, 400, 31);
+  auto b = random_rect(60, 75, 350, 32);
+  for (int P : {4, 9}) check_all_backends(a, b, P);
+}
+
+TEST(DistSpgemmDifferential, HypersparseOperands) {
+  auto a = hypersparse(600, 50, 41);
+  auto b = hypersparse(600, 40, 42);
+  for (int P : {4, 8}) check_all_backends(a, b, P);
+}
+
+TEST(DistSpgemmDifferential, EmptyRankSlices) {
+  // All nonzeros live in the first third of the columns; with these skewed
+  // bounds ranks 1 and 2 hold structurally empty A and B slices.
+  auto a = hypersparse(500, 60, 51);
+  auto b = hypersparse(500, 45, 52);
+  std::vector<index_t> skew{0, 200, 400, 500};
+  check_all_backends(a, b, 3, skew, skew);
+  check_all_backends(a, b, 4);
+}
+
+TEST(DistSpgemmDifferential, UnevenBoundsReturnInBsDistribution) {
+  auto a = with_integer_values(erdos_renyi<double>(120, 4.0, 61), 4);
+  std::vector<index_t> ab{0, 10, 30, 70, 120};
+  std::vector<index_t> bb{0, 50, 60, 100, 120};
+  check_all_backends(a, a, 4, ab, bb);
+}
+
+// ---- per-phase accounting -------------------------------------------------
+
+TEST(DistSpgemmPhases, EveryBackendAccountsComputeAndTraffic) {
+  auto a = with_integer_values(erdos_renyi<double>(400, 8.0, 71), 5);
+  const int P = 4;
+  for (Algo algo : feasible_backends(P)) {
+    Machine m(P);
+    auto rep = m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      DistSpgemmOptions opt;
+      opt.algo = algo;
+      spgemm_dist(c, da, da, opt);
+    });
+    double comp = 0, other = 0, plan = 0;
+    for (const auto& r : rep.ranks) {
+      comp += r.comp_s;
+      other += r.other_s;
+      plan += r.plan_s;
+    }
+    EXPECT_GT(comp, 0.0) << algo_name(algo);
+    EXPECT_GT(other, 0.0) << algo_name(algo);
+    EXPECT_GT(rep.total_bytes_network(), 0u) << algo_name(algo);
+    EXPECT_GT(rep.total_msgs_network(), 0u) << algo_name(algo);
+    if (algo == Algo::SparseAware1D) {
+      EXPECT_GT(plan, 0.0) << "inspector time must be accounted";
+      EXPECT_GT(rep.total_rdma_bytes(), 0u);
+    } else {
+      // The send/recv mirror holds for the collective-only backends.
+      EXPECT_EQ(rep.total_sent_bytes(), rep.total_coll_bytes_received()) << algo_name(algo);
+    }
+  }
+}
+
+// ---- grid-shape validation ------------------------------------------------
+
+TEST(DistSpgemmValidation, SummaRejectsNonSquarePWithActionableMessage) {
+  Machine m(6);
+  auto a = erdos_renyi<double>(30, 2.0, 2);
+  try {
+    m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      DistSpgemmOptions opt;
+      opt.algo = Algo::Summa2D;
+      spgemm_dist(c, da, da, opt);
+    });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("P=6"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("perfect-square"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("4 or 9"), std::string::npos) << msg;  // nearest valid counts
+  }
+}
+
+TEST(DistSpgemmValidation, Split3dRejectsBadLayersListingValidCounts) {
+  Machine m(8);
+  auto a = erdos_renyi<double>(30, 2.0, 2);
+  try {
+    m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      DistSpgemmOptions opt;
+      opt.algo = Algo::Split3D;
+      opt.layers = 3;
+      spgemm_dist(c, da, da, opt);
+    });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("layers=3"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("P=8"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("{2, 8}"), std::string::npos) << msg;  // the valid layerings
+  }
+}
+
+TEST(DistSpgemmValidation, Split3dOnlyDegenerateLayeringNamesAlternatives) {
+  Machine m(6);  // 6 = 2·3: only the degenerate 6·1² layering exists
+  auto a = erdos_renyi<double>(30, 2.0, 2);
+  try {
+    m.run([&](Comm& c) { spgemm_split_3d(c, a, a, 2); });
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("are {6}"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("Algo::SparseAware1D"), std::string::npos) << msg;
+  }
+}
+
+TEST(DistSpgemmValidation, LegacyWrappersStillThrowInvalidArgument) {
+  Machine m(6);
+  auto a = erdos_renyi<double>(20, 2.0, 2);
+  EXPECT_THROW(m.run([&](Comm& c) { spgemm_summa_2d(c, a, a); }), std::invalid_argument);
+}
+
+// ---- cost-model Auto dispatch ---------------------------------------------
+
+TEST(DistSpgemmAuto, RecordsInputsAndPredictionsAndPicksArgmin) {
+  auto a = with_integer_values(erdos_renyi<double>(300, 6.0, 81), 6);
+  Machine m(16, calibrate_cost_params());
+  auto want = spgemm_local<PlusTimes<double>, double>(a, a, LocalKernel::Spa);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    DistSpgemmStats st;
+    auto got = spgemm_dist(c, da, da, {}, &st);
+    EXPECT_TRUE(bit_equal(got.gather(c), want));
+
+    EXPECT_EQ(st.requested, Algo::Auto);
+    ASSERT_EQ(st.predictions.size(), 4u);
+    // The structural inputs were gathered and are globally consistent.
+    EXPECT_EQ(st.inputs.P, 16);
+    EXPECT_EQ(st.inputs.nnz_a, static_cast<std::uint64_t>(a.nnz()));
+    EXPECT_GT(st.inputs.flops, 0u);
+    EXPECT_GT(st.inputs.sa1d_fetch_elems, 0u);
+    EXPECT_GT(st.inputs.needed_fraction, 0.0);
+    EXPECT_LE(st.inputs.needed_fraction, 1.0);
+    // The chosen backend is the cheapest feasible prediction.
+    double best = -1;
+    Algo argmin = Algo::SparseAware1D;
+    for (const auto& pr : st.predictions) {
+      EXPECT_NE(pr.algo, Algo::Auto);
+      if (!pr.feasible) continue;
+      EXPECT_GT(pr.total_s(), 0.0) << algo_name(pr.algo);
+      if (best < 0 || pr.total_s() < best) {
+        best = pr.total_s();
+        argmin = pr.algo;
+      }
+    }
+    EXPECT_EQ(st.chosen, argmin);
+  });
+}
+
+TEST(DistSpgemmAuto, ExplicitBackendSkipsTheMetadataGather) {
+  auto a = with_integer_values(erdos_renyi<double>(150, 4.0, 91), 7);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    DistSpgemmOptions opt;
+    opt.algo = Algo::Ring1D;
+    DistSpgemmStats st;
+    spgemm_dist(c, da, da, opt, &st);
+    EXPECT_EQ(st.requested, Algo::Ring1D);
+    EXPECT_EQ(st.chosen, Algo::Ring1D);
+    EXPECT_TRUE(st.predictions.empty());
+  });
+}
+
+TEST(DistSpgemmAuto, AllPredictionsFeasibilityMatchesGridShapes) {
+  CostModel cm(calibrate_cost_params());
+  AlgoCostInputs in;
+  in.P = 6;  // not a square, no c·q² layering
+  in.nnz_a = in.nnz_b = 1000;
+  in.flops = 10000;
+  in.max_rank_flops = 2500;
+  EXPECT_TRUE(cm.predict(in, Algo::SparseAware1D).feasible);
+  EXPECT_TRUE(cm.predict(in, Algo::Ring1D).feasible);
+  EXPECT_FALSE(cm.predict(in, Algo::Summa2D).feasible);
+  in.layers = 2;
+  EXPECT_FALSE(cm.predict(in, Algo::Split3D).feasible);
+  in.P = 16;
+  in.layers = 4;
+  EXPECT_TRUE(cm.predict(in, Algo::Summa2D).feasible);
+  EXPECT_TRUE(cm.predict(in, Algo::Split3D).feasible);
+}
+
+TEST(DistSpgemmAuto, SparsityAdvantageFavorsSa1dOverRing) {
+  // With a tiny needed fraction the SA-1D prediction must undercut the
+  // ring's full-replication cost at every realistic size.
+  CostModel cm;
+  AlgoCostInputs in;
+  in.P = 16;
+  in.nnz_a = in.nnz_b = 1'000'000;
+  in.nzc_a = 40'000;
+  in.flops = 40'000'000;
+  in.max_rank_flops = 3'000'000;
+  in.sa1d_fetch_elems = 50'000;  // 5% of A moves
+  in.sa1d_fetch_msgs = 1'000;
+  EXPECT_LT(cm.predict(in, Algo::SparseAware1D).total_s(),
+            cm.predict(in, Algo::Ring1D).total_s());
+}
+
+// ---- plan reuse through the front-end -------------------------------------
+
+TEST(DistSpgemmCache, PlanPointerReplaysAcrossCalls) {
+  auto a = with_integer_values(erdos_renyi<double>(200, 5.0, 95), 8);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    SpgemmPlan1D<double> plan;
+    DistSpgemmOptions opt;
+    opt.algo = Algo::SparseAware1D;
+    auto c1 = spgemm_dist(c, da, da, opt, nullptr, &plan);
+    EXPECT_EQ(plan.executions(), 1);
+    auto c2 = spgemm_dist(c, da, da, opt, nullptr, &plan);
+    EXPECT_EQ(plan.executions(), 2);  // same structure: replayed, not rebuilt
+    EXPECT_TRUE(bit_equal(c1.gather(c), c2.gather(c)));
+  });
+}
+
+// ---- apps accept every backend --------------------------------------------
+
+TEST(DistSpgemmApps, TriangleCountAgreesAcrossBackends) {
+  auto g = symmetrize(erdos_renyi<double>(120, 4.0, 97));
+  auto want = count_triangles_serial(g);
+  const int P = 4;
+  Machine m(P);
+  m.run([&](Comm& c) {
+    for (Algo algo : feasible_backends(P)) {
+      DistSpgemmOptions opt;
+      opt.algo = algo;
+      EXPECT_EQ(count_triangles_dist(c, g, opt), want) << algo_name(algo);
+    }
+  });
+}
+
+}  // namespace
+}  // namespace sa1d

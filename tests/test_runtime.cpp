@@ -61,6 +61,57 @@ TEST(Collectives, Alltoallv) {
   });
 }
 
+TEST(Collectives, AlltoallvSendAccountingMatchesPayload) {
+  // Regression: the send side used to publish the outer std::vector header
+  // size instead of the per-destination payload, so sent-byte counters
+  // under-reported every all-to-all. Exact volumes: each rank sends one
+  // int to each other rank (self-chunks are local, not network traffic).
+  const int P = 4;
+  Machine m(P);
+  auto rep = m.run([](Comm& c) {
+    std::vector<std::vector<int>> send(P);
+    for (int p = 0; p < P; ++p) send[static_cast<std::size_t>(p)] = {c.rank() * 100 + p};
+    c.alltoallv(send);
+  });
+  const std::uint64_t expect_bytes = P * (P - 1) * sizeof(int);
+  EXPECT_EQ(rep.total_sent_bytes(), expect_bytes);
+  EXPECT_EQ(rep.total_coll_bytes_received(), expect_bytes);
+  EXPECT_EQ(rep.total_sent_msgs(), static_cast<std::uint64_t>(P * (P - 1)));
+  EXPECT_EQ(rep.total_coll_msgs_received(), static_cast<std::uint64_t>(P * (P - 1)));
+}
+
+TEST(Collectives, SentEqualsReceivedMachineWide) {
+  // The mirror invariant across a mix of every collective, including empty
+  // and self-addressed chunks: machine-wide collective sent == received,
+  // bytes and messages, with the intra/inter split consistent.
+  CostParams cp;
+  cp.ranks_per_node = 2;  // make the intra/inter split non-trivial
+  Machine m(6, cp);
+  auto rep = m.run([](Comm& c) {
+    std::vector<std::vector<double>> send(6);
+    for (int p = 0; p < 6; ++p)
+      if ((c.rank() + p) % 2 == 0)
+        send[static_cast<std::size_t>(p)].assign(static_cast<std::size_t>(p + 1),
+                                                 1.0 * c.rank());
+    c.alltoallv(send);
+    c.allgather(c.rank());
+    std::vector<index_t> mine(static_cast<std::size_t>(c.rank()), 7);
+    c.allgatherv(std::span<const index_t>(mine));
+    std::vector<int> data;
+    if (c.rank() == 2) data.assign(33, 5);
+    c.bcast(data, 2);
+  });
+  EXPECT_GT(rep.total_sent_bytes(), 0u);
+  EXPECT_EQ(rep.total_sent_bytes(), rep.total_coll_bytes_received());
+  EXPECT_EQ(rep.total_sent_msgs(), rep.total_coll_msgs_received());
+  std::uint64_t sent_inter = 0, recv_inter = 0;
+  for (const auto& r : rep.ranks) {
+    sent_inter += r.sent_bytes_inter;
+    recv_inter += r.bytes_inter - r.rdma_bytes_inter;
+  }
+  EXPECT_EQ(sent_inter, recv_inter);
+}
+
 TEST(Collectives, AlltoallvRejectsWrongSize) {
   Machine m(3);
   EXPECT_THROW(m.run([](Comm& c) {
@@ -109,6 +160,7 @@ TEST(Windows, ExposeAndGet) {
     std::vector<index_t> got(3);
     c.get(w, target, 5, 3, got.data());
     EXPECT_EQ(got, (std::vector<index_t>{target * 100 + 5, target * 100 + 6, target * 100 + 7}));
+    c.barrier();  // keep exposed buffers alive until all gets complete
   });
 }
 
