@@ -8,8 +8,14 @@
 //
 // --json[=PATH] writes the BENCH_dist_backends fragment at P=16: for every
 // dataset, the per-backend modeled breakdown and exact comm bytes, plus
-// Algo::Auto's pick, its per-backend cost predictions, and the measured
-// winner (acceptance: the pick matches the measurement on er/rmat).
+// Algo::Auto's pick, its per-backend cost predictions (with the flop_s /
+// triple_s coefficients scripts/fit_cost_params.py refits from), the
+// measured winner (acceptance: the pick matches the measurement on
+// er/rmat), and an "iterated" section: per backend, the plan-vs-execute
+// breakdown of a cached-plan squaring loop — the second iteration must
+// record zero Phase::Plan time and zero metadata-collective bytes, with
+// collective volume strictly below the build (CI asserts this for
+// SUMMA-2D and split-3D).
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -76,6 +82,57 @@ std::vector<Algo> feasible(int P) {
   std::vector<Algo> out{Algo::SparseAware1D, Algo::Ring1D};
   if (summa_grid_side(P) > 0) out.push_back(Algo::Summa2D);
   if (split3d_has_nontrivial_layers(P)) out.push_back(Algo::Split3D);
+  return out;
+}
+
+/// One iteration of a cached-plan squaring loop, aggregated over ranks.
+struct IterStat {
+  double plan_ms = 0.0;   ///< max-rank Phase::Plan seconds of this call
+  double exec_ms = 0.0;   ///< max-rank Comp+Other CPU of this call
+  std::uint64_t coll_bytes = 0;       ///< total collective bytes received
+  std::uint64_t meta_coll_bytes = 0;  ///< beyond the value-replay payload
+  bool reused = false;
+};
+
+/// Runs `iters` squarings through one DistSpgemmPlan (the app-loop shape:
+/// same structure, spgemm_dist_cached decides replay-vs-rebuild) and
+/// aggregates the per-call stats: iteration 0 builds, 1+ must replay.
+std::vector<IterStat> measure_iterated(Machine& m, const CscMatrix<double>& a, Algo algo,
+                                       int iters) {
+  const int P = m.nranks();
+  std::vector<std::vector<DistSpgemmStats>> sts(
+      static_cast<std::size_t>(P), std::vector<DistSpgemmStats>(static_cast<std::size_t>(iters)));
+  std::vector<std::vector<double>> exec_s(
+      static_cast<std::size_t>(P), std::vector<double>(static_cast<std::size_t>(iters), 0.0));
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    DistSpgemmPlan<double> plan;
+    DistSpgemmOptions opt;
+    opt.algo = algo;
+    if (algo == Algo::Split3D) opt.layers = distdetail::default_split3d_layers(c.size());
+    for (int t = 0; t < iters; ++t) {
+      RankReport before = c.report();
+      spgemm_dist_cached(c, plan, da, da, opt,
+                         &sts[static_cast<std::size_t>(c.rank())][static_cast<std::size_t>(t)]);
+      const RankReport& after = c.report();
+      exec_s[static_cast<std::size_t>(c.rank())][static_cast<std::size_t>(t)] =
+          (after.comp_s - before.comp_s) + (after.other_s - before.other_s);
+    }
+  });
+  std::vector<IterStat> out(static_cast<std::size_t>(iters));
+  for (int t = 0; t < iters; ++t) {
+    auto& it = out[static_cast<std::size_t>(t)];
+    it.reused = true;
+    for (int r = 0; r < P; ++r) {
+      const auto& st = sts[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)];
+      it.plan_ms = std::max(it.plan_ms, 1e3 * st.plan_seconds);
+      it.exec_ms = std::max(
+          it.exec_ms, 1e3 * exec_s[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)]);
+      it.coll_bytes += st.coll_recv_bytes;
+      it.meta_coll_bytes += st.meta_coll_bytes;
+      it.reused = it.reused && st.plan_reused;
+    }
+  }
   return out;
 }
 
@@ -149,8 +206,40 @@ void run_json(const char* json_path) {
                    pr.feasible ? 1e3 * pr.total_s() : -1.0,
                    i + 1 < st.predictions.size() ? ", " : "");
     }
-    std::fprintf(f, "},\n        \"measured_winner\": \"%s\", \"pick_matches_measured\": %s}\n",
+    // The flop_s/triple_s coefficients of each prediction's compute terms:
+    // paired with the measured comp_ms/other_ms above, these are the
+    // records scripts/fit_cost_params.py refits CostParams from.
+    std::fprintf(f, "},\n        \"predicted_coeffs\": {");
+    for (std::size_t i = 0; i < st.predictions.size(); ++i) {
+      const auto& pr = st.predictions[i];
+      std::fprintf(f, "\"%s\": {\"comp\": %.1f, \"other\": %.1f}%s", algo_name(pr.algo),
+                   pr.feasible ? pr.comp_coeff : -1.0, pr.feasible ? pr.other_coeff : -1.0,
+                   i + 1 < st.predictions.size() ? ", " : "");
+    }
+    std::fprintf(f, "},\n        \"measured_winner\": \"%s\", \"pick_matches_measured\": %s},\n",
                  algo_name(winner), st.chosen == winner ? "true" : "false");
+
+    // Iterated squarings through one cached DistSpgemmPlan per backend: the
+    // plan-vs-execute breakdown that pins the inspector–executor contract
+    // (iteration 1+ must replay: zero Plan ms, zero metadata bytes).
+    const int iters = 3;
+    std::fprintf(f, "      \"iterated\": {\"iters\": %d,\n", iters);
+    auto algos = feasible(P);
+    for (std::size_t ai = 0; ai < algos.size(); ++ai) {
+      auto series = measure_iterated(m, nm.a, algos[ai], iters);
+      std::fprintf(f, "        \"%s\": [", algo_name(algos[ai]));
+      for (int t = 0; t < iters; ++t) {
+        const auto& it = series[static_cast<std::size_t>(t)];
+        std::fprintf(f,
+                     "{\"plan_ms\": %.3f, \"exec_ms\": %.3f, \"coll_bytes\": %llu, "
+                     "\"meta_coll_bytes\": %llu, \"reused\": %s}%s",
+                     it.plan_ms, it.exec_ms, static_cast<unsigned long long>(it.coll_bytes),
+                     static_cast<unsigned long long>(it.meta_coll_bytes),
+                     it.reused ? "true" : "false", t + 1 < iters ? ", " : "");
+      }
+      std::fprintf(f, "]%s\n", ai + 1 < algos.size() ? "," : "");
+    }
+    std::fprintf(f, "      }\n");
     std::fprintf(f, "    }%s\n", mi + 1 < mats.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");

@@ -13,7 +13,11 @@
 #                                volumes) + fig09 (per-dataset backend ranking,
 #                                Auto's pick and per-algo cost predictions vs
 #                                the measured winner)
-# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only] [SA1D_SCALE]
+# --refit skips the benches and refits CostParams.flop_s/triple_s from the
+# accumulated prediction-vs-measured records already in
+# BENCH_dist_backends.json (scripts/fit_cost_params.py; record the refit in
+# EXPERIMENTS.md).
+# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only|--refit] [SA1D_SCALE]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -23,6 +27,7 @@ case "${1:-}" in
   --comm-only) MODE=comm; shift ;;
   --local-only) MODE=local; shift ;;
   --dist-only) MODE=dist; shift ;;
+  --refit) exec python3 scripts/fit_cost_params.py BENCH_dist_backends.json ;;
 esac
 SCALE="${1:-${SA1D_SCALE:-1}}"
 BUILD_DIR=build-bench

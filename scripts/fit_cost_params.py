@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Refit CostParams.flop_s / triple_s from accumulated prediction-vs-measured
+records in BENCH_dist_backends.json (the cost-model learning loop from
+ROADMAP, replacing one-shot calibration).
+
+The cost model's compute terms are linear in the rates —
+    predicted comp_s  = flop_s   * comp_coeff(backend, inputs)
+    predicted other_s = triple_s * other_coeff(backend, inputs)
+— and fig09 --json records both the coefficients (auto.predicted_coeffs)
+and the measured comp_ms / other_ms per backend and dataset. Each rate is
+then a one-dimensional least-squares problem over all (dataset, backend)
+records. The objective is *relative* error — minimize
+sum(((rate*coeff_i - measured_i) / measured_i)**2) — because Auto ranks
+backends per multiply, so a 2x misprediction on a 1 ms row hurts exactly
+as much as on a 1 s row; the closed form is
+    rate* = sum(coeff_i/measured_i) / sum((coeff_i/measured_i)**2)
+
+Prints the fitted rates next to the calibration defaults, the before/after
+mean relative error of the modeled compute terms, and a CostParams-ready
+snippet. Record refits in EXPERIMENTS.md.
+
+Usage: scripts/fit_cost_params.py [BENCH_dist_backends.json]
+"""
+import json
+import sys
+
+# Defaults from runtime/cost_model.hpp (the one-shot calibration targets).
+DEFAULT_FLOP_S = 6.0e-9
+DEFAULT_TRIPLE_S = 3.0e-8
+
+
+def collect_records(doc):
+    """(dataset, backend, coeff_comp, coeff_other, meas_comp_s, meas_other_s)."""
+    rows = doc["fig09_backend_compare"]["rows"]
+    records = []
+    for row in rows:
+        coeffs = row.get("auto", {}).get("predicted_coeffs", {})
+        for backend, meas in row["backends"].items():
+            co = coeffs.get(backend)
+            if not co or co["comp"] < 0:
+                continue  # infeasible prediction: nothing to pair
+            records.append((row["dataset"], backend, co["comp"], co["other"],
+                            meas["comp_ms"] * 1e-3, meas["other_ms"] * 1e-3))
+    return records
+
+
+def fit_rate(pairs):
+    """Relative-least-squares slope through the origin for
+    measured = rate * coeff (rows with no measurement carry no signal)."""
+    scaled = [(c / m) for c, m in pairs if m > 0 and c > 0]
+    num = sum(scaled)
+    den = sum(s * s for s in scaled)
+    return num / den if den > 0 else None
+
+
+def mean_rel_err(pairs, rate):
+    errs = [abs(rate * c - m) / m for c, m in pairs if m > 0]
+    return sum(errs) / len(errs) if errs else float("nan")
+
+
+def main():
+    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_dist_backends.json"
+    with open(path) as f:
+        doc = json.load(f)
+    records = collect_records(doc)
+    if not records:
+        sys.exit(f"{path}: no prediction-vs-measured records "
+                 "(need fig09 rows with auto.predicted_coeffs)")
+
+    comp_pairs = [(c, m) for _, _, c, _, m, _ in records]
+    other_pairs = [(c, m) for _, _, _, c, _, m in records]
+    flop_s = fit_rate(comp_pairs)
+    triple_s = fit_rate(other_pairs)
+    if flop_s is None or triple_s is None:
+        sys.exit(f"{path}: every record has a zero-valued measurement or "
+                 "coefficient — re-run the bench at a larger SA1D_SCALE so "
+                 "the phase times do not round to 0.000 ms")
+
+    print(f"records: {len(records)} (dataset x feasible backend)")
+    for name, fitted, default, pairs in (
+            ("flop_s", flop_s, DEFAULT_FLOP_S, comp_pairs),
+            ("triple_s", triple_s, DEFAULT_TRIPLE_S, other_pairs)):
+        before = mean_rel_err(pairs, default)
+        after = mean_rel_err(pairs, fitted)
+        print(f"{name}: fitted {fitted:.3e}  (default {default:.3e}; "
+              f"mean rel err {before:.2%} -> {after:.2%})")
+
+    print("\nCostParams snippet:")
+    print(f"  params.flop_s = {flop_s:.6e};")
+    print(f"  params.triple_s = {triple_s:.6e};")
+    print(json.dumps({"flop_s": flop_s, "triple_s": triple_s,
+                      "records": len(records)}))
+
+
+if __name__ == "__main__":
+    main()

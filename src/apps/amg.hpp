@@ -128,17 +128,17 @@ class GalerkinOperator {
   }
 
   /// Computes RᵀAR for the given A (collective). First call builds the
-  /// plans; later calls with the same A pattern reuse them (only value
-  /// fetches + numeric passes).
+  /// plans; later calls with the same A pattern replay them value-only —
+  /// through whichever backend `opt_.algo` selects.
   GalerkinResult compute(Comm& comm, const CscMatrix<double>& a_global) {
     require(a_global.nrows() == a_global.ncols(), "GalerkinOperator: A must be square");
     require(rt_.ncols() == a_global.nrows(), "GalerkinOperator: R/A dimension mismatch");
     auto a = DistMatrix1D<double>::from_global(comm, a_global);
 
     GalerkinResult res;
-    res.rta = spgemm_dist(comm, rt_, a, opt_, nullptr, &plan_rta_);
+    res.rta = spgemm_dist_cached(comm, plan_rta_, rt_, a, opt_);
     if (right_ == RightMultAlgo::SparsityAware1d) {
-      res.rtar = spgemm_dist(comm, res.rta, r_, opt_, nullptr, &plan_rtar_);
+      res.rtar = spgemm_dist_cached(comm, plan_rtar_, res.rta, r_, opt_);
     } else {
       // Forward the local-kernel configuration: the outer product runs the
       // same two-phase local engine as the sparsity-aware path.
@@ -153,7 +153,7 @@ class GalerkinOperator {
   DistSpgemmOptions opt_;
   RightMultAlgo right_;
   DistMatrix1D<double> rt_, r_;
-  SpgemmPlan1D<double> plan_rta_, plan_rtar_;
+  DistSpgemmPlan<double> plan_rta_, plan_rtar_;
 };
 
 /// Distributed Galerkin product RᵀAR (the AMG bottleneck the paper targets).

@@ -131,10 +131,17 @@ DistMatrix1D<double> local_map(const DistMatrix1D<double>& m, F&& f) {
 struct BcOptions {
   Spgemm1dOptions mult;        ///< options for every SpGEMM inside BC
   index_t max_levels = 1000;   ///< safety bound on BFS depth
-  /// Distributed backend for the traversal SpGEMMs; SparseAware1D keeps the
-  /// per-direction cached plans.
+  /// Distributed backend for the traversal SpGEMMs; every backend keeps the
+  /// per-direction cached plans through spgemm_dist_cached.
   Algo backend = Algo::SparseAware1D;
   int layers = 0;              ///< Split3D layer count; 0 = auto
+  /// Legacy traversal semiring. The BFS path-count propagation is
+  /// PlusSelect2nd (⊗ ignores the 0/1 adjacency value and selects the
+  /// frontier value) — the default; setting this runs the original masked
+  /// plus-times formulation, which is numerically identical because A is a
+  /// pattern (1.0 ⊗ x == x) — the differential test in test_bc.cpp pins
+  /// the bit-equality.
+  bool plus_times_traversal = false;
 };
 
 struct BcResult {
@@ -173,16 +180,23 @@ inline BcResult betweenness_batch(Comm& comm, const CscMatrix<double>& a_global,
   std::vector<DistMatrix1D<double>> frontiers{f};
 
   // ---- forward multi-source BFS ----
-  // One plan slot per traversal direction: A (resp. Aᵀ) is fixed, so the
-  // plan replays whenever consecutive frontiers keep the same structure
-  // (saturated levels); structure changes replan via the fingerprint check.
-  SpgemmPlan1D<double> fwd_plan, bwd_plan;
+  // One plan slot per traversal direction and semiring: A (resp. Aᵀ) is
+  // fixed, so the plan replays whenever consecutive frontiers keep the same
+  // structure (saturated levels); structure changes rebuild via the
+  // fingerprint vote — through any backend. The traversal semiring is
+  // PlusSelect2nd (path counts propagate by summing frontier values along
+  // edges; the adjacency value is structural), with the masked plus-times
+  // formulation retained behind BcOptions::plus_times_traversal.
+  DistSpgemmPlan<double, PlusSelect2nd<double>> fwd_plan, bwd_plan;
+  DistSpgemmPlan<double> fwd_plan_pt, bwd_plan_pt;
   DistSpgemmOptions mult{opt.backend, opt.mult, opt.layers};
   int level = 0;
   while (f.global_nnz(comm) > 0 && level < opt.max_levels) {
     ++level;
     RankReport before = comm.report();
-    auto next = spgemm_dist(comm, da, f, mult, nullptr, &fwd_plan);
+    auto next = opt.plus_times_traversal
+                    ? spgemm_dist_cached(comm, fwd_plan_pt, da, f, mult)
+                    : spgemm_dist_cached<PlusSelect2nd<double>>(comm, fwd_plan, da, f, mult);
     res.level_stats.push_back(bcdetail::level_delta(level, true, before, comm.report()));
 
     auto ph = comm.phase(Phase::Other);
@@ -223,7 +237,10 @@ inline BcResult betweenness_batch(Comm& comm, const CscMatrix<double>& a_global,
     }
 
     RankReport before = comm.report();
-    auto u = spgemm_dist(comm, dat, w, mult, nullptr, &bwd_plan);  // pull backward
+    // Pull backward: U = Aᵀ · W sums W over edges — PlusSelect2nd again.
+    auto u = opt.plus_times_traversal
+                 ? spgemm_dist_cached(comm, bwd_plan_pt, dat, w, mult)
+                 : spgemm_dist_cached<PlusSelect2nd<double>>(comm, bwd_plan, dat, w, mult);
     res.level_stats.push_back(bcdetail::level_delta(l, false, before, comm.report()));
 
     auto ph = comm.phase(Phase::Other);

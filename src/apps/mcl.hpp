@@ -119,15 +119,16 @@ inline MclResult mcl_cluster(Comm& comm, const CscMatrix<double>& a_global,
 
   auto dm = DistMatrix1D<double>::from_global(comm, m0);
   MclResult res;
-  // Expansion plan, reused across rounds: pruning changes M's structure in
-  // early rounds (each change replans), but as the iteration approaches its
-  // attractor the pattern freezes and the cached plan replays with zero
-  // metadata collectives and zero symbolic work.
-  SpgemmPlan1D<double> expansion;
+  // Expansion plan, reused across rounds *whichever backend runs*: pruning
+  // changes M's structure in early rounds (each change rebuilds), but as
+  // the iteration approaches its attractor the pattern freezes and the
+  // cached plan replays value-only — zero metadata collectives, zero
+  // Phase::Plan work, for SA-1D and the grid backends alike.
+  DistSpgemmPlan<double> expansion;
   DistSpgemmOptions mult{opt.backend, opt.mult, opt.layers};
   for (int it = 0; it < opt.max_iterations; ++it) {
     res.iterations = it + 1;
-    auto expanded = spgemm_dist(comm, dm, dm, mult, nullptr, &expansion);
+    auto expanded = spgemm_dist_cached(comm, expansion, dm, dm, mult);
     CscMatrix<double> next_local;
     double local_change = 0;
     {

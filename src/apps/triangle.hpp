@@ -77,8 +77,10 @@ std::int64_t count_triangles_dist(Comm& comm, const CscMatrix<VT>& a,
   require(a.nrows() == a.ncols(), "count_triangles_dist: matrix must be square");
   auto l = lower_triangle(to_pattern(a));
   auto dl = DistMatrix1D<double>::from_global(comm, l);
-  // Triangle counting multiplies exactly once: the one-shot dispatch is the
-  // right shape of the inspector–executor API here.
+  // Triangle counting multiplies exactly once per graph, and the count is a
+  // pure function of the pattern — there is no value-refresh iteration for
+  // a DistSpgemmPlan to amortize, so unlike the MCL/BC/AMG loops this stays
+  // on the one-shot dispatch.
   auto db = spgemm_dist(comm, dl, dl, opt);
 
   // Local masked sum: entries of B = L·L that are also edges of L.

@@ -30,7 +30,9 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "core/block_fetch.hpp"
@@ -184,7 +186,21 @@ class SpgemmPlan1D {
 
   /// Inspector (collective): builds the full plan for C = A·B.
   SpgemmPlan1D(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
-               const Spgemm1dOptions& opt = {}) {
+               const Spgemm1dOptions& opt = {})
+      : SpgemmPlan1D(comm, a, b, opt, std::nullopt) {}
+
+  /// Inspector with pre-gathered metadata (collective): identical plan, but
+  /// the (D, cp) allgather is skipped — `meta` must be the AMeta of *this*
+  /// A distribution (gather_algo_cost_inputs hands its copy over, so an
+  /// Algo::Auto → SA-1D dispatch performs exactly one metadata exchange).
+  SpgemmPlan1D(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+               const Spgemm1dOptions& opt, detail1d::AMeta<VT> meta)
+      : SpgemmPlan1D(comm, a, b, opt,
+                     std::optional<detail1d::AMeta<VT>>(std::move(meta))) {}
+
+ private:
+  SpgemmPlan1D(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+               const Spgemm1dOptions& opt, std::optional<detail1d::AMeta<VT>> pre_meta) {
     require(a.ncols() == b.nrows(), "SpgemmPlan1D: inner dimension mismatch");
     require(opt.block_fetch_k > 0, "SpgemmPlan1D: block_fetch_k must be positive");
     const int P = comm.size();
@@ -202,7 +218,7 @@ class SpgemmPlan1D {
     BitVector h;
     {
       auto ph = comm.phase(Phase::Plan);
-      meta = detail1d::gather_a_metadata(comm, a);
+      meta = pre_meta.has_value() ? std::move(*pre_meta) : detail1d::gather_a_metadata(comm, a);
       h = detail1d::nonzero_rows(b.local(), a.ncols());
       // Hashing here (not lazily) is deliberate: later matches()/execute()
       // calls no longer have the inspected operands, so the hashes must be
@@ -369,6 +385,7 @@ class SpgemmPlan1D {
     built_ = true;
   }
 
+ public:
   /// Executor (collective): replays the plan for any (A, B) whose structure
   /// matches the fingerprint — only value gets and the numeric local pass.
   /// The full local fingerprint (cheap fields, then hashes) is verified on
@@ -483,6 +500,9 @@ class SpgemmPlan1D {
   [[nodiscard]] index_t plan_rdma_calls() const { return plan_rdma_calls_; }
   [[nodiscard]] const Spgemm1dOptions& options() const { return opt_; }
   [[nodiscard]] int executions() const { return executions_; }
+  /// The rank-local structure identity the plan was built for (backend-
+  /// generic plan layers reuse it instead of re-hashing the operands).
+  [[nodiscard]] const StructureFingerprint& fingerprint() const { return fp_; }
 
  private:
   /// One contiguous value copy of the executor's replay program.

@@ -1,0 +1,286 @@
+// The backend-generic inspector–executor layer of the unified distributed
+// SpGEMM: one DistSpgemmPlan caches, behind the same StructureFingerprint
+// the SA-1D inspector uses, everything structural a spgemm_dist call
+// computes —
+//
+//   SA-1D     the SpgemmPlan1D inspector (metadata, H∩D masks, fetch plan,
+//             Ã/B̃ shells, symbolic result);
+//   ring-1D   every hop's slice structure + the deterministic ⊕-merge
+//             program (RingPlan);
+//   SUMMA-2D  the 1D→grid alltoallv routes, the per-stage broadcast-block
+//             shells + symbolic results, and the partial-C→1D
+//             scatter/merge program (Summa2dPlan);
+//   split-3D  the same with layer-aware routes and the cross-layer merge
+//             (Split3dPlan);
+//   Auto      the gathered AlgoCostInputs and the chosen backend, so
+//             iterated Algo::Auto calls skip the metadata re-gather — and
+//             when Auto picks SA-1D, the gathered AMeta is handed to the
+//             SpgemmPlan1D constructor, so the dispatch performs exactly
+//             one metadata allgather.
+//
+// execute() replays the cached program for any operand pair with matching
+// structure: only values move (value alltoallvs, value broadcasts, value
+// window gets), only numeric local passes run — bit-identical to the fresh
+// call, zero Phase::Plan seconds, zero metadata-collective bytes.
+// spgemm_dist_cached() is the iterated-caller entry point (one collective
+// match vote per call decides replay-vs-rebuild, like spgemm_1d_cached).
+// DESIGN.md §8 documents the layer.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "dist/dist_spgemm.hpp"
+
+namespace sa1d {
+
+namespace distdetail {
+
+/// RankReport slot of one Algo for the plan-reuse counters.
+inline std::size_t algo_slot(Algo a) { return static_cast<std::size_t>(a); }
+
+}  // namespace distdetail
+
+/// The cached plan of one distributed SpGEMM through any backend. The
+/// handle is rank-local (SPMD style, like SpgemmPlan1D); construction is
+/// lazy — build() runs the fresh multiply while capturing the replay
+/// program, execute() replays it. Plans hold communicator-independent state
+/// only, but cached routes are laid out for the communicator size and rank
+/// they were built on, so reuse a plan within one Machine::run / MPI job.
+template <typename VT, typename SR = PlusTimes<VT>>
+class DistSpgemmPlan {
+ public:
+  DistSpgemmPlan() = default;
+
+  [[nodiscard]] bool empty() const { return !built_; }
+  [[nodiscard]] const DistSpgemmOptions& options() const { return opt_; }
+  /// The concrete backend this plan runs (Auto's cached decision).
+  [[nodiscard]] Algo chosen() const { return chosen_; }
+  [[nodiscard]] int layers() const { return layers_; }
+  [[nodiscard]] int builds() const { return builds_; }
+  [[nodiscard]] int replays() const { return replays_; }
+  [[nodiscard]] const StructureFingerprint& fingerprint() const { return fp_; }
+  /// Auto's cached cost decision trace (valid when options().algo == Auto).
+  [[nodiscard]] bool has_cost_inputs() const { return have_inputs_; }
+  [[nodiscard]] const AlgoCostInputs& cost_inputs() const { return inputs_; }
+  [[nodiscard]] const std::vector<AlgoPrediction>& predictions() const { return predictions_; }
+
+  /// Exact per-rank collective bytes one execute() receives — the pure
+  /// value payload of the cached routes/broadcasts. The metadata-byte
+  /// counter in DistSpgemmStats is the measured delta beyond this.
+  [[nodiscard]] std::uint64_t replay_coll_recv_bytes() const {
+    switch (chosen_) {
+      case Algo::Auto: break;
+      case Algo::SparseAware1D: return 0;  // replay is RDMA value gets only
+      case Algo::Ring1D: return ring_.replay_recv_bytes();
+      case Algo::Summa2D: return summa_.replay_recv_bytes(me_);
+      case Algo::Split3D: return split3d_.replay_recv_bytes(me_);
+    }
+    return 0;
+  }
+
+  /// Exact rank-local reuse check: O(1) fields first, then the structure
+  /// hashes (no communication).
+  [[nodiscard]] bool matches_local(const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b) const {
+    if (!built_ || !fp_.quick_equals(detail1d::quick_fingerprint_of(a, b))) return false;
+    const std::uint64_t ah = detail1d::structure_hash(a.local());
+    if (ah != fp_.a_hash) return false;
+    const std::uint64_t bh = &a == &b ? ah : detail1d::structure_hash(b.local());
+    return bh == fp_.b_hash;
+  }
+
+  /// Collective reuse check: true iff every rank's slice matches its plan.
+  [[nodiscard]] bool matches(Comm& comm, const DistMatrix1D<VT>& a,
+                             const DistMatrix1D<VT>& b) const {
+    int ok;
+    {
+      auto ph = comm.phase(Phase::Other);
+      ok = matches_local(a, b) ? 1 : 0;
+    }
+    return comm.allreduce(ok, [](int x, int y) { return x < y ? x : y; }) == 1;
+  }
+
+  /// Inspector + first execute (collective): resolves Auto, runs the fresh
+  /// multiply through the chosen backend while capturing its value-only
+  /// replay program, and fingerprints the operands. Replaces any previous
+  /// plan state.
+  DistMatrix1D<VT> build(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                         const DistSpgemmOptions& opt = {}, DistSpgemmStats* stats = nullptr) {
+    require(a.ncols() == b.nrows(), "DistSpgemmPlan::build: inner dimension mismatch");
+    reset_keep_counters();
+    opt_ = opt;
+    me_ = comm.rank();
+    const RankReport before = comm.report();
+
+    Algo algo = opt.algo;
+    int layers = opt.layers;
+    detail1d::AMeta<VT> meta;
+    bool have_meta = false;
+    if (algo == Algo::Auto) {
+      inputs_ = gather_algo_cost_inputs(comm, a, b, opt.sa1d, &meta);
+      have_meta = true;
+      have_inputs_ = true;
+      auto ph = comm.phase(Phase::Plan);
+      algo = choose_algo(comm.cost(), inputs_, opt.layers, &layers, &predictions_);
+    } else if (algo == Algo::Split3D && layers == 0) {
+      layers = distdetail::default_split3d_layers(comm.size());
+    }
+    chosen_ = algo;
+    layers_ = algo == Algo::Split3D ? layers : 1;
+
+    DistMatrix1D<VT> c;
+    switch (algo) {
+      case Algo::Auto: break;  // unreachable: resolved above
+      case Algo::SparseAware1D:
+        // Auto hands its gathered AMeta to the inspector: exactly one
+        // metadata allgather for the whole dispatch.
+        sa1d_ = have_meta ? SpgemmPlan1D<VT, SR>(comm, a, b, opt.sa1d, std::move(meta))
+                          : SpgemmPlan1D<VT, SR>(comm, a, b, opt.sa1d);
+        c = sa1d_.execute_verified(comm, a, b);
+        break;
+      case Algo::Ring1D:
+        c = spgemm_naive_ring_1d<SR>(comm, a, b, &ring_);
+        break;
+      case Algo::Summa2D:
+        require_summa_grid(comm.size(), "DistSpgemmPlan(Algo::Summa2D)");
+        c = spgemm_summa_2d_dist<SR>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads, &summa_);
+        break;
+      case Algo::Split3D:
+        require_split3d_layers(comm.size(), layers, "DistSpgemmPlan(Algo::Split3D)");
+        c = spgemm_split_3d_dist<SR>(comm, a, b, layers, opt.sa1d.kernel, opt.sa1d.threads,
+                                     &split3d_);
+        break;
+    }
+
+    if (algo == Algo::SparseAware1D) {
+      fp_ = sa1d_.fingerprint();  // the inspector already hashed the slices
+    } else {
+      auto ph = comm.phase(Phase::Plan);
+      fp_ = detail1d::fingerprint_of(a, b);
+    }
+    built_ = true;
+    ++builds_;
+    ++comm.report().plan_builds[distdetail::algo_slot(chosen_)];
+    if (opt_.algo == Algo::Auto) ++comm.report().plan_builds[distdetail::algo_slot(Algo::Auto)];
+    fill_stats(stats, comm, before, /*reused=*/false);
+    return c;
+  }
+
+  /// Executor (collective): replays the cached program — values only, no
+  /// metadata collectives, no Phase::Plan work. The full local fingerprint
+  /// is verified on every call; iterated callers with evolving structure
+  /// should go through spgemm_dist_cached.
+  DistMatrix1D<VT> execute(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                           DistSpgemmStats* stats = nullptr) {
+    {
+      auto ph = comm.phase(Phase::Other);
+      require(built_, "DistSpgemmPlan::execute: plan was never built");
+      require(matches_local(a, b),
+              "DistSpgemmPlan::execute: operand structure does not match the plan fingerprint "
+              "(iterated callers should use spgemm_dist_cached, which decides replay-vs-rebuild "
+              "with the collective matches())");
+    }
+    return execute_verified(comm, a, b, stats);
+  }
+
+  /// Executor without the O(nnz) hash re-check. Precondition: the operand
+  /// pair was just verified against this plan (a successful collective
+  /// matches(), or the plan was built from these operands).
+  DistMatrix1D<VT> execute_verified(Comm& comm, const DistMatrix1D<VT>& a,
+                                    const DistMatrix1D<VT>& b,
+                                    DistSpgemmStats* stats = nullptr) {
+    require(built_ && fp_.quick_equals(detail1d::quick_fingerprint_of(a, b)),
+            "DistSpgemmPlan::execute_verified: operand/plan mismatch");
+    const RankReport before = comm.report();
+    DistMatrix1D<VT> c;
+    switch (chosen_) {
+      case Algo::Auto: break;  // unreachable: build resolved the dispatch
+      case Algo::SparseAware1D:
+        c = sa1d_.execute_verified(comm, a, b);
+        break;
+      case Algo::Ring1D:
+        c = spgemm_naive_ring_1d_replay<SR>(comm, ring_, a, b);
+        break;
+      case Algo::Summa2D:
+        c = spgemm_summa_2d_replay<SR>(comm, summa_, a, b);
+        break;
+      case Algo::Split3D:
+        c = spgemm_split_3d_replay<SR>(comm, split3d_, a, b);
+        break;
+    }
+    ++replays_;
+    ++comm.report().plan_replays[distdetail::algo_slot(chosen_)];
+    if (opt_.algo == Algo::Auto) ++comm.report().plan_replays[distdetail::algo_slot(Algo::Auto)];
+    fill_stats(stats, comm, before, /*reused=*/true);
+    return c;
+  }
+
+ private:
+  /// Clears plan state but keeps the lifetime build/replay counters.
+  void reset_keep_counters() {
+    const int b = builds_, r = replays_;
+    *this = DistSpgemmPlan();
+    builds_ = b;
+    replays_ = r;
+  }
+
+  void fill_stats(DistSpgemmStats* stats, Comm& comm, const RankReport& before,
+                  bool reused) const {
+    if (stats == nullptr) return;
+    *stats = DistSpgemmStats{};
+    stats->requested = opt_.algo;
+    stats->chosen = chosen_;
+    stats->layers = layers_;
+    if (have_inputs_) {
+      stats->inputs = inputs_;
+      stats->predictions = predictions_;
+    }
+    stats->plan_reused = reused;
+    const RankReport& after = comm.report();
+    stats->plan_seconds = after.plan_s - before.plan_s;
+    stats->coll_recv_bytes = (after.bytes_network() - after.rdma_bytes) -
+                             (before.bytes_network() - before.rdma_bytes);
+    const std::uint64_t value_payload = reused ? replay_coll_recv_bytes() : 0;
+    stats->meta_coll_bytes =
+        stats->coll_recv_bytes > value_payload ? stats->coll_recv_bytes - value_payload : 0;
+  }
+
+  bool built_ = false;
+  DistSpgemmOptions opt_;
+  Algo chosen_ = Algo::SparseAware1D;
+  int layers_ = 1;
+  int me_ = 0;
+  StructureFingerprint fp_{};
+  bool have_inputs_ = false;
+  AlgoCostInputs inputs_{};
+  std::vector<AlgoPrediction> predictions_;
+  int builds_ = 0;
+  int replays_ = 0;
+
+  // Exactly one of these is populated, per chosen_.
+  SpgemmPlan1D<VT, SR> sa1d_;
+  RingPlan<VT, SR> ring_;
+  Summa2dPlan<VT, SR> summa_;
+  Split3dPlan<VT, SR> split3d_;
+};
+
+/// Iterated-caller entry point over any backend: reuses `plan` when every
+/// rank's operand structure still matches it and the options are unchanged
+/// (one collective vote — 4 bytes/rank — keeps the replay-vs-rebuild branch
+/// uniform and deadlock-free), rebuilds otherwise. The app loops (MCL
+/// rounds, BC levels, AMG setup refreshes) all go through this; the replay
+/// moves only values whichever backend the plan holds, and under Algo::Auto
+/// the cached cost decision short-circuits the metadata re-gather entirely.
+template <typename SRIn = void, typename VT>
+DistMatrix1D<VT> spgemm_dist_cached(Comm& comm,
+                                    DistSpgemmPlan<VT, ResolveSemiring<SRIn, VT>>& plan,
+                                    const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                                    const DistSpgemmOptions& opt = {},
+                                    DistSpgemmStats* stats = nullptr) {
+  if (!plan.empty() && plan.options() == opt && plan.matches(comm, a, b))
+    return plan.execute_verified(comm, a, b, stats);
+  return plan.build(comm, a, b, opt, stats);
+}
+
+}  // namespace sa1d

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/spgemm1d.hpp"
@@ -43,13 +44,26 @@ struct DistSpgemmOptions {
 
 /// What one spgemm_dist call decided and why. `predictions` (one entry per
 /// concrete backend, infeasible ones marked) and `inputs` are filled when
-/// the cost model ran, i.e. under Algo::Auto.
+/// the cost model ran, i.e. under Algo::Auto (for plan-cached calls the
+/// cached decision trace is reported, gathered once at build time).
+///
+/// The per-call counters below are rank-local deltas measured around the
+/// call by the DistSpgemmPlan entry points (dist/dist_plan.hpp); the plain
+/// one-shot spgemm_dist leaves them zero. `meta_coll_bytes` is the
+/// collective traffic beyond the pure value payload a cached replay moves —
+/// structural metadata (D/cp gathers, triple-borne structure), exactly zero
+/// on a plan reuse.
 struct DistSpgemmStats {
   Algo requested = Algo::Auto;
   Algo chosen = Algo::Auto;
   int layers = 1;  ///< layer count used when chosen == Split3D
   AlgoCostInputs inputs{};
   std::vector<AlgoPrediction> predictions;
+
+  bool plan_reused = false;            ///< this call replayed a cached plan
+  double plan_seconds = 0.0;           ///< Phase::Plan CPU delta (this rank)
+  std::uint64_t coll_recv_bytes = 0;   ///< collective bytes received (this rank)
+  std::uint64_t meta_coll_bytes = 0;   ///< coll_recv_bytes beyond the value-replay volume
 };
 
 /// Measures this host's local-SpGEMM flop rate and COO triple-processing
@@ -90,11 +104,14 @@ inline CostParams calibrate_cost_params(CostParams base = {}) {
 /// metadata allgather (the same D/cp exchange the SA-1D inspector performs)
 /// plus local scans, then global reductions — every field is a global
 /// aggregate, so all ranks derive the identical Auto decision. Collective;
-/// CPU time is accounted as Phase::Plan.
+/// CPU time is accounted as Phase::Plan. `meta_out` (optional) receives the
+/// gathered AMeta so an Auto → SA-1D dispatch can hand it straight to the
+/// SpgemmPlan1D inspector instead of re-allgathering the same metadata.
 template <typename VT>
 AlgoCostInputs gather_algo_cost_inputs(Comm& comm, const DistMatrix1D<VT>& a,
                                        const DistMatrix1D<VT>& b,
-                                       const Spgemm1dOptions& opt = {}) {
+                                       const Spgemm1dOptions& opt = {},
+                                       detail1d::AMeta<VT>* meta_out = nullptr) {
   AlgoCostInputs in;
   in.P = comm.size();
   in.threads = opt.threads;
@@ -160,6 +177,7 @@ AlgoCostInputs gather_algo_cost_inputs(Comm& comm, const DistMatrix1D<VT>& a,
   in.needed_fraction = remote_total == 0
                            ? 0.0
                            : static_cast<double>(needed_total) / static_cast<double>(remote_total);
+  if (meta_out != nullptr) *meta_out = std::move(meta);
   return in;
 }
 
@@ -278,3 +296,8 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
 }
 
 }  // namespace sa1d
+
+// The backend-generic inspector–executor layer (DistSpgemmPlan +
+// spgemm_dist_cached) builds on the declarations above; including it here
+// makes the cached entry point part of the spgemm_dist front-end.
+#include "dist/dist_plan.hpp"  // IWYU pragma: export

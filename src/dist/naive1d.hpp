@@ -3,22 +3,63 @@
 // rank multiplies every slice against its stationary B_i. Communication is
 // ~(P-1)·nnz(A) triples regardless of sparsity structure — the volume the
 // sparsity-aware Algorithm 1 exists to avoid.
+//
+// The circulated *structure* (each slice's rows and column grouping) and the
+// accumulator's merge program are value-independent, so a RingPlan captured
+// alongside one fresh call lets later calls circulate bare value arrays
+// (sizeof(VT) per element instead of a full Triple) — the ring still pays
+// its (P-1)·nnz(A) element volume, but a third of the bytes.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dist/dist_matrix.hpp"
+#include "dist/redistribute.hpp"
 #include "kernels/semiring.hpp"
 #include "kernels/spgemm_local.hpp"
 #include "runtime/machine.hpp"
 
 namespace sa1d {
 
+/// Cached structural program of one ring-1D multiply on this rank: per hop,
+/// the circulating slice's rows and column grouping; plus the deterministic
+/// ⊕-merge program of the accumulated partial products and the final local
+/// C structure. Captured by spgemm_naive_ring_1d, replayed (values only) by
+/// spgemm_naive_ring_1d_replay.
+template <typename VT, typename SR>
+struct RingPlan {
+  struct Hop {
+    index_t nnz = 0;                    ///< elements of the circulating slice
+    std::vector<index_t> gcol_ids;      ///< distinct global column ids, ascending
+    std::vector<std::size_t> starts;    ///< column ranges within the slice, size |gcol_ids|+1
+  };
+  std::vector<Hop> hops;                ///< hop s = the slice this rank multiplies at step s
+  std::vector<index_t> acc_dst;         ///< flat push idx -> merged local slot
+  std::vector<std::uint8_t> acc_first;  ///< 1 = assign, 0 = ⊕-accumulate
+  std::size_t acc_nnz = 0;
+  DcscMatrix<VT> c_shell;               ///< merged local C structure (values are scratch)
+  std::vector<VT> acc_vals;             ///< replay scratch
+
+  /// Exact per-rank collective bytes one value-only replay receives: each
+  /// of the (P-1) hop shifts delivers the next slice's value array.
+  [[nodiscard]] std::uint64_t replay_recv_bytes() const {
+    std::uint64_t b = 0;
+    for (std::size_t s = 1; s < hops.size(); ++s)
+      b += static_cast<std::uint64_t>(hops[s].nnz) * sizeof(VT);
+    return b;
+  }
+};
+
 /// Ring 1D SpGEMM baseline. Collective. C inherits B's column distribution;
-/// products and partial merges run over the chosen semiring.
+/// products and partial merges run over the chosen semiring (the merge is
+/// deterministic — ties fold in push order — so a captured plan replays
+/// bit-exactly). `plan` (optional) captures the value-only replay program.
 template <typename SRIn = void, typename VT>
-DistMatrix1D<VT> spgemm_naive_ring_1d(Comm& comm, const DistMatrix1D<VT>& a,
-                                      const DistMatrix1D<VT>& b) {
+DistMatrix1D<VT> spgemm_naive_ring_1d(
+    Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+    RingPlan<VT, ResolveSemiring<SRIn, VT>>* plan = nullptr) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_naive_ring_1d: inner dimension mismatch");
   const int P = comm.size();
@@ -39,14 +80,15 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(Comm& comm, const DistMatrix1D<VT>& a,
     }
   }
 
+  if (plan != nullptr) plan->hops.assign(static_cast<std::size_t>(P), {});
   CooMatrix<VT> acc(a.nrows(), b.local_ncols());
   const auto& bl = b.local();
   for (int step = 0; step < P; ++step) {
+    std::vector<index_t> gcol_ids;
+    std::vector<std::size_t> starts;
     {
       auto ph = comm.phase(Phase::Comp);
       // Group the circulating slice into columns (triples are column-major).
-      std::vector<index_t> gcol_ids;
-      std::vector<std::size_t> starts;
       for (std::size_t p = 0; p < circ.size(); ++p) {
         if (p == 0 || circ[p].col != circ[p - 1].col) {
           gcol_ids.push_back(circ[p].col);
@@ -67,6 +109,16 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(Comm& comm, const DistMatrix1D<VT>& a,
         }
       }
     }
+    if (plan != nullptr) {
+      // Structural capture — work a replay skips, accounted like the
+      // SUMMA/3D captures so the plan-vs-execute breakdown is comparable
+      // across backends.
+      auto ph = comm.phase(Phase::Plan);
+      auto& hop = plan->hops[static_cast<std::size_t>(step)];
+      hop.nnz = static_cast<index_t>(circ.size());
+      hop.gcol_ids = std::move(gcol_ids);
+      hop.starts = std::move(starts);
+    }
     if (step + 1 < P) {
       // Shift the slice one hop around the ring.
       std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
@@ -81,10 +133,76 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(Comm& comm, const DistMatrix1D<VT>& a,
 
   DcscMatrix<VT> c_local;
   {
-    auto ph = comm.phase(Phase::Other);
-    acc.canonicalize_with([](VT x, VT y) { return SR::add(x, y); });
+    // A capturing build charges the merge + program capture to Plan, like
+    // the SUMMA/3D captures, so the breakdown is comparable per backend.
+    auto ph = comm.phase(plan != nullptr ? Phase::Plan : Phase::Other);
+    merge_triples_stable(acc.triples(), [](VT x, VT y) { return SR::add(x, y); },
+                         plan != nullptr ? &plan->acc_dst : nullptr,
+                         plan != nullptr ? &plan->acc_first : nullptr);
     c_local = DcscMatrix<VT>::from_coo(acc);
+    if (plan != nullptr) {
+      plan->acc_nnz = acc.triples().size();
+      plan->c_shell = c_local;
+    }
   }
+  return DistMatrix1D<VT>(a.nrows(), b.ncols(), b.bounds(), me, std::move(c_local));
+}
+
+/// Replays a captured ring plan for a structurally identical operand pair:
+/// the (P-1) hop shifts carry bare value arrays, the per-hop multiplies run
+/// against the cached slice structures, and the partials ⊕-fold through the
+/// cached merge program. Bit-identical to the fresh call; zero Phase::Plan
+/// time, no structural metadata moved. Collective.
+template <typename SR, typename VT>
+DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
+                                             const DistMatrix1D<VT>& a,
+                                             const DistMatrix1D<VT>& b) {
+  const int P = comm.size();
+  const int me = comm.rank();
+  std::vector<VT> circ_vals;
+  {
+    auto ph = comm.phase(Phase::Other);
+    circ_vals = a.local().vals();
+    plan.acc_vals.assign(plan.acc_nnz, VT{});
+  }
+
+  const auto& bl = b.local();
+  std::size_t flat = 0;
+  for (int step = 0; step < P; ++step) {
+    {
+      auto ph = comm.phase(Phase::Comp);
+      const auto& hop = plan.hops[static_cast<std::size_t>(step)];
+      for (index_t j = 0; j < bl.nzc(); ++j) {
+        auto brows = bl.col_rows_at(j);
+        auto bvals = bl.col_vals_at(j);
+        for (std::size_t p = 0; p < brows.size(); ++p) {
+          auto it = std::lower_bound(hop.gcol_ids.begin(), hop.gcol_ids.end(), brows[p]);
+          if (it == hop.gcol_ids.end() || *it != brows[p]) continue;
+          auto kpos = static_cast<std::size_t>(it - hop.gcol_ids.begin());
+          for (std::size_t q = hop.starts[kpos]; q < hop.starts[kpos + 1]; ++q) {
+            const VT v = SR::multiply(circ_vals[q], bvals[p]);
+            const auto slot = static_cast<std::size_t>(plan.acc_dst[flat]);
+            plan.acc_vals[slot] =
+                plan.acc_first[flat] != 0 ? v : SR::add(plan.acc_vals[slot], v);
+            ++flat;
+          }
+        }
+      }
+    }
+    if (step + 1 < P) {
+      std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
+      {
+        auto ph = comm.phase(Phase::Other);
+        send[static_cast<std::size_t>((me + 1) % P)] = std::move(circ_vals);
+      }
+      auto recv = comm.alltoallv(send);
+      circ_vals = std::move(recv[static_cast<std::size_t>((me - 1 + P) % P)]);
+    }
+  }
+
+  auto ph = comm.phase(Phase::Other);
+  DcscMatrix<VT> c_local = plan.c_shell;
+  c_local.mutable_vals() = plan.acc_vals;
   return DistMatrix1D<VT>(a.nrows(), b.ncols(), b.bounds(), me, std::move(c_local));
 }
 

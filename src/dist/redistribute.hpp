@@ -3,9 +3,20 @@
 // SUMMA-family backends compute on. Every primitive is a single
 // personalized all-to-all — O(nnz/P) per rank, no rank-0 gather — and is
 // Phase-scoped so the cost shows up in the comparable RankReport breakdown.
+//
+// Both primitives are *routes*: which nonzero goes to which rank, and where
+// it lands in the receiver's block, depends only on the operands' sparsity
+// structure. Passing a GridRoute/ScatterRoute capture pointer records the
+// value-gather maps and the receiver-side placement/merge program while the
+// fresh call runs; replay_* then re-executes the same exchange moving only
+// values (sizeof(VT) per element instead of a full Triple), bit-identical
+// to the fresh result. DistSpgemmPlan (dist/dist_plan.hpp) builds on this.
 #pragma once
 
+#include <cstdint>
+#include <numeric>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "dist/dist_matrix.hpp"
@@ -13,6 +24,51 @@
 #include "sparse/coo.hpp"
 
 namespace sa1d {
+
+/// Sorts `t` by (col, row) breaking ties by original position and ⊕-merges
+/// duplicates left to right — a *deterministic* merge (std::sort's tie order
+/// is unspecified, so canonicalize_with cannot be replayed bit-exactly).
+/// `dst`/`first` (optional, but only together) capture the fold program:
+/// original triple i lands in output slot (*dst)[i], assigning when
+/// (*first)[i] and ⊕-accumulating otherwise — replaying the program in
+/// original order reproduces the merged values bit for bit.
+template <typename Add, typename VT>
+void merge_triples_stable(std::vector<Triple<VT>>& t, Add add,
+                          std::vector<index_t>* dst = nullptr,
+                          std::vector<std::uint8_t>* first = nullptr) {
+  require((dst == nullptr) == (first == nullptr),
+          "merge_triples_stable: dst and first capture the fold program together — "
+          "pass both or neither");
+  std::vector<index_t> perm(t.size());
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::sort(perm.begin(), perm.end(), [&](index_t x, index_t y) {
+    const auto& a = t[static_cast<std::size_t>(x)];
+    const auto& b = t[static_cast<std::size_t>(y)];
+    if (a.col != b.col) return a.col < b.col;
+    if (a.row != b.row) return a.row < b.row;
+    return x < y;
+  });
+  if (dst != nullptr) {
+    dst->assign(t.size(), 0);
+    first->assign(t.size(), 0);
+  }
+  std::vector<Triple<VT>> out;
+  out.reserve(t.size());
+  for (auto i : perm) {
+    const auto& ti = t[static_cast<std::size_t>(i)];
+    if (out.empty() || out.back().col != ti.col || out.back().row != ti.row) {
+      out.push_back(ti);
+      if (dst != nullptr) {
+        (*dst)[static_cast<std::size_t>(i)] = static_cast<index_t>(out.size() - 1);
+        (*first)[static_cast<std::size_t>(i)] = 1;
+      }
+    } else {
+      out.back().val = add(out.back().val, ti.val);
+      if (dst != nullptr) (*dst)[static_cast<std::size_t>(i)] = static_cast<index_t>(out.size() - 1);
+    }
+  }
+  t = std::move(out);
+}
 
 /// Validates that P ranks can form the √P×√P SUMMA grid; the error names
 /// the nearest usable rank counts and the any-P alternatives.
@@ -46,33 +102,66 @@ inline void require_split3d_layers(int P, int layers, const char* who) {
   require(false, msg);
 }
 
+/// Cached 1D→grid route: the structural half of one
+/// redistribute_1d_to_2d_grid call, captured while the fresh exchange runs.
+/// replay_1d_to_2d_grid re-executes it moving only values.
+template <typename VT>
+struct GridRoute {
+  /// Per destination rank: positions into the local slice's val array, in
+  /// the exact order the fresh call packed triples.
+  std::vector<std::vector<index_t>> send_src;
+  /// recv_place[flat] = slot in `block`'s val array for the flat-th
+  /// received value (ranks in order, chunk order within each rank).
+  std::vector<index_t> recv_place;
+  /// Per source rank: element count of its chunk (replay sizes + accounting).
+  std::vector<index_t> recv_counts;
+  /// This rank's cached block: structure final, values overwritten per replay.
+  CscMatrix<VT> block;
+
+  /// Exact per-rank collective bytes a value-only replay receives over the
+  /// network (self-chunks are local copies, not messages).
+  [[nodiscard]] std::uint64_t replay_recv_bytes(int me) const {
+    std::uint64_t b = 0;
+    for (std::size_t r = 0; r < recv_counts.size(); ++r)
+      if (static_cast<int>(r) != me)
+        b += static_cast<std::uint64_t>(recv_counts[r]) * sizeof(VT);
+    return b;
+  }
+};
+
 /// Redistributes a 1D column-distributed matrix into the blocks of a
 /// process grid: the rank `rank_of(bi, bj)` receives block
 /// [row_bounds[bi], row_bounds[bi+1]) × [col_bounds[bj], col_bounds[bj+1])
 /// in block-local coordinates; this rank's own block (`my_bi`, `my_bj`) is
 /// returned as CSC. The bounds arrays may describe any rectangular tiling
 /// (the 3D backend passes layer-concatenated inner bounds), so one
-/// primitive serves both grid shapes. Collective.
+/// primitive serves both grid shapes. Collective. `route` (optional)
+/// captures the value-only replay program; the returned block is identical
+/// either way.
 template <typename VT, typename RankOf>
 CscMatrix<VT> redistribute_1d_to_2d_grid(Comm& comm, const DistMatrix1D<VT>& m,
                                          std::span<const index_t> row_bounds,
                                          std::span<const index_t> col_bounds, RankOf rank_of,
-                                         int my_bi, int my_bj) {
+                                         int my_bi, int my_bj, GridRoute<VT>* route = nullptr) {
   const int P = comm.size();
   std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
   {
     auto ph = comm.phase(Phase::Other);
+    if (route != nullptr) route->send_src.assign(static_cast<std::size_t>(P), {});
     const auto& ml = m.local();
     for (index_t k = 0; k < ml.nzc(); ++k) {
       const index_t gcol = m.global_col(k);
       const int bj = find_owner(col_bounds, gcol);
       const index_t clo = col_bounds[static_cast<std::size_t>(bj)];
+      const index_t base = ml.cp()[static_cast<std::size_t>(k)];
       auto rows = ml.col_rows_at(k);
       auto vals = ml.col_vals_at(k);
       for (std::size_t p = 0; p < rows.size(); ++p) {
         const int bi = find_owner(row_bounds, rows[p]);
-        send[static_cast<std::size_t>(rank_of(bi, bj))].push_back(
+        const auto dest = static_cast<std::size_t>(rank_of(bi, bj));
+        send[dest].push_back(
             {rows[p] - row_bounds[static_cast<std::size_t>(bi)], gcol - clo, vals[p]});
+        if (route != nullptr) route->send_src[dest].push_back(base + static_cast<index_t>(p));
       }
     }
   }
@@ -88,26 +177,106 @@ CscMatrix<VT> redistribute_1d_to_2d_grid(Comm& comm, const DistMatrix1D<VT>& m,
   // The source was canonical and each nonzero has one target, so this only
   // sorts — no duplicate can arise, and the merge is semiring-neutral.
   blk.canonicalize();
-  return CscMatrix<VT>::from_coo(blk);
+  auto out = CscMatrix<VT>::from_coo(blk);
+  if (route != nullptr) {
+    // Receiver placement: (col, row) keys are unique, so each flat incoming
+    // position maps to exactly one slot of the canonical block — structural
+    // work, accounted as Plan.
+    auto ph_plan = comm.phase(Phase::Plan);
+    route->recv_counts.assign(static_cast<std::size_t>(P), 0);
+    std::vector<Triple<index_t>> keyed;  // (row, col, flat) in arrival order
+    index_t flat = 0;
+    for (std::size_t r = 0; r < recv.size(); ++r) {
+      route->recv_counts[r] = static_cast<index_t>(recv[r].size());
+      for (const auto& t : recv[r]) keyed.push_back({t.row, t.col, flat++});
+    }
+    std::sort(keyed.begin(), keyed.end(), [](const Triple<index_t>& a, const Triple<index_t>& b) {
+      return a.col != b.col ? a.col < b.col : a.row < b.row;
+    });
+    route->recv_place.assign(keyed.size(), 0);
+    for (std::size_t i = 0; i < keyed.size(); ++i)
+      route->recv_place[static_cast<std::size_t>(keyed[i].val)] = static_cast<index_t>(i);
+    route->block = out;
+  }
+  return out;
 }
+
+/// Replays a captured 1D→grid route for a structurally identical operand:
+/// one value-only all-to-all, written in place into the cached block.
+/// Collective; returns the refreshed block (owned by the route).
+template <typename VT>
+CscMatrix<VT>& replay_1d_to_2d_grid(Comm& comm, GridRoute<VT>& route,
+                                    const DistMatrix1D<VT>& m) {
+  const int P = comm.size();
+  std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
+  {
+    auto ph = comm.phase(Phase::Other);
+    const VT* vals = m.local().vals().data();
+    for (int p = 0; p < P; ++p) {
+      const auto& src = route.send_src[static_cast<std::size_t>(p)];
+      auto& out = send[static_cast<std::size_t>(p)];
+      out.reserve(src.size());
+      for (auto i : src) out.push_back(vals[static_cast<std::size_t>(i)]);
+    }
+  }
+  auto recv = comm.alltoallv(send);
+  auto ph = comm.phase(Phase::Other);
+  VT* bv = route.block.mutable_vals().data();
+  std::size_t flat = 0;
+  for (const auto& chunk : recv)
+    for (const auto& v : chunk) bv[static_cast<std::size_t>(route.recv_place[flat++])] = v;
+  return route.block;
+}
+
+/// Cached partial-C→1D scatter/merge program: the structural half of one
+/// redistribute_coo_to_1d call (which partial goes to which rank, and which
+/// slot of the merged 1D slice it ⊕-folds into), captured while the fresh
+/// exchange runs. replay_coo_to_1d re-executes it moving only values.
+template <typename VT>
+struct ScatterRoute {
+  std::vector<std::vector<index_t>> send_src;  ///< per dest: positions in the partial's val order
+  std::vector<index_t> recv_counts;            ///< per source rank, element counts
+  std::vector<index_t> recv_dst;               ///< flat recv idx -> merged local slot
+  std::vector<std::uint8_t> recv_first;        ///< 1 = assign, 0 = ⊕-accumulate
+  DcscMatrix<VT> c_shell;                      ///< merged local structure (values are scratch)
+  index_t nrows = 0, ncols = 0;
+  std::vector<index_t> out_bounds;
+
+  [[nodiscard]] std::uint64_t replay_recv_bytes(int me) const {
+    std::uint64_t b = 0;
+    for (std::size_t r = 0; r < recv_counts.size(); ++r)
+      if (static_cast<int>(r) != me)
+        b += static_cast<std::uint64_t>(recv_counts[r]) * sizeof(VT);
+    return b;
+  }
+};
 
 /// Scatters per-rank partial products (COO, global coordinates) into the 1D
 /// column distribution given by `out_bounds`, merging duplicates — partials
 /// of the same entry from different SUMMA stages or 3D layers — with the
-/// semiring's ⊕. One all-to-all by column owner; the result is born
-/// distributed (no global gather). Collective.
+/// semiring's ⊕ (deterministically: ties fold in arrival order, so a
+/// captured program replays bit-exactly). One all-to-all by column owner;
+/// the result is born distributed (no global gather). Collective. `route`
+/// (optional) captures the value-only replay program.
 template <typename SR, typename VT>
 DistMatrix1D<VT> redistribute_coo_to_1d(Comm& comm, const CooMatrix<VT>& part, index_t nrows,
-                                        index_t ncols, std::vector<index_t> out_bounds) {
+                                        index_t ncols, std::vector<index_t> out_bounds,
+                                        ScatterRoute<VT>* route = nullptr) {
   const int P = comm.size();
   require(out_bounds.size() == static_cast<std::size_t>(P) + 1,
           "redistribute_coo_to_1d: out_bounds size must be P+1");
   std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
   {
     auto ph = comm.phase(Phase::Other);
-    for (const auto& t : part.triples())
-      send[static_cast<std::size_t>(find_owner(std::span<const index_t>(out_bounds), t.col))]
-          .push_back(t);
+    if (route != nullptr) route->send_src.assign(static_cast<std::size_t>(P), {});
+    index_t pos = 0;
+    for (const auto& t : part.triples()) {
+      const auto dest = static_cast<std::size_t>(
+          find_owner(std::span<const index_t>(out_bounds), t.col));
+      send[dest].push_back(t);
+      if (route != nullptr) route->send_src[dest].push_back(pos);
+      ++pos;
+    }
   }
   auto recv = comm.alltoallv(send);
   auto ph = comm.phase(Phase::Other);
@@ -116,11 +285,59 @@ DistMatrix1D<VT> redistribute_coo_to_1d(Comm& comm, const CooMatrix<VT>& part, i
   CooMatrix<VT> local(nrows, hi - lo);
   for (auto& chunk : recv)
     for (auto& t : chunk) local.push(t.row, t.col - lo, t.val);
-  local.canonicalize_with([](typename SR::value_type x, typename SR::value_type y) {
-    return SR::add(x, y);
-  });
+  std::vector<index_t> dst;
+  std::vector<std::uint8_t> first;
+  merge_triples_stable(
+      local.triples(),
+      [](typename SR::value_type x, typename SR::value_type y) { return SR::add(x, y); },
+      route != nullptr ? &dst : nullptr, route != nullptr ? &first : nullptr);
+  auto c_local = DcscMatrix<VT>::from_coo(local);
+  if (route != nullptr) {
+    auto ph_plan = comm.phase(Phase::Plan);
+    route->recv_counts.assign(static_cast<std::size_t>(P), 0);
+    for (std::size_t r = 0; r < recv.size(); ++r)
+      route->recv_counts[r] = static_cast<index_t>(recv[r].size());
+    route->recv_dst = std::move(dst);
+    route->recv_first = std::move(first);
+    route->c_shell = c_local;
+    route->nrows = nrows;
+    route->ncols = ncols;
+    route->out_bounds = out_bounds;
+  }
   return DistMatrix1D<VT>(nrows, ncols, std::move(out_bounds), comm.rank(),
-                          DcscMatrix<VT>::from_coo(local));
+                          std::move(c_local));
+}
+
+/// Replays a captured scatter/merge program over fresh partial values
+/// (`part_vals` in the captured partial's val order): one value-only
+/// all-to-all, ⊕-folded into a copy of the cached 1D structure. Collective.
+template <typename SR, typename VT>
+DistMatrix1D<VT> replay_coo_to_1d(Comm& comm, const ScatterRoute<VT>& route,
+                                  std::span<const VT> part_vals) {
+  const int P = comm.size();
+  std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
+  {
+    auto ph = comm.phase(Phase::Other);
+    for (int p = 0; p < P; ++p) {
+      const auto& src = route.send_src[static_cast<std::size_t>(p)];
+      auto& out = send[static_cast<std::size_t>(p)];
+      out.reserve(src.size());
+      for (auto i : src) out.push_back(part_vals[static_cast<std::size_t>(i)]);
+    }
+  }
+  auto recv = comm.alltoallv(send);
+  auto ph = comm.phase(Phase::Other);
+  DcscMatrix<VT> c_local = route.c_shell;
+  VT* cv = c_local.mutable_vals().data();
+  std::size_t flat = 0;
+  for (const auto& chunk : recv)
+    for (const auto& v : chunk) {
+      const auto slot = static_cast<std::size_t>(route.recv_dst[flat]);
+      cv[slot] = route.recv_first[flat] != 0 ? v : SR::add(cv[slot], v);
+      ++flat;
+    }
+  return DistMatrix1D<VT>(route.nrows, route.ncols, route.out_bounds, comm.rank(),
+                          std::move(c_local));
 }
 
 }  // namespace sa1d

@@ -8,20 +8,41 @@
 // one target, so the inbound redistribution is also a single all-to-all.
 #pragma once
 
+#include <cstdint>
+#include <span>
 #include <vector>
 
 #include "dist/summa2d.hpp"
 
 namespace sa1d {
 
+/// Cached structural program of one full Split-3D multiply on this rank:
+/// both inbound (layer, grid)-routes, the layer's stage schedule, and the
+/// cross-layer scatter/merge program. Captured by spgemm_split_3d_dist,
+/// replayed (values only) by spgemm_split_3d_replay.
+template <typename VT, typename SR>
+struct Split3dPlan {
+  int layers = 1;
+  GridRoute<VT> route_a, route_b;
+  summadetail::SummaSched<VT, SR> sched;
+  ScatterRoute<VT> out;
+  std::vector<VT> acc_vals;  ///< replay scratch: this layer's merged partials
+
+  [[nodiscard]] std::uint64_t replay_recv_bytes(int me) const {
+    return route_a.replay_recv_bytes(me) + route_b.replay_recv_bytes(me) +
+           sched.bcast_recv_bytes + out.replay_recv_bytes(me);
+  }
+};
+
 /// Split-3D SpGEMM over 1D-distributed operands. Collective; requires
 /// P = layers·q² (require_split3d_layers lists the valid layer counts
-/// otherwise). C is returned in B's column distribution.
+/// otherwise). C is returned in B's column distribution. `plan` (optional)
+/// captures the full value-only replay program while this fresh call runs.
 template <typename SRIn = void, typename VT>
-DistMatrix1D<VT> spgemm_split_3d_dist(Comm& comm, const DistMatrix1D<VT>& a,
-                                      const DistMatrix1D<VT>& b, int layers,
-                                      LocalKernel kernel = LocalKernel::Hybrid,
-                                      int threads = 1) {
+DistMatrix1D<VT> spgemm_split_3d_dist(
+    Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b, int layers,
+    LocalKernel kernel = LocalKernel::Hybrid, int threads = 1,
+    Split3dPlan<VT, ResolveSemiring<SRIn, VT>>* plan = nullptr) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_split_3d_dist: inner dimension mismatch");
   const int P = comm.size();
@@ -31,6 +52,7 @@ DistMatrix1D<VT> spgemm_split_3d_dist(Comm& comm, const DistMatrix1D<VT>& a,
   const int layer = comm.rank() / q2;
   const int gi = (comm.rank() % q2) / q;
   const int gj = (comm.rank() % q2) % q;
+  if (plan != nullptr) plan->layers = layers;
 
   auto rb = even_split(a.nrows(), q);   // row blocks (shared by every layer)
   auto cb = even_split(b.ncols(), q);   // C/B column blocks (shared too)
@@ -64,10 +86,12 @@ DistMatrix1D<VT> spgemm_split_3d_dist(Comm& comm, const DistMatrix1D<VT>& a,
   };
   auto my_a = redistribute_1d_to_2d_grid(comm, a, std::span<const index_t>(rb),
                                          std::span<const index_t>(kflat), rank_of_a, gi,
-                                         layer * q + gj);
+                                         layer * q + gj,
+                                         plan != nullptr ? &plan->route_a : nullptr);
   auto my_b = redistribute_1d_to_2d_grid(comm, b, std::span<const index_t>(kflat),
                                          std::span<const index_t>(cb), rank_of_b,
-                                         layer * q + gi, gj);
+                                         layer * q + gi, gj,
+                                         plan != nullptr ? &plan->route_b : nullptr);
 
   // Each layer's q×q grid runs SUMMA on its inner slice; partials land in
   // `acc` with global coordinates, and the final scatter merges across both
@@ -76,8 +100,27 @@ DistMatrix1D<VT> spgemm_split_3d_dist(Comm& comm, const DistMatrix1D<VT>& a,
   CooMatrix<VT> acc(a.nrows(), b.ncols());
   summadetail::summa_stages<SR>(layer_comm, my_a, my_b, std::span<const index_t>(rb),
                                 std::span<const index_t>(kb_layer[static_cast<std::size_t>(layer)]),
-                                std::span<const index_t>(cb), kernel, threads, acc);
-  return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds());
+                                std::span<const index_t>(cb), kernel, threads, acc,
+                                plan != nullptr ? &plan->sched : nullptr);
+  return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds(),
+                                    plan != nullptr ? &plan->out : nullptr);
+}
+
+/// Replays a captured Split-3D plan for a structurally identical operand
+/// pair: value-only routes in, value-only stage broadcasts + numeric local
+/// passes on this rank's layer, value-only cross-layer scatter out.
+/// Bit-identical to the fresh call; records zero Phase::Plan time and moves
+/// no structural metadata. Collective.
+template <typename SR, typename VT>
+DistMatrix1D<VT> spgemm_split_3d_replay(Comm& comm, Split3dPlan<VT, SR>& plan,
+                                        const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b) {
+  const int q2 = comm.size() / plan.layers;
+  const int layer = comm.rank() / q2;
+  const auto& my_a = replay_1d_to_2d_grid(comm, plan.route_a, a);
+  const auto& my_b = replay_1d_to_2d_grid(comm, plan.route_b, b);
+  Comm layer_comm = comm.split(layer, comm.rank());
+  summadetail::summa_stages_replay<SR>(layer_comm, my_a, my_b, plan.sched, plan.acc_vals);
+  return replay_coo_to_1d<SR>(comm, plan.out, std::span<const VT>(plan.acc_vals));
 }
 
 /// Replicated-operand wrapper (the original baseline API): distributes the

@@ -13,6 +13,8 @@
 // original baseline API remains for one-shot comparisons.
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "dist/dist_matrix.hpp"
@@ -37,6 +39,29 @@ CscMatrix<VT> gather_coo(Comm& comm, const CooMatrix<VT>& part) {
 
 namespace summadetail {
 
+/// Cached SUMMA stage schedule of one rank: per stage, the broadcast
+/// blocks' structure (shells whose values are overwritten per replay), the
+/// local engine's symbolic result with warm workspaces, and the ⊕-fold
+/// program from the stage's partial-C values into the merged per-rank
+/// accumulator. Captured by summa_stages while the fresh loop runs;
+/// summa_stages_replay moves only values (row/column broadcasts of the val
+/// arrays) and runs numeric-only local passes.
+template <typename VT, typename SR>
+struct SummaSched {
+  struct Stage {
+    CscMatrix<VT> a_blk, b_blk;  ///< received block structure (cached shells)
+    LocalSymbolic sym;           ///< symbolic result of a_blk · b_blk
+  };
+  std::vector<Stage> stages;
+  /// Flat ⊕-fold program: push i (stage order, column-major within each
+  /// stage's c_blk) lands in merged slot acc_dst[i].
+  std::vector<index_t> acc_dst;
+  std::vector<std::uint8_t> acc_first;
+  std::size_t acc_nnz = 0;  ///< merged partial-C count on this rank
+  std::vector<detail::Workspace<SR>> ws;
+  std::uint64_t bcast_recv_bytes = 0;  ///< value-only replay broadcast volume (this rank)
+};
+
 /// All triples of a CSC block (block-local coordinates, column-major).
 template <typename VT>
 std::vector<Triple<VT>> csc_triples(const CscMatrix<VT>& m) {
@@ -60,12 +85,14 @@ CscMatrix<VT> csc_from_block(index_t nrows, index_t ncols, std::vector<Triple<VT
 /// The grid owns A blocks split by (rb, kb) and B blocks by (kb, cb);
 /// `comm` is the grid communicator (a layer of the 3D backend, or
 /// everything for 2D). Stage partials of the same entry are merged with ⊕
-/// before `acc` is handed back, so the caller ships post-merge volume.
+/// before `acc` is handed back, so the caller ships post-merge volume. The
+/// merge is deterministic (ties fold in stage order), so a schedule
+/// captured via `sched` replays bit-exactly.
 template <typename SR, typename VT>
 void summa_stages(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my_b,
                   std::span<const index_t> rb, std::span<const index_t> kb,
                   std::span<const index_t> cb, LocalKernel kernel, int threads,
-                  CooMatrix<VT>& acc) {
+                  CooMatrix<VT>& acc, SummaSched<VT, SR>* sched = nullptr) {
   const int q = summa_grid_side(comm.size());
   const int gi = comm.rank() / q;
   const int gj = comm.rank() % q;
@@ -87,16 +114,39 @@ void summa_stages(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my
     row_comm.bcast(abuf, k);  // A(gi, k) along grid row gi
     col_comm.bcast(bbuf, k);  // B(k, gj) along grid column gj
 
-    CscMatrix<VT> c_blk;
+    // The broadcast triples arrive column-major (csc_triples of a canonical
+    // CSC), so the rebuilt blocks' val order equals the root's val array —
+    // a replay can broadcast the bare values and write them straight in.
+    CscMatrix<VT> a_blk, b_blk, c_blk;
     {
+      auto ph = comm.phase(sched != nullptr ? Phase::Plan : Phase::Comp);
+      a_blk = csc_from_block(rb[static_cast<std::size_t>(gi) + 1] -
+                                 rb[static_cast<std::size_t>(gi)],
+                             khi - klo, std::move(abuf));
+      b_blk = csc_from_block(khi - klo,
+                             cb[static_cast<std::size_t>(gj) + 1] -
+                                 cb[static_cast<std::size_t>(gj)],
+                             std::move(bbuf));
+    }
+    if (sched != nullptr) {
+      // Capturing build: run the split engine so the symbolic result (and
+      // the warm workspaces) are kept for numeric-only replays.
+      typename SummaSched<VT, SR>::Stage st;
+      {
+        auto ph = comm.phase(Phase::Plan);
+        st.sym = spgemm_local_symbolic<SR, VT>(a_blk, b_blk, kernel, threads, &sched->ws);
+      }
+      {
+        auto ph = comm.phase(Phase::Comp);
+        c_blk = spgemm_local_numeric<SR, VT>(a_blk, b_blk, st.sym, &sched->ws);
+      }
+      if (gj != k) sched->bcast_recv_bytes += a_blk.vals().size() * sizeof(VT);
+      if (gi != k) sched->bcast_recv_bytes += b_blk.vals().size() * sizeof(VT);
+      st.a_blk = std::move(a_blk);
+      st.b_blk = std::move(b_blk);
+      sched->stages.push_back(std::move(st));
+    } else {
       auto ph = comm.phase(Phase::Comp);
-      auto a_blk = csc_from_block(rb[static_cast<std::size_t>(gi) + 1] -
-                                      rb[static_cast<std::size_t>(gi)],
-                                  khi - klo, std::move(abuf));
-      auto b_blk = csc_from_block(khi - klo,
-                                  cb[static_cast<std::size_t>(gj) + 1] -
-                                      cb[static_cast<std::size_t>(gj)],
-                                  std::move(bbuf));
       c_blk = spgemm_local<SR, VT>(a_blk, b_blk, kernel, threads);
     }
     {
@@ -113,22 +163,91 @@ void summa_stages(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my
     // Merge the up-to-q per-stage partials of each C entry locally before
     // the scatter: the all-to-all then carries post-merge volume (what the
     // cost model prices), not q× duplicates.
-    auto ph = comm.phase(Phase::Other);
-    acc.canonicalize_with([](VT x, VT y) { return SR::add(x, y); });
+    auto ph = comm.phase(sched != nullptr ? Phase::Plan : Phase::Other);
+    merge_triples_stable(acc.triples(), [](VT x, VT y) { return SR::add(x, y); },
+                         sched != nullptr ? &sched->acc_dst : nullptr,
+                         sched != nullptr ? &sched->acc_first : nullptr);
+    if (sched != nullptr) sched->acc_nnz = acc.triples().size();
+  }
+}
+
+/// Replays a captured stage schedule: per stage, value-only row/column
+/// broadcasts into the cached block shells, the numeric-only local pass,
+/// and the ⊕-fold into `acc_vals` (resized to the merged count; slot order
+/// matches the fresh call's merged accumulator). Collective over the same
+/// grid communicator the schedule was captured on.
+template <typename SR, typename VT>
+void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my_b,
+                         SummaSched<VT, SR>& sched, std::vector<VT>& acc_vals) {
+  const int q = summa_grid_side(comm.size());
+  const int gi = comm.rank() / q;
+  const int gj = comm.rank() % q;
+  Comm row_comm = comm.split(gi, gj);
+  Comm col_comm = comm.split(gj, gi);
+
+  acc_vals.assign(sched.acc_nnz, VT{});
+  std::size_t flat = 0;
+  for (int k = 0; k < q; ++k) {
+    auto& st = sched.stages[static_cast<std::size_t>(k)];
+    std::vector<VT> abuf, bbuf;
+    {
+      auto ph = comm.phase(Phase::Other);
+      if (gj == k) abuf = my_a.vals();
+      if (gi == k) bbuf = my_b.vals();
+    }
+    row_comm.bcast(abuf, k);
+    col_comm.bcast(bbuf, k);
+    CscMatrix<VT> c_blk;
+    {
+      auto ph = comm.phase(Phase::Other);
+      st.a_blk.mutable_vals() = std::move(abuf);
+      st.b_blk.mutable_vals() = std::move(bbuf);
+    }
+    {
+      auto ph = comm.phase(Phase::Comp);
+      c_blk = spgemm_local_numeric<SR, VT>(st.a_blk, st.b_blk, st.sym, &sched.ws);
+    }
+    {
+      auto ph = comm.phase(Phase::Other);
+      for (const auto& v : c_blk.vals()) {
+        const auto slot = static_cast<std::size_t>(sched.acc_dst[flat]);
+        acc_vals[slot] = sched.acc_first[flat] != 0 ? v : SR::add(acc_vals[slot], v);
+        ++flat;
+      }
+    }
   }
 }
 
 }  // namespace summadetail
 
+/// Cached structural program of one full 2D-SUMMA multiply on this rank:
+/// both inbound grid routes, the stage schedule, and the outbound
+/// scatter/merge program. Captured by spgemm_summa_2d_dist, replayed
+/// (values only) by spgemm_summa_2d_replay.
+template <typename VT, typename SR>
+struct Summa2dPlan {
+  GridRoute<VT> route_a, route_b;
+  summadetail::SummaSched<VT, SR> sched;
+  ScatterRoute<VT> out;
+  std::vector<VT> acc_vals;  ///< replay scratch: merged partial-C values
+
+  /// Exact per-rank collective bytes one value-only replay receives.
+  [[nodiscard]] std::uint64_t replay_recv_bytes(int me) const {
+    return route_a.replay_recv_bytes(me) + route_b.replay_recv_bytes(me) +
+           sched.bcast_recv_bytes + out.replay_recv_bytes(me);
+  }
+};
+
 /// 2D sparse SUMMA over 1D-distributed operands. Collective; requires a
 /// perfect-square process count (require_summa_grid explains the options
 /// otherwise). C is returned in B's column distribution; partial entries
-/// across the √P stages are merged with the semiring's ⊕.
+/// across the √P stages are merged with the semiring's ⊕. `plan` (optional)
+/// captures the full value-only replay program while this fresh call runs.
 template <typename SRIn = void, typename VT>
-DistMatrix1D<VT> spgemm_summa_2d_dist(Comm& comm, const DistMatrix1D<VT>& a,
-                                      const DistMatrix1D<VT>& b,
-                                      LocalKernel kernel = LocalKernel::Hybrid,
-                                      int threads = 1) {
+DistMatrix1D<VT> spgemm_summa_2d_dist(
+    Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+    LocalKernel kernel = LocalKernel::Hybrid, int threads = 1,
+    Summa2dPlan<VT, ResolveSemiring<SRIn, VT>>* plan = nullptr) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_summa_2d_dist: inner dimension mismatch");
   const int P = comm.size();
@@ -143,15 +262,32 @@ DistMatrix1D<VT> spgemm_summa_2d_dist(Comm& comm, const DistMatrix1D<VT>& a,
 
   auto rank_of = [q](int bi, int bj) { return bi * q + bj; };
   auto my_a = redistribute_1d_to_2d_grid(comm, a, std::span<const index_t>(rb),
-                                         std::span<const index_t>(kb), rank_of, gi, gj);
+                                         std::span<const index_t>(kb), rank_of, gi, gj,
+                                         plan != nullptr ? &plan->route_a : nullptr);
   auto my_b = redistribute_1d_to_2d_grid(comm, b, std::span<const index_t>(kb),
-                                         std::span<const index_t>(cb), rank_of, gi, gj);
+                                         std::span<const index_t>(cb), rank_of, gi, gj,
+                                         plan != nullptr ? &plan->route_b : nullptr);
 
   CooMatrix<VT> acc(a.nrows(), b.ncols());
   summadetail::summa_stages<SR>(comm, my_a, my_b, std::span<const index_t>(rb),
                                 std::span<const index_t>(kb), std::span<const index_t>(cb),
-                                kernel, threads, acc);
-  return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds());
+                                kernel, threads, acc,
+                                plan != nullptr ? &plan->sched : nullptr);
+  return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds(),
+                                    plan != nullptr ? &plan->out : nullptr);
+}
+
+/// Replays a captured 2D-SUMMA plan for a structurally identical operand
+/// pair: value-only routes in, value-only stage broadcasts + numeric local
+/// passes, value-only scatter out. Bit-identical to the fresh call; records
+/// zero Phase::Plan time and moves no structural metadata. Collective.
+template <typename SR, typename VT>
+DistMatrix1D<VT> spgemm_summa_2d_replay(Comm& comm, Summa2dPlan<VT, SR>& plan,
+                                        const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b) {
+  const auto& my_a = replay_1d_to_2d_grid(comm, plan.route_a, a);
+  const auto& my_b = replay_1d_to_2d_grid(comm, plan.route_b, b);
+  summadetail::summa_stages_replay<SR>(comm, my_a, my_b, plan.sched, plan.acc_vals);
+  return replay_coo_to_1d<SR>(comm, plan.out, std::span<const VT>(plan.acc_vals));
 }
 
 /// Replicated-operand wrapper (the original baseline API): distributes the

@@ -84,25 +84,24 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
       const double meta_bytes = static_cast<double>(in.nzc_a) * 2.0 *
                                 static_cast<double>(in.index_bytes);
       pr.comm_s = alpha * 2.0 * msgs + beta * (fetch_bytes + meta_bytes);
-      pr.comp_s = static_cast<double>(in.max_rank_flops) * p_.flop_s / threads;
+      pr.comp_coeff = static_cast<double>(in.max_rank_flops) / threads;
       // Ã/B̃ assembly + output conversion scale with the moved elements and
       // the stationary operand slice.
-      pr.other_s = p_.triple_s *
-                   (static_cast<double>(in.sa1d_fetch_elems) + nnz_b + cnnz_est) / P;
-      return pr;
+      pr.other_coeff = (static_cast<double>(in.sa1d_fetch_elems) + nnz_b + cnnz_est) / P;
+      break;
     }
 
     case Algo::Ring1D: {
       pr.feasible = true;
       // Every A slice visits every rank: (P-1) hops of ~nnz_a/P triples.
       pr.comm_s = alpha * (P - 1.0) + beta * trip * nnz_a * (P - 1.0) / P;
-      pr.comp_s = static_cast<double>(in.max_rank_flops) * p_.flop_s / threads;
+      pr.comp_coeff = static_cast<double>(in.max_rank_flops) / threads;
       // The accumulator holds one partial triple per flop until the final
       // canonicalize (full triple rate: sort + merge); the per-hop column
       // regrouping only *scans* the circulating slice (≈ nnz_a per rank
       // over all hops), which costs about a quarter of the sort rate.
-      pr.other_s = p_.triple_s * (flops / P + nnz_a / 4.0);
-      return pr;
+      pr.other_coeff = flops / P + nnz_a / 4.0;
+      break;
     }
 
     case Algo::Summa2D: {
@@ -118,9 +117,9 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
       const double redist = trip * (nnz_a + nnz_b + cnnz_est) / P;
       const double bcast = trip * (nnz_a + nnz_b) / qd;
       pr.comm_s = alpha * (2.0 * qd + 3.0 * P) + beta * (redist + bcast);
-      pr.comp_s = flops * p_.flop_s / (P * threads);
-      pr.other_s = p_.triple_s * ((nnz_a + nnz_b) / qd + flops / P + redist / trip);
-      return pr;
+      pr.comp_coeff = flops / (P * threads);
+      pr.other_coeff = (nnz_a + nnz_b) / qd + flops / P + redist / trip;
+      break;
     }
 
     case Algo::Split3D: {
@@ -140,11 +139,16 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
       const double redist = trip * (nnz_a + nnz_b + c_out) / P;
       const double bcast = trip * (nnz_a + nnz_b) / (cd * qd);
       pr.comm_s = alpha * (2.0 * qd + 3.0 * P) + beta * (redist + bcast);
-      pr.comp_s = flops * p_.flop_s / (P * threads);
-      pr.other_s = p_.triple_s * ((nnz_a + nnz_b) / (cd * qd) + flops / P + redist / trip);
-      return pr;
+      pr.comp_coeff = flops / (P * threads);
+      pr.other_coeff = (nnz_a + nnz_b) / (cd * qd) + flops / P + redist / trip;
+      break;
     }
   }
+  // The compute terms are linear in the calibrated rates; keeping the
+  // coefficients lets the offline refit recover flop_s/triple_s from
+  // accumulated prediction-vs-measured records.
+  pr.comp_s = pr.comp_coeff * p_.flop_s;
+  pr.other_s = pr.other_coeff * p_.triple_s;
   return pr;
 }
 

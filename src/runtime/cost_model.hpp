@@ -65,6 +65,11 @@ struct AlgoCostInputs {
 };
 
 /// Modeled per-rank seconds for one backend on one AlgoCostInputs.
+/// The compute terms are linear in the CostParams rates —
+/// comp_s = flop_s·comp_coeff and other_s = triple_s·other_coeff — and the
+/// coefficients are exposed so accumulated prediction-vs-measured records
+/// (BENCH_dist_backends.json) can refit the rates offline
+/// (scripts/fit_cost_params.py) instead of one-shot calibration.
 struct AlgoPrediction {
   Algo algo = Algo::Auto;
   bool feasible = false;
@@ -72,6 +77,8 @@ struct AlgoPrediction {
   double comm_s = 0.0;
   double comp_s = 0.0;
   double other_s = 0.0;
+  double comp_coeff = 0.0;   ///< effective flops: comp_s / CostParams.flop_s
+  double other_coeff = 0.0;  ///< effective triples: other_s / CostParams.triple_s
   [[nodiscard]] double total_s() const { return comm_s + comp_s + other_s; }
 };
 

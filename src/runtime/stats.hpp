@@ -3,6 +3,7 @@
 // into measured CPU phases and (separately) model-derived network time.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "util/timer.hpp"
@@ -49,6 +50,13 @@ struct RankReport {
   std::uint64_t rdma_msgs = 0;
   std::uint64_t rdma_bytes_inter = 0;
   std::uint64_t rdma_msgs_inter = 0;
+
+  // Inspector–executor reuse accounting, indexed by the Algo enum's integer
+  // value (runtime/cost_model.hpp; 0 = Auto counts cached cost-decision
+  // reuses, the concrete backends count their plan builds vs. value-only
+  // replays). Incremented by DistSpgemmPlan (dist/dist_plan.hpp).
+  std::array<std::uint64_t, 5> plan_builds{};
+  std::array<std::uint64_t, 5> plan_replays{};
 
   [[nodiscard]] std::uint64_t bytes_network() const { return bytes_inter + bytes_intra; }
   [[nodiscard]] std::uint64_t msgs_network() const { return msgs_inter + msgs_intra; }

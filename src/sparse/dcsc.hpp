@@ -96,6 +96,10 @@ class DcscMatrix {
   [[nodiscard]] const std::vector<index_t>& cp() const { return cp_; }
   [[nodiscard]] const std::vector<index_t>& ir() const { return ir_; }
   [[nodiscard]] const std::vector<VT>& vals() const { return vals_; }
+  /// Mutable view of the value array only — the structure (jc/cp/ir) stays
+  /// fixed. Lets the inspector–executor replay overwrite values in place
+  /// (same contract as CscMatrix::mutable_vals).
+  [[nodiscard]] std::vector<VT>& mutable_vals() { return vals_; }
 
   /// Structural invariants (used by tests): jc ascending, cp monotone,
   /// rows sorted in-column, every stored column nonempty.

@@ -166,6 +166,49 @@ TEST(BcDistributed, RejectsBadInput) {
                std::invalid_argument);
 }
 
+TEST(BcSemiring, PlusSelect2ndMatchesMaskedPlusTimesBitwise) {
+  // The traversal satellite: BC's default path runs the BFS multiplies on
+  // PlusSelect2nd (⊗ selects the frontier value; the 0/1 adjacency entry is
+  // structural). Because A is a pattern, 1.0 ⊗ x == x exactly, so the
+  // legacy masked plus-times formulation must agree bit for bit — scores,
+  // level counts, and every per-level stat shape.
+  auto g = symmetrize(hidden_community<double>(96, 6, 5.0, 0.5, 21));
+  auto sources = pick_sources(96, 12, 23);
+  auto want = brandes_serial(g, sources);
+  Machine m(4);
+  m.run([&](Comm& c) {
+    BcOptions legacy;
+    legacy.plus_times_traversal = true;
+    auto sel = betweenness_batch(c, g, sources);
+    auto pt = betweenness_batch(c, g, sources, legacy);
+    EXPECT_EQ(sel.nlevels, pt.nlevels);
+    ASSERT_EQ(sel.scores.size(), pt.scores.size());
+    for (std::size_t v = 0; v < sel.scores.size(); ++v) {
+      EXPECT_EQ(sel.scores[v], pt.scores[v]) << "vertex " << v;  // bitwise
+      EXPECT_NEAR(sel.scores[v], want[v], 1e-9) << "vertex " << v;
+    }
+  });
+}
+
+TEST(BcSemiring, PlusSelect2ndTraversalsRunOnEveryBackend) {
+  // The semiring-generic backends carry the PlusSelect2nd traversal: BC on
+  // a grid backend must still match the serial reference.
+  auto g = symmetrize(erdos_renyi<double>(80, 4.0, 27));
+  auto sources = pick_sources(80, 10, 29);
+  auto want = brandes_serial(g, sources);
+  for (Algo backend : {Algo::Ring1D, Algo::Summa2D}) {
+    Machine m(4);
+    m.run([&](Comm& c) {
+      BcOptions opt;
+      opt.backend = backend;
+      auto res = betweenness_batch(c, g, sources, opt);
+      for (std::size_t v = 0; v < want.size(); ++v)
+        EXPECT_NEAR(res.scores[v], want[v], 1e-9)
+            << algo_name(backend) << " vertex " << v;
+    });
+  }
+}
+
 TEST(BcDistributed, ScoresIndependentOfP) {
   auto a = hidden_community<double>(96, 6, 5.0, 0.5, 11);
   auto sources = pick_sources(96, 12, 13);
