@@ -6,7 +6,8 @@
 // Paper result: 1D is up to an order of magnitude faster on hv15r/queen and
 // stays ahead on stokes/nlpkkt once permutation time is charged.
 //
-// --json[=PATH] writes the BENCH_dist_backends fragment at P=16: for every
+// --json[=PATH] writes the BENCH_dist_backends fragment at P=16 (SA1D_NP
+// overrides — the CI rectangular-grid smoke runs P=6 → 2×3 grids): for every
 // dataset, the per-backend modeled breakdown and exact comm bytes, plus
 // Algo::Auto's pick, its per-backend cost predictions (with the flop_s /
 // triple_s coefficients scripts/fit_cost_params.py refits from), the
@@ -18,6 +19,7 @@
 // SUMMA-2D and split-3D).
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -79,10 +81,21 @@ BackendMeasure measure(Machine& m, const CscMatrix<double>& a, Algo algo, int re
 }
 
 std::vector<Algo> feasible(int P) {
-  std::vector<Algo> out{Algo::SparseAware1D, Algo::Ring1D};
-  if (summa_grid_side(P) > 0) out.push_back(Algo::Summa2D);
+  // Rectangular grids make SUMMA-2D runnable at every P; Split-3D needs a
+  // non-degenerate layering (some 1 < c < P), which only primes lack.
+  std::vector<Algo> out{Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D};
   if (split3d_has_nontrivial_layers(P)) out.push_back(Algo::Split3D);
   return out;
+}
+
+/// Rank count for the --json run: SA1D_NP overrides the default 16 so the
+/// CI smoke can exercise a non-square (rectangular-grid) machine.
+int json_nranks() {
+  if (const char* s = std::getenv("SA1D_NP")) {
+    const int np = std::atoi(s);
+    if (np >= 1) return np;
+  }
+  return 16;
 }
 
 /// One iteration of a cached-plan squaring loop, aggregated over ranks.
@@ -137,7 +150,7 @@ std::vector<IterStat> measure_iterated(Machine& m, const CscMatrix<double>& a, A
 }
 
 void run_json(const char* json_path) {
-  const int P = 16;
+  const int P = json_nranks();
   CostParams cp = calibrate_cost_params();
   cp.ranks_per_node = 16;
 
@@ -146,8 +159,11 @@ void run_json(const char* json_path) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path);
     std::exit(1);
   }
-  std::fprintf(f, "{\n  \"P\": %d, \"split3d_layers\": %d,\n  \"rows\": [\n", P,
-               distdetail::default_split3d_layers(P));
+  const GridShape grid = summa_grid_shape(P);
+  std::fprintf(f,
+               "{\n  \"P\": %d, \"split3d_layers\": %d, \"grid_rows\": %d, \"grid_cols\": %d,\n"
+               "  \"rows\": [\n",
+               P, distdetail::default_split3d_layers(P), grid.rows, grid.cols);
 
   auto mats = bench_matrices();
   for (std::size_t mi = 0; mi < mats.size(); ++mi) {
@@ -301,8 +317,9 @@ int main(int argc, char** argv) {
 
       double perm_s = permutation_cost(m, a, perm);
 
-      // 2D sparse SUMMA on the randomly permuted input.
-      if (summa_grid_side(P) > 0) {
+      // 2D sparse SUMMA on the randomly permuted input (any P: the grid is
+      // the nearest-square q_r × q_c factorization).
+      {
         auto r = measure(m, aperm, Algo::Summa2D);
         double ms = 1e3 * r.bd.total();
         std::printf("%-13s %5d %-18s %12.2f %14.2f\n", dataset_name(d), P, "2D SUMMA (rand)",

@@ -15,8 +15,11 @@
 #                                the measured winner)
 # --refit skips the benches and refits CostParams.flop_s/triple_s from the
 # accumulated prediction-vs-measured records already in
-# BENCH_dist_backends.json (scripts/fit_cost_params.py; record the refit in
-# EXPERIMENTS.md).
+# BENCH_dist_backends.json (scripts/fit_cost_params.py). The fitted rates
+# land in cost_params.json, which every subsequent bench run here applies
+# automatically (exported as SA1D_COST_PARAMS; Machine loads it at
+# startup) — the refit loop is closed, no hand-editing. Record refits in
+# EXPERIMENTS.md.
 # Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only|--refit] [SA1D_SCALE]
 set -euo pipefail
 
@@ -31,6 +34,13 @@ case "${1:-}" in
 esac
 SCALE="${1:-${SA1D_SCALE:-1}}"
 BUILD_DIR=build-bench
+
+# A previous --refit left fitted rates behind: apply them to every bench
+# run (Machine reads SA1D_COST_PARAMS at construction).
+if [ -z "${SA1D_COST_PARAMS:-}" ] && [ -f cost_params.json ]; then
+  export SA1D_COST_PARAMS="$(pwd)/cost_params.json"
+  echo "applying refitted cost params from cost_params.json"
+fi
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 

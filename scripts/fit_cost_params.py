@@ -17,9 +17,15 @@ as much as on a 1 s row; the closed form is
 
 Prints the fitted rates next to the calibration defaults, the before/after
 mean relative error of the modeled compute terms, and a CostParams-ready
-snippet. Record refits in EXPERIMENTS.md.
+snippet — and writes them to cost_params.json (--out=PATH overrides,
+--no-write skips), which Machine loads at startup when the
+SA1D_COST_PARAMS environment variable names it (cost_params_from_env in
+runtime/cost_model.hpp). bench_local.sh exports that automatically, so the
+refit loop is closed: fit -> cost_params.json -> every subsequent run.
+Record refits in EXPERIMENTS.md.
 
 Usage: scripts/fit_cost_params.py [BENCH_dist_backends.json]
+                                  [--out=cost_params.json] [--no-write]
 """
 import json
 import sys
@@ -59,7 +65,17 @@ def mean_rel_err(pairs, rate):
 
 
 def main():
-    path = sys.argv[1] if len(sys.argv) > 1 else "BENCH_dist_backends.json"
+    out_path = "cost_params.json"
+    write = True
+    args = []
+    for a in sys.argv[1:]:
+        if a.startswith("--out="):
+            out_path = a[len("--out="):]
+        elif a == "--no-write":
+            write = False
+        else:
+            args.append(a)
+    path = args[0] if args else "BENCH_dist_backends.json"
     with open(path) as f:
         doc = json.load(f)
     records = collect_records(doc)
@@ -88,8 +104,14 @@ def main():
     print("\nCostParams snippet:")
     print(f"  params.flop_s = {flop_s:.6e};")
     print(f"  params.triple_s = {triple_s:.6e};")
-    print(json.dumps({"flop_s": flop_s, "triple_s": triple_s,
-                      "records": len(records)}))
+    fitted = {"flop_s": flop_s, "triple_s": triple_s, "records": len(records)}
+    print(json.dumps(fitted))
+    if write:
+        with open(out_path, "w") as f:
+            json.dump(fitted, f)
+            f.write("\n")
+        print(f"wrote {out_path} (set SA1D_COST_PARAMS={out_path} to apply; "
+              "bench_local.sh exports it automatically)")
 
 
 if __name__ == "__main__":

@@ -65,6 +65,14 @@ class DistSpgemmPlan {
   [[nodiscard]] bool has_cost_inputs() const { return have_inputs_; }
   [[nodiscard]] const AlgoCostInputs& cost_inputs() const { return inputs_; }
   [[nodiscard]] const std::vector<AlgoPrediction>& predictions() const { return predictions_; }
+  /// The replay-priced decision trace (plan-aware Auto): what the cost
+  /// model would pick if every call were a cached value-only replay.
+  [[nodiscard]] const std::vector<AlgoPrediction>& replay_predictions() const {
+    return replay_predictions_;
+  }
+  [[nodiscard]] Algo replay_choice() const { return replay_choice_; }
+  /// Layer count the replay-priced choice assumed (1 unless it is Split3D).
+  [[nodiscard]] int replay_layers() const { return replay_layers_; }
 
   /// Exact per-rank collective bytes one execute() receives — the pure
   /// value payload of the cached routes/broadcasts. The metadata-byte
@@ -119,10 +127,19 @@ class DistSpgemmPlan {
     bool have_meta = false;
     if (algo == Algo::Auto) {
       inputs_ = gather_algo_cost_inputs(comm, a, b, opt.sa1d, &meta);
+      inputs_.grid_rows = opt.grid_rows;
+      inputs_.grid_cols = opt.grid_cols;
       have_meta = true;
       have_inputs_ = true;
       auto ph = comm.phase(Phase::Plan);
       algo = choose_algo(comm.cost(), inputs_, opt.layers, &layers, &predictions_);
+      // Plan-aware Auto (ROADMAP): the one-shot decision above is what this
+      // build runs, but iterated callers replay the plan — reprice the same
+      // inputs for value-only replays (zero plan term) so every later
+      // execute() can report the decision horizon that matches what it did,
+      // with no re-gather.
+      replay_choice_ = choose_algo(comm.cost(), inputs_, opt.layers, &replay_layers_,
+                                   &replay_predictions_, /*replay=*/true);
     } else if (algo == Algo::Split3D && layers == 0) {
       layers = distdetail::default_split3d_layers(comm.size());
     }
@@ -143,13 +160,13 @@ class DistSpgemmPlan {
         c = spgemm_naive_ring_1d<SR>(comm, a, b, &ring_);
         break;
       case Algo::Summa2D:
-        require_summa_grid(comm.size(), "DistSpgemmPlan(Algo::Summa2D)");
-        c = spgemm_summa_2d_dist<SR>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads, &summa_);
+        c = spgemm_summa_2d_dist<SR>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads, &summa_,
+                                     opt.grid_rows, opt.grid_cols);
         break;
       case Algo::Split3D:
         require_split3d_layers(comm.size(), layers, "DistSpgemmPlan(Algo::Split3D)");
         c = spgemm_split_3d_dist<SR>(comm, a, b, layers, opt.sa1d.kernel, opt.sa1d.threads,
-                                     &split3d_);
+                                     &split3d_, opt.grid_rows, opt.grid_cols);
         break;
     }
 
@@ -235,6 +252,12 @@ class DistSpgemmPlan {
     if (have_inputs_) {
       stats->inputs = inputs_;
       stats->predictions = predictions_;
+      // Plan-aware Auto: both decision horizons are recorded — the
+      // one-shot trace that chose the build, and the replay repricing
+      // (zero plan term, value-only volume) that matches cached executes.
+      stats->replay_predictions = replay_predictions_;
+      stats->replay_choice = replay_choice_;
+      stats->replay_layers = replay_layers_;
     }
     stats->plan_reused = reused;
     const RankReport& after = comm.report();
@@ -255,6 +278,9 @@ class DistSpgemmPlan {
   bool have_inputs_ = false;
   AlgoCostInputs inputs_{};
   std::vector<AlgoPrediction> predictions_;
+  std::vector<AlgoPrediction> replay_predictions_;
+  Algo replay_choice_ = Algo::Auto;
+  int replay_layers_ = 1;
   int builds_ = 0;
   int replays_ = 0;
 

@@ -38,6 +38,12 @@ struct DistSpgemmOptions {
   /// Split-3D layer count; 0 = pick the best valid layering (cost model
   /// under Auto, smallest non-trivial one otherwise).
   int layers = 0;
+  /// Process-grid shape for the 2D/3D backends (the per-layer grid for
+  /// Split-3D): 0 = the nearest-square q_r × q_c factorization of the
+  /// (sub-)communicator size; a pinned shape must factor it exactly
+  /// (require_grid_shape names the divisors otherwise).
+  int grid_rows = 0;
+  int grid_cols = 0;
 
   friend bool operator==(const DistSpgemmOptions&, const DistSpgemmOptions&) = default;
 };
@@ -46,6 +52,15 @@ struct DistSpgemmOptions {
 /// concrete backend, infeasible ones marked) and `inputs` are filled when
 /// the cost model ran, i.e. under Algo::Auto (for plan-cached calls the
 /// cached decision trace is reported, gathered once at build time).
+///
+/// Plan-aware Auto: `replay_predictions`/`replay_choice` reprice the same
+/// inputs for *cached replays* (CostModel::predict_replay — zero plan
+/// term, value-only collective volume). A replay still executes the
+/// build-time `chosen` backend; the replay trace is the repricing under
+/// the replay cost regime, recorded next to the one-shot trace so
+/// iterated callers can see when the two horizons disagree (acting on the
+/// disagreement is a ROADMAP follow-on). Both are derived from the cached
+/// inputs with no extra communication.
 ///
 /// The per-call counters below are rank-local deltas measured around the
 /// call by the DistSpgemmPlan entry points (dist/dist_plan.hpp); the plain
@@ -59,6 +74,9 @@ struct DistSpgemmStats {
   int layers = 1;  ///< layer count used when chosen == Split3D
   AlgoCostInputs inputs{};
   std::vector<AlgoPrediction> predictions;
+  std::vector<AlgoPrediction> replay_predictions;  ///< replay-priced trace (plan-cached Auto)
+  Algo replay_choice = Algo::Auto;  ///< argmin of replay_predictions; Auto = not computed
+  int replay_layers = 1;  ///< layer count the replay-priced Split3D choice assumed
 
   bool plan_reused = false;            ///< this call replayed a cached plan
   double plan_seconds = 0.0;           ///< Phase::Plan CPU delta (this rank)
@@ -184,22 +202,27 @@ AlgoCostInputs gather_algo_cost_inputs(Comm& comm, const DistMatrix1D<VT>& a,
 /// Ranks the concrete backends on `in` and returns the cheapest feasible
 /// one. Split-3D is scored at its best valid layer count (or `layers_opt`
 /// when the caller pinned one); the count used lands in `layers_out`.
+/// `replay` prices cached-plan replays (CostModel::predict_replay — zero
+/// plan term, value-only volume) instead of one-shot multiplies.
 /// Deterministic in the inputs — no communication.
 inline Algo choose_algo(const CostModel& cm, AlgoCostInputs in, int layers_opt, int* layers_out,
-                        std::vector<AlgoPrediction>* predictions) {
+                        std::vector<AlgoPrediction>* predictions, bool replay = false) {
+  auto price = [&cm, replay](const AlgoCostInputs& i, Algo a) {
+    return replay ? cm.predict_replay(i, a) : cm.predict(i, a);
+  };
   std::vector<AlgoPrediction> preds;
 
   in.layers = 1;
-  preds.push_back(cm.predict(in, Algo::SparseAware1D));
-  preds.push_back(cm.predict(in, Algo::Ring1D));
-  preds.push_back(cm.predict(in, Algo::Summa2D));
+  preds.push_back(price(in, Algo::SparseAware1D));
+  preds.push_back(price(in, Algo::Ring1D));
+  preds.push_back(price(in, Algo::Summa2D));
 
   // Split-3D: try every non-trivial layering (c = 1 is SUMMA) and keep the
   // best; an explicit layer request pins the candidate.
   AlgoPrediction best3d;
   best3d.algo = Algo::Split3D;
-  best3d.note = layers_opt > 0 ? "the requested layer count cannot form layers x q x q grids"
-                               : "no non-trivial layer count divides P into square grids";
+  best3d.note = layers_opt > 0 ? "the requested layer count does not divide P"
+                               : "P is prime: the only layerings are the trivial c=1 and c=P";
   int best_layers = 1;
   for (int c : valid_layer_counts(in.P)) {
     if (layers_opt > 0) {
@@ -208,10 +231,14 @@ inline Algo choose_algo(const CostModel& cm, AlgoCostInputs in, int layers_opt, 
       continue;  // c=1 is SUMMA; c=P collapses layers to single ranks
     }
     in.layers = c;
-    auto pr = cm.predict(in, Algo::Split3D);
+    auto pr = price(in, Algo::Split3D);
     if (pr.feasible && (!best3d.feasible || pr.total_s() < best3d.total_s())) {
       best3d = pr;
       best_layers = c;
+    } else if (!pr.feasible && !best3d.feasible) {
+      // Surface the real obstacle: a layer count that divides P can still
+      // fail on a pinned grid shape that does not factor P/layers.
+      best3d.note = pr.note;
     }
   }
   preds.push_back(best3d);
@@ -233,16 +260,13 @@ inline Algo choose_algo(const CostModel& cm, AlgoCostInputs in, int layers_opt, 
 namespace distdetail {
 
 /// Layer count for an explicit Split3D request with layers = 0: the
-/// smallest *non-degenerate* layering (1 < c < P), falling back to 1
-/// (= SUMMA on one layer) when P is a perfect square with no middle
-/// option, and to the only valid (degenerate) count otherwise.
+/// smallest *non-degenerate* layering (1 < c < P — the smallest prime
+/// factor of P), falling back to 1 (= SUMMA on one layer) when P is prime
+/// or 1 and no middle option exists.
 inline int default_split3d_layers(int P) {
-  auto valid = valid_layer_counts(P);
-  for (int c : valid)
+  for (int c : valid_layer_counts(P))
     if (c > 1 && c < P) return c;
-  for (int c : valid)
-    if (c == 1) return 1;
-  return valid.empty() ? 0 : valid.front();
+  return 1;
 }
 
 }  // namespace distdetail
@@ -268,6 +292,8 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
 
   if (algo == Algo::Auto) {
     st.inputs = gather_algo_cost_inputs(comm, a, b, opt.sa1d);
+    st.inputs.grid_rows = opt.grid_rows;
+    st.inputs.grid_cols = opt.grid_cols;
     auto ph = comm.phase(Phase::Plan);
     algo = choose_algo(comm.cost(), st.inputs, opt.layers, &layers, &st.predictions);
   } else if (algo == Algo::Split3D && layers == 0) {
@@ -285,11 +311,12 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
     case Algo::Ring1D:
       return spgemm_naive_ring_1d<SRIn>(comm, a, b);
     case Algo::Summa2D:
-      require_summa_grid(comm.size(), "spgemm_dist(Algo::Summa2D)");
-      return spgemm_summa_2d_dist<SRIn>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads);
+      return spgemm_summa_2d_dist<SRIn>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads, nullptr,
+                                        opt.grid_rows, opt.grid_cols);
     case Algo::Split3D:
       require_split3d_layers(comm.size(), layers, "spgemm_dist(Algo::Split3D)");
-      return spgemm_split_3d_dist<SRIn>(comm, a, b, layers, opt.sa1d.kernel, opt.sa1d.threads);
+      return spgemm_split_3d_dist<SRIn>(comm, a, b, layers, opt.sa1d.kernel, opt.sa1d.threads,
+                                        nullptr, opt.grid_rows, opt.grid_cols);
   }
   require(false, "spgemm_dist: unknown algorithm");
   return {};

@@ -70,35 +70,40 @@ void merge_triples_stable(std::vector<Triple<VT>>& t, Add add,
   t = std::move(out);
 }
 
-/// Validates that P ranks can form the √P×√P SUMMA grid; the error names
-/// the nearest usable rank counts and the any-P alternatives.
-inline void require_summa_grid(int P, const char* who) {
-  if (summa_grid_side(P) > 0) return;
-  int lo = 1;
-  while ((lo + 1) * (lo + 1) <= P) ++lo;
-  std::string msg = std::string(who) + ": P=" + std::to_string(P) +
-                    " ranks cannot form a square process grid; run with a perfect-square rank"
-                    " count (nearest: " +
-                    std::to_string(lo * lo) + " or " + std::to_string((lo + 1) * (lo + 1)) +
-                    "), or use Algo::SparseAware1D / Algo::Ring1D / Algo::Auto, which accept"
-                    " any P";
+/// Resolves and validates the q_r × q_c process grid for P ranks: auto
+/// shape when both overrides are 0 (nearest-square factorization — always
+/// exists, so every P ≥ 1 is feasible), a pinned shape otherwise. Throws
+/// with an actionable message naming the divisors of P when a pinned shape
+/// does not factor P.
+inline GridShape require_grid_shape(int P, int grid_rows, int grid_cols, const char* who) {
+  GridShape g = summa_grid_shape(P, grid_rows, grid_cols);
+  if (g.rows >= 1 && g.cols >= 1 && g.rows * g.cols == P) return g;
+  std::string msg = std::string(who) + ": grid_rows=" + std::to_string(grid_rows) +
+                    " grid_cols=" + std::to_string(grid_cols) +
+                    " cannot tile P=" + std::to_string(P) +
+                    " ranks (grid_rows*grid_cols must equal P); usable side lengths are {";
+  auto divs = valid_layer_counts(P);  // the divisors of P
+  for (std::size_t i = 0; i < divs.size(); ++i)
+    msg += (i != 0U ? ", " : "") + std::to_string(divs[i]);
+  msg += "}, or leave both 0 for the nearest-square factorization";
   require(false, msg);
+  return g;  // unreachable
 }
 
-/// Validates that P = layers·q² with integral q; the error lists every
-/// valid layer count for this P (or says none exists).
+/// Validates that the layer count divides P (each layer then runs on any
+/// rectangular factorization of P/layers, so every divisor is usable); the
+/// error lists the valid layer counts.
 inline void require_split3d_layers(int P, int layers, const char* who) {
-  if (layers >= 1 && layers <= P && P % layers == 0 && summa_grid_side(P / layers) > 0) return;
-  // P = P·1² always holds, so at least one (possibly degenerate) layer
-  // count exists for every P; list them all.
+  if (layers >= 1 && layers <= P && P % layers == 0) return;
   auto valid = valid_layer_counts(P);
   std::string msg = std::string(who) + ": layers=" + std::to_string(layers) + " with P=" +
-                    std::to_string(P) + " ranks cannot form layers x q x q grids (P must equal"
-                    " layers*q*q); valid layer counts for P=" +
+                    std::to_string(P) +
+                    " ranks cannot form layers x (q_r x q_c) grids (layers must divide P);"
+                    " valid layer counts for P=" +
                     std::to_string(P) + " are {";
   for (std::size_t i = 0; i < valid.size(); ++i)
     msg += (i != 0U ? ", " : "") + std::to_string(valid[i]);
-  msg += "}; Algo::SparseAware1D / Algo::Ring1D / Algo::Auto accept any P";
+  msg += "}";
   require(false, msg);
 }
 

@@ -1,7 +1,12 @@
 // 2D sparse SUMMA (Buluç & Gilbert; the CombBLAS algorithm the paper
-// benchmarks against): ranks form a √P×√P grid, C(i,j) is accumulated over
-// √P stages of row-broadcast A(i,k) and column-broadcast B(k,j) block
-// multiplies.
+// benchmarks against), generalized to rectangular q_r × q_c process grids:
+// any rank count factors into a grid (nearest-square by default, or a
+// pinned grid_rows × grid_cols), the inner dimension is split into
+// lcm(q_r, q_c) fine blocks so each rank's A piece (stages/q_c blocks) and
+// B piece (stages/q_r blocks) stay contiguous, and C(i,j) accumulates over
+// the stage loop of row-broadcast A sub-blocks and column-broadcast B
+// sub-blocks. On a square grid this is the classic √P×√P algorithm with q
+// whole-block stages.
 //
 // The primary entry point is 1D-in/1D-out: operands arrive in the library's
 // canonical column distribution, are scattered onto the grid by one
@@ -13,7 +18,9 @@
 // original baseline API remains for one-shot comparisons.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -39,19 +46,28 @@ CscMatrix<VT> gather_coo(Comm& comm, const CooMatrix<VT>& part) {
 
 namespace summadetail {
 
-/// Cached SUMMA stage schedule of one rank: per stage, the broadcast
-/// blocks' structure (shells whose values are overwritten per replay), the
-/// local engine's symbolic result with warm workspaces, and the ⊕-fold
-/// program from the stage's partial-C values into the merged per-rank
-/// accumulator. Captured by summa_stages while the fresh loop runs;
-/// summa_stages_replay moves only values (row/column broadcasts of the val
-/// arrays) and runs numeric-only local passes.
+/// Cached SUMMA stage schedule of one rank on its q_r × q_c grid: per
+/// stage, the broadcast blocks' structure (shells whose values are
+/// overwritten per replay), the root-side value extraction (a contiguous
+/// A-column span; a B row-filter gather map), the local engine's symbolic
+/// result with warm workspaces, and the ⊕-fold program from the stage's
+/// partial-C values into the merged per-rank accumulator. Captured by
+/// summa_stages while the fresh loop runs; summa_stages_replay moves only
+/// values (row/column broadcasts of bare val arrays) and runs numeric-only
+/// local passes.
 template <typename VT, typename SR>
 struct SummaSched {
   struct Stage {
     CscMatrix<VT> a_blk, b_blk;  ///< received block structure (cached shells)
     LocalSymbolic sym;           ///< symbolic result of a_blk · b_blk
+    /// Root-side value sources for the replay broadcasts (meaningful only
+    /// on the stage's roots): the fine A block is a contiguous val span of
+    /// this rank's A piece; the fine B block is a row filter, so its values
+    /// are gathered through an index map.
+    index_t a_val_lo = 0, a_val_hi = 0;
+    std::vector<index_t> b_src;
   };
+  int grid_rows = 1, grid_cols = 1;  ///< the grid the schedule was captured on
   std::vector<Stage> stages;
   /// Flat ⊕-fold program: push i (stage order, column-major within each
   /// stage's c_blk) lands in merged slot acc_dst[i].
@@ -62,61 +78,97 @@ struct SummaSched {
   std::uint64_t bcast_recv_bytes = 0;  ///< value-only replay broadcast volume (this rank)
 };
 
-/// All triples of a CSC block (block-local coordinates, column-major).
-template <typename VT>
-std::vector<Triple<VT>> csc_triples(const CscMatrix<VT>& m) {
-  std::vector<Triple<VT>> out;
-  out.reserve(static_cast<std::size_t>(m.nnz()));
-  for (index_t j = 0; j < m.ncols(); ++j) {
-    auto rows = m.col_rows(j);
-    auto vals = m.col_vals(j);
-    for (std::size_t p = 0; p < rows.size(); ++p) out.push_back({rows[p], j, vals[p]});
-  }
-  return out;
-}
-
 template <typename VT>
 CscMatrix<VT> csc_from_block(index_t nrows, index_t ncols, std::vector<Triple<VT>> triples) {
   return CscMatrix<VT>::from_coo(CooMatrix<VT>(nrows, ncols, std::move(triples)));
 }
 
-/// The SUMMA stage loop over one q×q grid: accumulates this rank's partial
-/// C(gi, gj) into `acc` in *global* coordinates (rb/cb are global bounds).
-/// The grid owns A blocks split by (rb, kb) and B blocks by (kb, cb);
-/// `comm` is the grid communicator (a layer of the 3D backend, or
+/// The SUMMA stage loop over one q_r × q_c grid (`grid.rows · grid.cols ==
+/// comm.size()`): accumulates this rank's partial C(gi, gj) into `acc` in
+/// *global* coordinates (rb/cb are global bounds). `kb` is the grid's
+/// *fine* inner split into `grid.stages = lcm(q_r, q_c)` blocks (local to
+/// this grid's inner range): grid column j owns A's fine blocks
+/// [j·s/q_c, (j+1)·s/q_c) and grid row i owns B's fine blocks
+/// [i·s/q_r, (i+1)·s/q_r), both contiguous, so each stage's roots extract
+/// one sub-block of their piece and broadcast it along their row/column
+/// team. `comm` is the grid communicator (a layer of the 3D backend, or
 /// everything for 2D). Stage partials of the same entry are merged with ⊕
 /// before `acc` is handed back, so the caller ships post-merge volume. The
 /// merge is deterministic (ties fold in stage order), so a schedule
 /// captured via `sched` replays bit-exactly.
 template <typename SR, typename VT>
-void summa_stages(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my_b,
-                  std::span<const index_t> rb, std::span<const index_t> kb,
-                  std::span<const index_t> cb, LocalKernel kernel, int threads,
-                  CooMatrix<VT>& acc, SummaSched<VT, SR>* sched = nullptr) {
-  const int q = summa_grid_side(comm.size());
-  const int gi = comm.rank() / q;
-  const int gj = comm.rank() % q;
+void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
+                  const CscMatrix<VT>& my_b, std::span<const index_t> rb,
+                  std::span<const index_t> kb, std::span<const index_t> cb, LocalKernel kernel,
+                  int threads, CooMatrix<VT>& acc, SummaSched<VT, SR>* sched = nullptr) {
+  const int s = grid.stages;
+  const int spc = s / grid.cols;  // fine blocks per grid column (A ownership)
+  const int spr = s / grid.rows;  // fine blocks per grid row (B ownership)
+  const int gi = comm.rank() / grid.cols;
+  const int gj = comm.rank() % grid.cols;
   Comm row_comm = comm.split(gi, gj);  // sub-rank within a row == grid column
   Comm col_comm = comm.split(gj, gi);  // sub-rank within a column == grid row
 
   const index_t rlo = rb[static_cast<std::size_t>(gi)];
   const index_t clo = cb[static_cast<std::size_t>(gj)];
+  const index_t a_clo = kb[static_cast<std::size_t>(gj * spc)];  // my A piece's inner base
+  const index_t b_rlo = kb[static_cast<std::size_t>(gi * spr)];  // my B piece's inner base
+  if (sched != nullptr) {
+    sched->grid_rows = grid.rows;
+    sched->grid_cols = grid.cols;
+  }
 
-  for (int k = 0; k < q; ++k) {
+  for (int k = 0; k < s; ++k) {
     const index_t klo = kb[static_cast<std::size_t>(k)], khi = kb[static_cast<std::size_t>(k) + 1];
+    const int a_root = k / spc;  // grid column owning fine A block k
+    const int b_root = k / spr;  // grid row owning fine B block k
 
     std::vector<Triple<VT>> abuf, bbuf;
+    index_t a_lo = 0, a_hi = 0;
+    std::vector<index_t> b_src;
     {
       auto ph = comm.phase(Phase::Other);
-      if (gj == k) abuf = csc_triples(my_a);
-      if (gi == k) bbuf = csc_triples(my_b);
+      if (gj == a_root) {
+        // Fine A block k = columns [klo−a_clo, khi−a_clo) of my piece:
+        // triples in canonical order with stage-local columns. The value
+        // payload is the contiguous span vals[colptr[lo], colptr[hi]).
+        const auto lo = static_cast<std::size_t>(klo - a_clo);
+        const auto hi = static_cast<std::size_t>(khi - a_clo);
+        a_lo = my_a.colptr()[lo];
+        a_hi = my_a.colptr()[hi];
+        abuf.reserve(static_cast<std::size_t>(a_hi - a_lo));
+        for (std::size_t j = lo; j < hi; ++j) {
+          auto rows = my_a.col_rows(static_cast<index_t>(j));
+          auto vals = my_a.col_vals(static_cast<index_t>(j));
+          for (std::size_t p = 0; p < rows.size(); ++p)
+            abuf.push_back({rows[p], static_cast<index_t>(j - lo), vals[p]});
+        }
+      }
+      if (gi == b_root) {
+        // Fine B block k = rows [klo−b_rlo, khi−b_rlo) of my piece,
+        // emitted column-major with rows ascending — canonical order, so
+        // the rebuilt block's val array equals this payload and the
+        // recorded gather map replays bare values.
+        const index_t blk_rlo = klo - b_rlo, blk_rhi = khi - b_rlo;
+        for (index_t j = 0; j < my_b.ncols(); ++j) {
+          auto rows = my_b.col_rows(j);
+          auto vals = my_b.col_vals(j);
+          const index_t base = my_b.colptr()[static_cast<std::size_t>(j)];
+          auto first = static_cast<std::size_t>(
+              std::lower_bound(rows.begin(), rows.end(), blk_rlo) - rows.begin());
+          for (std::size_t p = first; p < rows.size() && rows[p] < blk_rhi; ++p) {
+            bbuf.push_back({rows[p] - blk_rlo, j, vals[p]});
+            if (sched != nullptr) b_src.push_back(base + static_cast<index_t>(p));
+          }
+        }
+      }
     }
-    row_comm.bcast(abuf, k);  // A(gi, k) along grid row gi
-    col_comm.bcast(bbuf, k);  // B(k, gj) along grid column gj
+    row_comm.bcast(abuf, a_root);  // fine A(gi, k) along grid row gi
+    col_comm.bcast(bbuf, b_root);  // fine B(k, gj) along grid column gj
 
-    // The broadcast triples arrive column-major (csc_triples of a canonical
-    // CSC), so the rebuilt blocks' val order equals the root's val array —
-    // a replay can broadcast the bare values and write them straight in.
+    // The broadcast triples arrive in canonical (col-major, row-ascending)
+    // order, so the rebuilt blocks' val order equals the payload order — a
+    // replay can broadcast the bare values and write them straight in.
     CscMatrix<VT> a_blk, b_blk, c_blk;
     {
       auto ph = comm.phase(sched != nullptr ? Phase::Plan : Phase::Comp);
@@ -140,10 +192,13 @@ void summa_stages(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my
         auto ph = comm.phase(Phase::Comp);
         c_blk = spgemm_local_numeric<SR, VT>(a_blk, b_blk, st.sym, &sched->ws);
       }
-      if (gj != k) sched->bcast_recv_bytes += a_blk.vals().size() * sizeof(VT);
-      if (gi != k) sched->bcast_recv_bytes += b_blk.vals().size() * sizeof(VT);
+      if (gj != a_root) sched->bcast_recv_bytes += a_blk.vals().size() * sizeof(VT);
+      if (gi != b_root) sched->bcast_recv_bytes += b_blk.vals().size() * sizeof(VT);
       st.a_blk = std::move(a_blk);
       st.b_blk = std::move(b_blk);
+      st.a_val_lo = a_lo;
+      st.a_val_hi = a_hi;
+      st.b_src = std::move(b_src);
       sched->stages.push_back(std::move(st));
     } else {
       auto ph = comm.phase(Phase::Comp);
@@ -160,9 +215,9 @@ void summa_stages(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my
     }
   }
   {
-    // Merge the up-to-q per-stage partials of each C entry locally before
-    // the scatter: the all-to-all then carries post-merge volume (what the
-    // cost model prices), not q× duplicates.
+    // Merge the per-stage partials of each C entry locally before the
+    // scatter: the all-to-all then carries post-merge volume (what the
+    // cost model prices), not duplicates per stage.
     auto ph = comm.phase(sched != nullptr ? Phase::Plan : Phase::Other);
     merge_triples_stable(acc.triples(), [](VT x, VT y) { return SR::add(x, y); },
                          sched != nullptr ? &sched->acc_dst : nullptr,
@@ -172,31 +227,41 @@ void summa_stages(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my
 }
 
 /// Replays a captured stage schedule: per stage, value-only row/column
-/// broadcasts into the cached block shells, the numeric-only local pass,
+/// broadcasts (the roots gather from their pieces through the recorded
+/// span/map) into the cached block shells, the numeric-only local pass,
 /// and the ⊕-fold into `acc_vals` (resized to the merged count; slot order
 /// matches the fresh call's merged accumulator). Collective over the same
 /// grid communicator the schedule was captured on.
 template <typename SR, typename VT>
 void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my_b,
                          SummaSched<VT, SR>& sched, std::vector<VT>& acc_vals) {
-  const int q = summa_grid_side(comm.size());
-  const int gi = comm.rank() / q;
-  const int gj = comm.rank() % q;
+  const int s = static_cast<int>(sched.stages.size());
+  const int spc = s / sched.grid_cols;
+  const int spr = s / sched.grid_rows;
+  const int gi = comm.rank() / sched.grid_cols;
+  const int gj = comm.rank() % sched.grid_cols;
   Comm row_comm = comm.split(gi, gj);
   Comm col_comm = comm.split(gj, gi);
 
   acc_vals.assign(sched.acc_nnz, VT{});
   std::size_t flat = 0;
-  for (int k = 0; k < q; ++k) {
+  for (int k = 0; k < s; ++k) {
     auto& st = sched.stages[static_cast<std::size_t>(k)];
+    const int a_root = k / spc;
+    const int b_root = k / spr;
     std::vector<VT> abuf, bbuf;
     {
       auto ph = comm.phase(Phase::Other);
-      if (gj == k) abuf = my_a.vals();
-      if (gi == k) bbuf = my_b.vals();
+      if (gj == a_root)
+        abuf.assign(my_a.vals().begin() + st.a_val_lo, my_a.vals().begin() + st.a_val_hi);
+      if (gi == b_root) {
+        bbuf.reserve(st.b_src.size());
+        const VT* bv = my_b.vals().data();
+        for (auto i : st.b_src) bbuf.push_back(bv[static_cast<std::size_t>(i)]);
+      }
     }
-    row_comm.bcast(abuf, k);
-    col_comm.bcast(bbuf, k);
+    row_comm.bcast(abuf, a_root);
+    col_comm.bcast(bbuf, b_root);
     CscMatrix<VT> c_blk;
     {
       auto ph = comm.phase(Phase::Other);
@@ -221,9 +286,9 @@ void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<
 }  // namespace summadetail
 
 /// Cached structural program of one full 2D-SUMMA multiply on this rank:
-/// both inbound grid routes, the stage schedule, and the outbound
-/// scatter/merge program. Captured by spgemm_summa_2d_dist, replayed
-/// (values only) by spgemm_summa_2d_replay.
+/// both inbound grid routes, the stage schedule (which remembers its
+/// q_r × q_c grid), and the outbound scatter/merge program. Captured by
+/// spgemm_summa_2d_dist, replayed (values only) by spgemm_summa_2d_replay.
 template <typename VT, typename SR>
 struct Summa2dPlan {
   GridRoute<VT> route_a, route_b;
@@ -238,38 +303,54 @@ struct Summa2dPlan {
   }
 };
 
-/// 2D sparse SUMMA over 1D-distributed operands. Collective; requires a
-/// perfect-square process count (require_summa_grid explains the options
-/// otherwise). C is returned in B's column distribution; partial entries
-/// across the √P stages are merged with the semiring's ⊕. `plan` (optional)
-/// captures the full value-only replay program while this fresh call runs.
+/// 2D sparse SUMMA over 1D-distributed operands on a q_r × q_c grid.
+/// Collective; any process count works — the grid is the nearest-square
+/// factorization of P unless `grid_rows`/`grid_cols` pin a shape
+/// (require_grid_shape validates a pinned shape against P). C is returned
+/// in B's column distribution; partial entries across the stages are merged
+/// with the semiring's ⊕. `plan` (optional) captures the full value-only
+/// replay program while this fresh call runs.
 template <typename SRIn = void, typename VT>
 DistMatrix1D<VT> spgemm_summa_2d_dist(
     Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
     LocalKernel kernel = LocalKernel::Hybrid, int threads = 1,
-    Summa2dPlan<VT, ResolveSemiring<SRIn, VT>>* plan = nullptr) {
+    std::type_identity_t<Summa2dPlan<VT, ResolveSemiring<SRIn, VT>>*> plan = nullptr,
+    int grid_rows = 0, int grid_cols = 0) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_summa_2d_dist: inner dimension mismatch");
   const int P = comm.size();
-  require_summa_grid(P, "spgemm_summa_2d_dist");
-  const int q = summa_grid_side(P);
-  const int gi = comm.rank() / q;
-  const int gj = comm.rank() % q;
+  const GridShape grid = require_grid_shape(P, grid_rows, grid_cols, "spgemm_summa_2d_dist");
+  const int gi = comm.rank() / grid.cols;
+  const int gj = comm.rank() % grid.cols;
 
-  auto rb = even_split(a.nrows(), q);  // row blocks of A and C
-  auto kb = even_split(a.ncols(), q);  // inner-dimension blocks
-  auto cb = even_split(b.ncols(), q);  // column blocks of B and C
+  auto rb = even_split(a.nrows(), grid.rows);    // row blocks of A and C
+  auto kb = even_split(a.ncols(), grid.stages);  // fine inner-dimension blocks
+  auto cb = even_split(b.ncols(), grid.cols);    // column blocks of B and C
 
-  auto rank_of = [q](int bi, int bj) { return bi * q + bj; };
+  // Coarse per-rank inner tilings: grid column j owns A's fine blocks
+  // [j·s/q_c, (j+1)·s/q_c), grid row i owns B's [i·s/q_r, (i+1)·s/q_r) —
+  // contiguous runs, so each operand routes through the generic 1D→grid
+  // primitive with its own coarse bounds (they differ on rectangular
+  // grids).
+  const int spc = grid.stages / grid.cols;
+  const int spr = grid.stages / grid.rows;
+  std::vector<index_t> ka(static_cast<std::size_t>(grid.cols) + 1);
+  std::vector<index_t> kbt(static_cast<std::size_t>(grid.rows) + 1);
+  for (int j = 0; j <= grid.cols; ++j)
+    ka[static_cast<std::size_t>(j)] = kb[static_cast<std::size_t>(j * spc)];
+  for (int i = 0; i <= grid.rows; ++i)
+    kbt[static_cast<std::size_t>(i)] = kb[static_cast<std::size_t>(i * spr)];
+
+  auto rank_of = [qc = grid.cols](int bi, int bj) { return bi * qc + bj; };
   auto my_a = redistribute_1d_to_2d_grid(comm, a, std::span<const index_t>(rb),
-                                         std::span<const index_t>(kb), rank_of, gi, gj,
+                                         std::span<const index_t>(ka), rank_of, gi, gj,
                                          plan != nullptr ? &plan->route_a : nullptr);
-  auto my_b = redistribute_1d_to_2d_grid(comm, b, std::span<const index_t>(kb),
+  auto my_b = redistribute_1d_to_2d_grid(comm, b, std::span<const index_t>(kbt),
                                          std::span<const index_t>(cb), rank_of, gi, gj,
                                          plan != nullptr ? &plan->route_b : nullptr);
 
   CooMatrix<VT> acc(a.nrows(), b.ncols());
-  summadetail::summa_stages<SR>(comm, my_a, my_b, std::span<const index_t>(rb),
+  summadetail::summa_stages<SR>(comm, grid, my_a, my_b, std::span<const index_t>(rb),
                                 std::span<const index_t>(kb), std::span<const index_t>(cb),
                                 kernel, threads, acc,
                                 plan != nullptr ? &plan->sched : nullptr);
@@ -297,7 +378,6 @@ template <typename VT>
 CooMatrix<VT> spgemm_summa_2d(Comm& comm, const CscMatrix<VT>& a, const CscMatrix<VT>& b,
                               LocalKernel kernel = LocalKernel::Hybrid, int threads = 1) {
   require(a.ncols() == b.nrows(), "spgemm_summa_2d: inner dimension mismatch");
-  require_summa_grid(comm.size(), "spgemm_summa_2d");
   auto da = DistMatrix1D<VT>::from_global(comm, a);
   auto db = DistMatrix1D<VT>::from_global(comm, b);
   auto dc = spgemm_summa_2d_dist(comm, da, db, kernel, threads);

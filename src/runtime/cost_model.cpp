@@ -2,8 +2,59 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <numeric>
+#include <sstream>
+#include <string>
 
 namespace sa1d {
+
+bool load_cost_params(const char* path, CostParams& p) {
+  std::ifstream f(path);
+  if (!f) return false;
+  std::stringstream ss;
+  ss << f.rdbuf();
+  const std::string text = ss.str();
+  auto read_key = [&text](const char* key, double& out) {
+    const std::string quoted = std::string("\"") + key + "\"";
+    std::size_t pos = text.find(quoted);
+    if (pos == std::string::npos) return;
+    pos = text.find(':', pos + quoted.size());
+    if (pos == std::string::npos) return;
+    // A truncated or malformed value (e.g. a file cut off mid-write, even
+    // inside a number like "1.234e") must not clobber a sane default:
+    // require a positive finite number that terminates at a JSON delimiter.
+    const char* start = text.c_str() + pos + 1;
+    char* end = nullptr;
+    const double v = std::strtod(start, &end);
+    if (end == start || !std::isfinite(v) || v <= 0.0) return;
+    while (*end == ' ' || *end == '\t' || *end == '\n' || *end == '\r') ++end;
+    if (*end != ',' && *end != '}') return;
+    out = v;
+  };
+  read_key("flop_s", p.flop_s);
+  read_key("triple_s", p.triple_s);
+  read_key("alpha_inter", p.alpha_inter);
+  read_key("beta_inter", p.beta_inter);
+  read_key("alpha_intra", p.alpha_intra);
+  read_key("beta_intra", p.beta_intra);
+  double rpn = static_cast<double>(p.ranks_per_node);
+  read_key("ranks_per_node", rpn);
+  p.ranks_per_node = std::max(1, static_cast<int>(std::lround(rpn)));
+  return true;
+}
+
+CostParams cost_params_from_env(CostParams base) {
+  const char* path = std::getenv("SA1D_COST_PARAMS");
+  if (path != nullptr && path[0] != '\0' && !load_cost_params(path, base))
+    std::fprintf(stderr,
+                 "sa1d: SA1D_COST_PARAMS=%s is set but unreadable; "
+                 "using the default cost rates\n",
+                 path);
+  return base;
+}
 
 ModeledTime CostModel::run_time(const std::vector<RankReport>& ranks,
                                 int threads_per_rank) const {
@@ -20,17 +71,36 @@ ModeledTime CostModel::run_time(const std::vector<RankReport>& ranks,
   return out;
 }
 
-int summa_grid_side(int P) {
-  int q = static_cast<int>(std::lround(std::sqrt(static_cast<double>(P))));
-  return q * q == P ? q : 0;
+GridShape summa_grid_shape(int P, int grid_rows, int grid_cols) {
+  GridShape g;
+  if (P < 1) return g;
+  if (grid_rows != 0 || grid_cols != 0) {
+    // A pinned side derives the other from P when it divides; a fully
+    // pinned shape is taken verbatim (validation is the caller's job, so
+    // the error message can name who pinned it). A nonsensical pin —
+    // negative, or one that does not factor P — yields an invalid shape
+    // (stages = 0 below), never a silent fallback to the auto grid.
+    g.rows = grid_rows != 0 ? grid_rows
+                            : (grid_cols > 0 && P % grid_cols == 0 ? P / grid_cols : 0);
+    g.cols = grid_cols != 0 ? grid_cols
+                            : (grid_rows > 0 && P % grid_rows == 0 ? P / grid_rows : 0);
+  } else {
+    // Nearest-square factorization, rows ≤ cols: the largest divisor of P
+    // not exceeding √P. Primes land on 1 × P.
+    int r = 1;
+    for (int d = 1; static_cast<long long>(d) * d <= P; ++d)
+      if (P % d == 0) r = d;
+    g.rows = r;
+    g.cols = P / r;
+  }
+  g.stages = g.rows >= 1 && g.cols >= 1 ? std::lcm(g.rows, g.cols) : 0;
+  return g;
 }
 
 std::vector<int> valid_layer_counts(int P) {
   std::vector<int> out;
-  for (int c = 1; c <= P; ++c) {
-    if (P % c != 0) continue;
-    if (summa_grid_side(P / c) > 0) out.push_back(c);
-  }
+  for (int c = 1; c <= P; ++c)
+    if (P % c == 0) out.push_back(c);
   return out;
 }
 
@@ -51,6 +121,65 @@ double CostModel::beta_eff(int P) const {
   double f_inter = 1.0 - static_cast<double>(p_.ranks_per_node) / static_cast<double>(P);
   return f_inter * p_.beta_inter + (1.0 - f_inter) * p_.beta_intra;
 }
+
+namespace {
+
+/// Max/mean load factor of even_split(n, parts): the largest block over the
+/// average block. 1 when the split is exact; bounded by 2 (parts ≤ n) but
+/// significant exactly where rectangular grids bite — small dimensions over
+/// uneven factor pairs.
+double even_split_imbalance(double n, int parts) {
+  if (parts <= 1 || n <= 0.0) return 1.0;
+  const double mean = n / static_cast<double>(parts);
+  return std::ceil(mean) / mean;
+}
+
+/// The per-rank element volumes and latency of the grid backends (SUMMA-2D
+/// is the layers = 1 case), shared by both pricing horizons: predict()
+/// charges them at triple width, predict_replay() at value width. One
+/// derivation site, so the two horizons cannot drift apart.
+struct GridTerms {
+  bool ok = false;           ///< layers divide P and the (pinned) shape factors P/layers
+  double redist_elems = 0.0; ///< in/out redistribution elements per rank
+  double bcast_elems = 0.0;  ///< stage-broadcast elements received per rank
+  double latency_msgs = 0.0; ///< α multiplier: stage rounds + all-to-alls (+ layer folds)
+  double imb = 1.0;          ///< even_split max/mean load factor of the C blocks
+};
+
+GridTerms grid_terms(const AlgoCostInputs& in, int layers) {
+  GridTerms t;
+  if (layers < 1 || in.P % layers != 0) return t;
+  const GridShape g = summa_grid_shape(in.P / layers, in.grid_rows, in.grid_cols);
+  if (g.rows * g.cols != in.P / layers || g.stages < 1) return t;
+  const auto P = static_cast<double>(in.P < 1 ? 1 : in.P);
+  const double cd = static_cast<double>(layers);
+  const double qr = static_cast<double>(g.rows);
+  const double qc = static_cast<double>(g.cols);
+  const double s = static_cast<double>(g.stages);
+  const auto nnz_a = static_cast<double>(in.nnz_a);
+  const auto nnz_b = static_cast<double>(in.nnz_b);
+  const auto flops = static_cast<double>(in.flops);
+  // Merged-output proxy: each flop yields one pre-merge partial triple; the
+  // scatter ships roughly half of them post-merge — per *layer*, since
+  // cross-layer duplicates only merge at the 1D scatter, so the out volume
+  // grows toward c× the merged nnz, capped by the flop count.
+  const double c_out = std::min(flops, cd * flops / 2.0);
+  t.redist_elems = (nnz_a + nnz_b + c_out) / P;
+  // Over the lcm(q_r, q_c)-stage loop each rank receives its whole A
+  // block-row and B block-column of its layer's inner slice.
+  t.bcast_elems = nnz_a / (cd * qr) + nnz_b / (cd * qc);
+  // Stage broadcast rounds + the three all-to-alls, plus the c cross-layer
+  // fold contributions per output chunk that plain SUMMA does not pay.
+  t.latency_msgs = 2.0 * s + 3.0 * P + (cd > 1.0 ? cd : 0.0);
+  // Uneven even_split blocks on a rectangular grid skew per-rank work: the
+  // slowest rank owns the largest row × column block pair.
+  t.imb = even_split_imbalance(static_cast<double>(in.m), g.rows) *
+          even_split_imbalance(static_cast<double>(in.n), g.cols);
+  t.ok = true;
+  return t;
+}
+
+}  // namespace
 
 AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
   AlgoPrediction pr;
@@ -105,48 +234,89 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
     }
 
     case Algo::Summa2D: {
-      const int q = summa_grid_side(in.P);
-      if (q == 0) {
-        pr.note = "P is not a perfect square";
+      const GridTerms t = grid_terms(in, 1);
+      if (!t.ok) {
+        pr.note = "the pinned grid_rows x grid_cols does not factor P";
         return pr;
       }
       pr.feasible = true;
-      const double qd = static_cast<double>(q);
-      // Redistribution in (A and B blocks) and out (merged C partials), plus
-      // √P stages of row/column block broadcasts.
-      const double redist = trip * (nnz_a + nnz_b + cnnz_est) / P;
-      const double bcast = trip * (nnz_a + nnz_b) / qd;
-      pr.comm_s = alpha * (2.0 * qd + 3.0 * P) + beta * (redist + bcast);
-      pr.comp_coeff = flops / (P * threads);
-      pr.other_coeff = (nnz_a + nnz_b) / qd + flops / P + redist / trip;
+      pr.comm_s = alpha * t.latency_msgs + beta * trip * (t.redist_elems + t.bcast_elems);
+      pr.comp_coeff = t.imb * flops / (P * threads);
+      pr.other_coeff = t.imb * t.bcast_elems + flops / P + t.redist_elems;
       break;
     }
 
     case Algo::Split3D: {
-      const int c = in.layers;
-      if (c < 1 || in.P % c != 0 || summa_grid_side(in.P / c) == 0) {
-        pr.note = "layers do not divide P into square grids";
+      if (in.layers < 1 || in.P % in.layers != 0) {
+        pr.note = "layers do not divide P";
+        return pr;
+      }
+      const GridTerms t = grid_terms(in, in.layers);
+      if (!t.ok) {
+        pr.note = "the pinned grid_rows x grid_cols does not factor P/layers";
         return pr;
       }
       pr.feasible = true;
-      const double cd = static_cast<double>(c);
-      const double qd = static_cast<double>(summa_grid_side(in.P / c));
-      // Like SUMMA per layer on 1/c of the inner dimension: broadcast volume
-      // shrinks by c·…/q_c, at the price of shipping partial C per *layer* —
-      // cross-layer duplicates are only merged at the 1D scatter, so the
-      // out volume grows toward c× the merged nnz, capped by the flop count.
-      const double c_out = std::min(flops, cd * cnnz_est);
-      const double redist = trip * (nnz_a + nnz_b + c_out) / P;
-      const double bcast = trip * (nnz_a + nnz_b) / (cd * qd);
-      pr.comm_s = alpha * (2.0 * qd + 3.0 * P) + beta * (redist + bcast);
-      pr.comp_coeff = flops / (P * threads);
-      pr.other_coeff = (nnz_a + nnz_b) / (cd * qd) + flops / P + redist / trip;
+      pr.comm_s = alpha * t.latency_msgs + beta * trip * (t.redist_elems + t.bcast_elems);
+      pr.comp_coeff = t.imb * flops / (P * threads);
+      pr.other_coeff = t.imb * t.bcast_elems + flops / P + t.redist_elems;
       break;
     }
   }
   // The compute terms are linear in the calibrated rates; keeping the
   // coefficients lets the offline refit recover flop_s/triple_s from
   // accumulated prediction-vs-measured records.
+  pr.comp_s = pr.comp_coeff * p_.flop_s;
+  pr.other_s = pr.other_coeff * p_.triple_s;
+  return pr;
+}
+
+AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in, Algo algo) const {
+  // Start from the one-shot prediction (same feasibility rules and compute
+  // term), then strip everything a cached replay does not pay: metadata
+  // collectives, structure bytes (value-only payloads), the symbolic /
+  // sort-and-merge side of `other` (replays run fold programs, not sorts).
+  AlgoPrediction pr = predict(in, algo);
+  if (!pr.feasible) return pr;
+  const auto P = static_cast<double>(in.P < 1 ? 1 : in.P);
+  const double alpha = alpha_eff(in.P);
+  const double beta = beta_eff(in.P);
+  const double vb = static_cast<double>(in.value_bytes);
+  const auto nnz_a = static_cast<double>(in.nnz_a);
+  const auto nnz_b = static_cast<double>(in.nnz_b);
+  const auto flops = static_cast<double>(in.flops);
+  const double cnnz_est = flops / 2.0;
+
+  switch (algo) {
+    case Algo::Auto:
+      break;
+    case Algo::SparseAware1D: {
+      // One value get per planned block (structure is cached), no metadata
+      // allgather; value copies and the numeric pass remain.
+      const auto msgs = static_cast<double>(in.sa1d_fetch_msgs) / P;
+      pr.comm_s = alpha * msgs + beta * static_cast<double>(in.sa1d_fetch_elems) * vb / P;
+      pr.other_coeff = (static_cast<double>(in.sa1d_fetch_elems) + nnz_b + cnnz_est) / P;
+      break;
+    }
+    case Algo::Ring1D: {
+      // Hops shift bare value arrays; the merge replays the cached ⊕-fold
+      // program (no per-hop regrouping, no sort).
+      pr.comm_s = alpha * (P - 1.0) + beta * vb * nnz_a * (P - 1.0) / P;
+      pr.other_coeff = flops / P;
+      break;
+    }
+    case Algo::Summa2D:
+    case Algo::Split3D: {
+      // Same element volumes and latency as the one-shot prediction, but
+      // the exchanges carry bare values (vb per element, not a triple) and
+      // the fold programs replace the sort-side merge work.
+      const GridTerms t = grid_terms(in, algo == Algo::Split3D ? in.layers : 1);
+      if (!t.ok) break;  // predict() already marked it feasible, so unreachable
+      pr.comm_s = alpha * t.latency_msgs + beta * vb * (t.redist_elems + t.bcast_elems);
+      pr.other_coeff = flops / P + t.redist_elems;
+      break;
+    }
+  }
   pr.comp_s = pr.comp_coeff * p_.flop_s;
   pr.other_s = pr.other_coeff * p_.triple_s;
   return pr;

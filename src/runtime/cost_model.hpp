@@ -26,6 +26,18 @@ struct CostParams {
   double triple_s = 3.0e-8;  ///< seconds per COO triple packed/routed/merged
 };
 
+/// Overwrites the fields of `p` that appear as "key": number pairs in the
+/// JSON file at `path` (the cost_params.json scripts/fit_cost_params.py
+/// writes). Returns false when the file cannot be read; unknown keys are
+/// ignored, missing keys keep their current values.
+bool load_cost_params(const char* path, CostParams& p);
+
+/// The online-refit hook: returns `base` with any overrides from the file
+/// named by the SA1D_COST_PARAMS environment variable applied. Machine
+/// applies this at construction, closing the bench_local.sh --refit loop —
+/// fitted rates flow into every subsequent run without hand-editing.
+CostParams cost_params_from_env(CostParams base);
+
 /// The distributed SpGEMM backends spgemm_dist dispatches over. Auto asks
 /// CostModel::predict to rank the concrete four and runs the winner.
 enum class Algo { Auto, SparseAware1D, Ring1D, Summa2D, Split3D };
@@ -49,6 +61,8 @@ struct AlgoCostInputs {
   int P = 1;            ///< communicator size
   int threads = 1;      ///< simulated threads per rank
   int layers = 1;       ///< Split3D layer count the prediction assumes
+  int grid_rows = 0;    ///< pinned process-grid rows (0 = nearest-square auto)
+  int grid_cols = 0;    ///< pinned process-grid columns (0 = auto)
   index_t m = 0;        ///< rows of A / C
   index_t k = 0;        ///< inner dimension
   index_t n = 0;        ///< columns of B / C
@@ -145,21 +159,48 @@ class CostModel {
 
   /// Predicts the per-rank cost of running `algo` on the given structural
   /// inputs (DESIGN.md §7 documents the formulas). `feasible` is false when
-  /// the process count cannot form the backend's grid; Split3D uses
-  /// `in.layers`. Deterministic in the inputs, so every rank reaches the
-  /// same Auto decision without extra communication.
+  /// the process count cannot form the backend's grid (only possible with a
+  /// pinned grid_rows/grid_cols or layer count — every P ≥ 1 factors into
+  /// some q_r × q_c grid); Split3D uses `in.layers`. Deterministic in the
+  /// inputs, so every rank reaches the same Auto decision without extra
+  /// communication.
   [[nodiscard]] AlgoPrediction predict(const AlgoCostInputs& in, Algo algo) const;
+
+  /// Predicts the per-rank cost of *replaying* a cached DistSpgemmPlan of
+  /// `algo` on the same structure: zero plan-side work, value-only traffic
+  /// (sizeof(VT) per element instead of full triples, one RDMA get per
+  /// planned block instead of two, no metadata collectives), numeric-only
+  /// local passes. Plan-aware Auto reprices iterated decisions with this
+  /// (DESIGN.md §8); deterministic in the inputs like predict().
+  [[nodiscard]] AlgoPrediction predict_replay(const AlgoCostInputs& in, Algo algo) const;
 
  private:
   CostParams p_;
 };
 
+/// A q_r × q_c process grid (q_r·q_c = P) plus the SUMMA stage count over
+/// it: the inner dimension is split into lcm(q_r, q_c) fine blocks so each
+/// rank's A piece (stages/cols fine blocks) and B piece (stages/rows fine
+/// blocks) stay contiguous — on a square grid this degenerates to the
+/// classic q stages of whole-block broadcasts.
+struct GridShape {
+  int rows = 1;
+  int cols = 1;
+  int stages = 1;
+  friend bool operator==(const GridShape&, const GridShape&) = default;
+};
+
 /// Grid-shape helpers shared by the 2D/3D backends, their validation
-/// errors, and the cost model's feasibility checks.
-/// Side of the √P×√P SUMMA grid, or 0 when P is not a perfect square.
-[[nodiscard]] int summa_grid_side(int P);
-/// Layer counts c with P = c·q² for integral q, ascending (always contains
-/// P itself via q = 1; contains 1 iff P is a perfect square).
+/// errors, and the cost model's pricing.
+/// The q_r × q_c factorization of P: the divisor pair nearest square
+/// (rows ≤ cols) unless the caller pins one or both sides. A pinned shape
+/// that does not factor P is returned as-is with rows·cols ≠ P — callers
+/// validate via require_grid_shape (dist/redistribute.hpp) or treat the
+/// prediction as infeasible. Every P ≥ 1 has a valid auto shape (primes get
+/// 1 × P).
+[[nodiscard]] GridShape summa_grid_shape(int P, int grid_rows = 0, int grid_cols = 0);
+/// Layer counts c with P = c·(q_r·q_c): every divisor of P, ascending,
+/// since any quotient factors into a rectangular grid.
 [[nodiscard]] std::vector<int> valid_layer_counts(int P);
 /// True iff P admits a non-degenerate Split-3D layering: some c with
 /// 1 < c < P (c = 1 is plain SUMMA, c = P collapses every layer to one

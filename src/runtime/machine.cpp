@@ -50,7 +50,7 @@ Comm Comm::split(int color, int key) {
   return Comm(my_pos, std::move(sub_globals), std::move(sub), report_, cost_, poison_);
 }
 
-Machine::Machine(int nranks, CostParams cost) : n_(nranks), cost_(cost) {
+Machine::Machine(int nranks, CostParams cost) : n_(nranks), cost_(cost_params_from_env(cost)) {
   require(nranks >= 1, "Machine: need at least one rank");
 }
 

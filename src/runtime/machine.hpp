@@ -354,7 +354,10 @@ struct RunReport {
 };
 
 /// The simulated machine. Construct with the rank count and cost parameters,
-/// then run one or more SPMD bodies.
+/// then run one or more SPMD bodies. Refitted rates from a cost_params.json
+/// named by the SA1D_COST_PARAMS environment variable override the passed
+/// parameters (cost_params_from_env), so `bench_local.sh --refit` output
+/// feeds back into every run automatically.
 class Machine {
  public:
   explicit Machine(int nranks, CostParams cost = {});

@@ -105,10 +105,12 @@ TEST(NaiveRing1d, MovesWholeAAcrossRing) {
 
 // ---- 2D sparse SUMMA -----------------------------------------------------
 
-TEST(Summa2d, MatchesSerialOnPerfectSquares) {
+TEST(Summa2d, MatchesSerialOnAnyProcessCount) {
+  // Square grids (1, 4, 9), rectangular factorizations (6 → 2×3, 8 → 2×4,
+  // 12 → 3×4), and primes (5 → 1×5): every P forms a q_r × q_c grid.
   auto a = erdos_renyi<double>(80, 4.0, 21);
   auto want = spgemm(a, a, LocalKernel::Spa);
-  for (int P : {1, 4, 9}) {
+  for (int P : {1, 4, 9, 2, 3, 5, 6, 8, 12}) {
     Machine m(P);
     m.run([&](Comm& c) {
       auto blk = spgemm_summa_2d(c, a, a);
@@ -116,6 +118,26 @@ TEST(Summa2d, MatchesSerialOnPerfectSquares) {
       EXPECT_TRUE(approx_equal(got, want, 1e-9)) << "P=" << P;
     });
   }
+}
+
+TEST(Summa2d, GridShapeFactorsNearestSquare) {
+  EXPECT_EQ(summa_grid_shape(1), (GridShape{1, 1, 1}));
+  EXPECT_EQ(summa_grid_shape(4), (GridShape{2, 2, 2}));
+  EXPECT_EQ(summa_grid_shape(6), (GridShape{2, 3, 6}));
+  EXPECT_EQ(summa_grid_shape(8), (GridShape{2, 4, 4}));
+  EXPECT_EQ(summa_grid_shape(12), (GridShape{3, 4, 12}));
+  EXPECT_EQ(summa_grid_shape(16), (GridShape{4, 4, 4}));
+  EXPECT_EQ(summa_grid_shape(5), (GridShape{1, 5, 5}));   // prime: 1 × P
+  // Pinned shapes: one side derives the other; both pinned are verbatim.
+  EXPECT_EQ(summa_grid_shape(6, 3, 0), (GridShape{3, 2, 6}));
+  EXPECT_EQ(summa_grid_shape(6, 0, 2), (GridShape{3, 2, 6}));
+  EXPECT_EQ(summa_grid_shape(12, 2, 6), (GridShape{2, 6, 6}));
+  // A nonsensical pin (negative, or not dividing P) must yield an invalid
+  // shape — never a silent fallback to the auto grid.
+  EXPECT_EQ(summa_grid_shape(6, -3, 0).stages, 0);
+  EXPECT_EQ(summa_grid_shape(6, -3, -2).stages, 0);
+  EXPECT_EQ(summa_grid_shape(6, 0, 4).stages, 0);
+  EXPECT_THROW(require_grid_shape(6, -3, 0, "test"), std::invalid_argument);
 }
 
 TEST(Summa2d, RectangularOperands) {
@@ -129,29 +151,34 @@ TEST(Summa2d, RectangularOperands) {
   });
 }
 
-TEST(Summa2d, RejectsNonSquareProcessCount) {
+TEST(Summa2d, PinnedGridShapeMustFactorP) {
   Machine m(6);
   auto a = erdos_renyi<double>(20, 2.0, 2);
-  EXPECT_THROW(m.run([&](Comm& c) { spgemm_summa_2d(c, a, a); }), std::invalid_argument);
+  EXPECT_THROW(m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    spgemm_summa_2d_dist(c, da, da, LocalKernel::Hybrid, 1, nullptr, /*grid_rows=*/4);
+  }),
+               std::invalid_argument);
 }
 
 // ---- Split-3D --------------------------------------------------------------
 
 TEST(Split3d, ValidLayerCounts) {
-  EXPECT_EQ(valid_layer_counts(16), (std::vector<int>{1, 4, 16}));
-  EXPECT_EQ(valid_layer_counts(8), (std::vector<int>{2, 8}));
+  // Every divisor of P is a layer count now that layer grids may be
+  // rectangular (P/c always factors into some q_r × q_c).
+  EXPECT_EQ(valid_layer_counts(16), (std::vector<int>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(valid_layer_counts(8), (std::vector<int>{1, 2, 4, 8}));
+  EXPECT_EQ(valid_layer_counts(6), (std::vector<int>{1, 2, 3, 6}));
   EXPECT_EQ(valid_layer_counts(1), (std::vector<int>{1}));
 }
 
 TEST(Split3d, MatchesSerialAcrossLayerCounts) {
+  // 8 = 1·(2×4) = 2·(2×2) = 4·(1×2) = 8·(1×1): every divisor layers, the
+  // c=1 and c=4 cases on rectangular layer grids.
   auto a = erdos_renyi<double>(70, 4.0, 13);
   auto want = spgemm(a, a, LocalKernel::Spa);
   for (int layers : {1, 2, 4, 8}) {
     int P = 8;
-    if (P % layers != 0) continue;
-    int q2 = P / layers;
-    int q = static_cast<int>(std::sqrt(q2));
-    if (q * q != q2) continue;
     Machine m(P);
     m.run([&](Comm& c) {
       auto got = gather_coo(c, spgemm_split_3d(c, a, a, layers));

@@ -59,11 +59,10 @@ CscMatrix<double> hypersparse(index_t n, int edges, std::uint64_t seed) {
   return CscMatrix<double>::from_coo(c);
 }
 
-std::vector<Algo> feasible_backends(int P) {
-  std::vector<Algo> out{Algo::SparseAware1D, Algo::Ring1D};
-  if (summa_grid_side(P) > 0) out.push_back(Algo::Summa2D);
-  if (!valid_layer_counts(P).empty()) out.push_back(Algo::Split3D);
-  return out;
+// Every backend is feasible at every P now that the 2D/3D grids may be
+// rectangular (primes run 1 × P grids).
+std::vector<Algo> feasible_backends(int) {
+  return {Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D, Algo::Split3D};
 }
 
 using LocalsPerIter = std::vector<std::vector<DcscMatrix<double>>>;  // [rank][iter]
@@ -139,7 +138,19 @@ TEST(DistPlanReplay, MclSquaringAllBackendsP4) {
 TEST(DistPlanReplay, MclSquaringSumma9Split8) {
   auto mpat = block_clustered<double>(180, 9, 4.0, 0.4, 13);
   expect_replay_bit_identical(9, Algo::Summa2D, mpat, mpat, 3);
-  expect_replay_bit_identical(8, Algo::Split3D, mpat, mpat, 3);  // 8 = 2·2²
+  expect_replay_bit_identical(8, Algo::Split3D, mpat, mpat, 3);  // 8 = 2·(2×2)
+}
+
+TEST(DistPlanReplay, RectangularGridsPrimeAndCompositeP) {
+  // The rectangular-grid plan-replay acceptance: value-only replays must
+  // stay bit-identical on 1 × P prime grids (2, 3, 5), the 2×3 grid at
+  // P = 6, the 2×4 at 8 (covered above), and the 3×4 at 12 — including the
+  // uneven fine-block tails 170 leaves at those stage counts.
+  auto mpat = block_clustered<double>(170, 10, 4.0, 0.4, 19);
+  for (int P : {2, 3, 5, 6, 12}) {
+    expect_replay_bit_identical(P, Algo::Summa2D, mpat, mpat, 3);
+    expect_replay_bit_identical(P, Algo::Split3D, mpat, mpat, 3);
+  }
 }
 
 TEST(DistPlanReplay, BcStyleRectangularFrontier) {
@@ -252,6 +263,52 @@ TEST(DistPlanAuto, CachedDecisionSkipsTheMetadataRegather) {
     EXPECT_EQ(c.report().plan_replays[static_cast<std::size_t>(st1.chosen)], 1u);
     (void)c1;
     (void)c2;
+  });
+}
+
+TEST(DistPlanAuto, ReplayRepricingRecordedAlongsideBuildDecision) {
+  // Plan-aware Auto: a cached Auto plan must carry *both* decision traces —
+  // the one-shot pricing that chose the build, and the replay repricing
+  // (zero plan term, value-only volume) reported on every execute, derived
+  // from the cached inputs with no extra communication or Plan time.
+  auto a = block_clustered<double>(200, 8, 5.0, 0.3, 57);
+  Machine m(6);  // non-square: the repriced trace covers rectangular grids
+  m.run([&](Comm& c) {
+    DistSpgemmPlan<double> plan;
+    DistSpgemmStats st1, st2;
+    auto da0 = DistMatrix1D<double>::from_global(c, with_values(a, 0));
+    plan.build(c, da0, da0, {}, &st1);
+    ASSERT_EQ(st1.predictions.size(), 4u);
+    ASSERT_EQ(st1.replay_predictions.size(), 4u);
+    EXPECT_NE(st1.replay_choice, Algo::Auto);
+    EXPECT_EQ(plan.replay_choice(), st1.replay_choice);
+    // Replay pricing strips plan-side volume: every feasible backend's
+    // repriced total undercuts its one-shot prediction.
+    double best = -1.0;
+    Algo argmin = Algo::SparseAware1D;
+    for (std::size_t i = 0; i < 4; ++i) {
+      const auto& one_shot = st1.predictions[i];
+      const auto& replay = st1.replay_predictions[i];
+      EXPECT_EQ(one_shot.algo, replay.algo);
+      if (!replay.feasible) continue;
+      EXPECT_LT(replay.total_s(), one_shot.total_s()) << algo_name(replay.algo);
+      if (best < 0.0 || replay.total_s() < best) {
+        best = replay.total_s();
+        argmin = replay.algo;
+      }
+    }
+    EXPECT_EQ(st1.replay_choice, argmin);
+
+    auto da1 = DistMatrix1D<double>::from_global(c, with_values(a, 1));
+    plan.execute(c, da1, da1, &st2);
+    // The replay reports the same repriced trace verbatim — no re-gather,
+    // no metadata bytes, no inspector seconds.
+    EXPECT_TRUE(st2.plan_reused);
+    EXPECT_EQ(st2.replay_choice, st1.replay_choice);
+    ASSERT_EQ(st2.replay_predictions.size(), 4u);
+    EXPECT_DOUBLE_EQ(st2.replay_predictions[0].total_s(), st1.replay_predictions[0].total_s());
+    EXPECT_EQ(st2.meta_coll_bytes, 0u);
+    EXPECT_DOUBLE_EQ(st2.plan_seconds, 0.0);
   });
 }
 

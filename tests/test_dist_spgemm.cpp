@@ -57,14 +57,13 @@ CscMatrix<double> hypersparse(index_t n, int edges, std::uint64_t seed) {
   return ::testing::AssertionSuccess();
 }
 
-// Differential coverage deliberately includes *degenerate* Split-3D
-// layerings (c = P, one rank per layer) that Auto would never dispatch:
-// explicit backend requests run them, so they must be bit-correct too.
-std::vector<Algo> feasible_backends(int P) {
-  std::vector<Algo> out{Algo::SparseAware1D, Algo::Ring1D};
-  if (summa_grid_side(P) > 0) out.push_back(Algo::Summa2D);
-  if (!valid_layer_counts(P).empty()) out.push_back(Algo::Split3D);
-  return out;
+// Every backend is feasible at every P now that the 2D/3D grids may be
+// rectangular; the differential coverage deliberately includes *degenerate*
+// Split-3D layerings (c = P, one rank per layer) and 1 × P grids that Auto
+// would never dispatch: explicit backend requests run them, so they must be
+// bit-correct too.
+std::vector<Algo> feasible_backends(int) {
+  return {Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D, Algo::Split3D};
 }
 
 /// Runs every feasible backend through spgemm_dist over both semirings and
@@ -97,6 +96,42 @@ TEST(DistSpgemmDifferential, ErdosRenyiSquare) {
   auto a = with_integer_values(erdos_renyi<double>(180, 5.0, 11), 1);
   auto b = with_integer_values(erdos_renyi<double>(180, 5.0, 12), 2);
   for (int P : {1, 4, 8, 9}) check_all_backends(a, b, P);
+}
+
+TEST(DistSpgemmDifferential, RectangularGridsPrimeAndCompositeP) {
+  // The issue's rectangular-grid acceptance set: primes (2, 3, 5 → 1×P
+  // grids), 6 → 2×3, 8 → 2×4, 12 → 3×4 — with uneven tails (180 does not
+  // divide evenly by most of these) and all four backends at every P.
+  auto a = with_integer_values(erdos_renyi<double>(180, 5.0, 13), 9);
+  auto b = with_integer_values(erdos_renyi<double>(180, 5.0, 14), 10);
+  for (int P : {2, 3, 5, 6, 8, 12}) check_all_backends(a, b, P);
+}
+
+TEST(DistSpgemmDifferential, PinnedGridShapeMatchesAutoShape) {
+  // An explicitly pinned q_r × q_c (including the transposed and the
+  // maximally skewed shapes) must agree bit-for-bit with the auto pick.
+  auto a = with_integer_values(erdos_renyi<double>(150, 5.0, 15), 11);
+  auto want = spgemm_local<PlusTimes<double>, double>(a, a, LocalKernel::Spa);
+  Machine m(6);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    const std::pair<int, int> shapes[] = {{2, 3}, {3, 2}, {1, 6}, {6, 1}};
+    for (auto [r, cc] : shapes) {
+      DistSpgemmOptions opt;
+      opt.algo = Algo::Summa2D;
+      opt.grid_rows = r;
+      opt.grid_cols = cc;
+      auto got = spgemm_dist(c, da, da, opt);
+      EXPECT_TRUE(bit_equal(got.gather(c), want)) << r << "x" << cc;
+    }
+    // The per-layer grid of Split-3D honors the same pin: 6 = 2·(3×1).
+    DistSpgemmOptions opt3;
+    opt3.algo = Algo::Split3D;
+    opt3.layers = 2;
+    opt3.grid_rows = 3;
+    opt3.grid_cols = 1;
+    EXPECT_TRUE(bit_equal(spgemm_dist(c, da, da, opt3).gather(c), want));
+  });
 }
 
 TEST(DistSpgemmDifferential, RmatSquaring) {
@@ -168,7 +203,7 @@ TEST(DistSpgemmPhases, EveryBackendAccountsComputeAndTraffic) {
 
 // ---- grid-shape validation ------------------------------------------------
 
-TEST(DistSpgemmValidation, SummaRejectsNonSquarePWithActionableMessage) {
+TEST(DistSpgemmValidation, PinnedGridRejectedWithActionableMessage) {
   Machine m(6);
   auto a = erdos_renyi<double>(30, 2.0, 2);
   try {
@@ -176,14 +211,15 @@ TEST(DistSpgemmValidation, SummaRejectsNonSquarePWithActionableMessage) {
       auto da = DistMatrix1D<double>::from_global(c, a);
       DistSpgemmOptions opt;
       opt.algo = Algo::Summa2D;
+      opt.grid_rows = 4;  // 4 does not divide 6
       spgemm_dist(c, da, da, opt);
     });
     FAIL() << "expected std::invalid_argument";
   } catch (const std::invalid_argument& e) {
     std::string msg = e.what();
+    EXPECT_NE(msg.find("grid_rows=4"), std::string::npos) << msg;
     EXPECT_NE(msg.find("P=6"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("perfect-square"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("4 or 9"), std::string::npos) << msg;  // nearest valid counts
+    EXPECT_NE(msg.find("{1, 2, 3, 6}"), std::string::npos) << msg;  // the divisors
   }
 }
 
@@ -203,27 +239,21 @@ TEST(DistSpgemmValidation, Split3dRejectsBadLayersListingValidCounts) {
     std::string msg = e.what();
     EXPECT_NE(msg.find("layers=3"), std::string::npos) << msg;
     EXPECT_NE(msg.find("P=8"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("{2, 8}"), std::string::npos) << msg;  // the valid layerings
+    EXPECT_NE(msg.find("{1, 2, 4, 8}"), std::string::npos) << msg;  // every divisor
   }
 }
 
-TEST(DistSpgemmValidation, Split3dOnlyDegenerateLayeringNamesAlternatives) {
-  Machine m(6);  // 6 = 2·3: only the degenerate 6·1² layering exists
-  auto a = erdos_renyi<double>(30, 2.0, 2);
-  try {
-    m.run([&](Comm& c) { spgemm_split_3d(c, a, a, 2); });
-    FAIL() << "expected std::invalid_argument";
-  } catch (const std::invalid_argument& e) {
-    std::string msg = e.what();
-    EXPECT_NE(msg.find("are {6}"), std::string::npos) << msg;
-    EXPECT_NE(msg.find("Algo::SparseAware1D"), std::string::npos) << msg;
-  }
-}
-
-TEST(DistSpgemmValidation, LegacyWrappersStillThrowInvalidArgument) {
+TEST(DistSpgemmValidation, FormerlyInfeasibleShapesNowRun) {
+  // P=6 SUMMA (the old "not a perfect square" rejection) and P=6 layers=2
+  // split-3D (the old "only the degenerate layering" rejection) both run on
+  // rectangular grids now and agree with the serial reference.
   Machine m(6);
-  auto a = erdos_renyi<double>(20, 2.0, 2);
-  EXPECT_THROW(m.run([&](Comm& c) { spgemm_summa_2d(c, a, a); }), std::invalid_argument);
+  auto a = erdos_renyi<double>(60, 3.0, 2);
+  auto want = spgemm(a, a, LocalKernel::Spa);
+  m.run([&](Comm& c) {
+    EXPECT_TRUE(approx_equal(gather_coo(c, spgemm_summa_2d(c, a, a)), want, 1e-9));
+    EXPECT_TRUE(approx_equal(gather_coo(c, spgemm_split_3d(c, a, a, 2)), want, 1e-9));
+  });
 }
 
 // ---- cost-model Auto dispatch ---------------------------------------------
@@ -278,22 +308,72 @@ TEST(DistSpgemmAuto, ExplicitBackendSkipsTheMetadataGather) {
   });
 }
 
-TEST(DistSpgemmAuto, AllPredictionsFeasibilityMatchesGridShapes) {
+TEST(DistSpgemmAuto, AllBackendsFeasibleAtEveryP) {
+  // The rectangular-grid acceptance regression: choose_algo must report all
+  // four backends feasible at every P ≥ 2 — primes included — so Auto is a
+  // total function of P and fig08/fig09 never lose a series.
   CostModel cm(calibrate_cost_params());
   AlgoCostInputs in;
-  in.P = 6;  // not a square, no c·q² layering
-  in.nnz_a = in.nnz_b = 1000;
-  in.flops = 10000;
-  in.max_rank_flops = 2500;
-  EXPECT_TRUE(cm.predict(in, Algo::SparseAware1D).feasible);
-  EXPECT_TRUE(cm.predict(in, Algo::Ring1D).feasible);
-  EXPECT_FALSE(cm.predict(in, Algo::Summa2D).feasible);
-  in.layers = 2;
+  in.m = in.k = in.n = 4096;
+  in.nnz_a = in.nnz_b = 40000;
+  in.flops = 400000;
+  in.max_rank_flops = 100000;
+  for (int P : {2, 3, 5, 6, 7, 8, 12, 16}) {
+    in.P = P;
+    std::vector<AlgoPrediction> preds;
+    int layers = 1;
+    choose_algo(cm, in, 0, &layers, &preds);
+    ASSERT_EQ(preds.size(), 4u);
+    for (const auto& pr : preds) {
+      if (pr.algo == Algo::Split3D && !split3d_has_nontrivial_layers(P)) {
+        // Primes have no middle layering; Auto skips the degenerate ones.
+        EXPECT_FALSE(pr.feasible) << "P=" << P;
+        continue;
+      }
+      EXPECT_TRUE(pr.feasible) << algo_name(pr.algo) << " P=" << P;
+      EXPECT_GT(pr.total_s(), 0.0) << algo_name(pr.algo) << " P=" << P;
+    }
+  }
+  // Direct predictions (no dispatch policy): Summa2D at any P, Split3D at
+  // any dividing layer count — including quotients that are not squares.
+  in.P = 6;
+  EXPECT_TRUE(cm.predict(in, Algo::Summa2D).feasible);
+  in.layers = 2;  // layer grids of 3 ranks: 1×3
+  EXPECT_TRUE(cm.predict(in, Algo::Split3D).feasible);
+  in.layers = 4;  // 4 does not divide 6
   EXPECT_FALSE(cm.predict(in, Algo::Split3D).feasible);
   in.P = 16;
   in.layers = 4;
-  EXPECT_TRUE(cm.predict(in, Algo::Summa2D).feasible);
   EXPECT_TRUE(cm.predict(in, Algo::Split3D).feasible);
+  // A pinned grid shape that does not factor P is the one remaining
+  // infeasibility.
+  in.grid_rows = 5;
+  EXPECT_FALSE(cm.predict(in, Algo::Summa2D).feasible);
+}
+
+TEST(DistSpgemmAuto, ReplayPredictionsAreCheaperAndPlanFree) {
+  // predict_replay prices the cached value-only replay: for every backend
+  // it must undercut the one-shot prediction (less volume, no metadata, no
+  // sort-side work) while keeping the same compute term.
+  CostModel cm(calibrate_cost_params());
+  AlgoCostInputs in;
+  in.P = 6;
+  in.m = in.k = in.n = 4096;
+  in.nnz_a = in.nnz_b = 40000;
+  in.nzc_a = 3000;
+  in.flops = 400000;
+  in.max_rank_flops = 100000;
+  in.sa1d_fetch_elems = 20000;
+  in.sa1d_fetch_msgs = 600;
+  in.layers = 2;
+  for (Algo algo : {Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D, Algo::Split3D}) {
+    auto one_shot = cm.predict(in, algo);
+    auto replay = cm.predict_replay(in, algo);
+    ASSERT_TRUE(one_shot.feasible && replay.feasible) << algo_name(algo);
+    EXPECT_LT(replay.total_s(), one_shot.total_s()) << algo_name(algo);
+    EXPECT_DOUBLE_EQ(replay.comp_s, one_shot.comp_s) << algo_name(algo);
+    EXPECT_LE(replay.comm_s, one_shot.comm_s) << algo_name(algo);
+  }
 }
 
 TEST(DistSpgemmAuto, SparsityAdvantageFavorsSa1dOverRing) {

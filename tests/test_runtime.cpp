@@ -2,6 +2,9 @@
 // sub-communicators, failure propagation, and the cost model.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
 #include <numeric>
 
 #include "runtime/machine.hpp"
@@ -378,6 +381,61 @@ TEST(Machine, ManyRanksStressBarrier) {
     EXPECT_EQ(s, 64);
   });
   EXPECT_EQ(rep.ranks.size(), 64u);
+}
+
+// ---- online cost-parameter refit loop -------------------------------------
+
+TEST(CostParamsFile, LoadOverridesListedKeysOnly) {
+  // The file scripts/fit_cost_params.py writes: refitted rates as flat
+  // "key": number pairs. Keys present override, keys absent keep their
+  // values, unknown keys are ignored.
+  const char* path = "cost_params_test_load.json";
+  {
+    std::ofstream f(path);
+    f << "{\"flop_s\": 1.5e-9, \"triple_s\": 2.5e-8, \"records\": 24}\n";
+  }
+  CostParams p;
+  p.alpha_inter = 9.0e-6;
+  ASSERT_TRUE(load_cost_params(path, p));
+  EXPECT_DOUBLE_EQ(p.flop_s, 1.5e-9);
+  EXPECT_DOUBLE_EQ(p.triple_s, 2.5e-8);
+  EXPECT_DOUBLE_EQ(p.alpha_inter, 9.0e-6);  // untouched
+  std::remove(path);
+
+  CostParams q;
+  EXPECT_FALSE(load_cost_params("does_not_exist_cost_params.json", q));
+  EXPECT_DOUBLE_EQ(q.flop_s, CostParams{}.flop_s);
+
+  // Files truncated mid-write — value missing entirely, or cut off inside
+  // the number ("1.234e" would strtod-parse as 1.234 s/flop, nine orders
+  // off) — and negative values must all leave the defaults untouched.
+  for (const char* bad : {"{\"flop_s\": ", "{\"flop_s\": 1.234e", "{\"flop_s\": -2.0e-9}"}) {
+    std::ofstream(path) << bad;
+    CostParams t;
+    ASSERT_TRUE(load_cost_params(path, t)) << bad;
+    EXPECT_DOUBLE_EQ(t.flop_s, CostParams{}.flop_s) << bad;
+  }
+  std::remove(path);
+}
+
+TEST(CostParamsFile, MachineAppliesSa1dCostParamsEnv) {
+  // Machine construction routes through cost_params_from_env, so a refit
+  // written to the file named by SA1D_COST_PARAMS reaches every subsequent
+  // run without hand-editing CostParams.
+  const char* path = "cost_params_test_env.json";
+  {
+    std::ofstream f(path);
+    f << "{\"flop_s\": 4.25e-9, \"triple_s\": 1.75e-8}\n";
+  }
+  ASSERT_EQ(setenv("SA1D_COST_PARAMS", path, 1), 0);
+  Machine m(2);
+  EXPECT_DOUBLE_EQ(m.cost().params().flop_s, 4.25e-9);
+  EXPECT_DOUBLE_EQ(m.cost().params().triple_s, 1.75e-8);
+  unsetenv("SA1D_COST_PARAMS");
+  std::remove(path);
+
+  Machine plain(2);
+  EXPECT_DOUBLE_EQ(plain.cost().params().flop_s, CostParams{}.flop_s);
 }
 
 }  // namespace
