@@ -118,11 +118,17 @@ class GalerkinOperator {
   /// selects the distributed algorithm for the SpGEMM-routed multiplies
   /// (the left multiply always, the right one unless RightMultAlgo says
   /// outer-product); SparseAware1D keeps the cached-plan fast path.
+  /// `expected_refreshes` (optional) declares how many operator recomputes
+  /// the caller expects over an unchanged hierarchy (time steps, Jacobian
+  /// refreshes): > 1 makes an Auto backend price the cached plans over that
+  /// horizon and build onto the replay-optimal backend.
   GalerkinOperator(Comm& comm, const CscMatrix<double>& r_global,
                    const Spgemm1dOptions& opt = {},
                    RightMultAlgo right = RightMultAlgo::OuterProduct1d,
-                   Algo backend = Algo::SparseAware1D, int layers = 0)
+                   Algo backend = Algo::SparseAware1D, int layers = 0,
+                   int expected_refreshes = 0)
       : opt_{backend, opt, layers}, right_(right) {
+    opt_.expected_iterations = expected_refreshes;
     rt_ = DistMatrix1D<double>::from_global(comm, transpose(r_global));
     r_ = DistMatrix1D<double>::from_global(comm, r_global);
   }

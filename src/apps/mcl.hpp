@@ -126,6 +126,10 @@ inline MclResult mcl_cluster(Comm& comm, const CscMatrix<double>& a_global,
   // Phase::Plan work, for SA-1D and the grid backends alike.
   DistSpgemmPlan<double> expansion;
   DistSpgemmOptions mult{opt.backend, opt.mult, opt.layers};
+  // MCL declares its round budget: under Algo::Auto the expansion plan is
+  // priced over the whole horizon (one build + max_iterations−1 value-only
+  // replays), so the build lands on the replay-optimal backend.
+  mult.expected_iterations = opt.max_iterations;
   for (int it = 0; it < opt.max_iterations; ++it) {
     res.iterations = it + 1;
     auto expanded = spgemm_dist_cached(comm, expansion, dm, dm, mult);

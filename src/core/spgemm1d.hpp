@@ -413,8 +413,15 @@ class SpgemmPlan1D {
   DistMatrix1D<VT> execute_verified(Comm& comm, const DistMatrix1D<VT>& a,
                                     const DistMatrix1D<VT>& b,
                                     Spgemm1dInfo* info_out = nullptr) {
-    require(built_ && quick_matches_local(a, b),
-            "SpgemmPlan1D::execute_verified: operand/plan mismatch");
+    // Structured (not a bare require): a rank whose operands diverged from
+    // the verified plan must not skip the window expose while peers get
+    // from it — comm.fail raises PlanMismatch machine-wide so every rank
+    // unwinds with the identical recoverable error.
+    if (!built_ || !quick_matches_local(a, b))
+      comm.fail(FaultClass::PlanMismatch, "execute_verified",
+                "SpgemmPlan1D::execute_verified: operand/plan mismatch (rank " +
+                    std::to_string(comm.global_rank(comm.rank())) +
+                    "'s operand dims/nnz diverged from the plan fingerprint)");
 
     Window win_val = comm.expose(std::span<const VT>(a.local().vals()));
 

@@ -115,10 +115,11 @@ class DistSpgemmPlan {
   /// plan state.
   DistMatrix1D<VT> build(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
                          const DistSpgemmOptions& opt = {}, DistSpgemmStats* stats = nullptr) {
-    require(a.ncols() == b.nrows(), "DistSpgemmPlan::build: inner dimension mismatch");
+    distdetail::validate_collective(comm, a, b, opt);
     reset_keep_counters();
     opt_ = opt;
     me_ = comm.rank();
+    horizon_ = std::max(1, opt.expected_iterations);
     const RankReport before = comm.report();
 
     Algo algo = opt.algo;
@@ -132,45 +133,79 @@ class DistSpgemmPlan {
       have_meta = true;
       have_inputs_ = true;
       auto ph = comm.phase(Phase::Plan);
-      algo = choose_algo(comm.cost(), inputs_, opt.layers, &layers, &predictions_);
-      // Plan-aware Auto (ROADMAP): the one-shot decision above is what this
-      // build runs, but iterated callers replay the plan — reprice the same
-      // inputs for value-only replays (zero plan term) so every later
-      // execute() can report the decision horizon that matches what it did,
-      // with no re-gather.
+      // Horizon-aware Auto: with a declared iteration count the build is
+      // priced as one fresh multiply plus (h−1) value-only replays per
+      // backend, so the plan is built directly onto the replay-optimal
+      // backend (acting on the replay_choice disagreement).
+      algo = choose_algo(comm.cost(), inputs_, opt.layers, &layers, &predictions_,
+                         /*replay=*/false, horizon_);
+      // Plan-aware Auto (ROADMAP): the decision above is what this build
+      // runs; also reprice the same inputs for pure value-only replays
+      // (zero plan term) so every later execute() can report the decision
+      // horizon that matches what it did, with no re-gather.
       replay_choice_ = choose_algo(comm.cost(), inputs_, opt.layers, &replay_layers_,
                                    &replay_predictions_, /*replay=*/true);
     } else if (algo == Algo::Split3D && layers == 0) {
       layers = distdetail::default_split3d_layers(comm.size());
     }
-    chosen_ = algo;
-    layers_ = algo == Algo::Split3D ? layers : 1;
+
+    auto run_fresh = [&](Algo which, int lyr) -> DistMatrix1D<VT> {
+      chosen_ = which;
+      layers_ = which == Algo::Split3D ? lyr : 1;
+      switch (which) {
+        case Algo::Auto: break;  // unreachable: resolved above
+        case Algo::SparseAware1D:
+          // Auto hands its gathered AMeta to the inspector: exactly one
+          // metadata allgather for the whole dispatch.
+          sa1d_ = have_meta ? SpgemmPlan1D<VT, SR>(comm, a, b, opt.sa1d, std::move(meta))
+                            : SpgemmPlan1D<VT, SR>(comm, a, b, opt.sa1d);
+          return sa1d_.execute_verified(comm, a, b);
+        case Algo::Ring1D:
+          return spgemm_naive_ring_1d<SR>(comm, a, b, &ring_);
+        case Algo::Summa2D:
+          return spgemm_summa_2d_dist<SR>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads,
+                                          &summa_, opt.grid_rows, opt.grid_cols);
+        case Algo::Split3D:
+          require_split3d_layers(comm.size(), lyr, "DistSpgemmPlan(Algo::Split3D)");
+          return spgemm_split_3d_dist<SR>(comm, a, b, lyr, opt.sa1d.kernel, opt.sa1d.threads,
+                                          &split3d_, opt.grid_rows, opt.grid_cols);
+      }
+      require(false, "DistSpgemmPlan::build: unknown algorithm");
+      return {};
+    };
 
     DistMatrix1D<VT> c;
-    switch (algo) {
-      case Algo::Auto: break;  // unreachable: resolved above
-      case Algo::SparseAware1D:
-        // Auto hands its gathered AMeta to the inspector: exactly one
-        // metadata allgather for the whole dispatch.
-        sa1d_ = have_meta ? SpgemmPlan1D<VT, SR>(comm, a, b, opt.sa1d, std::move(meta))
-                          : SpgemmPlan1D<VT, SR>(comm, a, b, opt.sa1d);
-        c = sa1d_.execute_verified(comm, a, b);
-        break;
-      case Algo::Ring1D:
-        c = spgemm_naive_ring_1d<SR>(comm, a, b, &ring_);
-        break;
-      case Algo::Summa2D:
-        c = spgemm_summa_2d_dist<SR>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads, &summa_,
-                                     opt.grid_rows, opt.grid_cols);
-        break;
-      case Algo::Split3D:
-        require_split3d_layers(comm.size(), layers, "DistSpgemmPlan(Algo::Split3D)");
-        c = spgemm_split_3d_dist<SR>(comm, a, b, layers, opt.sa1d.kernel, opt.sa1d.threads,
-                                     &split3d_, opt.grid_rows, opt.grid_cols);
-        break;
+    int failovers = 0;
+    if (opt.algo != Algo::Auto) {
+      c = run_fresh(algo, layers);
+    } else {
+      // Same degrade policy as spgemm_dist: walk the cost-ranked feasible
+      // candidates, skipping any a backend's entry validation or the fault
+      // injector's veto rejects (both deterministic and rank-symmetric).
+      bool done = false;
+      for (const auto& cand : distdetail::ranked_candidates(predictions_)) {
+        if (comm.injector() != nullptr &&
+            comm.injector()->vetoes(static_cast<int>(cand.algo))) {
+          ++failovers;
+          continue;
+        }
+        try {
+          c = run_fresh(cand.algo, cand.layers);
+          done = true;
+          break;
+        } catch (const std::invalid_argument&) {
+          ++failovers;
+        }
+      }
+      if (!done)
+        throw ValidationError(ErrorContext{comm.global_rank(comm.rank()),
+                                           comm.report().comm_ops, "DistSpgemmPlan::build"},
+                              "spgemm_dist: Auto found no dispatchable backend (all "
+                              "cost-feasible candidates failed validation or were vetoed)");
     }
+    const Algo algo_run = chosen_;
 
-    if (algo == Algo::SparseAware1D) {
+    if (algo_run == Algo::SparseAware1D) {
       fp_ = sa1d_.fingerprint();  // the inspector already hashed the slices
     } else {
       auto ph = comm.phase(Phase::Plan);
@@ -181,8 +216,14 @@ class DistSpgemmPlan {
     ++comm.report().plan_builds[distdetail::algo_slot(chosen_)];
     if (opt_.algo == Algo::Auto) ++comm.report().plan_builds[distdetail::algo_slot(Algo::Auto)];
     fill_stats(stats, comm, before, /*reused=*/false);
+    if (stats != nullptr) stats->validation_failovers = failovers;
     return c;
   }
+
+  /// Discards the cached program (keeping the lifetime counters) so the
+  /// next call through spgemm_dist_cached rebuilds — the recovery policy's
+  /// response to CorruptionDetected/PlanMismatch during a replay.
+  void invalidate() { reset_keep_counters(); }
 
   /// Executor (collective): replays the cached program — values only, no
   /// metadata collectives, no Phase::Plan work. The full local fingerprint
@@ -207,8 +248,16 @@ class DistSpgemmPlan {
   DistMatrix1D<VT> execute_verified(Comm& comm, const DistMatrix1D<VT>& a,
                                     const DistMatrix1D<VT>& b,
                                     DistSpgemmStats* stats = nullptr) {
-    require(built_ && fp_.quick_equals(detail1d::quick_fingerprint_of(a, b)),
-            "DistSpgemmPlan::execute_verified: operand/plan mismatch");
+    // Structured (not a bare require): a rank whose operands diverged from
+    // the verified plan must not enter the replay collectives while peers
+    // do — comm.fail raises PlanMismatch machine-wide so every rank unwinds
+    // with the identical recoverable error, and spgemm_dist_cached's retry
+    // loop can rebuild.
+    if (!built_ || !fp_.quick_equals(detail1d::quick_fingerprint_of(a, b)))
+      comm.fail(FaultClass::PlanMismatch, "execute_verified",
+                "DistSpgemmPlan::execute_verified: operand/plan mismatch (rank " +
+                    std::to_string(comm.global_rank(comm.rank())) +
+                    "'s operand dims/nnz diverged from the plan fingerprint)");
     const RankReport before = comm.report();
     DistMatrix1D<VT> c;
     switch (chosen_) {
@@ -260,6 +309,7 @@ class DistSpgemmPlan {
       stats->replay_layers = replay_layers_;
     }
     stats->plan_reused = reused;
+    stats->horizon_iters = horizon_;
     const RankReport& after = comm.report();
     stats->plan_seconds = after.plan_s - before.plan_s;
     stats->coll_recv_bytes = (after.bytes_network() - after.rdma_bytes) -
@@ -281,6 +331,7 @@ class DistSpgemmPlan {
   std::vector<AlgoPrediction> replay_predictions_;
   Algo replay_choice_ = Algo::Auto;
   int replay_layers_ = 1;
+  int horizon_ = 1;
   int builds_ = 0;
   int replays_ = 0;
 
@@ -304,9 +355,40 @@ DistMatrix1D<VT> spgemm_dist_cached(Comm& comm,
                                     const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
                                     const DistSpgemmOptions& opt = {},
                                     DistSpgemmStats* stats = nullptr) {
-  if (!plan.empty() && plan.options() == opt && plan.matches(comm, a, b))
-    return plan.execute_verified(comm, a, b, stats);
-  return plan.build(comm, a, b, opt, stats);
+  // Validate before the replay-vs-rebuild branch: if options or operand
+  // shapes diverged across ranks, some ranks would enter matches()'s
+  // allreduce while others enter build()'s gathers — the validation vote
+  // throws the identical ValidationError on every rank first.
+  distdetail::validate_collective(comm, a, b, opt);
+
+  // Self-healing replay (recovery policy, DESIGN.md §9): a recoverable
+  // fault — CorruptionDetected from integrity mode, PlanMismatch from a
+  // replay guard — unwinds every rank with the identical typed error; all
+  // ranks meet in the collective recover() rendezvous (clearing the fault
+  // and resetting every barrier), invalidate the plan, and rebuild fresh.
+  // Bounded by max_recovery_retries; fatal faults (a dead rank) and
+  // validation errors propagate immediately.
+  int attempts = 0;
+  for (;;) {
+    try {
+      DistMatrix1D<VT> c;
+      if (!plan.empty() && plan.options() == opt && plan.matches(comm, a, b)) {
+        c = plan.execute_verified(comm, a, b, stats);
+      } else {
+        c = plan.build(comm, a, b, opt, stats);
+      }
+      if (stats != nullptr) stats->recoveries = attempts;
+      return c;
+    } catch (const Sa1dError& e) {
+      const bool recoverable = e.fault_class() == FaultClass::Corruption ||
+                               e.fault_class() == FaultClass::PlanMismatch;
+      if (!recoverable || attempts >= opt.max_recovery_retries) throw;
+      ++attempts;
+      comm.recover();  // collective; rethrows if the fault turned fatal
+      plan.invalidate();
+      ++comm.report().plan_recoveries;
+    }
+  }
 }
 
 }  // namespace sa1d

@@ -16,6 +16,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -44,6 +45,17 @@ struct DistSpgemmOptions {
   /// (require_grid_shape names the divisors otherwise).
   int grid_rows = 0;
   int grid_cols = 0;
+  /// Iterations the application expects to run against one cached plan (MCL
+  /// declares its round budget, AMG its refresh interval). > 1 makes Auto
+  /// price each backend over the whole horizon — one build plus (h−1)
+  /// value-only replays — so the build lands on the *replay-optimal*
+  /// backend instead of merely recording the replay_choice disagreement.
+  /// 0/1 = one-shot pricing (the pre-horizon behavior).
+  int expected_iterations = 0;
+  /// Bounded self-healing: how many times spgemm_dist_cached may collectively
+  /// invalidate the plan and rebuild after a recoverable fault
+  /// (CorruptionDetected / PlanMismatch) before the error propagates.
+  int max_recovery_retries = 2;
 
   friend bool operator==(const DistSpgemmOptions&, const DistSpgemmOptions&) = default;
 };
@@ -82,6 +94,11 @@ struct DistSpgemmStats {
   double plan_seconds = 0.0;           ///< Phase::Plan CPU delta (this rank)
   std::uint64_t coll_recv_bytes = 0;   ///< collective bytes received (this rank)
   std::uint64_t meta_coll_bytes = 0;   ///< coll_recv_bytes beyond the value-replay volume
+
+  // Robustness accounting (DESIGN.md §9).
+  int horizon_iters = 1;          ///< pricing horizon Auto used (from expected_iterations)
+  int recoveries = 0;             ///< recoverable-fault plan rebuilds this call performed
+  int validation_failovers = 0;   ///< Auto candidates skipped (dispatch validation / veto)
 };
 
 /// Measures this host's local-SpGEMM flop rate and COO triple-processing
@@ -204,11 +221,27 @@ AlgoCostInputs gather_algo_cost_inputs(Comm& comm, const DistMatrix1D<VT>& a,
 /// when the caller pinned one); the count used lands in `layers_out`.
 /// `replay` prices cached-plan replays (CostModel::predict_replay — zero
 /// plan term, value-only volume) instead of one-shot multiplies.
+/// `horizon_iters` > 1 prices the declared iteration horizon instead: one
+/// build plus (horizon−1) replays per backend, so an iterated caller's
+/// build is chosen by total horizon cost (acting on the replay_choice
+/// disagreement the pure one-shot pricing only recorded).
 /// Deterministic in the inputs — no communication.
 inline Algo choose_algo(const CostModel& cm, AlgoCostInputs in, int layers_opt, int* layers_out,
-                        std::vector<AlgoPrediction>* predictions, bool replay = false) {
-  auto price = [&cm, replay](const AlgoCostInputs& i, Algo a) {
-    return replay ? cm.predict_replay(i, a) : cm.predict(i, a);
+                        std::vector<AlgoPrediction>* predictions, bool replay = false,
+                        int horizon_iters = 1) {
+  auto price = [&cm, replay, horizon_iters](const AlgoCostInputs& i, Algo a) {
+    AlgoPrediction pr = replay ? cm.predict_replay(i, a) : cm.predict(i, a);
+    if (!replay && horizon_iters > 1 && pr.feasible) {
+      const AlgoPrediction rp = cm.predict_replay(i, a);
+      const double h = static_cast<double>(horizon_iters - 1);
+      pr.comm_s += h * rp.comm_s;
+      pr.comp_s += h * rp.comp_s;
+      pr.other_s += h * rp.other_s;
+      pr.comp_coeff += h * rp.comp_coeff;
+      pr.other_coeff += h * rp.other_coeff;
+    }
+    pr.layers = i.layers;
+    return pr;
   };
   std::vector<AlgoPrediction> preds;
 
@@ -241,6 +274,7 @@ inline Algo choose_algo(const CostModel& cm, AlgoCostInputs in, int layers_opt, 
       best3d.note = pr.note;
     }
   }
+  best3d.layers = best_layers;
   preds.push_back(best3d);
 
   Algo chosen = Algo::SparseAware1D;
@@ -269,6 +303,100 @@ inline int default_split3d_layers(int P) {
   return 1;
 }
 
+/// Local validation of one dispatch to `algo` against the options: returns
+/// the empty string when valid, else the exact message the backend's entry
+/// require would raise (same require_grid_shape / require_split3d_layers
+/// text, so callers see identical diagnostics whichever rank detects it).
+/// `inj` non-null adds the fault injector's backend vetoes. Pure.
+template <typename VT>
+std::string local_validation_error(int P, Algo algo, const DistMatrix1D<VT>& a,
+                                   const DistMatrix1D<VT>& b, const DistSpgemmOptions& opt,
+                                   const FaultInjector* inj) {
+  try {
+    require(a.ncols() == b.nrows(), "spgemm_dist: inner dimension mismatch");
+    require(opt.max_recovery_retries >= 0,
+            "spgemm_dist: max_recovery_retries must be non-negative");
+    if (inj != nullptr && algo != Algo::Auto)
+      require(!inj->vetoes(static_cast<int>(algo)),
+              std::string("spgemm_dist: backend ") + algo_name(algo) +
+                  " vetoed by fault injection");
+    if (algo == Algo::Summa2D)
+      require_grid_shape(P, opt.grid_rows, opt.grid_cols, "spgemm_summa_2d_dist");
+    if (algo == Algo::Split3D) {
+      const int layers = opt.layers > 0 ? opt.layers : default_split3d_layers(P);
+      require_split3d_layers(P, layers, "spgemm_dist(Algo::Split3D)");
+      require_grid_shape(P / layers, opt.grid_rows, opt.grid_cols, "spgemm_split_3d_dist");
+    }
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return {};
+}
+
+/// Rank-consistent input validation (collective): every rank publishes its
+/// local verdict plus a digest of everything the dispatch branches on
+/// through the *uncounted* control exchange (Comm::exchange_control — no
+/// byte/message counter changes), and the lowest-rank failure is thrown as
+/// the byte-identical ValidationError on every rank. Divergent options or
+/// operand shapes across ranks — which would send ranks down different
+/// collective sequences — are themselves a validation error. Guarantees no
+/// rank proceeds into a data collective alone.
+template <typename VT>
+void validate_collective(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                         const DistSpgemmOptions& opt) {
+  std::string digest;
+  {
+    auto ph = comm.phase(Phase::Other);
+    digest = std::to_string(static_cast<int>(opt.algo)) + "," +
+             std::to_string(opt.layers) + "," + std::to_string(opt.grid_rows) + "," +
+             std::to_string(opt.grid_cols) + "," + std::to_string(opt.expected_iterations) +
+             "," + std::to_string(opt.max_recovery_retries) + "," +
+             std::to_string(opt.sa1d.block_fetch_k) + "," +
+             std::to_string(static_cast<int>(opt.sa1d.kernel)) + "," +
+             std::to_string(opt.sa1d.threads) + "," +
+             std::to_string(static_cast<int>(opt.sa1d.sparsity_aware)) + "," +
+             std::to_string(static_cast<int>(opt.sa1d.merge_adjacent_blocks)) + "|" +
+             std::to_string(a.nrows()) + "x" + std::to_string(a.ncols()) + "," +
+             std::to_string(b.nrows()) + "x" + std::to_string(b.ncols());
+  }
+  const std::string verdict =
+      local_validation_error(comm.size(), opt.algo, a, b, opt, comm.injector());
+  auto all = comm.exchange_control(digest + "\n" + verdict);
+  // Every rank holds the identical `all`, so every throw below constructs
+  // the byte-identical error on every rank — the rank-consistency contract.
+  for (int p = 0; p < comm.size(); ++p) {
+    const auto& s = all[static_cast<std::size_t>(p)];
+    const std::string d = s.substr(0, s.find('\n'));
+    if (d != all[0].substr(0, all[0].find('\n')))
+      throw ValidationError(
+          ErrorContext{comm.global_rank(p), comm.report().comm_ops, "validate"},
+          "spgemm_dist: options/operands disagree across ranks (rank " +
+              std::to_string(comm.global_rank(p)) + " has [" + d + "], rank " +
+              std::to_string(comm.global_rank(0)) + " has [" +
+              all[0].substr(0, all[0].find('\n')) + "]); every rank must pass identical "
+              "options and globally consistent operands");
+  }
+  for (int p = 0; p < comm.size(); ++p) {
+    const auto& s = all[static_cast<std::size_t>(p)];
+    const std::string v = s.substr(s.find('\n') + 1);
+    if (!v.empty())
+      throw ValidationError(
+          ErrorContext{comm.global_rank(p), comm.report().comm_ops, "validate"}, v);
+  }
+}
+
+/// Auto's degrade order: the feasible predictions ranked by modeled total
+/// cost — the dispatch loop walks this, skipping candidates a backend's
+/// validation (or an injected veto) rejects.
+inline std::vector<AlgoPrediction> ranked_candidates(std::vector<AlgoPrediction> preds) {
+  std::erase_if(preds, [](const AlgoPrediction& p) { return !p.feasible; });
+  std::stable_sort(preds.begin(), preds.end(), [](const AlgoPrediction& x,
+                                                  const AlgoPrediction& y) {
+    return x.total_s() < y.total_s();
+  });
+  return preds;
+}
+
 }  // namespace distdetail
 
 /// The unified distributed SpGEMM: C = A ⊕.⊗ B with A, B, C all 1D
@@ -281,7 +409,7 @@ template <typename SRIn = void, typename VT>
 DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
                              const DistSpgemmOptions& opt = {}, DistSpgemmStats* stats = nullptr,
                              SpgemmPlan1D<VT, ResolveSemiring<SRIn, VT>>* plan = nullptr) {
-  require(a.ncols() == b.nrows(), "spgemm_dist: inner dimension mismatch");
+  distdetail::validate_collective(comm, a, b, opt);
 
   Algo algo = opt.algo;
   int layers = opt.layers;
@@ -289,37 +417,64 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
   DistSpgemmStats& st = stats != nullptr ? *stats : scratch;
   st = DistSpgemmStats{};
   st.requested = opt.algo;
+  st.horizon_iters = std::max(1, opt.expected_iterations);
 
   if (algo == Algo::Auto) {
     st.inputs = gather_algo_cost_inputs(comm, a, b, opt.sa1d);
     st.inputs.grid_rows = opt.grid_rows;
     st.inputs.grid_cols = opt.grid_cols;
     auto ph = comm.phase(Phase::Plan);
-    algo = choose_algo(comm.cost(), st.inputs, opt.layers, &layers, &st.predictions);
+    algo = choose_algo(comm.cost(), st.inputs, opt.layers, &layers, &st.predictions,
+                       /*replay=*/false, st.horizon_iters);
   } else if (algo == Algo::Split3D && layers == 0) {
     layers = distdetail::default_split3d_layers(comm.size());
   }
 
-  st.chosen = algo;
-  st.layers = algo == Algo::Split3D ? layers : 1;
+  auto dispatch = [&](Algo which, int lyr) -> DistMatrix1D<VT> {
+    st.chosen = which;
+    st.layers = which == Algo::Split3D ? lyr : 1;
+    switch (which) {
+      case Algo::Auto: break;  // unreachable: resolved above
+      case Algo::SparseAware1D:
+        if (plan != nullptr) return spgemm_1d_cached(comm, *plan, a, b, opt.sa1d);
+        return spgemm_1d<SRIn>(comm, a, b, opt.sa1d);
+      case Algo::Ring1D:
+        return spgemm_naive_ring_1d<SRIn>(comm, a, b);
+      case Algo::Summa2D:
+        return spgemm_summa_2d_dist<SRIn>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads,
+                                          nullptr, opt.grid_rows, opt.grid_cols);
+      case Algo::Split3D:
+        require_split3d_layers(comm.size(), lyr, "spgemm_dist(Algo::Split3D)");
+        return spgemm_split_3d_dist<SRIn>(comm, a, b, lyr, opt.sa1d.kernel, opt.sa1d.threads,
+                                          nullptr, opt.grid_rows, opt.grid_cols);
+    }
+    require(false, "spgemm_dist: unknown algorithm");
+    return {};
+  };
 
-  switch (algo) {
-    case Algo::Auto: break;  // unreachable: resolved above
-    case Algo::SparseAware1D:
-      if (plan != nullptr) return spgemm_1d_cached(comm, *plan, a, b, opt.sa1d);
-      return spgemm_1d<SRIn>(comm, a, b, opt.sa1d);
-    case Algo::Ring1D:
-      return spgemm_naive_ring_1d<SRIn>(comm, a, b);
-    case Algo::Summa2D:
-      return spgemm_summa_2d_dist<SRIn>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads, nullptr,
-                                        opt.grid_rows, opt.grid_cols);
-    case Algo::Split3D:
-      require_split3d_layers(comm.size(), layers, "spgemm_dist(Algo::Split3D)");
-      return spgemm_split_3d_dist<SRIn>(comm, a, b, layers, opt.sa1d.kernel, opt.sa1d.threads,
-                                        nullptr, opt.grid_rows, opt.grid_cols);
+  if (opt.algo != Algo::Auto) return dispatch(algo, layers);
+
+  // Auto degrade policy: walk the cost-ranked feasible candidates; a
+  // candidate whose dispatch fails validation (or that the fault injector
+  // vetoes — both are deterministic and rank-symmetric, so every rank skips
+  // the same cells) falls through to the next-ranked backend. Every backend
+  // validates at entry, before any collective, so the fallthrough never
+  // desynchronizes the ranks.
+  for (const auto& cand : distdetail::ranked_candidates(st.predictions)) {
+    if (comm.injector() != nullptr && comm.injector()->vetoes(static_cast<int>(cand.algo))) {
+      ++st.validation_failovers;
+      continue;
+    }
+    try {
+      return dispatch(cand.algo, cand.layers);
+    } catch (const std::invalid_argument&) {
+      ++st.validation_failovers;
+    }
   }
-  require(false, "spgemm_dist: unknown algorithm");
-  return {};
+  throw ValidationError(ErrorContext{comm.global_rank(comm.rank()), comm.report().comm_ops,
+                                     "spgemm_dist"},
+                        "spgemm_dist: Auto found no dispatchable backend (all cost-feasible "
+                        "candidates failed validation or were vetoed)");
 }
 
 }  // namespace sa1d

@@ -172,6 +172,16 @@ DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
     {
       auto ph = comm.phase(Phase::Comp);
       const auto& hop = plan.hops[static_cast<std::size_t>(step)];
+      // Replay guard: the circulating value array must match the cached hop
+      // structure (its column ranges index into it); a diverged slice —
+      // this rank's own A at step 0, a mis-sized shift afterwards — raises
+      // machine-wide instead of reading out of range.
+      if (circ_vals.size() != static_cast<std::size_t>(hop.nnz))
+        comm.fail(FaultClass::PlanMismatch, "ring_replay",
+                  "spgemm_naive_ring_1d_replay: hop " + std::to_string(step) + " carries " +
+                      std::to_string(circ_vals.size()) + " values where the cached slice "
+                      "structure holds " + std::to_string(hop.nnz) + " (rank " +
+                      std::to_string(comm.global_rank(comm.rank())) + ")");
       for (index_t j = 0; j < bl.nzc(); ++j) {
         auto brows = bl.col_rows_at(j);
         auto bvals = bl.col_vals_at(j);

@@ -216,6 +216,18 @@ CscMatrix<VT>& replay_1d_to_2d_grid(Comm& comm, GridRoute<VT>& route,
   std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
   {
     auto ph = comm.phase(Phase::Other);
+    // Replay guard: the cached positions index the local val array the
+    // route was captured on (the capture packed every local triple, so the
+    // per-destination sizes sum to that array's length). A diverged operand
+    // must raise machine-wide, not read out of range while peers proceed.
+    std::size_t expect = 0;
+    for (const auto& src : route.send_src) expect += src.size();
+    if (m.local().vals().size() != expect)
+      comm.fail(FaultClass::PlanMismatch, "replay_1d_to_2d_grid",
+                "replay_1d_to_2d_grid: local operand has " +
+                    std::to_string(m.local().vals().size()) +
+                    " values but the cached route packs " + std::to_string(expect) +
+                    " (rank " + std::to_string(comm.global_rank(comm.rank())) + ")");
     const VT* vals = m.local().vals().data();
     for (int p = 0; p < P; ++p) {
       const auto& src = route.send_src[static_cast<std::size_t>(p)];
@@ -226,6 +238,15 @@ CscMatrix<VT>& replay_1d_to_2d_grid(Comm& comm, GridRoute<VT>& route,
   }
   auto recv = comm.alltoallv(send);
   auto ph = comm.phase(Phase::Other);
+  for (int p = 0; p < P; ++p)
+    if (recv[static_cast<std::size_t>(p)].size() !=
+        static_cast<std::size_t>(route.recv_counts[static_cast<std::size_t>(p)]))
+      comm.fail(FaultClass::PlanMismatch, "replay_1d_to_2d_grid",
+                "replay_1d_to_2d_grid: received " +
+                    std::to_string(recv[static_cast<std::size_t>(p)].size()) +
+                    " values from rank " + std::to_string(comm.global_rank(p)) +
+                    " where the cached route expects " +
+                    std::to_string(route.recv_counts[static_cast<std::size_t>(p)]));
   VT* bv = route.block.mutable_vals().data();
   std::size_t flat = 0;
   for (const auto& chunk : recv)
@@ -332,6 +353,15 @@ DistMatrix1D<VT> replay_coo_to_1d(Comm& comm, const ScatterRoute<VT>& route,
   }
   auto recv = comm.alltoallv(send);
   auto ph = comm.phase(Phase::Other);
+  for (int p = 0; p < P; ++p)
+    if (recv[static_cast<std::size_t>(p)].size() !=
+        static_cast<std::size_t>(route.recv_counts[static_cast<std::size_t>(p)]))
+      comm.fail(FaultClass::PlanMismatch, "replay_coo_to_1d",
+                "replay_coo_to_1d: received " +
+                    std::to_string(recv[static_cast<std::size_t>(p)].size()) +
+                    " partial values from rank " + std::to_string(comm.global_rank(p)) +
+                    " where the cached scatter program expects " +
+                    std::to_string(route.recv_counts[static_cast<std::size_t>(p)]));
   DcscMatrix<VT> c_local = route.c_shell;
   VT* cv = c_local.mutable_vals().data();
   std::size_t flat = 0;

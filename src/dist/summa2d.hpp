@@ -265,6 +265,16 @@ void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<
     CscMatrix<VT> c_blk;
     {
       auto ph = comm.phase(Phase::Other);
+      // Replay guard: the broadcast value arrays must fill the cached stage
+      // shells exactly; a diverged root operand raises machine-wide instead
+      // of running the numeric pass on a torn block.
+      if (abuf.size() != st.a_blk.vals().size() || bbuf.size() != st.b_blk.vals().size())
+        comm.fail(FaultClass::PlanMismatch, "summa_stages_replay",
+                  "summa_stages_replay: stage " + std::to_string(k) + " broadcast delivered " +
+                      std::to_string(abuf.size()) + "/" + std::to_string(bbuf.size()) +
+                      " values where the cached shells hold " +
+                      std::to_string(st.a_blk.vals().size()) + "/" +
+                      std::to_string(st.b_blk.vals().size()));
       st.a_blk.mutable_vals() = std::move(abuf);
       st.b_blk.mutable_vals() = std::move(bbuf);
     }

@@ -88,6 +88,7 @@ struct AlgoPrediction {
   Algo algo = Algo::Auto;
   bool feasible = false;
   const char* note = "";  ///< why infeasible / which layer count was assumed
+  int layers = 1;         ///< layer count this prediction assumed (Split3D only ≠ 1)
   double comm_s = 0.0;
   double comp_s = 0.0;
   double other_s = 0.0;

@@ -1,0 +1,121 @@
+// Structured error taxonomy for the distributed runtime (DESIGN.md §9).
+//
+// Every failure the runtime can surface is classified, carries the rank and
+// communication-op context where it originated, and is raised *consistently*:
+// when one rank detects a fault mid-collective, the FailureHub (runtime/
+// fault.hpp) wakes every peer and rethrows the identical typed error on all
+// of them, so callers can make collective recovery decisions without extra
+// agreement rounds.
+//
+// The concrete errors dual-inherit from the standard exception the legacy
+// call sites threw (std::invalid_argument for validation, std::runtime_error
+// otherwise) and from the Sa1dError mixin, so both `catch (const Sa1dError&)`
+// and pre-existing `catch (const std::invalid_argument&)` handlers keep
+// working.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace sa1d {
+
+/// Classification of a runtime fault. `Peer` is what survivors observe when
+/// another rank died; the dying rank itself sees the original error (or
+/// InjectedRankAbort under fault injection).
+enum class FaultClass {
+  None,          ///< no fault recorded
+  Validation,    ///< bad inputs/options, agreed collectively before any data moves
+  Peer,          ///< a peer rank failed (threw, aborted, or stopped arriving)
+  Corruption,    ///< integrity mode detected a corrupted payload
+  PlanMismatch,  ///< a cached plan's structural assumptions broke during replay
+};
+
+[[nodiscard]] inline const char* fault_class_name(FaultClass c) {
+  switch (c) {
+    case FaultClass::None: return "none";
+    case FaultClass::Validation: return "validation";
+    case FaultClass::Peer: return "peer-failure";
+    case FaultClass::Corruption: return "corruption";
+    case FaultClass::PlanMismatch: return "plan-mismatch";
+  }
+  return "?";
+}
+
+/// Where a fault originated: the (global) rank that first detected it, that
+/// rank's communication-op counter at detection (RankReport::comm_ops), and
+/// the operation being executed. op_index/-1 default = context unknown.
+struct ErrorContext {
+  int origin_rank = -1;
+  std::uint64_t op_index = 0;
+  std::string op;
+
+  friend bool operator==(const ErrorContext&, const ErrorContext&) = default;
+};
+
+/// Mixin carried by every structured runtime error. Not derived from
+/// std::exception itself — the concrete classes inherit the standard type
+/// their legacy call sites threw, plus this interface.
+class Sa1dError {
+ public:
+  Sa1dError(FaultClass cls, ErrorContext ctx) : cls_(cls), ctx_(std::move(ctx)) {}
+  virtual ~Sa1dError() = default;
+
+  [[nodiscard]] FaultClass fault_class() const { return cls_; }
+  [[nodiscard]] const ErrorContext& context() const { return ctx_; }
+
+ private:
+  FaultClass cls_;
+  ErrorContext ctx_;
+};
+
+/// Input/option validation failure, agreed collectively: spgemm_dist's
+/// entry vote guarantees every rank throws this with the identical message
+/// before any rank enters a data collective alone.
+class ValidationError : public std::invalid_argument, public Sa1dError {
+ public:
+  ValidationError(ErrorContext ctx, const std::string& msg)
+      : std::invalid_argument(msg), Sa1dError(FaultClass::Validation, std::move(ctx)) {}
+};
+
+/// Thrown on surviving ranks when a peer rank failed (threw out of the SPMD
+/// body, was fault-injected dead, or stopped arriving at barriers long
+/// enough for the watchdog to fire).
+class PeerFailure : public std::runtime_error, public Sa1dError {
+ public:
+  PeerFailure()
+      : std::runtime_error("sa1d: a peer rank failed during a collective"),
+        Sa1dError(FaultClass::Peer, {}) {}
+  PeerFailure(ErrorContext ctx, const std::string& msg)
+      : std::runtime_error(msg), Sa1dError(FaultClass::Peer, std::move(ctx)) {}
+};
+
+/// Integrity mode found a payload whose received bytes do not match the
+/// sender's (collective chunk or RDMA window get). Recoverable: cached-plan
+/// callers invalidate and rebuild (spgemm_dist_cached's bounded retry).
+class CorruptionDetected : public std::runtime_error, public Sa1dError {
+ public:
+  CorruptionDetected(ErrorContext ctx, const std::string& msg)
+      : std::runtime_error(msg), Sa1dError(FaultClass::Corruption, std::move(ctx)) {}
+};
+
+/// A cached plan's structural assumptions failed against the operands — a
+/// replay was attempted for data the plan was not built for, or a cached
+/// route/shell disagrees with an incoming payload. Recoverable by rebuild.
+class PlanMismatch : public std::runtime_error, public Sa1dError {
+ public:
+  PlanMismatch(ErrorContext ctx, const std::string& msg)
+      : std::runtime_error(msg), Sa1dError(FaultClass::PlanMismatch, std::move(ctx)) {}
+};
+
+/// The exception a fault-injected rank abort throws on the victim rank (the
+/// simulated death; peers observe PeerFailure). Classified Peer so harness
+/// code can treat the whole cell uniformly.
+class InjectedRankAbort : public std::runtime_error, public Sa1dError {
+ public:
+  InjectedRankAbort(ErrorContext ctx, const std::string& msg)
+      : std::runtime_error(msg), Sa1dError(FaultClass::Peer, std::move(ctx)) {}
+};
+
+}  // namespace sa1d

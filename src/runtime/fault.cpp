@@ -1,0 +1,254 @@
+#include "runtime/fault.hpp"
+
+#include <algorithm>
+#include <thread>
+
+#include "util/rng.hpp"
+
+namespace sa1d {
+
+namespace detail {
+
+FaultBarrier::Outcome FaultBarrier::arrive_and_wait() {
+  std::unique_lock lk(mu_);
+  if (poisoned_) return Outcome::Poisoned;
+  if (++arrived_ == expected_) {
+    arrived_ = 0;
+    ++gen_;
+    cv_.notify_all();
+    return Outcome::Completed;
+  }
+  const std::uint64_t g = gen_;
+  const auto deadline = std::chrono::steady_clock::now() + watchdog_;
+  while (gen_ == g && !poisoned_) {
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout && gen_ == g && !poisoned_) {
+      // Watchdog: a participant stopped arriving. Poison so every other
+      // waiter wakes too; the caller converts this into a PeerFailure.
+      poisoned_ = true;
+      cv_.notify_all();
+      return Outcome::TimedOut;
+    }
+  }
+  if (gen_ != g) return Outcome::Completed;  // completed before the poison landed
+  return Outcome::Poisoned;
+}
+
+void FaultBarrier::poison() {
+  std::scoped_lock lk(mu_);
+  poisoned_ = true;
+  cv_.notify_all();
+}
+
+void FaultBarrier::reset() {
+  std::scoped_lock lk(mu_);
+  arrived_ = 0;
+  poisoned_ = false;
+}
+
+}  // namespace detail
+
+std::shared_ptr<detail::FaultBarrier> FailureHub::make_barrier(int expected) {
+  auto bar = std::make_shared<detail::FaultBarrier>(expected, watchdog_);
+  std::scoped_lock lk(mu_);
+  // Compact dead registrations so long runs with many sub-communicators
+  // don't grow the registry without bound.
+  std::erase_if(barriers_, [](const std::weak_ptr<detail::FaultBarrier>& w) {
+    return w.expired();
+  });
+  barriers_.push_back(bar);
+  return bar;
+}
+
+void FailureHub::raise(FaultClass cls, ErrorContext ctx, std::string msg, bool recoverable) {
+  std::vector<std::shared_ptr<detail::FaultBarrier>> live;
+  {
+    std::scoped_lock lk(mu_);
+    // First raise wins so every rank reports one coherent fault; a fatal
+    // raise upgrades a pending recoverable record (a rank died while the
+    // machine was trying to recover — recovery is off the table).
+    if (!faulted_ || (recoverable_ && !recoverable)) {
+      faulted_ = true;
+      recoverable_ = recoverable;
+      cls_ = cls;
+      ctx_ = std::move(ctx);
+      msg_ = std::move(msg);
+    }
+    live.reserve(barriers_.size());
+    for (auto& w : barriers_)
+      if (auto b = w.lock()) live.push_back(std::move(b));
+    cv_.notify_all();  // recovery waiters must re-examine the record
+  }
+  for (auto& b : live) b->poison();
+}
+
+bool FailureHub::faulted() const {
+  std::scoped_lock lk(mu_);
+  return faulted_;
+}
+
+void FailureHub::throw_fault_locked() const {
+  switch (cls_) {
+    case FaultClass::Validation: throw ValidationError(ctx_, msg_);
+    case FaultClass::Corruption: throw CorruptionDetected(ctx_, msg_);
+    case FaultClass::PlanMismatch: throw PlanMismatch(ctx_, msg_);
+    case FaultClass::Peer:
+    case FaultClass::None: break;
+  }
+  throw PeerFailure(ctx_, msg_);
+}
+
+void FailureHub::throw_fault() const {
+  std::scoped_lock lk(mu_);
+  throw_fault_locked();
+}
+
+void FailureHub::check() const {
+  std::scoped_lock lk(mu_);
+  if (faulted_) throw_fault_locked();
+}
+
+void FailureHub::park_unwind() {
+  std::unique_lock lk(mu_);
+  ++park_count_;
+  if (park_count_ + done_count_ >= n_) {
+    park_count_ = 0;
+    ++park_gen_;
+    cv_.notify_all();
+    return;
+  }
+  const std::uint64_t g = park_gen_;
+  const auto deadline = std::chrono::steady_clock::now() + watchdog_;
+  while (park_gen_ == g) {
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout && park_gen_ == g) {
+      // Best effort: a rank never joined (stuck outside the comm layer, so
+      // it is not reading anyone's buffers either). Unwind anyway.
+      --park_count_;
+      return;
+    }
+  }
+}
+
+void FailureHub::rank_done() {
+  std::scoped_lock lk(mu_);
+  ++done_count_;
+  if (park_count_ > 0 && park_count_ + done_count_ >= n_) {
+    park_count_ = 0;
+    ++park_gen_;
+  }
+  cv_.notify_all();
+}
+
+void FailureHub::recover() {
+  std::unique_lock lk(mu_);
+  if (faulted_ && !recoverable_) {
+    lk.unlock();
+    park_unwind();
+    throw_fault();
+  }
+  if (++rec_arrived_ == n_) {
+    faulted_ = false;
+    recoverable_ = false;
+    cls_ = FaultClass::None;
+    ctx_ = {};
+    msg_.clear();
+    std::vector<std::shared_ptr<detail::FaultBarrier>> live;
+    live.reserve(barriers_.size());
+    for (auto& w : barriers_)
+      if (auto b = w.lock()) live.push_back(std::move(b));
+    lk.unlock();
+    // Every rank has unwound (they are all inside recover()), so barrier
+    // resets cannot race an arrive_and_wait. Reset BEFORE announcing
+    // completion: a waiter released early could re-enter a still-poisoned
+    // barrier with the fault record already cleared and misread the stale
+    // poison as a fresh peer failure.
+    for (auto& b : live) b->reset();
+    lk.lock();
+    rec_arrived_ = 0;
+    ++rec_gen_;
+    cv_.notify_all();
+    return;
+  }
+  const std::uint64_t g = rec_gen_;
+  const auto deadline = std::chrono::steady_clock::now() + watchdog_;
+  while (rec_gen_ == g) {
+    // A fatal raise while we wait (a rank died instead of joining the
+    // recovery) must abort the rendezvous.
+    if (faulted_ && !recoverable_) {
+      --rec_arrived_;
+      lk.unlock();
+      park_unwind();
+      throw_fault();
+    }
+    if (cv_.wait_until(lk, deadline) == std::cv_status::timeout && rec_gen_ == g) {
+      --rec_arrived_;
+      lk.unlock();
+      park_unwind();
+      throw PeerFailure({-1, 0, "recover"},
+                        "sa1d: recovery rendezvous timed out — a rank never unwound");
+    }
+  }
+}
+
+FaultPlan FaultPlan::from_seed(std::uint64_t seed, int nranks, int nfaults, std::uint64_t op_lo,
+                               std::uint64_t op_hi, const std::vector<FaultKind>& kinds) {
+  FaultPlan plan;
+  if (nranks <= 0 || nfaults <= 0 || kinds.empty() || op_hi <= op_lo) return plan;
+  SplitMix64 g(seed);
+  plan.actions.reserve(static_cast<std::size_t>(nfaults));
+  for (int i = 0; i < nfaults; ++i) {
+    FaultAction a;
+    a.kind = kinds[static_cast<std::size_t>(g.below(kinds.size()))];
+    a.rank = static_cast<int>(g.below(static_cast<std::uint64_t>(nranks)));
+    a.op_index = op_lo + g.below(op_hi - op_lo);
+    a.byte_offset = g.below(1u << 20);
+    a.xor_mask = static_cast<std::uint8_t>(1 + g.below(255));  // never zero
+    a.delay_us = static_cast<int>(g.below(2000));
+    plan.actions.push_back(a);
+  }
+  return plan;
+}
+
+void FaultInjector::on_op(int rank, std::uint64_t op_index, const char* opname,
+                          FailureHub& hub) {
+  for (const auto& a : plan_.actions) {
+    if (a.rank != rank || a.op_index != op_index) continue;
+    if (a.kind == FaultKind::SlowRank && a.delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(a.delay_us));
+    } else if (a.kind == FaultKind::RankAbort) {
+      ErrorContext ctx{rank, op_index, opname};
+      hub.raise(FaultClass::Peer, ctx,
+                "sa1d: rank " + std::to_string(rank) + " aborted during " + opname +
+                    " (op " + std::to_string(op_index) + ")",
+                /*recoverable=*/false);
+      // Quiesce before unwinding: the aborting rank's frames hold exposed
+      // windows and published payloads that peers may still be copying.
+      hub.park_unwind();
+      throw InjectedRankAbort(std::move(ctx), "sa1d: injected rank abort at op " +
+                                                  std::to_string(op_index) + " (" + opname +
+                                                  ")");
+    }
+  }
+}
+
+bool FaultInjector::maybe_corrupt(int rank, std::uint64_t op_index, void* data,
+                                  std::size_t bytes, bool rdma) {
+  const FaultKind want = rdma ? FaultKind::RdmaCorrupt : FaultKind::CollectiveCorrupt;
+  bool changed = false;
+  for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
+    const auto& a = plan_.actions[i];
+    if (fired_[i] != 0 || a.kind != want || a.rank != rank || a.op_index != op_index) continue;
+    if (bytes == 0) continue;  // fire on the first non-empty chunk of the op
+    fired_[i] = 1;
+    static_cast<unsigned char*>(data)[a.byte_offset % bytes] ^= a.xor_mask;
+    changed = true;
+  }
+  return changed;
+}
+
+bool FaultInjector::vetoes(int algo) const {
+  return std::any_of(plan_.actions.begin(), plan_.actions.end(), [&](const FaultAction& a) {
+    return a.kind == FaultKind::BackendVeto && a.veto_algo == algo;
+  });
+}
+
+}  // namespace sa1d

@@ -1,0 +1,238 @@
+// Deterministic fault injection and failure containment for the simulated
+// machine (DESIGN.md §9).
+//
+// Containment: FaultBarrier replaces std::barrier as the rank rendezvous.
+// It can be *poisoned* — every waiter wakes immediately and every future
+// arrival returns Poisoned instead of blocking — and it carries a watchdog
+// that converts a barrier stuck past a timeout into a poison, so a rank
+// that dies while peers are blocked (including inside sub-communicator
+// barriers, where the old arrive_and_drop scheme deadlocked) always unwinds
+// the whole machine within the timeout. FailureHub owns the machine-wide
+// fault record: the first rank to detect a fault raise()s it (class +
+// origin context + message), the hub poisons every registered barrier, and
+// every other rank's next sync observes the record and throws the
+// *identical* typed error (runtime/errors.hpp). Recoverable faults
+// (corruption, plan mismatch) can be cleared by a collective recover()
+// rendezvous once every rank has unwound — the self-healing retry in
+// spgemm_dist_cached builds on this.
+//
+// Injection: a FaultPlan scripts actions against (victim rank, comm-op
+// index) coordinates — rank abort, byte corruption of a collective payload
+// or RDMA get, slow-rank delay, backend veto — either explicitly or
+// generated from a single seed (replayable). The FaultInjector fires them
+// from hooks inside Comm; with no plan installed the hooks are never
+// called, so the default machine is byte-for-byte identical to the
+// pre-fault-layer runtime.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/errors.hpp"
+
+namespace sa1d {
+
+/// FNV-1a 64-bit over a byte range: the payload checksum of integrity mode
+/// (stands in for the NIC/transport CRC a real deployment would verify).
+[[nodiscard]] inline std::uint64_t fnv1a64(const void* data, std::size_t bytes,
+                                           std::uint64_t h = 0xcbf29ce484222325ULL) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < bytes; ++i) {
+    h ^= p[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+namespace detail {
+
+/// Poisonable, watchdog-guarded rank rendezvous (the std::barrier
+/// replacement). All machine and sub-communicator barriers are instances,
+/// registered with the FailureHub so a raised fault wakes every waiter.
+class FaultBarrier {
+ public:
+  enum class Outcome { Completed, Poisoned, TimedOut };
+
+  FaultBarrier(int expected, std::chrono::milliseconds watchdog)
+      : expected_(expected), watchdog_(watchdog) {}
+
+  /// Blocks until all `expected` participants arrive, the barrier is
+  /// poisoned, or the watchdog expires. A timeout poisons the barrier (the
+  /// other waiters observe Poisoned) before returning TimedOut.
+  Outcome arrive_and_wait();
+
+  /// Wakes all waiters and makes every future arrival return Poisoned.
+  void poison();
+
+  /// Restores a clean state. Caller contract: no thread is inside
+  /// arrive_and_wait (the FailureHub's recover() rendezvous guarantees
+  /// every rank has unwound first).
+  void reset();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int expected_;
+  int arrived_ = 0;
+  std::uint64_t gen_ = 0;
+  bool poisoned_ = false;
+  std::chrono::milliseconds watchdog_;
+};
+
+}  // namespace detail
+
+/// Machine-wide fault record + barrier registry + recovery rendezvous.
+/// One per Machine::run, shared by every Comm (and sub-Comm) of that run.
+class FailureHub {
+ public:
+  FailureHub(int nranks, std::chrono::milliseconds watchdog)
+      : n_(nranks), watchdog_(watchdog) {}
+
+  [[nodiscard]] int nranks() const { return n_; }
+  [[nodiscard]] std::chrono::milliseconds watchdog() const { return watchdog_; }
+
+  /// Creates a barrier wired to this hub's watchdog and registers it for
+  /// poison/reset propagation.
+  std::shared_ptr<detail::FaultBarrier> make_barrier(int expected);
+
+  /// Records a fault (first raise wins; a fatal raise upgrades a pending
+  /// recoverable record) and poisons every registered barrier so blocked
+  /// ranks wake. Safe to call from any rank/thread, idempotent.
+  void raise(FaultClass cls, ErrorContext ctx, std::string msg, bool recoverable);
+
+  [[nodiscard]] bool faulted() const;
+  /// Throws the recorded fault as its typed error. Precondition: faulted().
+  [[noreturn]] void throw_fault() const;
+  /// Throws the recorded fault if one is raised; otherwise returns.
+  void check() const;
+
+  /// Collective over all machine ranks: once every rank has arrived (i.e.
+  /// unwound out of the failed operation), clears a *recoverable* fault and
+  /// resets every barrier so the retry starts clean. Throws the recorded
+  /// fault if it is fatal; times out into PeerFailure if a rank never
+  /// arrives (it died or is not participating in recovery).
+  void recover();
+
+  /// Unwind quiesce — called from every comm-layer throw path BEFORE the
+  /// exception propagates. Blocks until every rank is parked here or has
+  /// finished its body, so no rank's stack unwinds (freeing operand
+  /// buffers, exposed windows, published payloads) while a peer is still
+  /// mid-copy inside a collective or a window get. Watchdog-bounded —
+  /// a rank stuck outside the comm layer releases the parkers after the
+  /// timeout instead of deadlocking. Never throws.
+  void park_unwind();
+
+  /// A rank's SPMD body finished (normally or with its error already
+  /// recorded): it will never park again, so don't make parkers wait on it.
+  void rank_done();
+
+ private:
+  [[noreturn]] void throw_fault_locked() const;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  int n_;
+  std::chrono::milliseconds watchdog_;
+
+  bool faulted_ = false;
+  bool recoverable_ = false;
+  FaultClass cls_ = FaultClass::None;
+  ErrorContext ctx_;
+  std::string msg_;
+
+  std::vector<std::weak_ptr<detail::FaultBarrier>> barriers_;
+  int rec_arrived_ = 0;
+  std::uint64_t rec_gen_ = 0;
+  int park_count_ = 0;   // ranks currently quiescing in park_unwind()
+  int done_count_ = 0;   // ranks whose bodies have finished (never reset)
+  std::uint64_t park_gen_ = 0;
+};
+
+// ---- scripted fault injection ----------------------------------------------
+
+enum class FaultKind {
+  RankAbort,          ///< victim rank throws InjectedRankAbort at op k (simulated death)
+  CollectiveCorrupt,  ///< flip a byte of the victim's k-th received collective chunk
+  RdmaCorrupt,        ///< flip a byte of the victim's k-th op when it is a window get
+  SlowRank,           ///< delay the victim at op k (straggler)
+  BackendVeto,        ///< dispatch of a backend fails validation on every rank
+};
+
+[[nodiscard]] inline const char* fault_kind_name(FaultKind k) {
+  switch (k) {
+    case FaultKind::RankAbort: return "rank-abort";
+    case FaultKind::CollectiveCorrupt: return "collective-corrupt";
+    case FaultKind::RdmaCorrupt: return "rdma-corrupt";
+    case FaultKind::SlowRank: return "slow-rank";
+    case FaultKind::BackendVeto: return "backend-veto";
+  }
+  return "?";
+}
+
+/// One scripted fault. Coordinates are (victim global rank, that rank's
+/// comm-op counter RankReport::comm_ops) — deterministic replay coordinates
+/// for a deterministic SPMD program. Corruption kinds fire on the first
+/// non-empty payload chunk the victim receives during op `op_index`;
+/// BackendVeto ignores the coordinates and vetoes `veto_algo` on all ranks.
+struct FaultAction {
+  FaultKind kind = FaultKind::SlowRank;
+  int rank = 0;
+  std::uint64_t op_index = 0;
+  std::uint64_t byte_offset = 0;        ///< corruption target, mod payload size
+  std::uint8_t xor_mask = 0x5A;         ///< corruption pattern (must be nonzero)
+  int delay_us = 0;                     ///< SlowRank stall
+  int veto_algo = -1;                   ///< BackendVeto: Algo enum value to reject
+
+  friend bool operator==(const FaultAction&, const FaultAction&) = default;
+};
+
+/// A replayable script of faults: either hand-written or generated from a
+/// single seed (same seed + shape => identical plan, the chaos harness's
+/// reproducibility contract).
+struct FaultPlan {
+  std::vector<FaultAction> actions;
+
+  [[nodiscard]] bool empty() const { return actions.empty(); }
+
+  /// Deterministically generates `nfaults` actions of the given kinds with
+  /// victim ranks in [0, nranks) and op indices in [op_lo, op_hi).
+  static FaultPlan from_seed(std::uint64_t seed, int nranks, int nfaults,
+                             std::uint64_t op_lo, std::uint64_t op_hi,
+                             const std::vector<FaultKind>& kinds = {
+                                 FaultKind::CollectiveCorrupt, FaultKind::RdmaCorrupt,
+                                 FaultKind::SlowRank});
+};
+
+/// Fires a FaultPlan's actions from the Comm hooks. One per Machine::run;
+/// rank-parallel calls only touch the caller rank's actions, so no
+/// synchronization is needed beyond the const plan.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan) : plan_(std::move(plan)) {}
+
+  /// Called at the start of every counted comm op on `rank` (already at
+  /// counter value `op_index`). Fires SlowRank (sleeps) and RankAbort
+  /// (raises a fatal Peer fault on the hub, then throws InjectedRankAbort).
+  void on_op(int rank, std::uint64_t op_index, const char* opname, FailureHub& hub);
+
+  /// Called after a payload lands in `data`; applies a matching corruption
+  /// action (at most once per action) and reports whether bytes changed.
+  bool maybe_corrupt(int rank, std::uint64_t op_index, void* data, std::size_t bytes,
+                     bool rdma);
+
+  /// True when a BackendVeto action targets `algo` (as its enum integer).
+  /// Rank-independent by design so every rank takes the same dispatch path.
+  [[nodiscard]] bool vetoes(int algo) const;
+
+ private:
+  FaultPlan plan_;
+  std::vector<std::uint8_t> fired_ = std::vector<std::uint8_t>(plan_.actions.size(), 0);
+};
+
+}  // namespace sa1d

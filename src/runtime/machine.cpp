@@ -10,6 +10,7 @@ namespace sa1d {
 
 Comm Comm::split(int color, int key) {
   require(color >= 0, "Comm::split: color must be non-negative");
+  begin_op("split");
   sh_->split_ck[static_cast<std::size_t>(rank_)] = {color, key};
   sync();
 
@@ -26,8 +27,11 @@ Comm Comm::split(int color, int key) {
 
   if (my_pos == 0) {
     std::scoped_lock lk(sh_->mu);
+    // The sub-communicator's barrier is hub-registered like every other, so
+    // faults raised anywhere in the machine wake ranks blocked here too —
+    // the deadlock the old top-level arrive_and_drop could not cover.
     sh_->split_groups[color] =
-        std::make_shared<detail::CommShared>(static_cast<int>(members.size()));
+        std::make_shared<detail::CommShared>(static_cast<int>(members.size()), *hub_);
   }
   sync();
 
@@ -47,16 +51,21 @@ Comm Comm::split(int color, int key) {
   std::vector<int> sub_globals;
   sub_globals.reserve(members.size());
   for (int m : members) sub_globals.push_back(global_rank(m));
-  return Comm(my_pos, std::move(sub_globals), std::move(sub), report_, cost_, poison_);
+  return Comm(my_pos, std::move(sub_globals), std::move(sub), report_, cost_, hub_, inj_,
+              integrity_);
 }
 
-Machine::Machine(int nranks, CostParams cost) : n_(nranks), cost_(cost_params_from_env(cost)) {
+Machine::Machine(int nranks, CostParams cost, MachineOptions opts)
+    : n_(nranks), cost_(cost_params_from_env(cost)), opts_(std::move(opts)) {
   require(nranks >= 1, "Machine: need at least one rank");
+  require(opts_.barrier_timeout.count() > 0, "Machine: barrier_timeout must be positive");
 }
 
 RunReport Machine::run(const std::function<void(Comm&)>& body) {
-  auto shared = std::make_shared<detail::CommShared>(n_);
-  auto poison = std::make_shared<std::atomic<bool>>(false);
+  auto hub = std::make_shared<FailureHub>(n_, opts_.barrier_timeout);
+  auto shared = std::make_shared<detail::CommShared>(n_, *hub);
+  std::unique_ptr<FaultInjector> injector;
+  if (!opts_.faults.empty()) injector = std::make_unique<FaultInjector>(opts_.faults);
 
   RunReport report;
   report.ranks.assign(static_cast<std::size_t>(n_), RankReport{});
@@ -72,7 +81,8 @@ RunReport Machine::run(const std::function<void(Comm&)>& body) {
   threads.reserve(static_cast<std::size_t>(n_));
   for (int r = 0; r < n_; ++r) {
     threads.emplace_back([&, r] {
-      Comm comm(r, identity, shared, &report.ranks[static_cast<std::size_t>(r)], &cost_, poison);
+      Comm comm(r, identity, shared, &report.ranks[static_cast<std::size_t>(r)], &cost_,
+                hub, injector.get(), opts_.integrity);
       try {
         body(comm);
       } catch (...) {
@@ -80,11 +90,16 @@ RunReport Machine::run(const std::function<void(Comm&)>& body) {
           std::scoped_lock lk(err_mu);
           if (!first_error) first_error = std::current_exception();
         }
-        // Poison the run and leave all current/future barrier phases so
-        // peers blocked in collectives wake up and observe the failure.
-        poison->store(true, std::memory_order_release);
-        shared->bar.arrive_and_drop();
+        // Raise a fatal peer fault: the hub records it (unless a fault is
+        // already recorded) and poisons every barrier — machine-level and
+        // sub-communicator — so peers blocked anywhere wake and unwind.
+        hub->raise(FaultClass::Peer,
+                   ErrorContext{r, comm.report().comm_ops, "rank body"},
+                   "sa1d: a peer rank failed during a collective", /*recoverable=*/false);
       }
+      // This rank will never park in the unwind quiesce again — don't make
+      // parked peers wait on it (they would otherwise ride out the watchdog).
+      hub->rank_done();
     });
   }
   for (auto& t : threads) t.join();

@@ -3,10 +3,25 @@
 // (see DESIGN.md §1): collectives and passive-target window gets move real
 // bytes between rank address spaces and are instrumented exactly; network
 // time is derived from those counts by CostModel.
+//
+// Failure containment (DESIGN.md §9): every barrier is a poisonable,
+// watchdog-guarded FaultBarrier registered with a per-run FailureHub. A
+// rank that fails raises a typed fault on the hub, which wakes every peer
+// blocked in *any* barrier — machine-level or sub-communicator — so the
+// machine always unwinds with the same structured error on every surviving
+// rank instead of hanging. Before any comm-layer exception propagates, the
+// throwing rank parks on the hub's unwind quiesce until every peer has also
+// reached a throw path (or finished its body): since zero-copy windows and
+// collective slots point into rank-owned memory, unwinding early would free
+// buffers a peer's in-flight memcpy is still reading. An optional FaultInjector scripts deterministic
+// rank aborts, payload corruption, and stragglers against the comm-op
+// counter; opt-in integrity mode checksums every received payload so
+// corruption is detected, not silently folded into results. With injection
+// and integrity off, every byte/message counter and result is bit-identical
+// to the plain runtime.
 #pragma once
 
-#include <atomic>
-#include <barrier>
+#include <chrono>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -14,9 +29,11 @@
 #include <mutex>
 #include <span>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "runtime/cost_model.hpp"
+#include "runtime/fault.hpp"
 #include "runtime/stats.hpp"
 #include "util/common.hpp"
 
@@ -31,12 +48,12 @@ struct RawBuf {
 
 /// State shared by all ranks of one communicator.
 struct CommShared {
-  explicit CommShared(int nranks)
-      : n(nranks), bar(nranks), slots(static_cast<std::size_t>(nranks)),
+  CommShared(int nranks, FailureHub& hub)
+      : n(nranks), bar(hub.make_barrier(nranks)), slots(static_cast<std::size_t>(nranks)),
         split_ck(static_cast<std::size_t>(nranks)) {}
 
   int n;
-  std::barrier<> bar;
+  std::shared_ptr<FaultBarrier> bar;
   std::vector<RawBuf> slots;                 // per-rank staging for collectives
   std::vector<std::vector<RawBuf>> windows;  // windows[id][rank]
   std::mutex mu;
@@ -57,22 +74,20 @@ class Window {
   std::size_t id_ = static_cast<std::size_t>(-1);
 };
 
-/// Thrown on surviving ranks when a peer rank's body threw.
-struct PeerFailure : std::runtime_error {
-  PeerFailure() : std::runtime_error("sa1d: a peer rank failed during a collective") {}
-};
-
 /// Per-rank communicator handle (the MPI_Comm analogue).
 class Comm {
  public:
   Comm(int rank, std::vector<int> global_ranks, std::shared_ptr<detail::CommShared> sh,
-       RankReport* report, const CostModel* cost, std::shared_ptr<std::atomic<bool>> poison)
+       RankReport* report, const CostModel* cost, std::shared_ptr<FailureHub> hub,
+       FaultInjector* injector, bool integrity)
       : rank_(rank),
         global_ranks_(std::move(global_ranks)),
         sh_(std::move(sh)),
         report_(report),
         cost_(cost),
-        poison_(std::move(poison)) {}
+        hub_(std::move(hub)),
+        inj_(injector),
+        integrity_(integrity) {}
 
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return sh_->n; }
@@ -87,14 +102,38 @@ class Comm {
   /// The machine's cost model (algorithm selection reads α/β from here so
   /// its predictions are coherent with the modeled report times).
   [[nodiscard]] const CostModel& cost() const { return *cost_; }
+  /// The run's fault injector (nullptr when no FaultPlan is installed).
+  [[nodiscard]] const FaultInjector* injector() const { return inj_; }
+  /// True when integrity mode (payload checksums) is on for this run.
+  [[nodiscard]] bool integrity() const { return integrity_; }
 
-  void barrier() { sync(); }
+  void barrier() {
+    begin_op("barrier");
+    sync();
+  }
+
+  /// Raises `cls` on the machine's FailureHub with this rank's context (so
+  /// every peer unwinds with the identical typed error instead of hanging)
+  /// and throws it here. The containment entry point for rank-local
+  /// detections ahead of a collective: corruption, plan mismatches.
+  [[noreturn]] void fail(FaultClass cls, const char* op, const std::string& msg,
+                         bool recoverable = true) {
+    hub_->raise(cls, ErrorContext{global_rank(rank_), report_->comm_ops, op}, msg, recoverable);
+    hub_->park_unwind();
+    hub_->throw_fault();
+  }
+
+  /// Collective, machine-wide recovery rendezvous: clears a recoverable
+  /// fault and resets every barrier once all ranks have unwound. Every
+  /// machine rank must call this (the self-healing retry loop does).
+  void recover() { hub_->recover(); }
 
   // ---- collectives -------------------------------------------------------
 
   /// Gathers one value from each rank; result indexed by rank.
   template <typename T>
   std::vector<T> allgather(const T& mine) {
+    const std::uint64_t op = begin_op("allgather");
     publish(&mine, sizeof(T));
     for (int p = 0; p < size(); ++p)
       if (p != rank_) record_send(p, sizeof(T));
@@ -103,6 +142,9 @@ class Comm {
     for (int p = 0; p < size(); ++p) {
       std::memcpy(&out[static_cast<std::size_t>(p)], sh_->slots[static_cast<std::size_t>(p)].ptr,
                   sizeof(T));
+      if (p != rank_)
+        post_copy("allgather", op, p, sh_->slots[static_cast<std::size_t>(p)].ptr,
+                  &out[static_cast<std::size_t>(p)], sizeof(T), /*rdma=*/false);
       record_recv(p, sizeof(T));
     }
     sync();
@@ -112,6 +154,7 @@ class Comm {
   /// Gathers a variable-length array from each rank.
   template <typename T>
   std::vector<std::vector<T>> allgatherv(std::span<const T> mine) {
+    const std::uint64_t op = begin_op("allgatherv");
     publish(mine.data(), mine.size_bytes());
     for (int p = 0; p < size(); ++p)
       if (p != rank_) record_send(p, mine.size_bytes());
@@ -120,7 +163,12 @@ class Comm {
     for (int p = 0; p < size(); ++p) {
       const auto& b = sh_->slots[static_cast<std::size_t>(p)];
       out[static_cast<std::size_t>(p)].resize(b.bytes / sizeof(T));
-      if (b.bytes > 0) std::memcpy(out[static_cast<std::size_t>(p)].data(), b.ptr, b.bytes);
+      if (b.bytes > 0) {
+        std::memcpy(out[static_cast<std::size_t>(p)].data(), b.ptr, b.bytes);
+        if (p != rank_)
+          post_copy("allgatherv", op, p, b.ptr, out[static_cast<std::size_t>(p)].data(),
+                    b.bytes, /*rdma=*/false);
+      }
       record_recv(p, b.bytes);
     }
     sync();
@@ -143,6 +191,7 @@ class Comm {
   template <typename T>
   std::vector<std::vector<T>> alltoallv(const std::vector<std::vector<T>>& send) {
     require(send.size() == static_cast<std::size_t>(size()), "alltoallv: send.size() != P");
+    const std::uint64_t op = begin_op("alltoallv");
     // The staging slot shares a pointer to the whole send table; the bytes
     // field is the *payload* volume (summed per-destination chunks), not the
     // outer vector header size, so volume accounting matches what moves.
@@ -160,7 +209,13 @@ class Comm {
           static_cast<const void*>(sh_->slots[static_cast<std::size_t>(p)].ptr));
       const auto& chunk = (*peer_send)[static_cast<std::size_t>(rank_)];
       recv[static_cast<std::size_t>(p)] = chunk;
-      if (!chunk.empty()) record_recv(p, chunk.size() * sizeof(T));
+      if (p != rank_ && !chunk.empty()) {
+        post_copy("alltoallv", op, p, chunk.data(), recv[static_cast<std::size_t>(p)].data(),
+                  chunk.size() * sizeof(T), /*rdma=*/false);
+        record_recv(p, chunk.size() * sizeof(T));
+      } else if (!chunk.empty()) {
+        record_recv(p, chunk.size() * sizeof(T));
+      }
     }
     sync();
     return recv;
@@ -169,6 +224,7 @@ class Comm {
   /// Broadcast from `root`: non-roots resize and receive.
   template <typename T>
   void bcast(std::vector<T>& data, int root) {
+    const std::uint64_t op = begin_op("bcast");
     if (rank_ == root) {
       publish(data.data(), data.size() * sizeof(T));
       for (int p = 0; p < size(); ++p)
@@ -178,7 +234,10 @@ class Comm {
     if (rank_ != root) {
       const auto& b = sh_->slots[static_cast<std::size_t>(root)];
       data.resize(b.bytes / sizeof(T));
-      if (b.bytes > 0) std::memcpy(data.data(), b.ptr, b.bytes);
+      if (b.bytes > 0) {
+        std::memcpy(data.data(), b.ptr, b.bytes);
+        post_copy("bcast", op, root, b.ptr, data.data(), b.bytes, /*rdma=*/false);
+      }
       record_recv(root, b.bytes);
     }
     sync();
@@ -200,6 +259,24 @@ class Comm {
     return allreduce(mine, [](T a, T b) { return a > b ? a : b; });
   }
 
+  /// Control-plane agreement exchange: every rank publishes a small string
+  /// (an error verdict, an options digest) and receives all of them, rank-
+  /// indexed. Deliberately *uncounted* — validation/agreement metadata is
+  /// not data-plane payload, so enabling it keeps every byte/message
+  /// counter bit-identical to the plain runtime. Collective.
+  std::vector<std::string> exchange_control(const std::string& mine) {
+    begin_op("control");
+    publish(mine.data(), mine.size());
+    sync();
+    std::vector<std::string> out(static_cast<std::size_t>(size()));
+    for (int p = 0; p < size(); ++p) {
+      const auto& b = sh_->slots[static_cast<std::size_t>(p)];
+      out[static_cast<std::size_t>(p)].assign(reinterpret_cast<const char*>(b.ptr), b.bytes);
+    }
+    sync();
+    return out;
+  }
+
   /// Splits into sub-communicators by color; ranks ordered by (key, rank).
   Comm split(int color, int key);
 
@@ -211,6 +288,7 @@ class Comm {
   /// discipline MPI_Win_free imposes.
   template <typename T>
   Window expose(std::span<const T> data) {
+    begin_op("expose");
     sync();  // entry barrier: no rank can be in get() while the table grows
     if (rank_ == 0) {
       std::scoped_lock lk(sh_->mu);
@@ -236,6 +314,7 @@ class Comm {
   /// message unless target == self (local access, not a network message).
   template <typename T>
   void get(const Window& w, int target, index_t elem_offset, index_t count, T* dst) {
+    const std::uint64_t op = begin_op("rdma_get");
     const auto& b = sh_->windows[w.id_][static_cast<std::size_t>(target)];
     std::size_t off = static_cast<std::size_t>(elem_offset) * sizeof(T);
     std::size_t len = static_cast<std::size_t>(count) * sizeof(T);
@@ -244,6 +323,7 @@ class Comm {
     if (target == rank_) {
       report_->bytes_local += len;
     } else {
+      if (len > 0) post_copy("rdma_get", op, target, b.ptr + off, dst, len, /*rdma=*/true);
       record_recv(target, len);
       report_->rdma_bytes += len;
       report_->rdma_msgs += 1;
@@ -259,10 +339,69 @@ class Comm {
     sh_->slots[static_cast<std::size_t>(rank_)] = {static_cast<const std::byte*>(p), bytes};
   }
 
+  /// Counts one communication op and runs the injector's op hooks (abort,
+  /// straggler delay). Returns the op's index in this rank's counter.
+  std::uint64_t begin_op(const char* opname) {
+    const std::uint64_t idx = report_->comm_ops++;
+    if (inj_ != nullptr) inj_->on_op(global_rank(rank_), idx, opname, *hub_);
+    return idx;
+  }
+
+  /// Post-receive hook: applies scripted corruption to the landed payload,
+  /// then (integrity mode) verifies the received bytes against the source —
+  /// the simulated analogue of an end-to-end transport checksum. On
+  /// mismatch raises Corruption machine-wide and throws CorruptionDetected.
+  void post_copy(const char* opname, std::uint64_t op, int from, const void* src, void* dst,
+                 std::size_t bytes, bool rdma) {
+    if (inj_ != nullptr) inj_->maybe_corrupt(global_rank(rank_), op, dst, bytes, rdma);
+    if (integrity_ && fnv1a64(src, bytes) != fnv1a64(dst, bytes)) {
+      fail(FaultClass::Corruption, opname,
+           "sa1d: payload checksum mismatch in " + std::string(opname) + " (rank " +
+               std::to_string(global_rank(rank_)) + " receiving from rank " +
+               std::to_string(global_rank(from)) + ", op " + std::to_string(op) + ", " +
+               std::to_string(bytes) + " bytes)");
+    }
+  }
+
+  /// Hub check that quiesces before throwing: with a fault recorded, this
+  /// rank is about to unwind frames that hold exposed windows and published
+  /// collective payloads — park on the hub's unwind rendezvous until every
+  /// peer has stopped copying (parked or finished its body), then throw.
+  void check_quiesced() {
+    if (hub_->faulted()) {
+      hub_->park_unwind();
+      hub_->throw_fault();
+    }
+  }
+
+  /// Deadlock-free rank rendezvous: checks the hub fault record before and
+  /// after the barrier, wakes on poison (a fault raised while blocked), and
+  /// converts a barrier stuck past the watchdog into a machine-wide
+  /// PeerFailure — a rank that throws while peers are blocked (in this or
+  /// any sub-communicator barrier) can never hang the machine. Every throw
+  /// path quiesces on the hub's unwind rendezvous first so a peer still
+  /// mid-copy never reads freed memory.
   void sync() {
-    if (poison_->load(std::memory_order_acquire)) throw PeerFailure{};
-    sh_->bar.arrive_and_wait();
-    if (poison_->load(std::memory_order_acquire)) throw PeerFailure{};
+    check_quiesced();
+    switch (sh_->bar->arrive_and_wait()) {
+      case detail::FaultBarrier::Outcome::Completed:
+        break;
+      case detail::FaultBarrier::Outcome::Poisoned:
+        hub_->park_unwind();
+        hub_->check();
+        // Poison without a hub record (cascade from a timed-out peer whose
+        // raise has not landed yet): surface it as a peer failure.
+        throw PeerFailure(ErrorContext{global_rank(rank_), report_->comm_ops, "barrier"},
+                          "sa1d: a peer rank failed during a collective");
+      case detail::FaultBarrier::Outcome::TimedOut:
+        hub_->raise(FaultClass::Peer,
+                    ErrorContext{global_rank(rank_), report_->comm_ops, "barrier"},
+                    "sa1d: barrier watchdog — a rank stopped arriving (stuck or dead peer)",
+                    /*recoverable=*/false);
+        hub_->park_unwind();
+        hub_->throw_fault();
+    }
+    check_quiesced();
   }
 
   /// Sender-side accounting for two-sided collectives: the payload bytes
@@ -301,7 +440,9 @@ class Comm {
   std::shared_ptr<detail::CommShared> sh_;
   RankReport* report_;
   const CostModel* cost_;
-  std::shared_ptr<std::atomic<bool>> poison_;
+  std::shared_ptr<FailureHub> hub_;
+  FaultInjector* inj_;
+  bool integrity_;
 };
 
 /// Result of one Machine::run.
@@ -353,6 +494,20 @@ struct RunReport {
   }
 };
 
+/// Per-run fault/robustness knobs. Defaults are the zero-overhead plain
+/// runtime: no injector, no integrity checksums, a watchdog long enough to
+/// never fire on healthy workloads.
+struct MachineOptions {
+  /// Watchdog: a barrier (or recovery rendezvous) stuck longer than this
+  /// converts into a machine-wide PeerFailure instead of hanging.
+  std::chrono::milliseconds barrier_timeout{60000};
+  /// Checksums every received collective chunk and window get against the
+  /// sender's bytes; mismatches raise CorruptionDetected on every rank.
+  bool integrity = false;
+  /// Scripted faults; empty = no injector is constructed at all.
+  FaultPlan faults;
+};
+
 /// The simulated machine. Construct with the rank count and cost parameters,
 /// then run one or more SPMD bodies. Refitted rates from a cost_params.json
 /// named by the SA1D_COST_PARAMS environment variable override the passed
@@ -360,10 +515,11 @@ struct RunReport {
 /// feeds back into every run automatically.
 class Machine {
  public:
-  explicit Machine(int nranks, CostParams cost = {});
+  explicit Machine(int nranks, CostParams cost = {}, MachineOptions opts = {});
 
   [[nodiscard]] int nranks() const { return n_; }
   [[nodiscard]] const CostModel& cost() const { return cost_; }
+  [[nodiscard]] const MachineOptions& options() const { return opts_; }
 
   /// Runs `body` on every rank (one thread each); rethrows the first rank
   /// exception after all threads joined.
@@ -372,6 +528,7 @@ class Machine {
  private:
   int n_;
   CostModel cost_;
+  MachineOptions opts_;
 };
 
 }  // namespace sa1d

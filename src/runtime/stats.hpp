@@ -51,6 +51,19 @@ struct RankReport {
   std::uint64_t rdma_bytes_inter = 0;
   std::uint64_t rdma_msgs_inter = 0;
 
+  // Ordinal of communication operations this rank has started (barriers,
+  // collectives, window exposes/gets, splits). Not a transport counter —
+  // it is the replay coordinate system for fault injection (runtime/
+  // fault.hpp): deterministic SPMD programs hit identical (rank, comm_ops)
+  // sequences on every run, so a FaultAction at (rank, op_index) is exactly
+  // reproducible from a seed.
+  std::uint64_t comm_ops = 0;
+
+  // Self-healing replay accounting: times this rank abandoned a cached plan
+  // after CorruptionDetected/PlanMismatch, ran the collective recovery
+  // rendezvous, and rebuilt (dist/dist_plan.hpp's bounded retry loop).
+  std::uint64_t plan_recoveries = 0;
+
   // Inspector–executor reuse accounting, indexed by the Algo enum's integer
   // value (runtime/cost_model.hpp; 0 = Auto counts cached cost-decision
   // reuses, the concrete backends count their plan builds vs. value-only

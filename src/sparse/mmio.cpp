@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 #include <fstream>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "util/common.hpp"
 
@@ -15,6 +19,15 @@ std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
   return s;
+}
+
+/// True iff the stream's extractions all succeeded and only whitespace
+/// remains — rejects both short lines ("1 2" where a value is required,
+/// which the old parser silently defaulted to 1.0) and trailing garbage.
+bool consumed_cleanly(std::istringstream& s) {
+  if (s.fail()) return false;
+  s >> std::ws;
+  return s.eof();
 }
 
 }  // namespace
@@ -43,7 +56,15 @@ CooMatrix<double> read_matrix_market(std::istream& in) {
   std::istringstream dims(line);
   index_t nrows = 0, ncols = 0, nnz = 0;
   dims >> nrows >> ncols >> nnz;
+  // A malformed or overflowing size line must not silently parse as zeros:
+  // istream overflow sets failbit, which consumed_cleanly rejects.
+  require(consumed_cleanly(dims), "mmio: bad dimensions line: " + line);
   require(nrows >= 0 && ncols >= 0 && nnz >= 0, "mmio: bad dimensions line");
+  // Overflow-safe nnz <= nrows*ncols: a coordinate file cannot declare more
+  // entries than the matrix has cells ((nnz-1)/ncols < nrows avoids the
+  // nrows*ncols product, which can exceed the index range).
+  require(nnz == 0 || (nrows > 0 && ncols > 0 && (nnz - 1) / ncols < nrows),
+          "mmio: declared nnz exceeds nrows*ncols");
 
   CooMatrix<double> out(nrows, ncols);
   const bool pattern = field == "pattern";
@@ -55,9 +76,28 @@ CooMatrix<double> read_matrix_market(std::istream& in) {
     double v = 1.0;
     e >> r >> c;
     if (!pattern) e >> v;
+    require(consumed_cleanly(e), "mmio: malformed entry line: " + line);
     require(r >= 1 && r <= nrows && c >= 1 && c <= ncols, "mmio: index out of range");
+    require(std::isfinite(v), "mmio: non-finite value in entry line: " + line);
+    require(symmetry != "skew-symmetric" || r != c,
+            "mmio: skew-symmetric matrix lists a diagonal entry: " + line);
     out.push(r - 1, c - 1, v);
     if (symmetry != "general" && r != c) out.push(c - 1, r - 1, skew * v);
+  }
+
+  // Reject duplicate coordinates (the format forbids them; canonicalize
+  // would otherwise silently sum them into a wrong matrix). Covers both
+  // repeated explicit entries and a symmetric file redundantly listing
+  // both (i,j) and (j,i), whose expansions collide.
+  {
+    std::vector<std::pair<index_t, index_t>> seen;
+    seen.reserve(out.triples().size());
+    for (const auto& t : out.triples()) seen.emplace_back(t.row, t.col);
+    std::sort(seen.begin(), seen.end());
+    auto dup = std::adjacent_find(seen.begin(), seen.end());
+    if (dup != seen.end())
+      require(false, "mmio: duplicate entry at row " + std::to_string(dup->first + 1) +
+                         ", col " + std::to_string(dup->second + 1));
   }
   out.canonicalize();
   return out;

@@ -101,5 +101,109 @@ TEST(Mmio, MissingFileThrows) {
   EXPECT_THROW(read_matrix_market_file("/nonexistent/path.mtx"), std::invalid_argument);
 }
 
+// ---- hardening against malformed inputs ------------------------------------
+
+TEST(Mmio, RejectsDuplicateEntries) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 2\n"
+      "1 1 1.0\n"
+      "1 1 2.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsSymmetricDuplicateAcrossDiagonal) {
+  // Both (2,1) and (1,2) listed: their symmetric expansions collide.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real symmetric\n"
+      "2 2 2\n"
+      "2 1 1.0\n"
+      "1 2 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsNonFiniteValues) {
+  for (const char* bad : {"nan", "inf", "-inf"}) {
+    std::istringstream in(std::string("%%MatrixMarket matrix coordinate real general\n"
+                                      "2 2 1\n"
+                                      "1 1 ") +
+                          bad + "\n");
+    EXPECT_THROW(read_matrix_market(in), std::invalid_argument) << bad;
+  }
+}
+
+TEST(Mmio, RejectsMissingValueToken) {
+  // The old parser silently defaulted a missing value to 1.0.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsGarbageValueToken) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 abc\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsTrailingGarbageOnEntryLine) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "1 1 1.0 junk\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsMalformedDimensionsLine) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 two 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsOverflowingDimensions) {
+  // Overflows index_t: must be a parse error, not silently-zero dims.
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "99999999999999999999999999 2 1\n"
+      "1 1 1.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsNnzBeyondMatrixCells) {
+  // 4 declared entries cannot fit a 1x3 matrix; also guards the
+  // nrows*ncols overflow path (checked without forming the product).
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "1 3 4\n"
+      "1 1 1.0\n"
+      "1 2 1.0\n"
+      "1 3 1.0\n"
+      "1 1 2.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, RejectsSkewSymmetricDiagonal) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real skew-symmetric\n"
+      "2 2 1\n"
+      "1 1 3.0\n");
+  EXPECT_THROW(read_matrix_market(in), std::invalid_argument);
+}
+
+TEST(Mmio, AcceptsEntriesWithExtraWhitespace) {
+  std::istringstream in(
+      "%%MatrixMarket matrix coordinate real general\n"
+      "2 2 1\n"
+      "  1   2   4.5  \n");
+  auto m = read_matrix_market(in);
+  ASSERT_EQ(m.nnz(), 1);
+  EXPECT_DOUBLE_EQ(m.triples()[0].val, 4.5);
+}
+
 }  // namespace
 }  // namespace sa1d
