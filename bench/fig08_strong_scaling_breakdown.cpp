@@ -28,13 +28,15 @@ struct BackendRow {
   std::uint64_t sent_bytes = 0;
 };
 
-BackendRow measure_backend(Machine& m, const CscMatrix<double>& a, Algo algo) {
+BackendRow measure_backend(Machine& m, const CscMatrix<double>& a, Algo algo,
+                           bool overlap = true) {
   BackendRow row;
   row.name = algo_name(algo);
   auto rep = m.run([&](Comm& c) {
     auto da = DistMatrix1D<double>::from_global(c, a);
     DistSpgemmOptions opt;
     opt.algo = algo;
+    opt.overlap = overlap;
     spgemm_dist(c, da, da, opt);
   });
   row.bd = bench::modeled(rep, m.cost());
@@ -68,9 +70,11 @@ int main(int argc, char** argv) {
   if (json_path != nullptr) {
     const int P = 16;
     Machine m(P, cp);
-    std::vector<BackendRow> rows;
-    for (Algo algo : {Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D, Algo::Split3D})
+    std::vector<BackendRow> rows, lockstep;
+    for (Algo algo : {Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D, Algo::Split3D}) {
       rows.push_back(measure_backend(m, a, algo));
+      lockstep.push_back(measure_backend(m, a, algo, /*overlap=*/false));
+    }
 
     std::FILE* f = std::fopen(json_path, "w");
     if (f == nullptr) {
@@ -83,10 +87,12 @@ int main(int argc, char** argv) {
       const auto& r = rows[i];
       std::fprintf(f,
                    "    \"%s\": {\"comm_ms\": %.3f, \"comp_ms\": %.3f, \"plan_ms\": %.3f, "
-                   "\"other_ms\": %.3f, \"total_ms\": %.3f, \"imbalance\": %.3f, "
+                   "\"other_ms\": %.3f, \"total_ms\": %.3f, \"overlap_ms\": %.3f, "
+                   "\"overlap_eff\": %.4f, \"lockstep_total_ms\": %.3f, \"imbalance\": %.3f, "
                    "\"rdma_bytes\": %llu, \"coll_bytes\": %llu, \"sent_bytes\": %llu}%s\n",
                    r.name.c_str(), 1e3 * r.bd.comm, 1e3 * r.bd.comp, 1e3 * r.bd.plan,
-                   1e3 * r.bd.other, 1e3 * r.bd.total(), r.imbalance,
+                   1e3 * r.bd.other, 1e3 * r.bd.total(), 1e3 * r.bd.overlap,
+                   r.bd.overlap_efficiency(), 1e3 * lockstep[i].bd.total(), r.imbalance,
                    static_cast<unsigned long long>(r.rdma_bytes),
                    static_cast<unsigned long long>(r.coll_bytes),
                    static_cast<unsigned long long>(r.sent_bytes),
@@ -125,14 +131,15 @@ int main(int argc, char** argv) {
   // Cross-backend comparison at P=16: the same multiply through the unified
   // front-end, identical phase semantics.
   std::printf("\n-- backends at P = 16 (phase max over ranks) --\n");
-  std::printf("  %-10s %9s %9s %9s %9s %9s %6s\n", "backend", "comm(ms)", "comp(ms)",
-              "plan(ms)", "other(ms)", "total(ms)", "imbal");
+  std::printf("  %-10s %9s %9s %9s %9s %9s %10s %6s %6s\n", "backend", "comm(ms)", "comp(ms)",
+              "plan(ms)", "other(ms)", "total(ms)", "hidden(ms)", "eff", "imbal");
   Machine m16(16, cp);
   for (Algo algo : {Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D, Algo::Split3D}) {
     auto row = measure_backend(m16, a, algo);
-    std::printf("  %-10s %9.3f %9.3f %9.3f %9.3f %9.3f %6.2f\n", row.name.c_str(),
+    std::printf("  %-10s %9.3f %9.3f %9.3f %9.3f %9.3f %10.3f %6.2f %6.2f\n", row.name.c_str(),
                 1e3 * row.bd.comm, 1e3 * row.bd.comp, 1e3 * row.bd.plan, 1e3 * row.bd.other,
-                1e3 * row.bd.total(), row.imbalance);
+                1e3 * row.bd.total(), 1e3 * row.bd.overlap, row.bd.overlap_efficiency(),
+                row.imbalance);
   }
   return 0;
 }

@@ -56,12 +56,18 @@ struct BackendMeasure {
   bench::Breakdown bd;
   std::uint64_t rdma_bytes = 0;
   std::uint64_t coll_bytes = 0;
+  /// Measured per-rank compute imbalance (max/mean of comp_s) — paired with
+  /// CostModel::predicted_imbalance so fit_cost_params.py can fit imb_scale.
+  double imb = 1.0;
 };
 
 /// `reps` takes the best-of-N modeled time (byte counts are exact and
 /// identical across reps; CPU phase timings vary 5-15% on the shared
 /// container, and the JSON path compares backends, so it smooths them).
-BackendMeasure measure(Machine& m, const CscMatrix<double>& a, Algo algo, int reps = 1) {
+/// `overlap` toggles the nonblocking execution engine; false reproduces the
+/// seed's lockstep collectives.
+BackendMeasure measure(Machine& m, const CscMatrix<double>& a, Algo algo, int reps = 1,
+                       bool overlap = true) {
   BackendMeasure out;
   out.algo = algo;
   for (int rep_i = 0; rep_i < reps; ++rep_i) {
@@ -69,11 +75,21 @@ BackendMeasure measure(Machine& m, const CscMatrix<double>& a, Algo algo, int re
       auto da = DistMatrix1D<double>::from_global(c, a);
       DistSpgemmOptions opt;
       opt.algo = algo;
+      opt.overlap = overlap;
       if (algo == Algo::Split3D) opt.layers = distdetail::default_split3d_layers(m.nranks());
       spgemm_dist(c, da, da, opt);
     });
     auto bd = bench::modeled(rep, m.cost());
-    if (rep_i == 0 || bd.total() < out.bd.total()) out.bd = bd;
+    if (rep_i == 0 || bd.total() < out.bd.total()) {
+      out.bd = bd;
+      double mx = 0.0, sum = 0.0;
+      for (const auto& r : rep.ranks) {
+        mx = std::max(mx, r.comp_s);
+        sum += r.comp_s;
+      }
+      const double mean = sum / static_cast<double>(rep.ranks.size());
+      out.imb = mean > 0.0 ? mx / mean : 1.0;
+    }
     out.rdma_bytes = rep.total_rdma_bytes();
     out.coll_bytes = rep.total_coll_bytes_received();
   }
@@ -170,8 +186,14 @@ void run_json(const char* json_path) {
     const auto& nm = mats[mi];
     Machine m(P, cp);
 
-    std::vector<BackendMeasure> ms;
-    for (Algo algo : feasible(P)) ms.push_back(measure(m, nm.a, algo, /*reps=*/2));
+    // Overlapped run (the default engine) plus a lockstep baseline per
+    // backend: the CI smoke asserts overlap_eff > 0 for the stage-pipelined
+    // backends and that no backend regresses past its lockstep time.
+    std::vector<BackendMeasure> ms, lk;
+    for (Algo algo : feasible(P)) {
+      ms.push_back(measure(m, nm.a, algo, /*reps=*/2));
+      lk.push_back(measure(m, nm.a, algo, /*reps=*/2, /*overlap=*/false));
+    }
     Algo winner = ms.front().algo;
     double best = ms.front().bd.total();
     for (const auto& b : ms)
@@ -199,16 +221,28 @@ void run_json(const char* json_path) {
       }
     });
 
+    // The imbalance query mirrors what measure() actually ran: split-3D at
+    // the default layering (choose_algo's pick may differ or be absent).
+    AlgoCostInputs imb_in = st.inputs;
+    imb_in.layers = distdetail::default_split3d_layers(P);
+
     std::fprintf(f, "    {\"dataset\": \"%s\", \"nnz\": %lld,\n      \"backends\": {\n",
                  nm.name.c_str(), static_cast<long long>(nm.a.nnz()));
     for (std::size_t i = 0; i < ms.size(); ++i) {
       const auto& b = ms[i];
+      // imb_measured / imb_predicted pair feeds the imb_scale refit;
+      // lockstep_* is the overlap=false baseline of the same backend.
       std::fprintf(f,
                    "        \"%s\": {\"total_ms\": %.3f, \"comm_ms\": %.3f, \"comp_ms\": %.3f, "
-                   "\"plan_ms\": %.3f, \"other_ms\": %.3f, \"rdma_bytes\": %llu, "
+                   "\"plan_ms\": %.3f, \"other_ms\": %.3f, \"overlap_ms\": %.3f, "
+                   "\"overlap_eff\": %.4f, \"lockstep_total_ms\": %.3f, "
+                   "\"lockstep_comm_ms\": %.3f, \"imb_measured\": %.4f, "
+                   "\"imb_predicted\": %.4f, \"rdma_bytes\": %llu, "
                    "\"coll_bytes\": %llu}%s\n",
                    algo_name(b.algo), 1e3 * b.bd.total(), 1e3 * b.bd.comm, 1e3 * b.bd.comp,
-                   1e3 * b.bd.plan, 1e3 * b.bd.other,
+                   1e3 * b.bd.plan, 1e3 * b.bd.other, 1e3 * b.bd.overlap,
+                   b.bd.overlap_efficiency(), 1e3 * lk[i].bd.total(), 1e3 * lk[i].bd.comm,
+                   b.imb, m.cost().predicted_imbalance(imb_in, b.algo),
                    static_cast<unsigned long long>(b.rdma_bytes),
                    static_cast<unsigned long long>(b.coll_bytes),
                    i + 1 < ms.size() ? "," : "");

@@ -24,6 +24,23 @@ runtime/cost_model.hpp). bench_local.sh exports that automatically, so the
 refit loop is closed: fit -> cost_params.json -> every subsequent run.
 Record refits in EXPERIMENTS.md.
 
+Two more parameters ride the same records:
+
+  imb_scale — the grid backends' compute term is multiplied by an analytic
+  even-split imbalance factor; fig09 records the *measured* max/mean
+  per-rank compute imbalance (imb_measured) next to the unscaled analytic
+  prediction (imb_predicted, CostModel::predicted_imbalance — imb_scale is
+  NOT baked in, so the fit is idempotent). Fitting is the same
+  relative-LSQ slope, on the excess-over-1 of each: measured-1 =
+  imb_scale * (analytic-1).
+
+  overlap_discount — the fraction of modeled comm time the nonblocking
+  engine hides behind compute. Each backend row records overlap_ms (hidden)
+  and comm_ms (waited); the discount is the comm-volume-weighted mean of
+  overlap_ms/(comm_ms+overlap_ms) across records, i.e. the measured
+  overlap efficiency Auto should assume when ranking backends with
+  overlap enabled.
+
 Usage: scripts/fit_cost_params.py [BENCH_dist_backends.json]
                                   [--out=cost_params.json] [--no-write]
 """
@@ -33,6 +50,8 @@ import sys
 # Defaults from runtime/cost_model.hpp (the one-shot calibration targets).
 DEFAULT_FLOP_S = 6.0e-9
 DEFAULT_TRIPLE_S = 3.0e-8
+DEFAULT_IMB_SCALE = 1.0
+DEFAULT_OVERLAP_DISCOUNT = 0.0
 
 
 def collect_records(doc):
@@ -62,6 +81,41 @@ def fit_rate(pairs):
 def mean_rel_err(pairs, rate):
     errs = [abs(rate * c - m) / m for c, m in pairs if m > 0]
     return sum(errs) / len(errs) if errs else float("nan")
+
+
+def fit_imb_scale(doc):
+    """Relative-LSQ slope of measured-excess vs analytic-excess imbalance
+    over the fig09 grid-backend records (rows predating the overlap series
+    lack the fields and carry no signal)."""
+    pairs = []
+    for row in doc["fig09_backend_compare"]["rows"]:
+        for meas in row["backends"].values():
+            a = meas.get("imb_predicted", 0.0) - 1.0
+            m = meas.get("imb_measured", 0.0) - 1.0
+            if a > 1e-6 and m > 1e-6:
+                pairs.append((a, m))
+    scale = fit_rate(pairs)
+    # Mirror the CostParams clamp so the printed snippet matches what the
+    # runtime will actually apply.
+    return (max(0.25, min(8.0, scale)), len(pairs)) if scale else (None, 0)
+
+
+def fit_overlap_discount(doc):
+    """Comm-weighted mean measured overlap efficiency across every backend
+    record that carries the overlap series."""
+    hidden = waited = 0.0
+    n = 0
+    for row in doc["fig09_backend_compare"]["rows"]:
+        for meas in row["backends"].values():
+            if "overlap_ms" not in meas:
+                continue
+            hidden += meas["overlap_ms"]
+            waited += meas["comm_ms"]
+            n += 1
+    tot = hidden + waited
+    if n == 0 or tot <= 0:
+        return None, 0
+    return max(0.0, min(0.95, hidden / tot)), n
 
 
 def main():
@@ -101,10 +155,31 @@ def main():
         print(f"{name}: fitted {fitted:.3e}  (default {default:.3e}; "
               f"mean rel err {before:.2%} -> {after:.2%})")
 
+    imb_scale, imb_n = fit_imb_scale(doc)
+    discount, ov_n = fit_overlap_discount(doc)
+    if imb_scale is not None:
+        print(f"imb_scale: fitted {imb_scale:.3f} from {imb_n} grid-backend "
+              f"records (default {DEFAULT_IMB_SCALE:.3f})")
+    else:
+        print("imb_scale: no measured-vs-analytic imbalance records "
+              "(re-run bench_local.sh --dist-only); keeping default")
+    if discount is not None:
+        print(f"overlap_discount: fitted {discount:.3f} from {ov_n} overlap "
+              f"records (default {DEFAULT_OVERLAP_DISCOUNT:.3f})")
+    else:
+        print("overlap_discount: no overlap_ms records "
+              "(re-run bench_local.sh --dist-only); keeping default")
+
     print("\nCostParams snippet:")
     print(f"  params.flop_s = {flop_s:.6e};")
     print(f"  params.triple_s = {triple_s:.6e};")
     fitted = {"flop_s": flop_s, "triple_s": triple_s, "records": len(records)}
+    if imb_scale is not None:
+        print(f"  params.imb_scale = {imb_scale:.6f};")
+        fitted["imb_scale"] = imb_scale
+    if discount is not None:
+        print(f"  params.overlap_discount = {discount:.6f};")
+        fitted["overlap_discount"] = discount
     print(json.dumps(fitted))
     if write:
         with open(out_path, "w") as f:

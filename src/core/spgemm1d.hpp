@@ -55,6 +55,15 @@ struct Spgemm1dOptions {
   bool sparsity_aware = true;
   /// Extension to Algorithm 2: merge adjacent chosen blocks into one message.
   bool merge_adjacent_blocks = false;
+  /// Overlapped execution: the executor posts the value fetch of block
+  /// g+1 (and beyond, up to `prefetch_inflight`) nonblocking while the
+  /// scatter of block g runs, hiding RDMA time behind the compaction
+  /// copies and the B̃ gather. Off = the seed's lockstep fetch loop; the
+  /// written Ã values are bit-identical either way.
+  bool overlap = true;
+  /// Bounded prefetch depth: max in-flight value gets (≥ 1; each holds one
+  /// staging buffer). Ignored when `overlap` is false.
+  int prefetch_inflight = 4;
 
   /// Every field influences the cached plan, so plan-reusing callers
   /// (spgemm_1d_cached) compare whole option sets to decide replans.
@@ -435,23 +444,62 @@ class SpgemmPlan1D {
         std::copy_n(src + s.src, static_cast<std::size_t>(s.len), av + s.dst);
     }
     index_t exec_gets = 0;
-    for (const auto& f : fetches_) {
-      fetch_buf_.resize(static_cast<std::size_t>(f.len));
-      comm.get(win_val, f.owner, f.elo, f.len, fetch_buf_.data());
-      ++exec_gets;
-      auto ph = comm.phase(Phase::Other);
-      for (const auto& s : f.spans)
-        std::copy_n(fetch_buf_.data() + s.src, static_cast<std::size_t>(s.len), av + s.dst);
-    }
-
-    // B̃ values through the cached gather map, then the numeric multiply
-    // against the cached symbolic result.
-    {
-      auto ph = comm.phase(Phase::Other);
-      VT* btv = btilde_m_.mutable_vals().data();
-      const VT* bv = b.local().vals().data();
-      for (std::size_t i = 0; i < bt_src_.size(); ++i)
-        btv[i] = bv[static_cast<std::size_t>(bt_src_[i])];
+    const std::size_t nf = fetches_.size();
+    if (opt_.overlap && opt_.prefetch_inflight > 0 && nf > 0) {
+      // Prefetch pipeline: keep up to `prefetch_inflight` value gets in
+      // flight, each with its own staging buffer; the scatter of block g
+      // (and the B̃ gather below) runs while blocks g+1.. travel. A slot is
+      // reused only after its block has been drained, bounding memory.
+      const std::size_t depth = std::min(static_cast<std::size_t>(opt_.prefetch_inflight), nf);
+      if (prefetch_bufs_.size() < depth) prefetch_bufs_.resize(depth);
+      std::vector<std::optional<CommRequest>> ring(depth);
+      auto issue = [&](std::size_t i) {
+        const auto& f = fetches_[i];
+        auto& buf = prefetch_bufs_[i % depth];
+        buf.resize(static_cast<std::size_t>(f.len));
+        ring[i % depth].emplace(comm.iget(win_val, f.owner, f.elo, f.len, buf.data()));
+      };
+      for (std::size_t i = 0; i < depth; ++i) issue(i);
+      // The B̃ gather is independent of Ã's fetched values, so it runs
+      // inside the in-flight window (same bytes written as the lockstep
+      // path, just earlier).
+      {
+        auto ph = comm.phase(Phase::Other);
+        VT* btv = btilde_m_.mutable_vals().data();
+        const VT* bv = b.local().vals().data();
+        for (std::size_t i = 0; i < bt_src_.size(); ++i)
+          btv[i] = bv[static_cast<std::size_t>(bt_src_[i])];
+      }
+      for (std::size_t i = 0; i < nf; ++i) {
+        ring[i % depth]->wait();
+        ring[i % depth].reset();
+        ++exec_gets;
+        {
+          auto ph = comm.phase(Phase::Other);
+          const VT* src = prefetch_bufs_[i % depth].data();
+          for (const auto& s : fetches_[i].spans)
+            std::copy_n(src + s.src, static_cast<std::size_t>(s.len), av + s.dst);
+        }
+        if (i + depth < nf) issue(i + depth);
+      }
+    } else {
+      for (const auto& f : fetches_) {
+        fetch_buf_.resize(static_cast<std::size_t>(f.len));
+        comm.get(win_val, f.owner, f.elo, f.len, fetch_buf_.data());
+        ++exec_gets;
+        auto ph = comm.phase(Phase::Other);
+        for (const auto& s : f.spans)
+          std::copy_n(fetch_buf_.data() + s.src, static_cast<std::size_t>(s.len), av + s.dst);
+      }
+      // B̃ values through the cached gather map, then the numeric multiply
+      // against the cached symbolic result.
+      {
+        auto ph = comm.phase(Phase::Other);
+        VT* btv = btilde_m_.mutable_vals().data();
+        const VT* bv = b.local().vals().data();
+        for (std::size_t i = 0; i < bt_src_.size(); ++i)
+          btv[i] = bv[static_cast<std::size_t>(bt_src_[i])];
+      }
     }
     CscMatrix<VT> c_local;
     {
@@ -563,6 +611,7 @@ class SpgemmPlan1D {
   index_t plan_rdma_calls_ = 0;
   int executions_ = 0;
   std::vector<VT> fetch_buf_;
+  std::vector<std::vector<VT>> prefetch_bufs_;  ///< one staging buffer per in-flight get
 };
 
 /// The sparsity-aware 1D SpGEMM (paper Algorithm 1). Collective. One-shot

@@ -130,6 +130,7 @@ class DistSpgemmPlan {
       inputs_ = gather_algo_cost_inputs(comm, a, b, opt.sa1d, &meta);
       inputs_.grid_rows = opt.grid_rows;
       inputs_.grid_cols = opt.grid_cols;
+      inputs_.overlap = opt.overlap;
       have_meta = true;
       have_inputs_ = true;
       auto ph = comm.phase(Phase::Plan);
@@ -149,6 +150,10 @@ class DistSpgemmPlan {
       layers = distdetail::default_split3d_layers(comm.size());
     }
 
+    // The SA-1D prefetch rides the master switch: both must be on.
+    Spgemm1dOptions sa = opt.sa1d;
+    sa.overlap = opt.sa1d.overlap && opt.overlap;
+
     auto run_fresh = [&](Algo which, int lyr) -> DistMatrix1D<VT> {
       chosen_ = which;
       layers_ = which == Algo::Split3D ? lyr : 1;
@@ -157,18 +162,18 @@ class DistSpgemmPlan {
         case Algo::SparseAware1D:
           // Auto hands its gathered AMeta to the inspector: exactly one
           // metadata allgather for the whole dispatch.
-          sa1d_ = have_meta ? SpgemmPlan1D<VT, SR>(comm, a, b, opt.sa1d, std::move(meta))
-                            : SpgemmPlan1D<VT, SR>(comm, a, b, opt.sa1d);
+          sa1d_ = have_meta ? SpgemmPlan1D<VT, SR>(comm, a, b, sa, std::move(meta))
+                            : SpgemmPlan1D<VT, SR>(comm, a, b, sa);
           return sa1d_.execute_verified(comm, a, b);
         case Algo::Ring1D:
-          return spgemm_naive_ring_1d<SR>(comm, a, b, &ring_);
+          return spgemm_naive_ring_1d<SR>(comm, a, b, &ring_, opt.overlap);
         case Algo::Summa2D:
           return spgemm_summa_2d_dist<SR>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads,
-                                          &summa_, opt.grid_rows, opt.grid_cols);
+                                          &summa_, opt.grid_rows, opt.grid_cols, opt.overlap);
         case Algo::Split3D:
           require_split3d_layers(comm.size(), lyr, "DistSpgemmPlan(Algo::Split3D)");
           return spgemm_split_3d_dist<SR>(comm, a, b, lyr, opt.sa1d.kernel, opt.sa1d.threads,
-                                          &split3d_, opt.grid_rows, opt.grid_cols);
+                                          &split3d_, opt.grid_rows, opt.grid_cols, opt.overlap);
       }
       require(false, "DistSpgemmPlan::build: unknown algorithm");
       return {};
@@ -266,13 +271,13 @@ class DistSpgemmPlan {
         c = sa1d_.execute_verified(comm, a, b);
         break;
       case Algo::Ring1D:
-        c = spgemm_naive_ring_1d_replay<SR>(comm, ring_, a, b);
+        c = spgemm_naive_ring_1d_replay<SR>(comm, ring_, a, b, opt_.overlap);
         break;
       case Algo::Summa2D:
-        c = spgemm_summa_2d_replay<SR>(comm, summa_, a, b);
+        c = spgemm_summa_2d_replay<SR>(comm, summa_, a, b, opt_.overlap);
         break;
       case Algo::Split3D:
-        c = spgemm_split_3d_replay<SR>(comm, split3d_, a, b);
+        c = spgemm_split_3d_replay<SR>(comm, split3d_, a, b, opt_.overlap);
         break;
     }
     ++replays_;
@@ -312,6 +317,8 @@ class DistSpgemmPlan {
     stats->horizon_iters = horizon_;
     const RankReport& after = comm.report();
     stats->plan_seconds = after.plan_s - before.plan_s;
+    stats->comm_wait_s = after.comm_s - before.comm_s;
+    stats->comm_hidden_s = after.overlap_s - before.overlap_s;
     stats->coll_recv_bytes = (after.bytes_network() - after.rdma_bytes) -
                              (before.bytes_network() - before.rdma_bytes);
     const std::uint64_t value_payload = reused ? replay_coll_recv_bytes() : 0;

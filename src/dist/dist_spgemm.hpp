@@ -56,6 +56,12 @@ struct DistSpgemmOptions {
   /// invalidate the plan and rebuild after a recoverable fault
   /// (CorruptionDetected / PlanMismatch) before the error propagates.
   int max_recovery_retries = 2;
+  /// Master switch for overlapped (nonblocking) execution: double-buffered
+  /// SUMMA stage broadcasts, pipelined redistribution/fold all-to-alls, the
+  /// ring's early hop shift, and the SA-1D value-get prefetch (gated
+  /// together with sa1d.overlap). Off = the seed's lockstep collectives;
+  /// results are bit-identical either way.
+  bool overlap = true;
 
   friend bool operator==(const DistSpgemmOptions&, const DistSpgemmOptions&) = default;
 };
@@ -94,6 +100,18 @@ struct DistSpgemmStats {
   double plan_seconds = 0.0;           ///< Phase::Plan CPU delta (this rank)
   std::uint64_t coll_recv_bytes = 0;   ///< collective bytes received (this rank)
   std::uint64_t meta_coll_bytes = 0;   ///< coll_recv_bytes beyond the value-replay volume
+
+  // Overlap accounting (this rank's deltas, filled by the DistSpgemmPlan
+  // entry points like the counters above): modeled comm seconds the rank
+  // actually waited for vs. seconds hidden behind concurrent compute.
+  double comm_wait_s = 0.0;    ///< RankReport::comm_s delta
+  double comm_hidden_s = 0.0;  ///< RankReport::overlap_s delta
+  /// Fraction of modeled comm time hidden behind compute; 0 when nothing
+  /// was hidden (including every lockstep run).
+  [[nodiscard]] double overlap_efficiency() const {
+    const double tot = comm_wait_s + comm_hidden_s;
+    return tot > 0.0 ? comm_hidden_s / tot : 0.0;
+  }
 
   // Robustness accounting (DESIGN.md §9).
   int horizon_iters = 1;          ///< pricing horizon Auto used (from expected_iterations)
@@ -355,7 +373,10 @@ void validate_collective(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix
              std::to_string(static_cast<int>(opt.sa1d.kernel)) + "," +
              std::to_string(opt.sa1d.threads) + "," +
              std::to_string(static_cast<int>(opt.sa1d.sparsity_aware)) + "," +
-             std::to_string(static_cast<int>(opt.sa1d.merge_adjacent_blocks)) + "|" +
+             std::to_string(static_cast<int>(opt.sa1d.merge_adjacent_blocks)) + "," +
+             std::to_string(static_cast<int>(opt.overlap)) + "," +
+             std::to_string(static_cast<int>(opt.sa1d.overlap)) + "," +
+             std::to_string(opt.sa1d.prefetch_inflight) + "|" +
              std::to_string(a.nrows()) + "x" + std::to_string(a.ncols()) + "," +
              std::to_string(b.nrows()) + "x" + std::to_string(b.ncols());
   }
@@ -423,6 +444,7 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
     st.inputs = gather_algo_cost_inputs(comm, a, b, opt.sa1d);
     st.inputs.grid_rows = opt.grid_rows;
     st.inputs.grid_cols = opt.grid_cols;
+    st.inputs.overlap = opt.overlap;
     auto ph = comm.phase(Phase::Plan);
     algo = choose_algo(comm.cost(), st.inputs, opt.layers, &layers, &st.predictions,
                        /*replay=*/false, st.horizon_iters);
@@ -430,23 +452,27 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
     layers = distdetail::default_split3d_layers(comm.size());
   }
 
+  // The SA-1D prefetch rides the master switch: both must be on.
+  Spgemm1dOptions sa = opt.sa1d;
+  sa.overlap = opt.sa1d.overlap && opt.overlap;
+
   auto dispatch = [&](Algo which, int lyr) -> DistMatrix1D<VT> {
     st.chosen = which;
     st.layers = which == Algo::Split3D ? lyr : 1;
     switch (which) {
       case Algo::Auto: break;  // unreachable: resolved above
       case Algo::SparseAware1D:
-        if (plan != nullptr) return spgemm_1d_cached(comm, *plan, a, b, opt.sa1d);
-        return spgemm_1d<SRIn>(comm, a, b, opt.sa1d);
+        if (plan != nullptr) return spgemm_1d_cached(comm, *plan, a, b, sa);
+        return spgemm_1d<SRIn>(comm, a, b, sa);
       case Algo::Ring1D:
-        return spgemm_naive_ring_1d<SRIn>(comm, a, b);
+        return spgemm_naive_ring_1d<SRIn>(comm, a, b, nullptr, opt.overlap);
       case Algo::Summa2D:
         return spgemm_summa_2d_dist<SRIn>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads,
-                                          nullptr, opt.grid_rows, opt.grid_cols);
+                                          nullptr, opt.grid_rows, opt.grid_cols, opt.overlap);
       case Algo::Split3D:
         require_split3d_layers(comm.size(), lyr, "spgemm_dist(Algo::Split3D)");
         return spgemm_split_3d_dist<SRIn>(comm, a, b, lyr, opt.sa1d.kernel, opt.sa1d.threads,
-                                          nullptr, opt.grid_rows, opt.grid_cols);
+                                          nullptr, opt.grid_rows, opt.grid_cols, opt.overlap);
     }
     require(false, "spgemm_dist: unknown algorithm");
     return {};

@@ -12,7 +12,9 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
+#include <type_traits>
 #include <vector>
 
 #include "dist/dist_matrix.hpp"
@@ -59,7 +61,8 @@ struct RingPlan {
 template <typename SRIn = void, typename VT>
 DistMatrix1D<VT> spgemm_naive_ring_1d(
     Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
-    RingPlan<VT, ResolveSemiring<SRIn, VT>>* plan = nullptr) {
+    std::type_identity_t<RingPlan<VT, ResolveSemiring<SRIn, VT>>*> plan = nullptr,
+    bool overlap = false) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_naive_ring_1d: inner dimension mismatch");
   const int P = comm.size();
@@ -83,19 +86,36 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(
   if (plan != nullptr) plan->hops.assign(static_cast<std::size_t>(P), {});
   CooMatrix<VT> acc(a.nrows(), b.local_ncols());
   const auto& bl = b.local();
+  const int succ = (me + 1) % P, pred = (me - 1 + P) % P;
   for (int step = 0; step < P; ++step) {
+    // Overlapped mode posts the hop shift *before* the local multiply and
+    // computes from the request's stable view of the shifted-away slice, so
+    // the slice travels while this rank multiplies. The shift is the same
+    // comm op either way (multiplies record none), so op indices and
+    // byte/message counters match the lockstep path exactly.
+    std::optional<AlltoallvRequest<Triple<VT>>> shift;
+    std::span<const Triple<VT>> cs(circ);
+    if (overlap && step + 1 < P) {
+      std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
+      {
+        auto ph = comm.phase(Phase::Other);
+        send[static_cast<std::size_t>(succ)] = std::move(circ);
+      }
+      shift.emplace(comm.ialltoallv(std::move(send)));
+      cs = shift->sent_chunk(succ);
+    }
     std::vector<index_t> gcol_ids;
     std::vector<std::size_t> starts;
     {
       auto ph = comm.phase(Phase::Comp);
       // Group the circulating slice into columns (triples are column-major).
-      for (std::size_t p = 0; p < circ.size(); ++p) {
-        if (p == 0 || circ[p].col != circ[p - 1].col) {
-          gcol_ids.push_back(circ[p].col);
+      for (std::size_t p = 0; p < cs.size(); ++p) {
+        if (p == 0 || cs[p].col != cs[p - 1].col) {
+          gcol_ids.push_back(cs[p].col);
           starts.push_back(p);
         }
       }
-      starts.push_back(circ.size());
+      starts.push_back(cs.size());
       // C_i += A_slice · B_i restricted to B rows matching the slice columns.
       for (index_t j = 0; j < bl.nzc(); ++j) {
         auto brows = bl.col_rows_at(j);
@@ -105,7 +125,7 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(
           if (it == gcol_ids.end() || *it != brows[p]) continue;
           auto kpos = static_cast<std::size_t>(it - gcol_ids.begin());
           for (std::size_t q = starts[kpos]; q < starts[kpos + 1]; ++q)
-            acc.push(circ[q].row, bl.col_id(j), SR::multiply(circ[q].val, bvals[p]));
+            acc.push(cs[q].row, bl.col_id(j), SR::multiply(cs[q].val, bvals[p]));
         }
       }
     }
@@ -115,19 +135,24 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(
       // across backends.
       auto ph = comm.phase(Phase::Plan);
       auto& hop = plan->hops[static_cast<std::size_t>(step)];
-      hop.nnz = static_cast<index_t>(circ.size());
+      hop.nnz = static_cast<index_t>(cs.size());
       hop.gcol_ids = std::move(gcol_ids);
       hop.starts = std::move(starts);
     }
     if (step + 1 < P) {
-      // Shift the slice one hop around the ring.
-      std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
-      {
-        auto ph = comm.phase(Phase::Other);
-        send[static_cast<std::size_t>((me + 1) % P)] = std::move(circ);
+      if (shift.has_value()) {
+        circ = shift->take_from(pred);
+        shift->wait();  // drain the (empty) remaining chunks so the op retires
+      } else {
+        // Shift the slice one hop around the ring.
+        std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
+        {
+          auto ph = comm.phase(Phase::Other);
+          send[static_cast<std::size_t>(succ)] = std::move(circ);
+        }
+        auto recv = comm.alltoallv(send);
+        circ = std::move(recv[static_cast<std::size_t>(pred)]);
       }
-      auto recv = comm.alltoallv(send);
-      circ = std::move(recv[static_cast<std::size_t>((me - 1 + P) % P)]);
     }
   }
 
@@ -156,7 +181,8 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(
 template <typename SR, typename VT>
 DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
                                              const DistMatrix1D<VT>& a,
-                                             const DistMatrix1D<VT>& b) {
+                                             const DistMatrix1D<VT>& b,
+                                             bool overlap = false) {
   const int P = comm.size();
   const int me = comm.rank();
   std::vector<VT> circ_vals;
@@ -167,8 +193,22 @@ DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
   }
 
   const auto& bl = b.local();
+  const int succ = (me + 1) % P, pred = (me - 1 + P) % P;
   std::size_t flat = 0;
   for (int step = 0; step < P; ++step) {
+    // Same overlapped-shift structure as the fresh call: post the hop, then
+    // multiply from the request's view of the outgoing value array.
+    std::optional<AlltoallvRequest<VT>> shift;
+    std::span<const VT> cv(circ_vals);
+    if (overlap && step + 1 < P) {
+      std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
+      {
+        auto ph = comm.phase(Phase::Other);
+        send[static_cast<std::size_t>(succ)] = std::move(circ_vals);
+      }
+      shift.emplace(comm.ialltoallv(std::move(send)));
+      cv = shift->sent_chunk(succ);
+    }
     {
       auto ph = comm.phase(Phase::Comp);
       const auto& hop = plan.hops[static_cast<std::size_t>(step)];
@@ -176,10 +216,10 @@ DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
       // structure (its column ranges index into it); a diverged slice —
       // this rank's own A at step 0, a mis-sized shift afterwards — raises
       // machine-wide instead of reading out of range.
-      if (circ_vals.size() != static_cast<std::size_t>(hop.nnz))
+      if (cv.size() != static_cast<std::size_t>(hop.nnz))
         comm.fail(FaultClass::PlanMismatch, "ring_replay",
                   "spgemm_naive_ring_1d_replay: hop " + std::to_string(step) + " carries " +
-                      std::to_string(circ_vals.size()) + " values where the cached slice "
+                      std::to_string(cv.size()) + " values where the cached slice "
                       "structure holds " + std::to_string(hop.nnz) + " (rank " +
                       std::to_string(comm.global_rank(comm.rank())) + ")");
       for (index_t j = 0; j < bl.nzc(); ++j) {
@@ -190,7 +230,7 @@ DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
           if (it == hop.gcol_ids.end() || *it != brows[p]) continue;
           auto kpos = static_cast<std::size_t>(it - hop.gcol_ids.begin());
           for (std::size_t q = hop.starts[kpos]; q < hop.starts[kpos + 1]; ++q) {
-            const VT v = SR::multiply(circ_vals[q], bvals[p]);
+            const VT v = SR::multiply(cv[q], bvals[p]);
             const auto slot = static_cast<std::size_t>(plan.acc_dst[flat]);
             plan.acc_vals[slot] =
                 plan.acc_first[flat] != 0 ? v : SR::add(plan.acc_vals[slot], v);
@@ -200,13 +240,18 @@ DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
       }
     }
     if (step + 1 < P) {
-      std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
-      {
-        auto ph = comm.phase(Phase::Other);
-        send[static_cast<std::size_t>((me + 1) % P)] = std::move(circ_vals);
+      if (shift.has_value()) {
+        circ_vals = shift->take_from(pred);
+        shift->wait();
+      } else {
+        std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
+        {
+          auto ph = comm.phase(Phase::Other);
+          send[static_cast<std::size_t>(succ)] = std::move(circ_vals);
+        }
+        auto recv = comm.alltoallv(send);
+        circ_vals = std::move(recv[static_cast<std::size_t>(pred)]);
       }
-      auto recv = comm.alltoallv(send);
-      circ_vals = std::move(recv[static_cast<std::size_t>((me - 1 + P) % P)]);
     }
   }
 

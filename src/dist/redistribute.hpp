@@ -147,7 +147,8 @@ template <typename VT, typename RankOf>
 CscMatrix<VT> redistribute_1d_to_2d_grid(Comm& comm, const DistMatrix1D<VT>& m,
                                          std::span<const index_t> row_bounds,
                                          std::span<const index_t> col_bounds, RankOf rank_of,
-                                         int my_bi, int my_bj, GridRoute<VT>* route = nullptr) {
+                                         int my_bi, int my_bj, GridRoute<VT>* route = nullptr,
+                                         bool overlap = false) {
   const int P = comm.size();
   std::vector<std::vector<Triple<VT>>> send(static_cast<std::size_t>(P));
   {
@@ -170,15 +171,31 @@ CscMatrix<VT> redistribute_1d_to_2d_grid(Comm& comm, const DistMatrix1D<VT>& m,
       }
     }
   }
-  auto recv = comm.alltoallv(send);
-  auto ph = comm.phase(Phase::Other);
   const index_t nr = row_bounds[static_cast<std::size_t>(my_bi) + 1] -
                      row_bounds[static_cast<std::size_t>(my_bi)];
   const index_t nc = col_bounds[static_cast<std::size_t>(my_bj) + 1] -
                      col_bounds[static_cast<std::size_t>(my_bj)];
   CooMatrix<VT> blk(nr, nc);
-  for (auto& chunk : recv)
-    for (auto& t : chunk) blk.push(t.row, t.col, t.val);
+  std::vector<std::vector<Triple<VT>>> recv(static_cast<std::size_t>(P));
+  if (overlap) {
+    // Pipelined receive: fold each source's chunk into the block as it
+    // arrives, in ascending rank order — the same flat order the blocking
+    // path consumes, so the block (and any captured route) is bit-identical;
+    // later chunks' modeled transfer time hides behind earlier chunks' push
+    // work.
+    auto req = comm.ialltoallv(std::move(send));
+    for (int p = 0; p < P; ++p) {
+      recv[static_cast<std::size_t>(p)] = req.take_from(p);
+      auto ph_push = comm.phase(Phase::Other);
+      for (auto& t : recv[static_cast<std::size_t>(p)]) blk.push(t.row, t.col, t.val);
+    }
+  } else {
+    recv = comm.alltoallv(send);
+    auto ph_push = comm.phase(Phase::Other);
+    for (auto& chunk : recv)
+      for (auto& t : chunk) blk.push(t.row, t.col, t.val);
+  }
+  auto ph = comm.phase(Phase::Other);
   // The source was canonical and each nonzero has one target, so this only
   // sorts — no duplicate can arise, and the merge is semiring-neutral.
   blk.canonicalize();
@@ -211,7 +228,7 @@ CscMatrix<VT> redistribute_1d_to_2d_grid(Comm& comm, const DistMatrix1D<VT>& m,
 /// Collective; returns the refreshed block (owned by the route).
 template <typename VT>
 CscMatrix<VT>& replay_1d_to_2d_grid(Comm& comm, GridRoute<VT>& route,
-                                    const DistMatrix1D<VT>& m) {
+                                    const DistMatrix1D<VT>& m, bool overlap = false) {
   const int P = comm.size();
   std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
   {
@@ -236,21 +253,29 @@ CscMatrix<VT>& replay_1d_to_2d_grid(Comm& comm, GridRoute<VT>& route,
       for (auto i : src) out.push_back(vals[static_cast<std::size_t>(i)]);
     }
   }
-  auto recv = comm.alltoallv(send);
-  auto ph = comm.phase(Phase::Other);
-  for (int p = 0; p < P; ++p)
-    if (recv[static_cast<std::size_t>(p)].size() !=
-        static_cast<std::size_t>(route.recv_counts[static_cast<std::size_t>(p)]))
+  auto scatter_chunk = [&](int p, const std::vector<VT>& chunk, std::size_t& flat) {
+    if (chunk.size() != static_cast<std::size_t>(route.recv_counts[static_cast<std::size_t>(p)]))
       comm.fail(FaultClass::PlanMismatch, "replay_1d_to_2d_grid",
-                "replay_1d_to_2d_grid: received " +
-                    std::to_string(recv[static_cast<std::size_t>(p)].size()) +
+                "replay_1d_to_2d_grid: received " + std::to_string(chunk.size()) +
                     " values from rank " + std::to_string(comm.global_rank(p)) +
                     " where the cached route expects " +
                     std::to_string(route.recv_counts[static_cast<std::size_t>(p)]));
-  VT* bv = route.block.mutable_vals().data();
-  std::size_t flat = 0;
-  for (const auto& chunk : recv)
+    VT* bv = route.block.mutable_vals().data();
     for (const auto& v : chunk) bv[static_cast<std::size_t>(route.recv_place[flat++])] = v;
+  };
+  std::size_t flat = 0;
+  if (overlap) {
+    // Pipelined scatter: chunks land in the cached block as each source
+    // publishes, in ascending rank order (slots are disjoint, so order only
+    // matters for matching the captured flat indexing).
+    auto req = comm.ialltoallv(std::move(send));
+    auto ph = comm.phase(Phase::Other);
+    for (int p = 0; p < P; ++p) scatter_chunk(p, req.take_from(p), flat);
+  } else {
+    auto recv = comm.alltoallv(send);
+    auto ph = comm.phase(Phase::Other);
+    for (int p = 0; p < P; ++p) scatter_chunk(p, recv[static_cast<std::size_t>(p)], flat);
+  }
   return route.block;
 }
 
@@ -287,7 +312,8 @@ struct ScatterRoute {
 template <typename SR, typename VT>
 DistMatrix1D<VT> redistribute_coo_to_1d(Comm& comm, const CooMatrix<VT>& part, index_t nrows,
                                         index_t ncols, std::vector<index_t> out_bounds,
-                                        ScatterRoute<VT>* route = nullptr) {
+                                        ScatterRoute<VT>* route = nullptr,
+                                        bool overlap = false) {
   const int P = comm.size();
   require(out_bounds.size() == static_cast<std::size_t>(P) + 1,
           "redistribute_coo_to_1d: out_bounds size must be P+1");
@@ -304,13 +330,28 @@ DistMatrix1D<VT> redistribute_coo_to_1d(Comm& comm, const CooMatrix<VT>& part, i
       ++pos;
     }
   }
-  auto recv = comm.alltoallv(send);
-  auto ph = comm.phase(Phase::Other);
   const index_t lo = out_bounds[static_cast<std::size_t>(comm.rank())];
   const index_t hi = out_bounds[static_cast<std::size_t>(comm.rank()) + 1];
   CooMatrix<VT> local(nrows, hi - lo);
-  for (auto& chunk : recv)
-    for (auto& t : chunk) local.push(t.row, t.col - lo, t.val);
+  std::vector<std::vector<Triple<VT>>> recv(static_cast<std::size_t>(P));
+  if (overlap) {
+    // Pipelined fold: each layer's/stage-owner's partial chunk is pushed
+    // into the local accumulator as it arrives, ascending rank order — the
+    // identical flat arrival order the blocking path produces, so the
+    // stable merge (and its captured fold program) cannot tell them apart.
+    auto req = comm.ialltoallv(std::move(send));
+    for (int p = 0; p < P; ++p) {
+      recv[static_cast<std::size_t>(p)] = req.take_from(p);
+      auto ph_push = comm.phase(Phase::Other);
+      for (auto& t : recv[static_cast<std::size_t>(p)]) local.push(t.row, t.col - lo, t.val);
+    }
+  } else {
+    recv = comm.alltoallv(send);
+    auto ph_push = comm.phase(Phase::Other);
+    for (auto& chunk : recv)
+      for (auto& t : chunk) local.push(t.row, t.col - lo, t.val);
+  }
+  auto ph = comm.phase(Phase::Other);
   std::vector<index_t> dst;
   std::vector<std::uint8_t> first;
   merge_triples_stable(
@@ -339,7 +380,7 @@ DistMatrix1D<VT> redistribute_coo_to_1d(Comm& comm, const CooMatrix<VT>& part, i
 /// all-to-all, ⊕-folded into a copy of the cached 1D structure. Collective.
 template <typename SR, typename VT>
 DistMatrix1D<VT> replay_coo_to_1d(Comm& comm, const ScatterRoute<VT>& route,
-                                  std::span<const VT> part_vals) {
+                                  std::span<const VT> part_vals, bool overlap = false) {
   const int P = comm.size();
   std::vector<std::vector<VT>> send(static_cast<std::size_t>(P));
   {
@@ -351,26 +392,39 @@ DistMatrix1D<VT> replay_coo_to_1d(Comm& comm, const ScatterRoute<VT>& route,
       for (auto i : src) out.push_back(part_vals[static_cast<std::size_t>(i)]);
     }
   }
-  auto recv = comm.alltoallv(send);
-  auto ph = comm.phase(Phase::Other);
-  for (int p = 0; p < P; ++p)
-    if (recv[static_cast<std::size_t>(p)].size() !=
-        static_cast<std::size_t>(route.recv_counts[static_cast<std::size_t>(p)]))
+  auto fold_chunk = [&](int p, const std::vector<VT>& chunk, VT* cv, std::size_t& flat) {
+    if (chunk.size() != static_cast<std::size_t>(route.recv_counts[static_cast<std::size_t>(p)]))
       comm.fail(FaultClass::PlanMismatch, "replay_coo_to_1d",
-                "replay_coo_to_1d: received " +
-                    std::to_string(recv[static_cast<std::size_t>(p)].size()) +
+                "replay_coo_to_1d: received " + std::to_string(chunk.size()) +
                     " partial values from rank " + std::to_string(comm.global_rank(p)) +
                     " where the cached scatter program expects " +
                     std::to_string(route.recv_counts[static_cast<std::size_t>(p)]));
-  DcscMatrix<VT> c_local = route.c_shell;
-  VT* cv = c_local.mutable_vals().data();
-  std::size_t flat = 0;
-  for (const auto& chunk : recv)
     for (const auto& v : chunk) {
       const auto slot = static_cast<std::size_t>(route.recv_dst[flat]);
       cv[slot] = route.recv_first[flat] != 0 ? v : SR::add(cv[slot], v);
       ++flat;
     }
+  };
+  std::size_t flat = 0;
+  if (overlap) {
+    // Pipelined ⊕-fold: partial-C chunks fold into the shell as each
+    // source publishes. Consuming in ascending rank order preserves the
+    // captured program's flat (rank-major) fold order, so a non-commutative
+    // or non-associative ⊕ still reproduces the fresh result bit for bit;
+    // the structure-copy of the shell runs while chunks are in flight.
+    auto req = comm.ialltoallv(std::move(send));
+    auto ph = comm.phase(Phase::Other);
+    DcscMatrix<VT> c_local = route.c_shell;
+    VT* cv = c_local.mutable_vals().data();
+    for (int p = 0; p < P; ++p) fold_chunk(p, req.take_from(p), cv, flat);
+    return DistMatrix1D<VT>(route.nrows, route.ncols, route.out_bounds, comm.rank(),
+                            std::move(c_local));
+  }
+  auto recv = comm.alltoallv(send);
+  auto ph = comm.phase(Phase::Other);
+  DcscMatrix<VT> c_local = route.c_shell;
+  VT* cv = c_local.mutable_vals().data();
+  for (int p = 0; p < P; ++p) fold_chunk(p, recv[static_cast<std::size_t>(p)], cv, flat);
   return DistMatrix1D<VT>(route.nrows, route.ncols, route.out_bounds, comm.rank(),
                           std::move(c_local));
 }

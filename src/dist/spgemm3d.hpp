@@ -50,7 +50,7 @@ DistMatrix1D<VT> spgemm_split_3d_dist(
     Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b, int layers,
     LocalKernel kernel = LocalKernel::Hybrid, int threads = 1,
     std::type_identity_t<Split3dPlan<VT, ResolveSemiring<SRIn, VT>>*> plan = nullptr,
-    int grid_rows = 0, int grid_cols = 0) {
+    int grid_rows = 0, int grid_cols = 0, bool overlap = false) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_split_3d_dist: inner dimension mismatch");
   const int P = comm.size();
@@ -104,11 +104,11 @@ DistMatrix1D<VT> spgemm_split_3d_dist(
   auto my_a = redistribute_1d_to_2d_grid(comm, a, std::span<const index_t>(rb),
                                          std::span<const index_t>(kflat_a), rank_of_a, gi,
                                          layer * grid.cols + gj,
-                                         plan != nullptr ? &plan->route_a : nullptr);
+                                         plan != nullptr ? &plan->route_a : nullptr, overlap);
   auto my_b = redistribute_1d_to_2d_grid(comm, b, std::span<const index_t>(kflat_b),
                                          std::span<const index_t>(cb), rank_of_b,
                                          layer * grid.rows + gi, gj,
-                                         plan != nullptr ? &plan->route_b : nullptr);
+                                         plan != nullptr ? &plan->route_b : nullptr, overlap);
 
   // Each layer's q_r × q_c grid runs SUMMA on its inner slice; partials
   // land in `acc` with global coordinates, and the final scatter merges
@@ -119,9 +119,12 @@ DistMatrix1D<VT> spgemm_split_3d_dist(
       layer_comm, grid, my_a, my_b, std::span<const index_t>(rb),
       std::span<const index_t>(kb_layer[static_cast<std::size_t>(layer)]),
       std::span<const index_t>(cb), kernel, threads, acc,
-      plan != nullptr ? &plan->sched : nullptr);
+      plan != nullptr ? &plan->sched : nullptr, overlap);
+  // Pipelined cross-layer "split" reduction: with overlap on, the scatter's
+  // ⊕-fold consumes each layer's partial-C chunk as it arrives instead of
+  // waiting for the full exchange (see redistribute_coo_to_1d).
   return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds(),
-                                    plan != nullptr ? &plan->out : nullptr);
+                                    plan != nullptr ? &plan->out : nullptr, overlap);
 }
 
 /// Replays a captured Split-3D plan for a structurally identical operand
@@ -131,14 +134,16 @@ DistMatrix1D<VT> spgemm_split_3d_dist(
 /// no structural metadata. Collective.
 template <typename SR, typename VT>
 DistMatrix1D<VT> spgemm_split_3d_replay(Comm& comm, Split3dPlan<VT, SR>& plan,
-                                        const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b) {
+                                        const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                                        bool overlap = false) {
   const int q2 = comm.size() / plan.layers;
   const int layer = comm.rank() / q2;
-  const auto& my_a = replay_1d_to_2d_grid(comm, plan.route_a, a);
-  const auto& my_b = replay_1d_to_2d_grid(comm, plan.route_b, b);
+  const auto& my_a = replay_1d_to_2d_grid(comm, plan.route_a, a, overlap);
+  const auto& my_b = replay_1d_to_2d_grid(comm, plan.route_b, b, overlap);
   Comm layer_comm = comm.split(layer, comm.rank());
-  summadetail::summa_stages_replay<SR>(layer_comm, my_a, my_b, plan.sched, plan.acc_vals);
-  return replay_coo_to_1d<SR>(comm, plan.out, std::span<const VT>(plan.acc_vals));
+  summadetail::summa_stages_replay<SR>(layer_comm, my_a, my_b, plan.sched, plan.acc_vals,
+                                       overlap);
+  return replay_coo_to_1d<SR>(comm, plan.out, std::span<const VT>(plan.acc_vals), overlap);
 }
 
 /// Replicated-operand wrapper (the original baseline API): distributes the

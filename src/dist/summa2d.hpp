@@ -100,7 +100,8 @@ template <typename SR, typename VT>
 void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
                   const CscMatrix<VT>& my_b, std::span<const index_t> rb,
                   std::span<const index_t> kb, std::span<const index_t> cb, LocalKernel kernel,
-                  int threads, CooMatrix<VT>& acc, SummaSched<VT, SR>* sched = nullptr) {
+                  int threads, CooMatrix<VT>& acc, SummaSched<VT, SR>* sched = nullptr,
+                  bool overlap = false) {
   const int s = grid.stages;
   const int spc = s / grid.cols;  // fine blocks per grid column (A ownership)
   const int spr = s / grid.rows;  // fine blocks per grid row (B ownership)
@@ -118,53 +119,54 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
     sched->grid_cols = grid.cols;
   }
 
-  for (int k = 0; k < s; ++k) {
+  // Root-side payload extraction for stage k. Caller wraps in Phase::Other.
+  auto extract = [&](int k, std::vector<Triple<VT>>& abuf, std::vector<Triple<VT>>& bbuf,
+                     index_t& a_lo, index_t& a_hi, std::vector<index_t>& b_src) {
     const index_t klo = kb[static_cast<std::size_t>(k)], khi = kb[static_cast<std::size_t>(k) + 1];
-    const int a_root = k / spc;  // grid column owning fine A block k
-    const int b_root = k / spr;  // grid row owning fine B block k
-
-    std::vector<Triple<VT>> abuf, bbuf;
-    index_t a_lo = 0, a_hi = 0;
-    std::vector<index_t> b_src;
-    {
-      auto ph = comm.phase(Phase::Other);
-      if (gj == a_root) {
-        // Fine A block k = columns [klo−a_clo, khi−a_clo) of my piece:
-        // triples in canonical order with stage-local columns. The value
-        // payload is the contiguous span vals[colptr[lo], colptr[hi]).
-        const auto lo = static_cast<std::size_t>(klo - a_clo);
-        const auto hi = static_cast<std::size_t>(khi - a_clo);
-        a_lo = my_a.colptr()[lo];
-        a_hi = my_a.colptr()[hi];
-        abuf.reserve(static_cast<std::size_t>(a_hi - a_lo));
-        for (std::size_t j = lo; j < hi; ++j) {
-          auto rows = my_a.col_rows(static_cast<index_t>(j));
-          auto vals = my_a.col_vals(static_cast<index_t>(j));
-          for (std::size_t p = 0; p < rows.size(); ++p)
-            abuf.push_back({rows[p], static_cast<index_t>(j - lo), vals[p]});
-        }
+    if (gj == k / spc) {
+      // Fine A block k = columns [klo−a_clo, khi−a_clo) of my piece:
+      // triples in canonical order with stage-local columns. The value
+      // payload is the contiguous span vals[colptr[lo], colptr[hi]).
+      const auto lo = static_cast<std::size_t>(klo - a_clo);
+      const auto hi = static_cast<std::size_t>(khi - a_clo);
+      a_lo = my_a.colptr()[lo];
+      a_hi = my_a.colptr()[hi];
+      abuf.reserve(static_cast<std::size_t>(a_hi - a_lo));
+      for (std::size_t j = lo; j < hi; ++j) {
+        auto rows = my_a.col_rows(static_cast<index_t>(j));
+        auto vals = my_a.col_vals(static_cast<index_t>(j));
+        for (std::size_t p = 0; p < rows.size(); ++p)
+          abuf.push_back({rows[p], static_cast<index_t>(j - lo), vals[p]});
       }
-      if (gi == b_root) {
-        // Fine B block k = rows [klo−b_rlo, khi−b_rlo) of my piece,
-        // emitted column-major with rows ascending — canonical order, so
-        // the rebuilt block's val array equals this payload and the
-        // recorded gather map replays bare values.
-        const index_t blk_rlo = klo - b_rlo, blk_rhi = khi - b_rlo;
-        for (index_t j = 0; j < my_b.ncols(); ++j) {
-          auto rows = my_b.col_rows(j);
-          auto vals = my_b.col_vals(j);
-          const index_t base = my_b.colptr()[static_cast<std::size_t>(j)];
-          auto first = static_cast<std::size_t>(
-              std::lower_bound(rows.begin(), rows.end(), blk_rlo) - rows.begin());
-          for (std::size_t p = first; p < rows.size() && rows[p] < blk_rhi; ++p) {
-            bbuf.push_back({rows[p] - blk_rlo, j, vals[p]});
-            if (sched != nullptr) b_src.push_back(base + static_cast<index_t>(p));
-          }
+    }
+    if (gi == k / spr) {
+      // Fine B block k = rows [klo−b_rlo, khi−b_rlo) of my piece,
+      // emitted column-major with rows ascending — canonical order, so
+      // the rebuilt block's val array equals this payload and the
+      // recorded gather map replays bare values.
+      const index_t blk_rlo = klo - b_rlo, blk_rhi = khi - b_rlo;
+      for (index_t j = 0; j < my_b.ncols(); ++j) {
+        auto rows = my_b.col_rows(j);
+        auto vals = my_b.col_vals(j);
+        const index_t base = my_b.colptr()[static_cast<std::size_t>(j)];
+        auto first = static_cast<std::size_t>(
+            std::lower_bound(rows.begin(), rows.end(), blk_rlo) - rows.begin());
+        for (std::size_t p = first; p < rows.size() && rows[p] < blk_rhi; ++p) {
+          bbuf.push_back({rows[p] - blk_rlo, j, vals[p]});
+          if (sched != nullptr) b_src.push_back(base + static_cast<index_t>(p));
         }
       }
     }
-    row_comm.bcast(abuf, a_root);  // fine A(gi, k) along grid row gi
-    col_comm.bcast(bbuf, b_root);  // fine B(k, gj) along grid column gj
+  };
+
+  // Everything after the broadcast of stage k — block rebuild, local
+  // multiply, partial-C accumulation. Shared verbatim by the lockstep and
+  // overlapped paths, so the two stay bit-identical by construction.
+  auto run_stage = [&](int k, std::vector<Triple<VT>> abuf, std::vector<Triple<VT>> bbuf,
+                       index_t a_lo, index_t a_hi, std::vector<index_t> b_src) {
+    const index_t klo = kb[static_cast<std::size_t>(k)], khi = kb[static_cast<std::size_t>(k) + 1];
+    const int a_root = k / spc;  // grid column owning fine A block k
+    const int b_root = k / spr;  // grid row owning fine B block k
 
     // The broadcast triples arrive in canonical (col-major, row-ascending)
     // order, so the rebuilt blocks' val order equals the payload order — a
@@ -213,6 +215,56 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
           acc.push(rows[p] + rlo, j + clo, vals[p]);
       }
     }
+  };
+
+  if (!overlap) {
+    for (int k = 0; k < s; ++k) {
+      std::vector<Triple<VT>> abuf, bbuf;
+      index_t a_lo = 0, a_hi = 0;
+      std::vector<index_t> b_src;
+      {
+        auto ph = comm.phase(Phase::Other);
+        extract(k, abuf, bbuf, a_lo, a_hi, b_src);
+      }
+      row_comm.bcast(abuf, k / spc);  // fine A(gi, k) along grid row gi
+      col_comm.bcast(bbuf, k / spr);  // fine B(k, gj) along grid column gj
+      run_stage(k, std::move(abuf), std::move(bbuf), a_lo, a_hi, std::move(b_src));
+    }
+  } else {
+    // Double-buffered (full-lookahead) pipeline: every stage's A/B payload
+    // is extracted once and its broadcasts posted nonblocking before any
+    // local multiply runs, so stage s+1's (and later) payloads travel while
+    // stage s computes. Issue order (a then b, ascending stages) matches
+    // the lockstep call order exactly, keeping per-rank comm_ops indices
+    // and byte/message counters — and therefore FaultPlan coordinates —
+    // identical between the two modes.
+    std::vector<std::vector<Triple<VT>>> abufs(static_cast<std::size_t>(s));
+    std::vector<std::vector<Triple<VT>>> bbufs(static_cast<std::size_t>(s));
+    std::vector<index_t> alos(static_cast<std::size_t>(s), 0);
+    std::vector<index_t> ahis(static_cast<std::size_t>(s), 0);
+    std::vector<std::vector<index_t>> bsrcs(static_cast<std::size_t>(s));
+    {
+      auto ph = comm.phase(Phase::Other);
+      for (int k = 0; k < s; ++k) {
+        const auto sk = static_cast<std::size_t>(k);
+        extract(k, abufs[sk], bbufs[sk], alos[sk], ahis[sk], bsrcs[sk]);
+      }
+    }
+    std::vector<CommRequest> areq, breq;
+    areq.reserve(static_cast<std::size_t>(s));
+    breq.reserve(static_cast<std::size_t>(s));
+    for (int k = 0; k < s; ++k) {
+      const auto sk = static_cast<std::size_t>(k);
+      areq.push_back(row_comm.ibcast(abufs[sk], k / spc));
+      breq.push_back(col_comm.ibcast(bbufs[sk], k / spr));
+    }
+    for (int k = 0; k < s; ++k) {
+      const auto sk = static_cast<std::size_t>(k);
+      areq[sk].wait();
+      breq[sk].wait();
+      run_stage(k, std::move(abufs[sk]), std::move(bbufs[sk]), alos[sk], ahis[sk],
+                std::move(bsrcs[sk]));
+    }
   }
   {
     // Merge the per-stage partials of each C entry locally before the
@@ -234,7 +286,8 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
 /// grid communicator the schedule was captured on.
 template <typename SR, typename VT>
 void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my_b,
-                         SummaSched<VT, SR>& sched, std::vector<VT>& acc_vals) {
+                         SummaSched<VT, SR>& sched, std::vector<VT>& acc_vals,
+                         bool overlap = false) {
   const int s = static_cast<int>(sched.stages.size());
   const int spc = s / sched.grid_cols;
   const int spr = s / sched.grid_rows;
@@ -245,23 +298,25 @@ void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<
 
   acc_vals.assign(sched.acc_nnz, VT{});
   std::size_t flat = 0;
-  for (int k = 0; k < s; ++k) {
+
+  // Root-side value gathers for stage k (contiguous A span; B index map).
+  // Caller wraps in Phase::Other.
+  auto extract = [&](int k, std::vector<VT>& abuf, std::vector<VT>& bbuf) {
     auto& st = sched.stages[static_cast<std::size_t>(k)];
-    const int a_root = k / spc;
-    const int b_root = k / spr;
-    std::vector<VT> abuf, bbuf;
-    {
-      auto ph = comm.phase(Phase::Other);
-      if (gj == a_root)
-        abuf.assign(my_a.vals().begin() + st.a_val_lo, my_a.vals().begin() + st.a_val_hi);
-      if (gi == b_root) {
-        bbuf.reserve(st.b_src.size());
-        const VT* bv = my_b.vals().data();
-        for (auto i : st.b_src) bbuf.push_back(bv[static_cast<std::size_t>(i)]);
-      }
+    if (gj == k / spc)
+      abuf.assign(my_a.vals().begin() + st.a_val_lo, my_a.vals().begin() + st.a_val_hi);
+    if (gi == k / spr) {
+      bbuf.reserve(st.b_src.size());
+      const VT* bv = my_b.vals().data();
+      for (auto i : st.b_src) bbuf.push_back(bv[static_cast<std::size_t>(i)]);
     }
-    row_comm.bcast(abuf, a_root);
-    col_comm.bcast(bbuf, b_root);
+  };
+
+  // Post-broadcast stage body: guard, shell fill, numeric pass, ⊕-fold.
+  // Shared by both paths; the fold consumes stages in ascending order either
+  // way, so overlapped replay stays bit-identical to lockstep replay.
+  auto run_stage = [&](int k, std::vector<VT> abuf, std::vector<VT> bbuf) {
+    auto& st = sched.stages[static_cast<std::size_t>(k)];
     CscMatrix<VT> c_blk;
     {
       auto ph = comm.phase(Phase::Other);
@@ -289,6 +344,42 @@ void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<
         acc_vals[slot] = sched.acc_first[flat] != 0 ? v : SR::add(acc_vals[slot], v);
         ++flat;
       }
+    }
+  };
+
+  if (!overlap) {
+    for (int k = 0; k < s; ++k) {
+      std::vector<VT> abuf, bbuf;
+      {
+        auto ph = comm.phase(Phase::Other);
+        extract(k, abuf, bbuf);
+      }
+      row_comm.bcast(abuf, k / spc);
+      col_comm.bcast(bbuf, k / spr);
+      run_stage(k, std::move(abuf), std::move(bbuf));
+    }
+  } else {
+    // Full-lookahead value broadcasts: all stage payloads posted up front
+    // (same issue order as lockstep), numeric passes drain them in order.
+    std::vector<std::vector<VT>> abufs(static_cast<std::size_t>(s));
+    std::vector<std::vector<VT>> bbufs(static_cast<std::size_t>(s));
+    {
+      auto ph = comm.phase(Phase::Other);
+      for (int k = 0; k < s; ++k)
+        extract(k, abufs[static_cast<std::size_t>(k)], bbufs[static_cast<std::size_t>(k)]);
+    }
+    std::vector<CommRequest> areq, breq;
+    areq.reserve(static_cast<std::size_t>(s));
+    breq.reserve(static_cast<std::size_t>(s));
+    for (int k = 0; k < s; ++k) {
+      areq.push_back(row_comm.ibcast(abufs[static_cast<std::size_t>(k)], k / spc));
+      breq.push_back(col_comm.ibcast(bbufs[static_cast<std::size_t>(k)], k / spr));
+    }
+    for (int k = 0; k < s; ++k) {
+      const auto sk = static_cast<std::size_t>(k);
+      areq[sk].wait();
+      breq[sk].wait();
+      run_stage(k, std::move(abufs[sk]), std::move(bbufs[sk]));
     }
   }
 }
@@ -325,7 +416,7 @@ DistMatrix1D<VT> spgemm_summa_2d_dist(
     Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
     LocalKernel kernel = LocalKernel::Hybrid, int threads = 1,
     std::type_identity_t<Summa2dPlan<VT, ResolveSemiring<SRIn, VT>>*> plan = nullptr,
-    int grid_rows = 0, int grid_cols = 0) {
+    int grid_rows = 0, int grid_cols = 0, bool overlap = false) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_summa_2d_dist: inner dimension mismatch");
   const int P = comm.size();
@@ -354,18 +445,18 @@ DistMatrix1D<VT> spgemm_summa_2d_dist(
   auto rank_of = [qc = grid.cols](int bi, int bj) { return bi * qc + bj; };
   auto my_a = redistribute_1d_to_2d_grid(comm, a, std::span<const index_t>(rb),
                                          std::span<const index_t>(ka), rank_of, gi, gj,
-                                         plan != nullptr ? &plan->route_a : nullptr);
+                                         plan != nullptr ? &plan->route_a : nullptr, overlap);
   auto my_b = redistribute_1d_to_2d_grid(comm, b, std::span<const index_t>(kbt),
                                          std::span<const index_t>(cb), rank_of, gi, gj,
-                                         plan != nullptr ? &plan->route_b : nullptr);
+                                         plan != nullptr ? &plan->route_b : nullptr, overlap);
 
   CooMatrix<VT> acc(a.nrows(), b.ncols());
   summadetail::summa_stages<SR>(comm, grid, my_a, my_b, std::span<const index_t>(rb),
                                 std::span<const index_t>(kb), std::span<const index_t>(cb),
                                 kernel, threads, acc,
-                                plan != nullptr ? &plan->sched : nullptr);
+                                plan != nullptr ? &plan->sched : nullptr, overlap);
   return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds(),
-                                    plan != nullptr ? &plan->out : nullptr);
+                                    plan != nullptr ? &plan->out : nullptr, overlap);
 }
 
 /// Replays a captured 2D-SUMMA plan for a structurally identical operand
@@ -374,11 +465,12 @@ DistMatrix1D<VT> spgemm_summa_2d_dist(
 /// zero Phase::Plan time and moves no structural metadata. Collective.
 template <typename SR, typename VT>
 DistMatrix1D<VT> spgemm_summa_2d_replay(Comm& comm, Summa2dPlan<VT, SR>& plan,
-                                        const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b) {
-  const auto& my_a = replay_1d_to_2d_grid(comm, plan.route_a, a);
-  const auto& my_b = replay_1d_to_2d_grid(comm, plan.route_b, b);
-  summadetail::summa_stages_replay<SR>(comm, my_a, my_b, plan.sched, plan.acc_vals);
-  return replay_coo_to_1d<SR>(comm, plan.out, std::span<const VT>(plan.acc_vals));
+                                        const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
+                                        bool overlap = false) {
+  const auto& my_a = replay_1d_to_2d_grid(comm, plan.route_a, a, overlap);
+  const auto& my_b = replay_1d_to_2d_grid(comm, plan.route_b, b, overlap);
+  summadetail::summa_stages_replay<SR>(comm, my_a, my_b, plan.sched, plan.acc_vals, overlap);
+  return replay_coo_to_1d<SR>(comm, plan.out, std::span<const VT>(plan.acc_vals), overlap);
 }
 
 /// Replicated-operand wrapper (the original baseline API): distributes the

@@ -40,6 +40,12 @@ bool load_cost_params(const char* path, CostParams& p) {
   read_key("beta_inter", p.beta_inter);
   read_key("alpha_intra", p.alpha_intra);
   read_key("beta_intra", p.beta_intra);
+  read_key("overlap_discount", p.overlap_discount);
+  read_key("imb_scale", p.imb_scale);
+  // A discount of 1 would predict free communication for every overlapped
+  // backend; cap well below that so a degenerate fit cannot blind Auto.
+  p.overlap_discount = std::clamp(p.overlap_discount, 0.0, 0.95);
+  p.imb_scale = std::clamp(p.imb_scale, 0.25, 8.0);
   double rpn = static_cast<double>(p.ranks_per_node);
   read_key("ranks_per_node", rpn);
   p.ranks_per_node = std::max(1, static_cast<int>(std::lround(rpn)));
@@ -146,7 +152,7 @@ struct GridTerms {
   double imb = 1.0;          ///< even_split max/mean load factor of the C blocks
 };
 
-GridTerms grid_terms(const AlgoCostInputs& in, int layers) {
+GridTerms grid_terms(const AlgoCostInputs& in, int layers, double imb_scale = 1.0) {
   GridTerms t;
   if (layers < 1 || in.P % layers != 0) return t;
   const GridShape g = summa_grid_shape(in.P / layers, in.grid_rows, in.grid_cols);
@@ -171,10 +177,20 @@ GridTerms grid_terms(const AlgoCostInputs& in, int layers) {
   // Stage broadcast rounds + the three all-to-alls, plus the c cross-layer
   // fold contributions per output chunk that plain SUMMA does not pay.
   t.latency_msgs = 2.0 * s + 3.0 * P + (cd > 1.0 ? cd : 0.0);
-  // Uneven even_split blocks on a rectangular grid skew per-rank work: the
-  // slowest rank owns the largest row × column block pair.
-  t.imb = even_split_imbalance(static_cast<double>(in.m), g.rows) *
-          even_split_imbalance(static_cast<double>(in.n), g.cols);
+  // Per-rank load imbalance of the grid multiply, analytic part: the
+  // even_split block-shape skew (largest row × column block pair) times the
+  // operands' measured 1D flop skew — sparsity skews per-block work far
+  // more than block *shape* does, and max_rank_flops/avg under the 1D
+  // layout is the structural proxy for it the inputs already carry. The
+  // fitted imb_scale maps the analytic *excess* onto the recorded max/mean
+  // series: imb = 1 + scale·(analytic − 1), so predicted_imbalance (which
+  // queries at scale 1) returns the fit's unscaled independent variable.
+  const double skew1d = (flops > 0.0 && in.max_rank_flops > 0)
+                            ? std::max(1.0, static_cast<double>(in.max_rank_flops) * P / flops)
+                            : 1.0;
+  const double analytic = even_split_imbalance(static_cast<double>(in.m), g.rows) *
+                          even_split_imbalance(static_cast<double>(in.n), g.cols) * skew1d;
+  t.imb = 1.0 + imb_scale * (analytic - 1.0);
   t.ok = true;
   return t;
 }
@@ -234,7 +250,7 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
     }
 
     case Algo::Summa2D: {
-      const GridTerms t = grid_terms(in, 1);
+      const GridTerms t = grid_terms(in, 1, p_.imb_scale);
       if (!t.ok) {
         pr.note = "the pinned grid_rows x grid_cols does not factor P";
         return pr;
@@ -251,7 +267,7 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
         pr.note = "layers do not divide P";
         return pr;
       }
-      const GridTerms t = grid_terms(in, in.layers);
+      const GridTerms t = grid_terms(in, in.layers, p_.imb_scale);
       if (!t.ok) {
         pr.note = "the pinned grid_rows x grid_cols does not factor P/layers";
         return pr;
@@ -268,6 +284,10 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
   // accumulated prediction-vs-measured records.
   pr.comp_s = pr.comp_coeff * p_.flop_s;
   pr.other_s = pr.other_coeff * p_.triple_s;
+  // Overlapped execution hides the fitted fraction of the comm term behind
+  // the numeric pass (every backend's hot loop is double-buffered or
+  // pipelined); with the default discount of 0 this is the identity.
+  if (in.overlap) pr.comm_s *= 1.0 - p_.overlap_discount;
   return pr;
 }
 
@@ -310,7 +330,7 @@ AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in, Algo algo) co
       // Same element volumes and latency as the one-shot prediction, but
       // the exchanges carry bare values (vb per element, not a triple) and
       // the fold programs replace the sort-side merge work.
-      const GridTerms t = grid_terms(in, algo == Algo::Split3D ? in.layers : 1);
+      const GridTerms t = grid_terms(in, algo == Algo::Split3D ? in.layers : 1, p_.imb_scale);
       if (!t.ok) break;  // predict() already marked it feasible, so unreachable
       pr.comm_s = alpha * t.latency_msgs + beta * vb * (t.redist_elems + t.bcast_elems);
       pr.other_coeff = flops / P + t.redist_elems;
@@ -319,7 +339,16 @@ AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in, Algo algo) co
   }
   pr.comp_s = pr.comp_coeff * p_.flop_s;
   pr.other_s = pr.other_coeff * p_.triple_s;
+  if (in.overlap) pr.comm_s *= 1.0 - p_.overlap_discount;
   return pr;
+}
+
+double CostModel::predicted_imbalance(const AlgoCostInputs& in, Algo algo) const {
+  if (algo != Algo::Summa2D && algo != Algo::Split3D) return 1.0;
+  // Unscaled analytic factor: this is the fit's independent variable, so it
+  // must not already contain imb_scale.
+  const GridTerms t = grid_terms(in, algo == Algo::Split3D ? in.layers : 1);
+  return t.ok ? t.imb : 1.0;
 }
 
 }  // namespace sa1d

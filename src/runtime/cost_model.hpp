@@ -24,6 +24,17 @@ struct CostParams {
   // predictions live in the same unit system as the measured phase times.
   double flop_s = 6.0e-9;    ///< seconds per local SpGEMM flop (numeric pass)
   double triple_s = 3.0e-8;  ///< seconds per COO triple packed/routed/merged
+
+  // Fitted correction terms (scripts/fit_cost_params.py; defaults are the
+  // identity so unfitted runs predict exactly as before).
+  /// Fraction of a backend's modeled comm time hidden behind compute when
+  /// overlapped execution is on (AlgoCostInputs::overlap). Fit from the
+  /// measured overlap-efficiency series in BENCH_dist_backends.json.
+  double overlap_discount = 0.0;
+  /// Multiplier mapping the analytic even-split imbalance of the grid
+  /// backends onto the *measured* per-backend max/mean imbalance the
+  /// benches record — the previously unfit unpermuted-2D imbalance term.
+  double imb_scale = 1.0;
 };
 
 /// Overwrites the fields of `p` that appear as "key": number pairs in the
@@ -76,6 +87,10 @@ struct AlgoCostInputs {
   double needed_fraction = 1.0;         ///< avg |H∩D| / nzc over remote pairs
   std::size_t value_bytes = sizeof(double);
   std::size_t index_bytes = sizeof(index_t);
+  /// Whether execution overlaps communication with compute (the
+  /// DistSpgemmOptions::overlap switch); applies CostParams::overlap_discount
+  /// to the comm term of every backend prediction.
+  bool overlap = true;
 };
 
 /// Modeled per-rank seconds for one backend on one AlgoCostInputs.
@@ -174,6 +189,13 @@ class CostModel {
   /// local passes. Plan-aware Auto reprices iterated decisions with this
   /// (DESIGN.md §8); deterministic in the inputs like predict().
   [[nodiscard]] AlgoPrediction predict_replay(const AlgoCostInputs& in, Algo algo) const;
+
+  /// The *analytic* (unscaled) even-split max/mean load factor predict()
+  /// assumes for `algo` on these inputs: the product of the row- and
+  /// column-block imbalances of the process grid for the grid backends,
+  /// 1 for the 1D ones. The benches record this next to the measured
+  /// imbalance so fit_cost_params.py can fit CostParams::imb_scale.
+  [[nodiscard]] double predicted_imbalance(const AlgoCostInputs& in, Algo algo) const;
 
  private:
   CostParams p_;

@@ -236,7 +236,10 @@ bool FaultInjector::maybe_corrupt(int rank, std::uint64_t op_index, void* data,
   bool changed = false;
   for (std::size_t i = 0; i < plan_.actions.size(); ++i) {
     const auto& a = plan_.actions[i];
-    if (fired_[i] != 0 || a.kind != want || a.rank != rank || a.op_index != op_index) continue;
+    // Match rank before touching fired_[i]: the flag is only ever written
+    // by the action's own victim rank, so checking it last keeps each slot
+    // single-threaded (rank threads overlap in here once ops are async).
+    if (a.kind != want || a.rank != rank || a.op_index != op_index || fired_[i] != 0) continue;
     if (bytes == 0) continue;  // fire on the first non-empty chunk of the op
     fired_[i] = 1;
     static_cast<unsigned char*>(data)[a.byte_offset % bytes] ^= a.xor_mask;

@@ -96,6 +96,13 @@ RunReport Machine::run(const std::function<void(Comm&)>& body) {
         hub->raise(FaultClass::Peer,
                    ErrorContext{r, comm.report().comm_ops, "rank body"},
                    "sa1d: a peer rank failed during a collective", /*recoverable=*/false);
+        // Quiesce before this thread proceeds to teardown: an app-level
+        // exception (a require() deep in the body, outside the comm layer)
+        // unwound frames that may hold exposed windows, published payloads,
+        // or op-owned async requests a peer is still draining. Park until
+        // every peer has parked or finished, the same discipline every
+        // comm-layer throw path follows. Watchdog-bounded, never throws.
+        hub->park_unwind();
       }
       // This rank will never park in the unwind quiesce again — don't make
       // parked peers wait on it (they would otherwise ride out the watchdog).

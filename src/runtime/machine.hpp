@@ -22,6 +22,7 @@
 #pragma once
 
 #include <chrono>
+#include <condition_variable>
 #include <cstring>
 #include <functional>
 #include <map>
@@ -36,6 +37,7 @@
 #include "runtime/fault.hpp"
 #include "runtime/stats.hpp"
 #include "util/common.hpp"
+#include "util/timer.hpp"
 
 namespace sa1d {
 
@@ -44,6 +46,30 @@ namespace detail {
 struct RawBuf {
   const std::byte* ptr = nullptr;
   std::size_t bytes = 0;
+};
+
+/// One in-flight nonblocking operation. The payload is *op-owned*: senders
+/// copy (ibcast) or move (ialltoallv) their chunks into this record at
+/// issue time, so a receiver never reads rank-owned frames — the ownership
+/// discipline that makes the unwind quiesce sound for blocking collectives
+/// extends to outstanding requests automatically (a rank that unwinds with
+/// requests in flight leaves every published payload alive in the shared
+/// record). Ops are keyed by a per-communicator issue sequence number:
+/// SPMD bodies issue nonblocking ops in identical order on every rank, so
+/// sequence k names the same logical operation everywhere without any
+/// extra agreement traffic.
+struct AsyncOp {
+  explicit AsyncOp(int nranks)
+      : posted(static_cast<std::size_t>(nranks), 0),
+        keepalive(static_cast<std::size_t>(nranks)),
+        chunks(static_cast<std::size_t>(nranks)) {}
+
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::uint8_t> posted;              // source rank published its payload
+  std::vector<std::shared_ptr<void>> keepalive;  // op-owned payload storage per source
+  std::vector<std::vector<RawBuf>> chunks;       // chunks[src][dst], views into keepalive
+  int finished = 0;                              // participants done (drives GC)
 };
 
 /// State shared by all ranks of one communicator.
@@ -59,6 +85,14 @@ struct CommShared {
   std::mutex mu;
   std::map<int, std::shared_ptr<CommShared>> split_groups;
   std::vector<std::pair<int, int>> split_ck;  // (color, key) staging
+
+  // The progress queue of outstanding nonblocking ops, keyed by issue
+  // sequence. Entries are created by the first rank to touch a sequence
+  // number and unlinked by the last participant to finish it; a rank that
+  // unwinds mid-op abandons its entry, which is reclaimed with the
+  // communicator (never while a peer could still read it).
+  std::mutex async_mu;
+  std::map<std::uint64_t, std::shared_ptr<AsyncOp>> async_ops;
 };
 
 }  // namespace detail
@@ -73,6 +107,50 @@ class Window {
   explicit Window(std::size_t id) : id_(id) {}
   std::size_t id_ = static_cast<std::size_t>(-1);
 };
+
+/// Handle to one outstanding nonblocking operation (Comm::ibcast, iget).
+/// test() is a non-blocking completion attempt; wait() blocks until done.
+/// Completion performs the receive-side copy and the modeled-time
+/// attribution, so the destination buffer must stay alive until then.
+/// Waits are fault-aware exactly like blocking collectives: a fault raised
+/// anywhere in the machine wakes the waiter, which parks on the unwind
+/// quiesce and rethrows the identical typed error. Move-only (completing a
+/// request twice would corrupt the progress queue); destroying an
+/// incomplete request abandons the op, which is reclaimed with the
+/// communicator — only unwind paths do that.
+class CommRequest {
+ public:
+  CommRequest() = default;
+  CommRequest(const CommRequest&) = delete;
+  CommRequest& operator=(const CommRequest&) = delete;
+  CommRequest(CommRequest&&) = default;
+  CommRequest& operator=(CommRequest&&) = default;
+
+  /// True once the operation completed (payload delivered and accounted).
+  [[nodiscard]] bool done() const { return poll_ == nullptr; }
+
+  /// Non-blocking completion attempt; returns done().
+  bool test() {
+    if (poll_ != nullptr && poll_(false)) poll_ = nullptr;
+    return poll_ == nullptr;
+  }
+
+  /// Blocks until completion (fault-aware, watchdog-bounded).
+  void wait() {
+    if (poll_ != nullptr) {
+      poll_(true);
+      poll_ = nullptr;
+    }
+  }
+
+ private:
+  friend class Comm;
+  explicit CommRequest(std::function<bool(bool block)> poll) : poll_(std::move(poll)) {}
+  std::function<bool(bool block)> poll_;
+};
+
+template <typename T>
+class AlltoallvRequest;
 
 /// Per-rank communicator handle (the MPI_Comm analogue).
 class Comm {
@@ -126,7 +204,20 @@ class Comm {
   /// Collective, machine-wide recovery rendezvous: clears a recoverable
   /// fault and resets every barrier once all ranks have unwound. Every
   /// machine rank must call this (the self-healing retry loop does).
-  void recover() { hub_->recover(); }
+  void recover() {
+    // Outstanding nonblocking ops from before the fault are garbage, and
+    // ranks may have issued different numbers of them before unwinding —
+    // drop the queue and realign the issue counter so the retry's first
+    // issue matches on every rank again. This must happen before the hub
+    // rendezvous releases anyone: no rank can be issuing a fresh op (all
+    // are unwound, heading here) while the queues are being cleared.
+    {
+      std::scoped_lock lk(sh_->async_mu);
+      sh_->async_ops.clear();
+    }
+    async_seq_ = 0;
+    hub_->recover();
+  }
 
   // ---- collectives -------------------------------------------------------
 
@@ -334,6 +425,113 @@ class Comm {
     }
   }
 
+  // ---- nonblocking operations --------------------------------------------
+  //
+  // The overlap engine (DESIGN.md §10). Issue order must be identical on
+  // every rank of the communicator (SPMD, like the blocking collectives);
+  // completion order is free. Byte/message counters are recorded exactly
+  // like the blocking counterparts, so overlap changes *when* time is
+  // attributed, never *what* moved: for every received message of modeled
+  // cost alpha + beta*bytes, the thread-CPU time the receiver spent between
+  // issue and completion (minus windows already credited to other requests)
+  // counts as hidden (RankReport::overlap_s) and only the remainder as
+  // waited (comm_s).
+
+  /// Nonblocking broadcast from `root`. The root's payload is copied into
+  /// the op-owned record at issue, so the root's `data` is free to reuse
+  /// immediately; a receiver's `data` is resized and filled at completion
+  /// and must stay alive until then.
+  template <typename T>
+  CommRequest ibcast(std::vector<T>& data, int root) {
+    const std::uint64_t op_idx = begin_op("ibcast");
+    const std::uint64_t seq = async_seq_++;
+    auto op = async_slot(seq);
+    if (rank_ == root) {
+      auto owned = std::make_shared<std::vector<T>>(data);
+      {
+        std::scoped_lock lk(op->mu);
+        op->keepalive[static_cast<std::size_t>(root)] = owned;
+        op->chunks[static_cast<std::size_t>(root)].assign(
+            static_cast<std::size_t>(sh_->n),
+            detail::RawBuf{reinterpret_cast<const std::byte*>(owned->data()),
+                           owned->size() * sizeof(T)});
+        op->posted[static_cast<std::size_t>(root)] = 1;
+      }
+      op->cv.notify_all();
+      for (int p = 0; p < size(); ++p)
+        if (p != root) record_send(p, data.size() * sizeof(T));
+      // The root's side is complete at issue: the payload is op-owned, so
+      // its request only has to check in with the progress queue's GC.
+      return CommRequest([this, seq, op](bool) {
+        async_finish(seq, op);
+        return true;
+      });
+    }
+    const double t0 = CpuTimer::now_s();
+    return CommRequest([this, seq, op, root, &data, op_idx, t0](bool block) {
+      {
+        std::unique_lock lk(op->mu);
+        if (op->posted[static_cast<std::size_t>(root)] == 0) {
+          if (!block && !hub_->faulted()) return false;
+          async_wait(lk, *op, "ibcast",
+                     [&] { return op->posted[static_cast<std::size_t>(root)] != 0; });
+        }
+      }
+      const detail::RawBuf b =
+          op->chunks[static_cast<std::size_t>(root)][static_cast<std::size_t>(rank_)];
+      data.resize(b.bytes / sizeof(T));
+      if (b.bytes > 0) {
+        std::memcpy(data.data(), b.ptr, b.bytes);
+        post_copy("ibcast", op_idx, root, b.ptr, data.data(), b.bytes, /*rdma=*/false);
+      }
+      credit_async(record_recv_counters(root, b.bytes), t0);
+      async_finish(seq, op);
+      return true;
+    });
+  }
+
+  /// Nonblocking personalized all-to-all: send[i] goes to rank i. The send
+  /// table is *moved* into the op-owned record (sent_chunk() on the returned
+  /// handle keeps a stable view of what was sent — the ring backend
+  /// multiplies from the slice it just shifted away); each source's chunk is
+  /// retrieved with take_from(), so a caller can fold chunks in a
+  /// deterministic order while later ones are still in flight. Counters
+  /// mirror alltoallv() exactly (empty chunks move no message).
+  template <typename T>
+  AlltoallvRequest<T> ialltoallv(std::vector<std::vector<T>> send);
+
+  /// Nonblocking one-sided get. The copy itself happens eagerly (the target
+  /// is passive and its window immutable for the whole epoch, so there is
+  /// no data dependence to defer), but the modeled network time is
+  /// attributed at completion: issue a batch, do useful work, then wait —
+  /// the work counts as overlap. Counters match get() exactly.
+  template <typename T>
+  CommRequest iget(const Window& w, int target, index_t elem_offset, index_t count, T* dst) {
+    const std::uint64_t op_idx = begin_op("irdma_get");
+    const auto& b = sh_->windows[w.id_][static_cast<std::size_t>(target)];
+    std::size_t off = static_cast<std::size_t>(elem_offset) * sizeof(T);
+    std::size_t len = static_cast<std::size_t>(count) * sizeof(T);
+    require(off + len <= b.bytes, "Window::iget: out of range");
+    if (len > 0) std::memcpy(dst, b.ptr + off, len);
+    if (target == rank_) {
+      report_->bytes_local += len;
+      return CommRequest([](bool) { return true; });
+    }
+    if (len > 0) post_copy("irdma_get", op_idx, target, b.ptr + off, dst, len, /*rdma=*/true);
+    const double model_s = record_recv_counters(target, len);
+    report_->rdma_bytes += len;
+    report_->rdma_msgs += 1;
+    if (cost_->node_of(global_rank(target)) != cost_->node_of(global_rank(rank_))) {
+      report_->rdma_bytes_inter += len;
+      report_->rdma_msgs_inter += 1;
+    }
+    const double t0 = CpuTimer::now_s();
+    return CommRequest([this, model_s, t0](bool) {
+      credit_async(model_s, t0);
+      return true;
+    });
+  }
+
  private:
   void publish(const void* p, std::size_t bytes) {
     sh_->slots[static_cast<std::size_t>(rank_)] = {static_cast<const std::byte*>(p), bytes};
@@ -419,21 +617,112 @@ class Comm {
     }
   }
 
-  /// Receiver-side accounting; intra/inter split uses *global* rank ids.
-  void record_recv(int from, std::size_t bytes) {
+  /// Receiver-side counter accounting; intra/inter split uses *global* rank
+  /// ids. Returns the message's modeled network seconds (alpha + beta*bytes
+  /// on the matching link class; 0 for self-access) — the same per-message
+  /// formula CostModel::comm_seconds sums from the counters, so
+  /// comm_s + overlap_s always reconciles with the counter-derived total.
+  double record_recv_counters(int from, std::size_t bytes) {
     if (from == rank_) {
       report_->bytes_local += bytes;
-      return;
+      return 0.0;
     }
+    const CostParams& p = cost_->params();
     bool same_node = cost_->node_of(global_rank(from)) == cost_->node_of(global_rank(rank_));
     if (same_node) {
       report_->bytes_intra += bytes;
       report_->msgs_intra += 1;
-    } else {
-      report_->bytes_inter += bytes;
-      report_->msgs_inter += 1;
+      return p.alpha_intra + p.beta_intra * static_cast<double>(bytes);
+    }
+    report_->bytes_inter += bytes;
+    report_->msgs_inter += 1;
+    return p.alpha_inter + p.beta_inter * static_cast<double>(bytes);
+  }
+
+  /// Blocking receive: the rank waited for the whole modeled message time.
+  void record_recv(int from, std::size_t bytes) {
+    report_->comm_s += record_recv_counters(from, bytes);
+  }
+
+  /// Attribution for a nonblocking message completing now: thread-CPU time
+  /// elapsed since issue (`issue_cpu_s`), minus windows already credited to
+  /// other in-flight requests (the overlap_mark_s high-water mark), is work
+  /// this rank provably did while the message was in flight — up to the
+  /// modeled cost it counts as hidden, the rest as waited.
+  void credit_async(double model_s, double issue_cpu_s) {
+    if (model_s <= 0.0) return;
+    const double now = CpuTimer::now_s();
+    const double from =
+        issue_cpu_s > report_->overlap_mark_s ? issue_cpu_s : report_->overlap_mark_s;
+    double window = now - from;
+    if (window < 0.0) window = 0.0;
+    const double hidden = window < model_s ? window : model_s;
+    report_->overlap_s += hidden;
+    report_->comm_s += model_s - hidden;
+    report_->overlap_mark_s = from + hidden;
+  }
+
+  /// Finds or creates the progress-queue record for nonblocking op `seq`.
+  std::shared_ptr<detail::AsyncOp> async_slot(std::uint64_t seq) {
+    std::scoped_lock lk(sh_->async_mu);
+    auto& slot = sh_->async_ops[seq];
+    if (!slot) slot = std::make_shared<detail::AsyncOp>(sh_->n);
+    return slot;
+  }
+
+  /// Marks this rank's participation in op `seq` complete; the last
+  /// finisher unlinks the record. An op only reaches finished == n after
+  /// every rank issued and completed it, so an unlink can never race a
+  /// late issuer re-creating the same sequence; participants still holding
+  /// the shared_ptr keep the payload alive (sent_chunk views stay valid
+  /// until their request handle dies).
+  void async_finish(std::uint64_t seq, const std::shared_ptr<detail::AsyncOp>& op) {
+    bool last = false;
+    {
+      std::scoped_lock lk(op->mu);
+      last = ++op->finished == sh_->n;
+    }
+    if (last) {
+      std::scoped_lock lk(sh_->async_mu);
+      sh_->async_ops.erase(seq);
     }
   }
+
+  /// Fault-aware wait on an async op's condition: returns when `pred`
+  /// holds; wakes on any machine-wide fault (polled — the op's cv is local,
+  /// so the hub cannot signal it directly) and on the watchdog, which
+  /// converts a publisher that never arrives into the same machine-wide
+  /// PeerFailure a stuck barrier becomes. Every throw path parks on the
+  /// unwind quiesce first, exactly like sync().
+  template <typename Pred>
+  void async_wait(std::unique_lock<std::mutex>& lk, detail::AsyncOp& op, const char* what,
+                  Pred&& pred) {
+    const auto deadline = std::chrono::steady_clock::now() + hub_->watchdog();
+    for (;;) {
+      if (pred()) return;
+      if (hub_->faulted()) {
+        lk.unlock();
+        hub_->park_unwind();
+        hub_->throw_fault();
+      }
+      const auto now = std::chrono::steady_clock::now();
+      if (now >= deadline) {
+        lk.unlock();
+        hub_->raise(FaultClass::Peer,
+                    ErrorContext{global_rank(rank_), report_->comm_ops, what},
+                    std::string("sa1d: nonblocking ") + what +
+                        " watchdog — a peer never published its payload (stuck or dead rank)",
+                    /*recoverable=*/false);
+        hub_->park_unwind();
+        hub_->throw_fault();
+      }
+      const auto tick = now + std::chrono::milliseconds(2);
+      op.cv.wait_until(lk, tick < deadline ? tick : deadline);
+    }
+  }
+
+  template <typename U>
+  friend class AlltoallvRequest;
 
   int rank_;
   std::vector<int> global_ranks_;
@@ -443,7 +732,120 @@ class Comm {
   std::shared_ptr<FailureHub> hub_;
   FaultInjector* inj_;
   bool integrity_;
+  // Issue sequence for nonblocking ops on this handle. Per-handle, not
+  // per-rank: sub-communicators from split() get their own CommShared and
+  // their own counter, so sequences can never collide across communicators.
+  std::uint64_t async_seq_ = 0;
 };
+
+/// Handle to one outstanding personalized all-to-all (Comm::ialltoallv).
+/// Unlike CommRequest, delivery is per source: take_from(p) blocks until
+/// rank p published its table, copies out the chunk addressed to this rank
+/// and attributes its modeled time (hidden vs waited against the issue
+/// point), so a caller can ⊕-fold chunks in a deterministic order while
+/// later ones are still in flight. The op finishes when every source has
+/// been taken; wait() drains the remainder in rank order. Move-only.
+template <typename T>
+class AlltoallvRequest {
+ public:
+  AlltoallvRequest() = default;
+  AlltoallvRequest(const AlltoallvRequest&) = delete;
+  AlltoallvRequest& operator=(const AlltoallvRequest&) = delete;
+  AlltoallvRequest(AlltoallvRequest&&) = default;
+  AlltoallvRequest& operator=(AlltoallvRequest&&) = default;
+
+  /// Stable view of this rank's outgoing chunk to `dst` (op-owned memory;
+  /// valid while this request handle is alive).
+  [[nodiscard]] std::span<const T> sent_chunk(int dst) const {
+    const auto& chunk = (*mine_)[static_cast<std::size_t>(dst)];
+    return std::span<const T>(chunk.data(), chunk.size());
+  }
+
+  /// Blocks until source `src` published, then returns the chunk it
+  /// addressed to this rank. Each source may be taken exactly once.
+  std::vector<T> take_from(int src) {
+    require(comm_ != nullptr, "ialltoallv: take_from on an empty request");
+    const auto s = static_cast<std::size_t>(src);
+    require(taken_[s] == 0, "ialltoallv: source chunk taken twice");
+    std::vector<T> out;
+    if (src == comm_->rank_) {
+      out = (*mine_)[s];
+      if (!out.empty()) comm_->record_recv_counters(src, out.size() * sizeof(T));
+    } else {
+      {
+        std::unique_lock lk(op_->mu);
+        if (op_->posted[s] == 0)
+          comm_->async_wait(lk, *op_, "ialltoallv", [&] { return op_->posted[s] != 0; });
+      }
+      const detail::RawBuf b = op_->chunks[s][static_cast<std::size_t>(comm_->rank_)];
+      out.resize(b.bytes / sizeof(T));
+      if (b.bytes > 0) {
+        std::memcpy(out.data(), b.ptr, b.bytes);
+        comm_->post_copy("ialltoallv", op_idx_, src, b.ptr, out.data(), b.bytes,
+                         /*rdma=*/false);
+        comm_->credit_async(comm_->record_recv_counters(src, b.bytes), t0_);
+      }
+    }
+    taken_[s] = 1;
+    if (--remaining_ == 0) comm_->async_finish(seq_, op_);
+    return out;
+  }
+
+  /// Takes (and discards) every source not yet taken, finishing the op.
+  void wait() {
+    for (int p = 0; remaining_ > 0 && p < static_cast<int>(taken_.size()); ++p)
+      if (taken_[static_cast<std::size_t>(p)] == 0) take_from(p);
+  }
+
+  [[nodiscard]] bool done() const { return comm_ != nullptr && remaining_ == 0; }
+
+ private:
+  friend class Comm;
+  Comm* comm_ = nullptr;
+  std::shared_ptr<detail::AsyncOp> op_;
+  std::shared_ptr<std::vector<std::vector<T>>> mine_;  // the moved-in send table
+  std::uint64_t seq_ = 0;
+  std::uint64_t op_idx_ = 0;
+  double t0_ = 0.0;  // issue timestamp on the thread-CPU clock
+  std::vector<std::uint8_t> taken_;
+  int remaining_ = 0;
+};
+
+template <typename T>
+AlltoallvRequest<T> Comm::ialltoallv(std::vector<std::vector<T>> send) {
+  require(send.size() == static_cast<std::size_t>(size()), "ialltoallv: send.size() != P");
+  const std::uint64_t op_idx = begin_op("ialltoallv");
+  const std::uint64_t seq = async_seq_++;
+  auto op = async_slot(seq);
+  auto owned = std::make_shared<std::vector<std::vector<T>>>(std::move(send));
+  {
+    std::scoped_lock lk(op->mu);
+    op->keepalive[static_cast<std::size_t>(rank_)] = owned;
+    auto& row = op->chunks[static_cast<std::size_t>(rank_)];
+    row.resize(static_cast<std::size_t>(sh_->n));
+    for (int p = 0; p < size(); ++p) {
+      const auto& chunk = (*owned)[static_cast<std::size_t>(p)];
+      row[static_cast<std::size_t>(p)] = {reinterpret_cast<const std::byte*>(chunk.data()),
+                                          chunk.size() * sizeof(T)};
+    }
+    op->posted[static_cast<std::size_t>(rank_)] = 1;
+  }
+  op->cv.notify_all();
+  for (int p = 0; p < size(); ++p) {
+    const auto& chunk = (*owned)[static_cast<std::size_t>(p)];
+    if (p != rank_ && !chunk.empty()) record_send(p, chunk.size() * sizeof(T));
+  }
+  AlltoallvRequest<T> req;
+  req.comm_ = this;
+  req.op_ = std::move(op);
+  req.mine_ = std::move(owned);
+  req.seq_ = seq;
+  req.op_idx_ = op_idx;
+  req.t0_ = CpuTimer::now_s();
+  req.taken_.assign(static_cast<std::size_t>(size()), 0);
+  req.remaining_ = size();
+  return req;
+}
 
 /// Result of one Machine::run.
 struct RunReport {

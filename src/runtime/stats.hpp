@@ -19,6 +19,7 @@ enum class Phase {
   Comp,   // local SpGEMM numeric pass (parallelizable across threads)
   Plan,   // inspector: metadata, needed masks, fetch plan, symbolic pass
   Other,  // per-execute bookkeeping: value copies, DCSC assembly, merges
+  Comm,   // time attributed to waiting on communication (modeled + measured)
 };
 
 /// Everything one simulated rank did during a Machine::run.
@@ -27,6 +28,21 @@ struct RankReport {
   double comp_s = 0.0;
   double plan_s = 0.0;
   double other_s = 0.0;
+
+  // Modeled network seconds, split by whether the rank actually waited for
+  // the message or hid it behind useful work. Every received message costs
+  // alpha + beta*bytes on the model clock (the same formula as
+  // CostModel::comm_seconds, so comm_s + overlap_s always reconciles with
+  // the counter-derived total). Blocking ops charge the full message to
+  // comm_s; nonblocking ops charge min(model cost, thread-CPU time elapsed
+  // between issue and completion) to overlap_s — communication the rank
+  // provably covered with its own work — and only the remainder to comm_s.
+  double comm_s = 0.0;
+  double overlap_s = 0.0;
+  // Internal high-water mark of the thread-CPU clock up to which overlap
+  // credit has been granted; concurrent in-flight requests cannot claim the
+  // same compute window twice. Not a reportable statistic.
+  double overlap_mark_s = 0.0;
 
   // Exact transport counters (receiver side).
   std::uint64_t bytes_inter = 0;  // from ranks on other nodes
@@ -97,6 +113,7 @@ class PhaseScope {
       case Phase::Comp: report_.comp_s += s; break;
       case Phase::Plan: report_.plan_s += s; break;
       case Phase::Other: report_.other_s += s; break;
+      case Phase::Comm: report_.comm_s += s; break;
     }
   }
 

@@ -30,6 +30,13 @@ class CpuTimer {
   void reset() { start_ = now(); }
   [[nodiscard]] double seconds() const { return now() - start_; }
 
+  /// Current thread-CPU clock reading (seconds since an arbitrary origin).
+  /// The overlap accounting in runtime/machine.hpp timestamps nonblocking
+  /// issue/completion pairs on this clock: it only advances while the thread
+  /// actually runs, so time spent blocked in a wait is never credited as
+  /// compute that hid communication.
+  [[nodiscard]] static double now_s() { return now(); }
+
  private:
   static double now() {
     timespec ts{};

@@ -181,6 +181,48 @@ TEST(Fault, RankAbortMidCollectiveWithWindowsExposed) {
   EXPECT_EQ(out[2].what, out[3].what);
 }
 
+TEST(Fault, AppExceptionInRankBodyParksAndUnwindsPeers) {
+  // A rank body that throws an *application* exception (not a comm-layer
+  // Sa1dError — e.g. a require() deep in user code) unwinds past every
+  // rendezvous it still owed its peers. Machine::run's boundary handler must
+  // convert that into the standard containment: raise the fatal Peer fault so
+  // blocked peers wake promptly, park the failing rank until every peer has
+  // quiesced, and surface the *original* exception — never a hang, never a
+  // watchdog wait.
+  MachineOptions o;
+  o.barrier_timeout = std::chrono::milliseconds(20000);  // backstop only
+  Machine m(4, {}, o);
+  std::vector<RankOutcome> out(4);
+  try {
+    m.run([&](Comm& c) {
+      auto& oc = out[static_cast<std::size_t>(c.rank())];
+      if (c.rank() == 2) {
+        (void)c.allgather(c.rank());  // let every peer start before dying
+        throw std::runtime_error("app bug outside the comm layer");
+      }
+      try {
+        (void)c.allgather(c.rank());
+        for (int i = 0; i < 20; ++i) {
+          c.barrier();
+          (void)c.allgather(i);
+        }
+        oc.ok = true;
+      } catch (const Sa1dError& e) {
+        oc.cls = e.fault_class();
+        oc.what = dynamic_cast<const std::exception&>(e).what();
+      }
+    });
+    FAIL() << "the app exception must surface from Machine::run";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "app bug outside the comm layer");
+  }
+  for (int r : {0, 1, 3}) {
+    EXPECT_FALSE(out[static_cast<std::size_t>(r)].ok) << r;
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].cls, FaultClass::Peer) << r;
+    EXPECT_EQ(out[static_cast<std::size_t>(r)].what, out[0].what) << r;
+  }
+}
+
 TEST(Fault, SubCommunicatorBarriersUnwindOnAbort) {
   // SUMMA splits the machine into row/col sub-communicators whose barriers
   // the old arrive_and_drop scheme could not poison — kill a rank mid-build

@@ -1,0 +1,277 @@
+// Overlapped-execution regression suite (DESIGN.md §10): the nonblocking
+// engine must be an *attribution-only* transform — same collective sequence,
+// same byte/message/op counters, bit-identical results — relative to the
+// seed's lockstep execution, for every backend × semiring × fresh/replay
+// combination; overlap accounting must split the same modeled comm total
+// into waited (comm_s) + hidden (overlap_s); and faults injected mid-overlap
+// must contain exactly like their lockstep counterparts (typed error on
+// every rank, never a hang).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "dist/dist_plan.hpp"
+#include "dist/dist_spgemm.hpp"
+#include "runtime/errors.hpp"
+#include "runtime/fault.hpp"
+#include "runtime/machine.hpp"
+#include "sparse/generators.hpp"
+#include "sparse/ops.hpp"
+
+namespace sa1d {
+namespace {
+
+// Small-integer values keep every ⊕ order exact in doubles, so overlapped
+// and lockstep results can be compared *bit-identical*, not approximately.
+CscMatrix<double> with_integer_values(CscMatrix<double> a, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  std::vector<double> v(a.vals().size());
+  for (auto& x : v) x = static_cast<double>(1 + g.below(7));
+  return CscMatrix<double>(a.nrows(), a.ncols(), a.colptr(), a.rowids(), std::move(v));
+}
+
+bool bit_equal(const CscMatrix<double>& got, const CscMatrix<double>& want) {
+  return got.nrows() == want.nrows() && got.ncols() == want.ncols() &&
+         got.colptr() == want.colptr() && got.rowids() == want.rowids() &&
+         got.vals() == want.vals();
+}
+
+std::vector<std::uint64_t> counters_of(const RankReport& r) {
+  return {r.bytes_intra,      r.bytes_inter,      r.msgs_intra,       r.msgs_inter,
+          r.sent_bytes_intra, r.sent_bytes_inter, r.sent_msgs_intra,  r.sent_msgs_inter,
+          r.rdma_bytes,       r.rdma_msgs,        r.rdma_bytes_inter, r.rdma_msgs_inter,
+          r.bytes_local,      r.comm_ops};
+}
+
+constexpr Algo kBackends[] = {Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D, Algo::Split3D};
+
+/// Fresh + replay through one cached plan; returns the two gathered results.
+template <typename SRIn>
+struct ModeResult {
+  CscMatrix<double> fresh, replay;
+  RunReport rep;
+};
+
+template <typename SRIn>
+ModeResult<SRIn> run_mode(int P, const CscMatrix<double>& a, Algo algo, bool overlap) {
+  Machine m(P);
+  ModeResult<SRIn> out;
+  out.rep = m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    DistSpgemmOptions opt;
+    opt.algo = algo;
+    opt.overlap = overlap;
+    DistSpgemmPlan<double, ResolveSemiring<SRIn, double>> plan;
+    auto c1 = spgemm_dist_cached<SRIn>(c, plan, da, da, opt);
+    auto c2 = spgemm_dist_cached<SRIn>(c, plan, da, da, opt);
+    auto g1 = c1.gather(c);
+    auto g2 = c2.gather(c);
+    if (c.rank() == 0) {
+      out.fresh = std::move(g1);
+      out.replay = std::move(g2);
+    }
+  });
+  return out;
+}
+
+template <typename SRIn>
+void check_backend_semiring(const CscMatrix<double>& a, const CscMatrix<double>& want,
+                            const char* sr_name) {
+  const int P = 4;
+  for (Algo algo : kBackends) {
+    SCOPED_TRACE(std::string(algo_name(algo)) + " x " + sr_name);
+    auto ov = run_mode<SRIn>(P, a, algo, /*overlap=*/true);
+    auto lk = run_mode<SRIn>(P, a, algo, /*overlap=*/false);
+
+    // Correctness + determinism: fresh == replay == lockstep == reference.
+    EXPECT_TRUE(bit_equal(ov.fresh, want));
+    EXPECT_TRUE(bit_equal(ov.replay, want));
+    EXPECT_TRUE(bit_equal(lk.fresh, want));
+    EXPECT_TRUE(bit_equal(lk.replay, want));
+
+    // The engine is attribution-only: overlapped execution issues the exact
+    // same op sequence and traffic as lockstep, rank by rank — this is also
+    // what keeps FaultPlan op_index coordinates comparable across modes.
+    for (int r = 0; r < P; ++r) {
+      const auto& ro = ov.rep.ranks[static_cast<std::size_t>(r)];
+      const auto& rl = lk.rep.ranks[static_cast<std::size_t>(r)];
+      EXPECT_EQ(counters_of(ro), counters_of(rl)) << "rank " << r;
+      // Same messages → same modeled comm total; overlap only re-attributes
+      // it between waited (comm_s) and hidden (overlap_s).
+      const double tot_ov = ro.comm_s + ro.overlap_s;
+      EXPECT_NEAR(tot_ov, rl.comm_s, 1e-9 + 1e-6 * rl.comm_s) << "rank " << r;
+      EXPECT_DOUBLE_EQ(rl.overlap_s, 0.0) << "rank " << r;
+      EXPECT_GE(ro.overlap_s, 0.0) << "rank " << r;
+    }
+  }
+}
+
+// ---- differential bit-identity: backends × semirings × fresh/replay --------
+
+TEST(Overlap, PlusTimesBitIdenticalAcrossBackendsAndModes) {
+  auto a = with_integer_values(erdos_renyi<double>(130, 4.0, 71), 60);
+  auto want = spgemm_local<PlusTimes<double>, double>(a, a, LocalKernel::Spa);
+  check_backend_semiring<void>(a, want, "plus-times");
+}
+
+TEST(Overlap, MinPlusBitIdenticalAcrossBackendsAndModes) {
+  auto a = with_integer_values(erdos_renyi<double>(130, 4.0, 72), 61);
+  auto want = spgemm_local<MinPlus<double>, double>(a, a, LocalKernel::Spa);
+  check_backend_semiring<MinPlus<double>>(a, want, "min-plus");
+}
+
+TEST(Overlap, OrAndBitIdenticalAcrossBackendsAndModes) {
+  auto a = with_integer_values(erdos_renyi<double>(130, 4.0, 73), 62);
+  auto want = spgemm_local<OrAnd, double>(a, a, LocalKernel::Spa);
+  check_backend_semiring<OrAnd>(a, want, "or-and");
+}
+
+// ---- overlap accounting ----------------------------------------------------
+
+TEST(Overlap, StagePipelinedBackendsHideCommBehindCompute) {
+  // The double-buffered SUMMA stages and the pipelined split fold must
+  // actually hide time: some rank's overlap_s > 0, and hidden time must
+  // never appear in the waited column too (no double counting — checked
+  // against lockstep totals in the differential tests above).
+  auto a = with_integer_values(erdos_renyi<double>(160, 5.0, 74), 63);
+  for (Algo algo : {Algo::Summa2D, Algo::Split3D}) {
+    SCOPED_TRACE(algo_name(algo));
+    auto ov = run_mode<void>(4, a, algo, /*overlap=*/true);
+    double hidden = 0.0;
+    for (const auto& r : ov.rep.ranks) hidden += r.overlap_s;
+    EXPECT_GT(hidden, 0.0);
+  }
+}
+
+TEST(Overlap, Sa1dPrefetchRespectsInflightBudgetAndStaysBitIdentical) {
+  // Sweep the prefetch depth (1 = fully serialized ring, large = everything
+  // in flight): the result must be bit-identical at every depth, and a
+  // depth change must alter the plan digest (option-coherent validation).
+  auto a = with_integer_values(erdos_renyi<double>(130, 4.0, 75), 64);
+  auto want = spgemm_local<PlusTimes<double>, double>(a, a, LocalKernel::Spa);
+  for (int depth : {1, 2, 8, 64}) {
+    SCOPED_TRACE("prefetch_inflight=" + std::to_string(depth));
+    Machine m(4);
+    std::vector<int> match(4, 0);
+    m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      DistSpgemmOptions opt;
+      opt.algo = Algo::SparseAware1D;
+      opt.sa1d.prefetch_inflight = depth;
+      auto got = spgemm_dist(c, da, da, opt);
+      match[static_cast<std::size_t>(c.rank())] = bit_equal(got.gather(c), want) ? 1 : 0;
+    });
+    for (int r = 0; r < 4; ++r) EXPECT_EQ(match[static_cast<std::size_t>(r)], 1) << r;
+  }
+}
+
+TEST(Overlap, DivergentOverlapOptionsFailValidationEverywhere) {
+  // The overlap switches are part of the option digest: ranks disagreeing
+  // on them would issue different op sequences, so the entry vote must
+  // raise the identical ValidationError on every rank instead.
+  auto a = with_integer_values(erdos_renyi<double>(80, 3.0, 76), 65);
+  Machine m(4);
+  std::vector<int> validation(4, 0);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    DistSpgemmOptions opt;
+    opt.algo = Algo::Summa2D;
+    opt.overlap = c.rank() % 2 == 0;  // diverges across ranks
+    try {
+      (void)spgemm_dist(c, da, da, opt);
+    } catch (const ValidationError&) {
+      validation[static_cast<std::size_t>(c.rank())] = 1;
+    }
+  });
+  for (int r = 0; r < 4; ++r) EXPECT_EQ(validation[static_cast<std::size_t>(r)], 1) << r;
+}
+
+// ---- faults mid-overlap ----------------------------------------------------
+
+/// One rank's outcome under injected faults (mirrors test_fault.cpp).
+struct RankOutcome {
+  bool ok = false;
+  FaultClass cls = FaultClass::None;
+  std::string what;
+};
+
+TEST(Overlap, ChaosMidOverlapContainsOrHealsOnEveryRank) {
+  // Inject rank-abort and payload corruption *while nonblocking requests are
+  // in flight* (overlap on, op coordinates probed from a clean overlapped
+  // run). Contract per cell, same as the lockstep chaos sweep: either every
+  // rank completes bit-identically (corruption healed by integrity replay)
+  // or every rank raises the same typed error — and the machine never hangs.
+  auto a = with_integer_values(erdos_renyi<double>(110, 4.0, 77), 66);
+  auto want = spgemm_local<PlusTimes<double>, double>(a, a, LocalKernel::Spa);
+  const int P = 4;
+  const FaultKind kinds[] = {FaultKind::RankAbort, FaultKind::CollectiveCorrupt,
+                             FaultKind::RdmaCorrupt};
+
+  for (Algo algo : kBackends) {
+    DistSpgemmOptions opt;
+    opt.algo = algo;
+    opt.overlap = true;
+    opt.max_recovery_retries = 4;
+
+    // Probe the op-count window of the fresh+replay workload on a clean
+    // machine; inject into the middle of it (mid-overlap on the stage-
+    // pipelined backends: requests for later stages are already posted).
+    std::vector<std::uint64_t> ops(static_cast<std::size_t>(P), 0);
+    Machine probe(P);
+    probe.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      DistSpgemmPlan<double> plan;
+      (void)spgemm_dist_cached(c, plan, da, da, opt);
+      (void)spgemm_dist_cached(c, plan, da, da, opt);
+      ops[static_cast<std::size_t>(c.rank())] = c.report().comm_ops;
+    });
+
+    for (FaultKind kind : kinds) {
+      const int victim = 1;
+      const std::uint64_t op = ops[static_cast<std::size_t>(victim)] / 2;
+      SCOPED_TRACE(std::string(algo_name(algo)) + " x " + fault_kind_name(kind) + " @op " +
+                   std::to_string(op));
+      MachineOptions o;
+      o.integrity = true;
+      o.barrier_timeout = std::chrono::milliseconds(20000);
+      o.faults.actions.push_back(
+          {.kind = kind, .rank = victim, .op_index = op, .byte_offset = 5});
+      Machine m(P, {}, o);
+      std::vector<RankOutcome> out(static_cast<std::size_t>(P));
+      std::vector<int> match(static_cast<std::size_t>(P), 0);
+      m.run([&](Comm& c) {
+        auto& oc = out[static_cast<std::size_t>(c.rank())];
+        try {
+          auto da = DistMatrix1D<double>::from_global(c, a);
+          DistSpgemmPlan<double> plan;
+          auto c1 = spgemm_dist_cached(c, plan, da, da, opt);
+          auto c2 = spgemm_dist_cached(c, plan, da, da, opt);
+          match[static_cast<std::size_t>(c.rank())] =
+              (bit_equal(c1.gather(c), want) && bit_equal(c2.gather(c), want)) ? 1 : 0;
+          oc.ok = true;
+        } catch (const Sa1dError& e) {
+          oc.cls = e.fault_class();
+          oc.what = dynamic_cast<const std::exception&>(e).what();
+        }
+      });
+
+      const bool any_ok = out[0].ok;
+      for (int r = 0; r < P; ++r) {
+        const auto& o_r = out[static_cast<std::size_t>(r)];
+        EXPECT_EQ(o_r.ok, any_ok) << "rank " << r << ": outcome not uniform";
+        if (o_r.ok) {
+          EXPECT_EQ(match[static_cast<std::size_t>(r)], 1) << "rank " << r;
+        } else {
+          EXPECT_EQ(o_r.cls, out[0].cls) << "rank " << r;
+          if (r != victim) EXPECT_EQ(o_r.what, out[0].what) << "rank " << r;
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sa1d
