@@ -107,6 +107,30 @@ inline void print_rank_summary(const char* label, const std::vector<Breakdown>& 
 
 inline double mib(std::uint64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }
 
+/// Serving-cache observability line (companion to the breakdown printers):
+/// the RankReport cache counters plus the per-backend hit split. Every
+/// cache decision is collective — admission, eviction, and demotion are
+/// voted before anyone moves — so the counters are rank-uniform by
+/// construction and rank 0 speaks for the run; the gauge is the agreed
+/// (max-over-ranks) residency.
+inline void print_cache_counters(const char* label, const RunReport& rep) {
+  const auto& r = rep.ranks.front();
+  std::printf(
+      "  %-28s cache %llu hits / %llu misses, %llu evictions, %llu demotions, resident %.2f "
+      "MiB\n",
+      label, static_cast<unsigned long long>(r.cache_hits),
+      static_cast<unsigned long long>(r.cache_misses),
+      static_cast<unsigned long long>(r.cache_evictions),
+      static_cast<unsigned long long>(r.cache_demotions), mib(r.cache_bytes_resident));
+  const Algo algos[] = {Algo::SparseAware1D, Algo::Ring1D, Algo::Summa2D, Algo::Split3D};
+  std::printf("  %-28s hits by backend:", "");
+  for (Algo a : algos)
+    std::printf(" %s %llu", algo_name(a),
+                static_cast<unsigned long long>(
+                    r.cache_hits_by_algo[static_cast<std::size_t>(a)]));
+  std::printf("\n");
+}
+
 /// Standard header naming the experiment and environment substitutions.
 inline void banner(const char* experiment, const char* paper_ref, const char* note) {
   std::printf("==================================================================\n");

@@ -13,6 +13,10 @@
 #                                volumes) + fig09 (per-dataset backend ranking,
 #                                Auto's pick and per-algo cost predictions vs
 #                                the measured winner)
+#   BENCH_throughput.json      — fig15 serving throughput: multi-tenant plan
+#                                cache + batched small-multiply fusion vs
+#                                one-at-a-time, hot/cold hit rate, and the
+#                                budget-forced eviction/demotion sections
 # --refit skips the benches and refits CostParams.flop_s/triple_s from the
 # accumulated prediction-vs-measured records already in
 # BENCH_dist_backends.json (scripts/fit_cost_params.py). The fitted rates
@@ -20,7 +24,7 @@
 # automatically (exported as SA1D_COST_PARAMS; Machine loads it at
 # startup) — the refit loop is closed, no hand-editing. Record refits in
 # EXPERIMENTS.md.
-# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only|--refit] [SA1D_SCALE]
+# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only|--throughput-only|--refit] [SA1D_SCALE]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +34,7 @@ case "${1:-}" in
   --comm-only) MODE=comm; shift ;;
   --local-only) MODE=local; shift ;;
   --dist-only) MODE=dist; shift ;;
+  --throughput-only) MODE=throughput; shift ;;
   --refit) exec python3 scripts/fit_cost_params.py BENCH_dist_backends.json ;;
 esac
 SCALE="${1:-${SA1D_SCALE:-1}}"
@@ -82,4 +87,10 @@ if [ "$MODE" = all ] || [ "$MODE" = dist ]; then
     printf '}\n'
   } > BENCH_dist_backends.json
   echo "BENCH_dist_backends.json written (SA1D_SCALE=$SCALE)"
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = throughput ]; then
+  cmake --build "$BUILD_DIR" --target fig15_throughput -j "$(nproc)"
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig15_throughput" --json="$(pwd)/BENCH_throughput.json"
+  echo "BENCH_throughput.json written (SA1D_SCALE=$SCALE)"
 fi

@@ -559,6 +559,142 @@ class SpgemmPlan1D {
   /// generic plan layers reuse it instead of re-hashing the operands).
   [[nodiscard]] const StructureFingerprint& fingerprint() const { return fp_; }
 
+  /// Byte-accurate residency of the cached replay program on this rank
+  /// (major arrays only; staging buffers and warm workspaces are scratch) —
+  /// what the plan cache's budget accounts against.
+  [[nodiscard]] std::uint64_t bytes_resident() const {
+    auto csc = [](const CscMatrix<VT>& m) {
+      return m.colptr().size() * sizeof(index_t) + m.rowids().size() * sizeof(index_t) +
+             m.vals().size() * sizeof(VT);
+    };
+    std::uint64_t b = csc(atilde_m_) + csc(btilde_m_);
+    b += local_copies_.size() * sizeof(CopySpan);
+    for (const auto& f : fetches_) b += sizeof(FetchOp) + f.spans.size() * sizeof(CopySpan);
+    b += bt_src_.size() * sizeof(index_t);
+    b += sym_.bounds.size() * sizeof(index_t) + sym_.colptr.size() * sizeof(index_t) +
+         sym_.klass.size();
+    return b;
+  }
+
+  /// One member of a fused SA-1D batch: a verified plan plus the operand
+  /// pair it replays.
+  struct FusedArg {
+    SpgemmPlan1D* plan;
+    const DistMatrix1D<VT>* a;
+    const DistMatrix1D<VT>* b;
+  };
+
+  /// Batched executor (collective): replays k verified plans in one fused
+  /// fetch wave. All members' A-value windows are exposed up front, the
+  /// members' planned value gets flatten into a single member-major
+  /// interleaved pipeline (one bounded in-flight ring across the whole
+  /// batch, so member boundaries never drain it), and ONE barrier at the end
+  /// covers every window — k multiplies pay one expose/barrier round and one
+  /// continuously-full RDMA pipeline instead of k sequential ones. Each
+  /// member's value copies, gathers, and numeric pass are the sequential
+  /// executor's, byte for byte, so every result is bit-identical to its own
+  /// execute_verified call. Results are returned in member order.
+  static std::vector<DistMatrix1D<VT>> execute_fused(Comm& comm,
+                                                     std::span<const FusedArg> ops) {
+    const std::size_t k = ops.size();
+    // Verify every member before the first collective: a diverged member
+    // must raise machine-wide, not leave peers stuck in the expose round.
+    for (std::size_t m = 0; m < k; ++m)
+      if (ops[m].plan == nullptr || !ops[m].plan->built_ ||
+          !ops[m].plan->quick_matches_local(*ops[m].a, *ops[m].b))
+        comm.fail(FaultClass::PlanMismatch, "execute_fused",
+                  "SpgemmPlan1D::execute_fused: batch member " + std::to_string(m) +
+                      "'s operand/plan mismatch (rank " +
+                      std::to_string(comm.global_rank(comm.rank())) + ")");
+
+    // Expose every member's window before any get — peers may be fetching
+    // member j while this rank still pipelines member i.
+    std::vector<Window> wins;
+    wins.reserve(k);
+    for (const auto& op : ops)
+      wins.push_back(comm.expose(std::span<const VT>(op.a->local().vals())));
+
+    // Local value copies and B̃ gathers for the whole batch (independent of
+    // the fetched values, so they run before/inside the in-flight window).
+    for (const auto& op : ops) {
+      auto ph = comm.phase(Phase::Other);
+      VT* av = op.plan->atilde_m_.mutable_vals().data();
+      const VT* src = op.a->local().vals().data();
+      for (const auto& s : op.plan->local_copies_)
+        std::copy_n(src + s.src, static_cast<std::size_t>(s.len), av + s.dst);
+      VT* btv = op.plan->btilde_m_.mutable_vals().data();
+      const VT* bv = op.b->local().vals().data();
+      for (std::size_t i = 0; i < op.plan->bt_src_.size(); ++i)
+        btv[i] = bv[static_cast<std::size_t>(op.plan->bt_src_[i])];
+    }
+
+    // Fused fetch wave: member-major flattening, one bounded ring.
+    struct FlatFetch {
+      std::size_t m, i;
+    };
+    std::vector<FlatFetch> flat;
+    std::size_t depth = 1;
+    for (std::size_t m = 0; m < k; ++m) {
+      const auto& p = *ops[m].plan;
+      for (std::size_t i = 0; i < p.fetches_.size(); ++i) flat.push_back({m, i});
+      if (p.opt_.overlap && p.opt_.prefetch_inflight > 0)
+        depth = std::max(depth, static_cast<std::size_t>(p.opt_.prefetch_inflight));
+    }
+    const std::size_t nf = flat.size();
+    if (nf > 0) {
+      depth = std::min(depth, nf);
+      std::vector<std::vector<VT>> bufs(depth);
+      std::vector<std::optional<CommRequest>> ring(depth);
+      auto issue = [&](std::size_t x) {
+        const auto& p = *ops[flat[x].m].plan;
+        const auto& f = p.fetches_[flat[x].i];
+        auto& buf = bufs[x % depth];
+        buf.resize(static_cast<std::size_t>(f.len));
+        ring[x % depth].emplace(comm.iget(wins[flat[x].m], f.owner, f.elo, f.len, buf.data()));
+      };
+      for (std::size_t x = 0; x < depth; ++x) issue(x);
+      for (std::size_t x = 0; x < nf; ++x) {
+        ring[x % depth]->wait();
+        ring[x % depth].reset();
+        {
+          auto ph = comm.phase(Phase::Other);
+          auto& p = *ops[flat[x].m].plan;
+          const auto& f = p.fetches_[flat[x].i];
+          VT* av = p.atilde_m_.mutable_vals().data();
+          const VT* src = bufs[x % depth].data();
+          for (const auto& s : f.spans)
+            std::copy_n(src + s.src, static_cast<std::size_t>(s.len), av + s.dst);
+        }
+        if (x + depth < nf) issue(x + depth);
+      }
+    }
+
+    // Numeric passes in member order — the same kernel calls the sequential
+    // executor makes, so each member's values are bit-identical.
+    std::vector<CscMatrix<VT>> c_locals;
+    c_locals.reserve(k);
+    for (const auto& op : ops) {
+      auto ph = comm.phase(Phase::Comp);
+      c_locals.push_back(spgemm_local_numeric<SR, VT>(op.plan->atilde_m_, op.plan->btilde_m_,
+                                                      op.plan->sym_, &op.plan->ws_));
+    }
+
+    // One barrier keeps every member's value window alive until all ranks
+    // finished fetching — the batch's single synchronization round.
+    comm.barrier();
+
+    std::vector<DistMatrix1D<VT>> out;
+    out.reserve(k);
+    for (std::size_t m = 0; m < k; ++m) {
+      auto ph = comm.phase(Phase::Other);
+      DcscMatrix<VT> c_dcsc = DcscMatrix<VT>::from_csc(c_locals[m]);
+      ++ops[m].plan->executions_;
+      out.emplace_back(ops[m].plan->c_nrows_, ops[m].plan->c_ncols_, ops[m].plan->out_bounds_,
+                       comm.rank(), std::move(c_dcsc));
+    }
+    return out;
+  }
+
  private:
   /// One contiguous value copy of the executor's replay program.
   struct CopySpan {

@@ -88,6 +88,47 @@ class DistSpgemmPlan {
     return 0;
   }
 
+  /// Byte-accurate residency of the cached replay program on this rank —
+  /// what the plan cache (runtime/plan_cache.hpp) accounts against its
+  /// budget. A RingPlan is the heavyweight: ≈nnz(A) resident indices.
+  [[nodiscard]] std::uint64_t bytes_resident() const {
+    switch (chosen_) {
+      case Algo::Auto: break;
+      case Algo::SparseAware1D: return sa1d_.bytes_resident();
+      case Algo::Ring1D: return ring_.bytes_resident();
+      case Algo::Summa2D: return summa_.bytes_resident();
+      case Algo::Split3D: return split3d_.bytes_resident();
+    }
+    return 0;
+  }
+
+  /// Direct access to the chosen backend's cached program — the batched
+  /// executor (dist/batch_spgemm.hpp) drives the fused replays through
+  /// these. Valid only when chosen() names that backend.
+  [[nodiscard]] SpgemmPlan1D<VT, SR>& sa1d_plan() { return sa1d_; }
+  [[nodiscard]] RingPlan<VT, SR>& ring_plan() { return ring_; }
+  [[nodiscard]] Summa2dPlan<VT, SR>& summa_plan() { return summa_; }
+  [[nodiscard]] Split3dPlan<VT, SR>& split3d_plan() { return split3d_; }
+
+  /// The plan cache's eviction fallback: a Ring1D plan sheds its resident
+  /// hop structures beyond a w-hop window (RingPlan::demote_to_window)
+  /// instead of being dropped outright. No-op for other backends; returns
+  /// true iff the plan is now windowed.
+  bool demote_ring_to_window(int w) {
+    if (!built_ || chosen_ != Algo::Ring1D) return false;
+    ring_.demote_to_window(w);
+    return ring_.windowed();
+  }
+
+  /// Reuse bookkeeping for a fused replay the batched executor ran through
+  /// the backend accessors above (it bypasses execute_verified, so the
+  /// counters are bumped here).
+  void record_batched_replay(Comm& comm) {
+    ++replays_;
+    ++comm.report().plan_replays[distdetail::algo_slot(chosen_)];
+    if (opt_.algo == Algo::Auto) ++comm.report().plan_replays[distdetail::algo_slot(Algo::Auto)];
+  }
+
   /// Exact rank-local reuse check: O(1) fields first, then the structure
   /// hashes (no communication).
   [[nodiscard]] bool matches_local(const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b) const {
@@ -131,6 +172,10 @@ class DistSpgemmPlan {
       inputs_.grid_rows = opt.grid_rows;
       inputs_.grid_cols = opt.grid_cols;
       inputs_.overlap = opt.overlap;
+      // Serving workloads declare the fusion width they expect: replays are
+      // then priced with per-phase latency amortized across the batch, so
+      // Auto builds onto the backend that is optimal *under fusion*.
+      inputs_.batch = std::max(1, opt.expected_batch);
       have_meta = true;
       have_inputs_ = true;
       auto ph = comm.phase(Phase::Plan);

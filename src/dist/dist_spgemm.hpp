@@ -52,6 +52,12 @@ struct DistSpgemmOptions {
   /// backend instead of merely recording the replay_choice disagreement.
   /// 0/1 = one-shot pricing (the pre-horizon behavior).
   int expected_iterations = 0;
+  /// Multiplies the caller expects to fuse per spgemm_dist_batched call
+  /// (dist/batch_spgemm.hpp): > 1 makes Auto price replays with the
+  /// per-phase latency amortized over the batch (AlgoCostInputs::batch), so
+  /// a serving workload's plans are built onto the backend that is optimal
+  /// *under fusion*. 0/1 = unbatched pricing.
+  int expected_batch = 0;
   /// Bounded self-healing: how many times spgemm_dist_cached may collectively
   /// invalidate the plan and rebuild after a recoverable fault
   /// (CorruptionDetected / PlanMismatch) before the error propagates.
@@ -117,6 +123,15 @@ struct DistSpgemmStats {
   int horizon_iters = 1;          ///< pricing horizon Auto used (from expected_iterations)
   int recoveries = 0;             ///< recoverable-fault plan rebuilds this call performed
   int validation_failovers = 0;   ///< Auto candidates skipped (dispatch validation / veto)
+
+  // Plan-cache accounting (runtime/plan_cache.hpp; DESIGN.md §11): what the
+  // multi-tenant cache did for *this* call. hits + misses == 1 for a call
+  // routed through the cache, both 0 otherwise; `cache_bytes_resident` is
+  // the cache's agreed residency gauge after the call.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;       ///< evictions this call's admission forced
+  std::uint64_t cache_bytes_resident = 0;
 };
 
 /// Measures this host's local-SpGEMM flop rate and COO triple-processing
@@ -368,7 +383,8 @@ void validate_collective(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix
     digest = std::to_string(static_cast<int>(opt.algo)) + "," +
              std::to_string(opt.layers) + "," + std::to_string(opt.grid_rows) + "," +
              std::to_string(opt.grid_cols) + "," + std::to_string(opt.expected_iterations) +
-             "," + std::to_string(opt.max_recovery_retries) + "," +
+             "," + std::to_string(opt.expected_batch) + "," +
+             std::to_string(opt.max_recovery_retries) + "," +
              std::to_string(opt.sa1d.block_fetch_k) + "," +
              std::to_string(static_cast<int>(opt.sa1d.kernel)) + "," +
              std::to_string(opt.sa1d.threads) + "," +

@@ -132,6 +132,17 @@ struct GridRoute {
         b += static_cast<std::uint64_t>(recv_counts[r]) * sizeof(VT);
     return b;
   }
+
+  /// Byte-accurate residency of the cached route on this rank (major arrays
+  /// only) — what the plan cache's budget accounts against.
+  [[nodiscard]] std::uint64_t bytes_resident() const {
+    std::uint64_t b = 0;
+    for (const auto& src : send_src) b += src.size() * sizeof(index_t);
+    b += recv_place.size() * sizeof(index_t) + recv_counts.size() * sizeof(index_t);
+    b += block.colptr().size() * sizeof(index_t) + block.rowids().size() * sizeof(index_t) +
+         block.vals().size() * sizeof(VT);
+    return b;
+  }
 };
 
 /// Redistributes a 1D column-distributed matrix into the blocks of a
@@ -298,6 +309,18 @@ struct ScatterRoute {
     for (std::size_t r = 0; r < recv_counts.size(); ++r)
       if (static_cast<int>(r) != me)
         b += static_cast<std::uint64_t>(recv_counts[r]) * sizeof(VT);
+    return b;
+  }
+
+  /// Byte-accurate residency of the cached scatter/merge program (major
+  /// arrays only) — what the plan cache's budget accounts against.
+  [[nodiscard]] std::uint64_t bytes_resident() const {
+    std::uint64_t b = 0;
+    for (const auto& src : send_src) b += src.size() * sizeof(index_t);
+    b += recv_counts.size() * sizeof(index_t) + recv_dst.size() * sizeof(index_t) +
+         recv_first.size() + out_bounds.size() * sizeof(index_t);
+    b += c_shell.jc().size() * sizeof(index_t) + c_shell.cp().size() * sizeof(index_t) +
+         c_shell.ir().size() * sizeof(index_t) + c_shell.vals().size() * sizeof(VT);
     return b;
   }
 };

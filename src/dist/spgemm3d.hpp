@@ -37,6 +37,12 @@ struct Split3dPlan {
     return route_a.replay_recv_bytes(me) + route_b.replay_recv_bytes(me) +
            sched.bcast_recv_bytes + out.replay_recv_bytes(me);
   }
+
+  /// Byte-accurate residency of the full cached program on this rank.
+  [[nodiscard]] std::uint64_t bytes_resident() const {
+    return route_a.bytes_resident() + route_b.bytes_resident() + sched.bytes_resident() +
+           out.bytes_resident() + acc_vals.size() * sizeof(VT);
+  }
 };
 
 /// Split-3D SpGEMM over 1D-distributed operands. Collective; requires only

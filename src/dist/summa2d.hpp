@@ -76,6 +76,25 @@ struct SummaSched {
   std::size_t acc_nnz = 0;  ///< merged partial-C count on this rank
   std::vector<detail::Workspace<SR>> ws;
   std::uint64_t bcast_recv_bytes = 0;  ///< value-only replay broadcast volume (this rank)
+
+  /// Byte-accurate residency of the cached schedule on this rank (major
+  /// arrays only; warm workspaces are scratch, not plan state) — what the
+  /// plan cache's budget accounts against.
+  [[nodiscard]] std::uint64_t bytes_resident() const {
+    auto csc = [](const CscMatrix<VT>& m) {
+      return m.colptr().size() * sizeof(index_t) + m.rowids().size() * sizeof(index_t) +
+             m.vals().size() * sizeof(VT);
+    };
+    std::uint64_t b = 0;
+    for (const auto& st : stages) {
+      b += csc(st.a_blk) + csc(st.b_blk);
+      b += st.sym.bounds.size() * sizeof(index_t) + st.sym.colptr.size() * sizeof(index_t) +
+           st.sym.klass.size();
+      b += st.b_src.size() * sizeof(index_t);
+    }
+    b += acc_dst.size() * sizeof(index_t) + acc_first.size();
+    return b;
+  }
 };
 
 template <typename VT>
@@ -401,6 +420,12 @@ struct Summa2dPlan {
   [[nodiscard]] std::uint64_t replay_recv_bytes(int me) const {
     return route_a.replay_recv_bytes(me) + route_b.replay_recv_bytes(me) +
            sched.bcast_recv_bytes + out.replay_recv_bytes(me);
+  }
+
+  /// Byte-accurate residency of the full cached program on this rank.
+  [[nodiscard]] std::uint64_t bytes_resident() const {
+    return route_a.bytes_resident() + route_b.bytes_resident() + sched.bytes_resident() +
+           out.bytes_resident() + acc_vals.size() * sizeof(VT);
   }
 };
 

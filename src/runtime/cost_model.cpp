@@ -299,7 +299,10 @@ AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in, Algo algo) co
   AlgoPrediction pr = predict(in, algo);
   if (!pr.feasible) return pr;
   const auto P = static_cast<double>(in.P < 1 ? 1 : in.P);
-  const double alpha = alpha_eff(in.P);
+  // Batched amortization (dist/batch_spgemm.hpp): k fused members share one
+  // concatenated message per phase, so each member pays alpha/k per round
+  // while its byte volume is unchanged.
+  const double alpha = alpha_eff(in.P) / static_cast<double>(in.batch < 1 ? 1 : in.batch);
   const double beta = beta_eff(in.P);
   const double vb = static_cast<double>(in.value_bytes);
   const auto nnz_a = static_cast<double>(in.nnz_a);

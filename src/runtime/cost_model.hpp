@@ -91,6 +91,12 @@ struct AlgoCostInputs {
   /// DistSpgemmOptions::overlap switch); applies CostParams::overlap_discount
   /// to the comm term of every backend prediction.
   bool overlap = true;
+  /// Multiplies expected to share each replay's collective rounds
+  /// (DistSpgemmOptions::expected_batch): the batched executor
+  /// (dist/batch_spgemm.hpp) concatenates k members' payloads into one
+  /// message per phase, so predict_replay divides the per-message latency
+  /// (alpha) terms by `batch` while the volume (beta) terms are unchanged.
+  int batch = 1;
 };
 
 /// Modeled per-rank seconds for one backend on one AlgoCostInputs.

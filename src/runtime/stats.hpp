@@ -87,6 +87,21 @@ struct RankReport {
   std::array<std::uint64_t, 5> plan_builds{};
   std::array<std::uint64_t, 5> plan_replays{};
 
+  // Multi-tenant plan-cache accounting (runtime/plan_cache.hpp). Counters
+  // are pure functions of the SPMD request sequence — independent of the
+  // overlap mode, thread timing, and the cost model — so every rank of a
+  // deterministic program reports identical values (the mode-invariance
+  // contract test_plan_cache asserts). `cache_bytes_resident` is a gauge:
+  // the cache's agreed residency after the last cache operation.
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_evictions = 0;
+  std::uint64_t cache_demotions = 0;  ///< evictions softened to a windowed demote
+  std::uint64_t cache_bytes_resident = 0;
+  // Per-backend split, indexed like plan_builds (slot 0 = Auto unused).
+  std::array<std::uint64_t, 5> cache_hits_by_algo{};
+  std::array<std::uint64_t, 5> cache_evictions_by_algo{};
+
   [[nodiscard]] std::uint64_t bytes_network() const { return bytes_inter + bytes_intra; }
   [[nodiscard]] std::uint64_t msgs_network() const { return msgs_inter + msgs_intra; }
   [[nodiscard]] std::uint64_t sent_bytes_network() const {

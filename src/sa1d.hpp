@@ -44,6 +44,10 @@
 
 #include "dist/dist_spgemm.hpp"
 
+#include "runtime/plan_cache.hpp"
+
+#include "dist/batch_spgemm.hpp"
+
 #include "part/partitioner.hpp"
 #include "part/permutation.hpp"
 
