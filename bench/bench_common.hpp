@@ -31,10 +31,14 @@ inline CscMatrix<double> load(Dataset d) { return make_dataset(d, bench_scale())
 /// pay it once, iterated runs amortize it toward zero.
 struct Breakdown {
   double comm = 0, comp = 0, plan = 0, other = 0;
+  /// Ordering-stage CPU (Phase::Reorder): partitioner runs + permutation
+  /// pack/unpack. One-shot like plan — replays of a permuted plan amortize
+  /// it toward zero.
+  double reorder = 0;
   /// Modeled comm seconds hidden behind compute by overlapped execution —
   /// informational, NOT part of total() (hidden time costs no wall time).
   double overlap = 0;
-  [[nodiscard]] double total() const { return comm + comp + plan + other; }
+  [[nodiscard]] double total() const { return comm + comp + plan + other + reorder; }
   /// Fraction of modeled comm time hidden behind compute.
   [[nodiscard]] double overlap_efficiency() const {
     const double t = comm + overlap;
@@ -55,6 +59,7 @@ inline Breakdown modeled(const RunReport& rep, const CostModel& /*cm*/,
     b.comp = std::max(b.comp, r.comp_s / threads_per_rank);
     b.plan = std::max(b.plan, r.plan_s);
     b.other = std::max(b.other, r.other_s);
+    b.reorder = std::max(b.reorder, r.reorder_s);
     b.comm = std::max(b.comm, r.comm_s);
     b.overlap = std::max(b.overlap, r.overlap_s);
   }
@@ -71,6 +76,7 @@ inline std::vector<Breakdown> per_rank_modeled(const RunReport& rep, const CostM
     b.comp = r.comp_s / threads_per_rank;
     b.plan = r.plan_s;
     b.other = r.other_s;
+    b.reorder = r.reorder_s;
     b.comm = r.comm_s;
     b.overlap = r.overlap_s;
     out.push_back(b);
@@ -79,10 +85,11 @@ inline std::vector<Breakdown> per_rank_modeled(const RunReport& rep, const CostM
 }
 
 inline void print_rank_breakdown(const char* label, const std::vector<Breakdown>& ranks) {
-  std::printf("  %-28s rank:  comm(ms)  comp(ms)  plan(ms) other(ms)\n", label);
+  std::printf("  %-28s rank:  comm(ms)  comp(ms)  plan(ms) other(ms) reord(ms)\n", label);
   for (std::size_t r = 0; r < ranks.size(); ++r)
-    std::printf("  %-28s %5zu  %9.3f %9.3f %9.3f %9.3f\n", "", r, 1e3 * ranks[r].comm,
-                1e3 * ranks[r].comp, 1e3 * ranks[r].plan, 1e3 * ranks[r].other);
+    std::printf("  %-28s %5zu  %9.3f %9.3f %9.3f %9.3f %9.3f\n", "", r, 1e3 * ranks[r].comm,
+                1e3 * ranks[r].comp, 1e3 * ranks[r].plan, 1e3 * ranks[r].other,
+                1e3 * ranks[r].reorder);
 }
 
 inline void print_rank_summary(const char* label, const std::vector<Breakdown>& ranks) {
@@ -92,17 +99,20 @@ inline void print_rank_summary(const char* label, const std::vector<Breakdown>& 
     mx.comp = std::max(mx.comp, b.comp);
     mx.plan = std::max(mx.plan, b.plan);
     mx.other = std::max(mx.other, b.other);
+    mx.reorder = std::max(mx.reorder, b.reorder);
     sum.comm += b.comm;
     sum.comp += b.comp;
     sum.plan += b.plan;
     sum.other += b.other;
+    sum.reorder += b.reorder;
   }
   auto n = static_cast<double>(ranks.size());
   std::printf(
       "  %-28s comm max/avg %8.3f/%8.3f ms  comp max/avg %8.3f/%8.3f ms  plan max/avg "
-      "%8.3f/%8.3f ms  other max/avg %8.3f/%8.3f ms\n",
+      "%8.3f/%8.3f ms  other max/avg %8.3f/%8.3f ms  reorder max/avg %8.3f/%8.3f ms\n",
       label, 1e3 * mx.comm, 1e3 * sum.comm / n, 1e3 * mx.comp, 1e3 * sum.comp / n,
-      1e3 * mx.plan, 1e3 * sum.plan / n, 1e3 * mx.other, 1e3 * sum.other / n);
+      1e3 * mx.plan, 1e3 * sum.plan / n, 1e3 * mx.other, 1e3 * sum.other / n,
+      1e3 * mx.reorder, 1e3 * sum.reorder / n);
 }
 
 inline double mib(std::uint64_t bytes) { return static_cast<double>(bytes) / (1024.0 * 1024.0); }

@@ -4,12 +4,25 @@
 // comm/comp/other breakdowns; the paper's headline is the ~17x communication
 // reduction on hv15r from keeping the original order, and the ~2x gain on
 // eukarya from partitioning.
+//
+// --json[=PATH] instead runs the partition-aware planning study (DESIGN.md
+// §12) on the block-clustered and hidden-community generators: per backend,
+// identity vs partitioned iterated totals through the cached-plan path
+// (reorder cost included), the amortization series over the iteration
+// count, per-iteration RDMA fetch volume, the joint Auto (backend ×
+// ordering) pick, and a bit-identity check of the partitioned result
+// against identity. Merged into BENCH_partition.json by
+// scripts/bench_local.sh --partition-only.
 #include <cstdio>
+#include <cstring>
 
 #include "bench_common.hpp"
 #include "core/spgemm1d.hpp"
+#include "sparse/generators.hpp"
+#include "dist/dist_plan.hpp"
 #include "part/partitioner.hpp"
 #include "part/permutation.hpp"
+#include "util/rng.hpp"
 #include "util/timer.hpp"
 
 namespace {
@@ -44,10 +57,203 @@ void run_variants(const char* dataset, const std::vector<Variant>& variants, int
   }
 }
 
+/// Rank count for the --json study: SA1D_NP overrides the figure's 64.
+int json_nranks() {
+  if (const char* s = std::getenv("SA1D_NP")) return std::atoi(s);
+  return 64;
+}
+
+/// Iteration horizon for the --json study: SA1D_ITERS overrides the
+/// MCL-style default of 96 squarings.
+int json_iters() {
+  if (const char* s = std::getenv("SA1D_ITERS")) return std::atoi(s);
+  return 96;
+}
+
+/// One (backend, ordering) cell: max-rank modeled seconds of the plan-built
+/// first call and of a replay, per-replay RDMA fetch volume, and the
+/// first-call reorder stats.
+struct OrderedMeasure {
+  double first_s = 0, iter_s = 0;
+  std::uint64_t rdma_iter = 0;
+  DistSpgemmStats stats;
+};
+
+OrderedMeasure measure_ordered(Machine& m, const CscMatrix<double>& a, Algo algo, Ordering ord,
+                               int h) {
+  constexpr int kReps = 8;
+  const int P = m.nranks();
+  OrderedMeasure out;
+  std::vector<double> first(static_cast<std::size_t>(P), 0.0), iter(static_cast<std::size_t>(P), 0.0);
+  std::vector<std::uint64_t> rdma(static_cast<std::size_t>(P), 0);
+  m.run([&](Comm& c) {
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    DistSpgemmPlan<double> plan;
+    DistSpgemmOptions opt;
+    opt.algo = algo;
+    opt.reorder = ord;
+    opt.expected_iterations = h;
+    auto total = [](const RankReport& x) {
+      return x.comm_s + x.comp_s + x.other_s + x.plan_s + x.reorder_s;
+    };
+    RankReport b0 = c.report();
+    DistSpgemmStats st;
+    auto dc = spgemm_dist_cached(c, plan, da, da, opt, &st);
+    RankReport b1 = c.report();
+    for (int t = 0; t < kReps; ++t) dc = spgemm_dist_cached(c, plan, da, da, opt);
+    RankReport b2 = c.report();
+    first[static_cast<std::size_t>(c.rank())] = total(b1) - total(b0);
+    iter[static_cast<std::size_t>(c.rank())] = (total(b2) - total(b1)) / kReps;
+    rdma[static_cast<std::size_t>(c.rank())] = (b2.rdma_bytes - b1.rdma_bytes) / kReps;
+    (void)dc;
+    if (c.rank() == 0) out.stats = st;
+  });
+  for (int r = 0; r < P; ++r) {
+    out.first_s = std::max(out.first_s, first[static_cast<std::size_t>(r)]);
+    out.iter_s = std::max(out.iter_s, iter[static_cast<std::size_t>(r)]);
+    out.rdma_iter += rdma[static_cast<std::size_t>(r)];
+  }
+  return out;
+}
+
+/// Iterated modeled total: plan-built first call + (h-1) replays.
+double horizon_s(const OrderedMeasure& mm, int h) {
+  return mm.first_s + (h - 1) * mm.iter_s;
+}
+
+/// Bit-identity of partitioned-vs-identity results, checked on an
+/// integer-valued copy of the pattern: with whole-number values the FP sums
+/// are order-independent, so the inverse-scattered C must match identity
+/// bit for bit (the real-valued runs differ only by summation order).
+CscMatrix<double> with_integer_values(const CscMatrix<double>& a, std::uint64_t seed) {
+  SplitMix64 g(seed);
+  std::vector<double> v(a.vals().size());
+  for (auto& x : v) x = static_cast<double>(1 + g.below(7));
+  return CscMatrix<double>(a.nrows(), a.ncols(), a.colptr(), a.rowids(), std::move(v));
+}
+
+bool bit_identical_int(Machine& m, const CscMatrix<double>& pattern, Algo algo) {
+  auto a = with_integer_values(pattern, 1);
+  CscMatrix<double> got[2];
+  const Ordering ords[2] = {Ordering::Identity, Ordering::Partitioned};
+  for (int i = 0; i < 2; ++i) {
+    m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, a);
+      DistSpgemmOptions opt;
+      opt.algo = algo;
+      opt.reorder = ords[i];
+      auto dc = spgemm_dist(c, da, da, opt);
+      auto gathered = dc.gather(c);
+      if (c.rank() == 0) got[i] = std::move(gathered);
+    });
+  }
+  return got[0] == got[1];
+}
+
+void run_json(const char* json_path) {
+  const int P = json_nranks();
+  const int h = json_iters();
+  const auto n = static_cast<index_t>(4096 * bench::bench_scale());
+  const index_t blocks = std::max<index_t>(P, n / 64);
+  CostParams cp;
+  cp.ranks_per_node = std::max(1, P / 4);
+  Machine m(P, cp);
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+    std::exit(1);
+  }
+
+  struct Ds {
+    const char* name;
+    CscMatrix<double> matrix;
+  };
+  auto bc = block_clustered<double>(n, blocks, 12.0, 0.25, 41);
+  std::vector<Ds> datasets;
+  datasets.push_back({"block-clustered", permute_symmetric(bc, random_permutation(bc.ncols(), 11))});
+  datasets.push_back({"hidden-community", hidden_community<double>(n, blocks, 12.0, 0.25, 71)});
+
+  std::fprintf(f, "{\n  \"P\": %d, \"iters\": %d, \"n\": %lld,\n  \"datasets\": [\n", P, h,
+               static_cast<long long>(n));
+  const std::vector<Algo> algos{Algo::SparseAware1D, Algo::Summa2D};
+  const std::vector<int> amort{1, 4, 8, 16, 32, 64, h};
+  for (std::size_t di = 0; di < datasets.size(); ++di) {
+    const auto& ds = datasets[di];
+    // Joint Auto (backend × ordering) decision at this horizon.
+    DistSpgemmStats ast;
+    m.run([&](Comm& c) {
+      auto da = DistMatrix1D<double>::from_global(c, ds.matrix);
+      DistSpgemmPlan<double> plan;
+      DistSpgemmOptions opt;
+      opt.algo = Algo::Auto;
+      opt.reorder = Ordering::Auto;
+      opt.expected_iterations = h;
+      DistSpgemmStats st;
+      spgemm_dist_cached(c, plan, da, da, opt, &st);
+      if (c.rank() == 0) ast = st;
+    });
+    std::fprintf(f, "    {\"dataset\": \"%s\", \"nnz\": %lld,\n", ds.name,
+                 static_cast<long long>(ds.matrix.nnz()));
+    std::fprintf(f,
+                 "      \"auto\": {\"algo\": \"%s\", \"ordering\": \"%s\"},\n",
+                 algo_name(ast.chosen), ordering_name(ast.ordering));
+    std::fprintf(f, "      \"backends\": {\n");
+    bool wrote_reorder = false;
+    for (std::size_t ai = 0; ai < algos.size(); ++ai) {
+      Algo algo = algos[ai];
+      auto ident = measure_ordered(m, ds.matrix, algo, Ordering::Identity, h);
+      auto parted = measure_ordered(m, ds.matrix, algo, Ordering::Partitioned, h);
+      if (!wrote_reorder) {
+        // Reorder-stage facts are per-dataset (same partition for every
+        // backend); record them once from the first partitioned build.
+        std::fprintf(f,
+                     "        \"reorder\": {\"cut_fraction\": %.4f, \"part_imbalance\": %.3f, "
+                     "\"partition_ms\": %.3f, \"reorder_coll_mib\": %.3f},\n",
+                     parted.stats.reorder_cut_fraction, parted.stats.reorder_part_imbalance,
+                     1e3 * parted.stats.partition_seconds,
+                     bench::mib(parted.stats.reorder_coll_bytes));
+        wrote_reorder = true;
+      }
+      const bool bit_identical = bit_identical_int(m, ds.matrix, algo);
+      std::fprintf(f,
+                   "        \"%s\": {\n"
+                   "          \"identity\":    {\"first_ms\": %.3f, \"iter_ms\": %.4f, "
+                   "\"rdma_mib_per_iter\": %.3f, \"total_ms\": %.3f},\n"
+                   "          \"partitioned\": {\"first_ms\": %.3f, \"iter_ms\": %.4f, "
+                   "\"rdma_mib_per_iter\": %.3f, \"total_ms\": %.3f},\n"
+                   "          \"speedup\": %.3f, \"bit_identical\": %s,\n",
+                   algo_name(algo), 1e3 * ident.first_s, 1e3 * ident.iter_s,
+                   bench::mib(ident.rdma_iter), 1e3 * horizon_s(ident, h), 1e3 * parted.first_s,
+                   1e3 * parted.iter_s, bench::mib(parted.rdma_iter), 1e3 * horizon_s(parted, h),
+                   horizon_s(ident, h) / horizon_s(parted, h), bit_identical ? "true" : "false");
+      std::fprintf(f, "          \"amortization\": [");
+      for (std::size_t ki = 0; ki < amort.size(); ++ki)
+        std::fprintf(f, "{\"iters\": %d, \"speedup\": %.3f}%s", amort[ki],
+                     horizon_s(ident, amort[ki]) / horizon_s(parted, amort[ki]),
+                     ki + 1 < amort.size() ? ", " : "");
+      std::fprintf(f, "]\n        }%s\n", ai + 1 < algos.size() ? "," : "");
+    }
+    std::fprintf(f, "      }\n    }%s\n", di + 1 < datasets.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", json_path);
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sa1d;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_partition_fig04.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  if (json_path != nullptr) {
+    run_json(json_path);
+    return 0;
+  }
   bench::banner("fig04_permutation_breakdown", "Fig 4",
                 "METIS -> built-in multilevel partitioner; Perlmutter -> cost model");
   const int P = 64, threads = 16;

@@ -269,6 +269,55 @@ void run_json(const char* json_path) {
     std::fprintf(f, "},\n        \"measured_winner\": \"%s\", \"pick_matches_measured\": %s},\n",
                  algo_name(winner), st.chosen == winner ? "true" : "false");
 
+    // Per-ordering imbalance pairs for the grid backends: the same
+    // measured-vs-analytic pairing as the identity rows above, but run
+    // under the reorder plan stage's permuted layouts so
+    // fit_cost_params.py fits imb_scale from permuted and unpermuted
+    // records alike (the ordering-adjusted analytic term substitutes the
+    // measured part-weight imbalance for the even-split factor).
+    std::fprintf(f, "      \"orderings\": {\n");
+    std::vector<Algo> grid_algos{Algo::Summa2D};
+    if (split3d_has_nontrivial_layers(P)) grid_algos.push_back(Algo::Split3D);
+    for (std::size_t gi = 0; gi < grid_algos.size(); ++gi) {
+      Algo algo = grid_algos[gi];
+      std::fprintf(f, "        \"%s\": {", algo_name(algo));
+      const Ordering ords[] = {Ordering::Partitioned, Ordering::Random};
+      for (std::size_t oi = 0; oi < 2; ++oi) {
+        DistSpgemmStats ost;
+        auto rep = m.run([&](Comm& c) {
+          auto da = DistMatrix1D<double>::from_global(c, nm.a);
+          DistSpgemmOptions opt;
+          opt.algo = algo;
+          opt.reorder = ords[oi];
+          if (algo == Algo::Split3D)
+            opt.layers = distdetail::default_split3d_layers(m.nranks());
+          DistSpgemmStats s;
+          spgemm_dist(c, da, da, opt, &s);
+          if (c.rank() == 0) ost = s;
+        });
+        double mx = 0.0, sum = 0.0;
+        for (const auto& r : rep.ranks) {
+          mx = std::max(mx, r.comp_s);
+          sum += r.comp_s;
+        }
+        const double mean = sum / static_cast<double>(rep.ranks.size());
+        AlgoCostInputs oin = imb_in;
+        oin.ordering = ost.ordering;
+        oin.reorder_cut_fraction = ost.reorder_cut_fraction;
+        oin.reorder_part_imbalance = ost.reorder_part_imbalance;
+        // Keyed by the *requested* ordering ("ran" records any degrade to
+        // identity — those rows predict excess 0 and carry no fit signal).
+        std::fprintf(f,
+                     "\"%s\": {\"ran\": \"%s\", \"imb_measured\": %.4f, "
+                     "\"imb_predicted\": %.4f}%s",
+                     ordering_name(ords[oi]), ordering_name(ost.ordering),
+                     mean > 0.0 ? mx / mean : 1.0, m.cost().predicted_imbalance(oin, algo),
+                     oi == 0 ? ", " : "");
+      }
+      std::fprintf(f, "}%s\n", gi + 1 < grid_algos.size() ? "," : "");
+    }
+    std::fprintf(f, "      },\n");
+
     // Iterated squarings through one cached DistSpgemmPlan per backend: the
     // plan-vs-execute breakdown that pins the inspector–executor contract
     // (iteration 1+ must replay: zero Plan ms, zero metadata bytes).

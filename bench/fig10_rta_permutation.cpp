@@ -2,14 +2,110 @@
 // on queen-like, 64 ranks. Paper result: the original ordering beats random
 // permutation on both communication and computation, and "other" time
 // dominates because the workload is small.
+//
+// --json[=PATH] emits the same two cases machine-readably plus the
+// rectangular-degrade record for DESIGN.md §12: RᵀA has rectangular
+// operands, so a requested partitioned ordering must silently degrade to
+// identity — zero partitioner time, zero reorder collective bytes. Merged
+// into BENCH_partition.json by scripts/bench_local.sh --partition-only.
 #include <cstdio>
+#include <cstring>
 
 #include "apps/amg.hpp"
 #include "bench_common.hpp"
+#include "dist/dist_spgemm.hpp"
 #include "part/permutation.hpp"
 
-int main() {
+namespace {
+
+using namespace sa1d;
+
+struct CaseResult {
+  bench::Breakdown bd;
+  std::uint64_t rdma_bytes = 0;
+};
+
+CaseResult run_case_report(Machine& m, const CscMatrix<double>& aa, const CscMatrix<double>& rr) {
+  auto rtg = transpose(rr);
+  auto rep = m.run([&](Comm& c) {
+    auto drt = DistMatrix1D<double>::from_global(c, rtg);
+    auto da = DistMatrix1D<double>::from_global(c, aa);
+    spgemm_1d(c, drt, da);
+  });
+  return {bench::modeled(rep, m.cost()), rep.total_rdma_bytes()};
+}
+
+void run_json(const char* json_path) {
+  const int P = [] {
+    if (const char* s = std::getenv("SA1D_NP")) return std::atoi(s);
+    return 64;
+  }();
+  CostParams cp;
+  cp.ranks_per_node = std::max(1, P / 4);
+  Machine m(P, cp);
+
+  auto a = bench::load(Dataset::QueenLike);
+  auto r = restriction_operator(a, 11);
+  auto perm = random_permutation(a.ncols(), 13);
+  auto aperm = permute_symmetric(a, perm);
+  auto rperm = permute(r, perm, Permutation::identity(r.ncols()));
+
+  std::FILE* f = std::fopen(json_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path);
+    std::exit(1);
+  }
+  std::fprintf(f, "{\n  \"P\": %d,\n  \"cases\": [\n", P);
+  struct Named {
+    const char* name;
+    const CscMatrix<double>* aa;
+    const CscMatrix<double>* rr;
+  };
+  const Named cases[] = {{"original", &a, &r}, {"random-perm", &aperm, &rperm}};
+  for (std::size_t i = 0; i < 2; ++i) {
+    auto res = run_case_report(m, *cases[i].aa, *cases[i].rr);
+    std::fprintf(f,
+                 "    {\"case\": \"%s\", \"total_ms\": %.3f, \"comm_ms\": %.3f, "
+                 "\"comp_ms\": %.3f, \"other_ms\": %.3f, \"rdma_mib\": %.3f}%s\n",
+                 cases[i].name, 1e3 * res.bd.total(), 1e3 * res.bd.comm, 1e3 * res.bd.comp,
+                 1e3 * res.bd.other, bench::mib(res.rdma_bytes), i == 0 ? "," : "");
+  }
+  // Rectangular operands are reorder-ineligible: a requested partitioned
+  // ordering must run identity with zero partition time and zero reorder
+  // collective traffic (DESIGN.md §12 degrade contract).
+  DistSpgemmStats st;
+  m.run([&](Comm& c) {
+    auto drt = DistMatrix1D<double>::from_global(c, transpose(r));
+    auto da = DistMatrix1D<double>::from_global(c, a);
+    DistSpgemmOptions opt;
+    opt.algo = Algo::SparseAware1D;
+    opt.reorder = Ordering::Partitioned;
+    DistSpgemmStats local;
+    spgemm_dist(c, drt, da, opt, &local);
+    if (c.rank() == 0) st = local;
+  });
+  std::fprintf(f,
+               "  ],\n  \"rect_degrade\": {\"requested\": \"%s\", \"ran\": \"%s\", "
+               "\"partition_ms\": %.3f, \"reorder_coll_mib\": %.3f}\n}\n",
+               ordering_name(st.requested_ordering), ordering_name(st.ordering),
+               1e3 * st.partition_seconds, bench::mib(st.reorder_coll_bytes));
+  std::fclose(f);
+  std::fprintf(stderr, "wrote %s\n", json_path);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace sa1d;
+  const char* json_path = nullptr;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) json_path = "BENCH_partition_fig10.json";
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  if (json_path != nullptr) {
+    run_json(json_path);
+    return 0;
+  }
   bench::banner("fig10_rta_permutation", "Fig 10",
                 "R^T A with original vs random ordering; per-rank summary");
   const int P = 64;
@@ -19,7 +115,6 @@ int main() {
 
   auto a = bench::load(Dataset::QueenLike);
   auto r = restriction_operator(a, 11);
-  auto rt = transpose(r);
 
   auto run_case = [&](const char* label, const CscMatrix<double>& aa,
                       const CscMatrix<double>& rr) {

@@ -17,6 +17,12 @@
 #                                cache + batched small-multiply fusion vs
 #                                one-at-a-time, hot/cold hit rate, and the
 #                                budget-forced eviction/demotion sections
+#   BENCH_partition.json       — partition-aware planning (DESIGN.md §12):
+#                                fig04 (per-backend identity-vs-partitioned
+#                                iterated totals with reorder cost, edge cut,
+#                                amortization series, joint Auto pick,
+#                                bit-identity) + fig10 (RᵀA ordering study +
+#                                the rectangular-degrade record)
 # --refit skips the benches and refits CostParams.flop_s/triple_s from the
 # accumulated prediction-vs-measured records already in
 # BENCH_dist_backends.json (scripts/fit_cost_params.py). The fitted rates
@@ -24,7 +30,7 @@
 # automatically (exported as SA1D_COST_PARAMS; Machine loads it at
 # startup) — the refit loop is closed, no hand-editing. Record refits in
 # EXPERIMENTS.md.
-# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only|--throughput-only|--refit] [SA1D_SCALE]
+# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only|--throughput-only|--partition-only|--refit] [SA1D_SCALE]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,6 +41,7 @@ case "${1:-}" in
   --local-only) MODE=local; shift ;;
   --dist-only) MODE=dist; shift ;;
   --throughput-only) MODE=throughput; shift ;;
+  --partition-only) MODE=partition; shift ;;
   --refit) exec python3 scripts/fit_cost_params.py BENCH_dist_backends.json ;;
 esac
 SCALE="${1:-${SA1D_SCALE:-1}}"
@@ -87,6 +94,23 @@ if [ "$MODE" = all ] || [ "$MODE" = dist ]; then
     printf '}\n'
   } > BENCH_dist_backends.json
   echo "BENCH_dist_backends.json written (SA1D_SCALE=$SCALE)"
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = partition ]; then
+  cmake --build "$BUILD_DIR" --target fig04_permutation_breakdown \
+    --target fig10_rta_permutation -j "$(nproc)"
+  tmpdir3="$(mktemp -d)"
+  trap 'rm -rf "${tmpdir:-}" "${tmpdir2:-}" "$tmpdir3"' EXIT
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig04_permutation_breakdown" --json="$tmpdir3/fig04.json"
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig10_rta_permutation" --json="$tmpdir3/fig10.json"
+  {
+    printf '{\n"bench": "partition",\n"scale": %s,\n"fig04_partition_study": ' "$SCALE"
+    cat "$tmpdir3/fig04.json"
+    printf ',\n"fig10_rta_ordering": '
+    cat "$tmpdir3/fig10.json"
+    printf '}\n'
+  } > BENCH_partition.json
+  echo "BENCH_partition.json written (SA1D_SCALE=$SCALE)"
 fi
 
 if [ "$MODE" = all ] || [ "$MODE" = throughput ]; then

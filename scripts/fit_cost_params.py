@@ -32,7 +32,8 @@ Two more parameters ride the same records:
   prediction (imb_predicted, CostModel::predicted_imbalance — imb_scale is
   NOT baked in, so the fit is idempotent). Fitting is the same
   relative-LSQ slope, on the excess-over-1 of each: measured-1 =
-  imb_scale * (analytic-1).
+  imb_scale * (analytic-1). Rows carrying a per-ordering "orderings"
+  section (partitioned/random permuted runs) feed the same fit.
 
   overlap_discount — the fraction of modeled comm time the nonblocking
   engine hides behind compute. Each backend row records overlap_ms (hidden)
@@ -86,14 +87,24 @@ def mean_rel_err(pairs, rate):
 def fit_imb_scale(doc):
     """Relative-LSQ slope of measured-excess vs analytic-excess imbalance
     over the fig09 grid-backend records (rows predating the overlap series
-    lack the fields and carry no signal)."""
+    lack the fields and carry no signal). Rows with an "orderings" section
+    (PR 9) contribute the permuted runs too — partitioned/random orderings
+    shift the analytic excess, so they widen the fit's lever arm beyond
+    what identity-ordering rows alone provide."""
     pairs = []
+
+    def collect(meas):
+        a = meas.get("imb_predicted", 0.0) - 1.0
+        m = meas.get("imb_measured", 0.0) - 1.0
+        if a > 1e-6 and m > 1e-6:
+            pairs.append((a, m))
+
     for row in doc["fig09_backend_compare"]["rows"]:
         for meas in row["backends"].values():
-            a = meas.get("imb_predicted", 0.0) - 1.0
-            m = meas.get("imb_measured", 0.0) - 1.0
-            if a > 1e-6 and m > 1e-6:
-                pairs.append((a, m))
+            collect(meas)
+        for per_algo in row.get("orderings", {}).values():
+            for meas in per_algo.values():
+                collect(meas)
     scale = fit_rate(pairs)
     # Mirror the CostParams clamp so the printed snippet matches what the
     # runtime will actually apply.

@@ -88,6 +88,10 @@ class DistMatrix1D {
   [[nodiscard]] index_t local_nnz() const { return local_.nnz(); }
 
   [[nodiscard]] const DcscMatrix<VT>& local() const { return local_; }
+  /// Mutable slice access for value-only replay programs (the structure
+  /// contract is the caller's: overwrite vals in place, never jc/cp/ir —
+  /// same rule as DcscMatrix::mutable_vals).
+  [[nodiscard]] DcscMatrix<VT>& mutable_local() { return local_; }
 
   /// Global column id of the k-th *nonzero* local column.
   [[nodiscard]] index_t global_col(index_t k) const { return col_lo() + local_.col_id(k); }

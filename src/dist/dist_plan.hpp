@@ -40,6 +40,27 @@ namespace distdetail {
 /// RankReport slot of one Algo for the plan-reuse counters.
 inline std::size_t algo_slot(Algo a) { return static_cast<std::size_t>(a); }
 
+/// FNV-1a over a value array's bytes: the cheap "operand values unchanged"
+/// check that lets an ordered plan's replay reuse the cached permuted
+/// operands outright (zero reorder movement — the iterated-squaring case).
+template <typename VT>
+std::uint64_t value_hash(const DcscMatrix<VT>& m) {
+  const auto& v = m.vals();
+  const auto* p = reinterpret_cast<const unsigned char*>(v.data());
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < v.size() * sizeof(VT); ++i) h = (h ^ p[i]) * 0x100000001b3ULL;
+  return h;
+}
+
+/// Approximate resident bytes of one DCSC slice (vals + ir per nonzero,
+/// jc + cp per nonzero column) — the ordered-plan residency the plan cache
+/// accounts for its cached permuted operands and C template.
+template <typename VT>
+std::uint64_t matrix_bytes_resident(const DcscMatrix<VT>& m) {
+  return static_cast<std::uint64_t>(m.nnz()) * (sizeof(VT) + sizeof(index_t)) +
+         static_cast<std::uint64_t>(m.nzc()) * 2 * sizeof(index_t);
+}
+
 }  // namespace distdetail
 
 /// The cached plan of one distributed SpGEMM through any backend. The
@@ -57,6 +78,12 @@ class DistSpgemmPlan {
   [[nodiscard]] const DistSpgemmOptions& options() const { return opt_; }
   /// The concrete backend this plan runs (Auto's cached decision).
   [[nodiscard]] Algo chosen() const { return chosen_; }
+  /// The ordering this plan runs under (the joint decision's other half —
+  /// Identity when the request degraded or the model preferred it).
+  [[nodiscard]] Ordering ordering() const { return ordering_; }
+  /// Measured partition features of the build (defaults when no partition
+  /// was built this plan).
+  [[nodiscard]] const ReorderFeatures& reorder_features() const { return rfeatures_; }
   [[nodiscard]] int layers() const { return layers_; }
   [[nodiscard]] int builds() const { return builds_; }
   [[nodiscard]] int replays() const { return replays_; }
@@ -75,31 +102,55 @@ class DistSpgemmPlan {
   [[nodiscard]] int replay_layers() const { return replay_layers_; }
 
   /// Exact per-rank collective bytes one execute() receives — the pure
-  /// value payload of the cached routes/broadcasts. The metadata-byte
-  /// counter in DistSpgemmStats is the measured delta beyond this.
+  /// value payload of the cached routes/broadcasts, plus (for ordered
+  /// plans) the value-only inverse scatter returning C to the caller's
+  /// ordering. The metadata-byte counter in DistSpgemmStats is the measured
+  /// delta beyond this.
   [[nodiscard]] std::uint64_t replay_coll_recv_bytes() const {
+    std::uint64_t bytes = 0;
     switch (chosen_) {
       case Algo::Auto: break;
-      case Algo::SparseAware1D: return 0;  // replay is RDMA value gets only
-      case Algo::Ring1D: return ring_.replay_recv_bytes();
-      case Algo::Summa2D: return summa_.replay_recv_bytes(me_);
-      case Algo::Split3D: return split3d_.replay_recv_bytes(me_);
+      case Algo::SparseAware1D: break;  // replay is RDMA value gets only
+      case Algo::Ring1D: bytes = ring_.replay_recv_bytes(); break;
+      case Algo::Summa2D: bytes = summa_.replay_recv_bytes(me_); break;
+      case Algo::Split3D: bytes = split3d_.replay_recv_bytes(me_); break;
     }
-    return 0;
+    return bytes + inverse_scatter_recv_bytes();
+  }
+
+  /// Network bytes this rank receives from the cached inverse-scatter route
+  /// (self chunks land in bytes_local, so they are excluded).
+  [[nodiscard]] std::uint64_t inverse_scatter_recv_bytes() const {
+    if (ordering_ == Ordering::Identity) return 0;
+    std::uint64_t n = 0;
+    for (std::size_t s = 0; s < route_c_inv_.recv_dst.size(); ++s)
+      if (static_cast<int>(s) != me_) n += route_c_inv_.recv_dst[s].size();
+    return n * sizeof(VT);
   }
 
   /// Byte-accurate residency of the cached replay program on this rank —
   /// what the plan cache (runtime/plan_cache.hpp) accounts against its
-  /// budget. A RingPlan is the heavyweight: ≈nnz(A) resident indices.
+  /// budget. A RingPlan is the heavyweight: ≈nnz(A) resident indices. An
+  /// ordered plan additionally holds the permuted operands, the C template,
+  /// the three value routes, and the permutation itself.
   [[nodiscard]] std::uint64_t bytes_resident() const {
+    std::uint64_t bytes = 0;
     switch (chosen_) {
       case Algo::Auto: break;
-      case Algo::SparseAware1D: return sa1d_.bytes_resident();
-      case Algo::Ring1D: return ring_.bytes_resident();
-      case Algo::Summa2D: return summa_.bytes_resident();
-      case Algo::Split3D: return split3d_.bytes_resident();
+      case Algo::SparseAware1D: bytes = sa1d_.bytes_resident(); break;
+      case Algo::Ring1D: bytes = ring_.bytes_resident(); break;
+      case Algo::Summa2D: bytes = summa_.bytes_resident(); break;
+      case Algo::Split3D: bytes = split3d_.bytes_resident(); break;
     }
-    return 0;
+    if (ordering_ != Ordering::Identity) {
+      bytes += route_a_.bytes_resident() + route_b_.bytes_resident() +
+               route_c_inv_.bytes_resident();
+      bytes += distdetail::matrix_bytes_resident(pa_.local());
+      if (!pb_aliases_pa_) bytes += distdetail::matrix_bytes_resident(pb_.local());
+      bytes += distdetail::matrix_bytes_resident(c_tmpl_.local());
+      bytes += static_cast<std::uint64_t>(perm_.size()) * sizeof(index_t);
+    }
+    return bytes;
   }
 
   /// Direct access to the chosen backend's cached program — the batched
@@ -167,7 +218,16 @@ class DistSpgemmPlan {
     int layers = opt.layers;
     detail1d::AMeta<VT> meta;
     bool have_meta = false;
-    if (algo == Algo::Auto) {
+
+    // Ordering policy resolution (DESIGN.md §12), mirroring spgemm_dist:
+    // ineligible operands degrade to Identity before any collective.
+    Ordering policy = opt.reorder;
+    if (policy != Ordering::Identity && !reorder_eligible(a, b, comm.size()))
+      policy = Ordering::Identity;
+    const bool need_cost = algo == Algo::Auto || policy == Ordering::Auto;
+    const bool need_rplan = policy == Ordering::Auto || policy == Ordering::Partitioned;
+
+    if (need_cost) {
       inputs_ = gather_algo_cost_inputs(comm, a, b, opt.sa1d, &meta);
       inputs_.grid_rows = opt.grid_rows;
       inputs_.grid_cols = opt.grid_cols;
@@ -178,13 +238,35 @@ class DistSpgemmPlan {
       inputs_.batch = std::max(1, opt.expected_batch);
       have_meta = true;
       have_inputs_ = true;
+    }
+
+    const RankReport before_reorder = comm.report();
+    ReorderPlan rplan;
+    if (need_rplan) {
+      rplan = build_reorder_plan(comm, a, opt.sa1d.threads, opt.reorder_seed);
+      rfeatures_ = rplan.features;
+      last_partition_seconds_ = rplan.features.partition_seconds;
+      if (!rplan.valid && policy == Ordering::Partitioned) policy = Ordering::Identity;
+    }
+
+    ordering_ = policy == Ordering::Auto ? Ordering::Identity : policy;
+    if (need_cost) {
+      if (rplan.valid) {
+        inputs_.reorder_cut_fraction = rplan.features.cut_fraction;
+        inputs_.reorder_part_imbalance = rplan.features.part_imbalance;
+        inputs_.reorder_seconds = rplan.features.partition_seconds;
+      }
+      inputs_.reorder_move_elems = inputs_.nnz_a + (&a == &b ? 0 : inputs_.nnz_b);
       auto ph = comm.phase(Phase::Plan);
-      // Horizon-aware Auto: with a declared iteration count the build is
-      // priced as one fresh multiply plus (h−1) value-only replays per
-      // backend, so the plan is built directly onto the replay-optimal
-      // backend (acting on the replay_choice disagreement).
-      algo = choose_algo(comm.cost(), inputs_, opt.layers, &layers, &predictions_,
-                         /*replay=*/false, horizon_);
+      // Horizon-aware joint Auto: with a declared iteration count the build
+      // is priced as one fresh multiply plus (h−1) value-only replays per
+      // (backend × ordering) cell, so the one-shot reorder cost is
+      // amortized over the horizon exactly once.
+      auto [ch, ord] = choose_algo_ordered(comm.cost(), inputs_, policy, rplan.valid, opt.algo,
+                                           opt.layers, &layers, &predictions_, horizon_);
+      if (opt.algo == Algo::Auto) algo = ch;
+      ordering_ = ord;
+      inputs_.ordering = ordering_;
       // Plan-aware Auto (ROADMAP): the decision above is what this build
       // runs; also reprice the same inputs for pure value-only replays
       // (zero plan term) so every later execute() can report the decision
@@ -194,6 +276,34 @@ class DistSpgemmPlan {
     } else if (algo == Algo::Split3D && layers == 0) {
       layers = distdetail::default_split3d_layers(comm.size());
     }
+
+    // Apply the ordering: permute both operands onto the partition layout
+    // (Random keeps the original bounds), capturing the value-only forward
+    // routes, and cache the operand value hashes so replays can skip the
+    // movement entirely when only structure — not values — must match.
+    const DistMatrix1D<VT>* ra = &a;
+    const DistMatrix1D<VT>* rb = &b;
+    if (ordering_ != Ordering::Identity) {
+      have_meta = false;  // the gathered AMeta describes the unpermuted A
+      std::vector<index_t> pbounds;
+      if (ordering_ == Ordering::Partitioned) {
+        perm_ = rplan.layout.perm;
+        pbounds = rplan.layout.bounds;
+      } else {
+        perm_ = random_permutation(a.ncols(), opt.reorder_seed);
+        pbounds = a.bounds();
+      }
+      pa_ = permute_symmetric_dist(comm, a, perm_, pbounds, &route_a_);
+      pb_aliases_pa_ = &a == &b;
+      if (!pb_aliases_pa_)
+        pb_ = permute_symmetric_dist(comm, b, perm_, std::move(pbounds), &route_b_);
+      ra = &pa_;
+      rb = pb_aliases_pa_ ? &pa_ : &pb_;
+      a_val_hash_ = distdetail::value_hash(a.local());
+      b_val_hash_ = pb_aliases_pa_ ? a_val_hash_ : distdetail::value_hash(b.local());
+    }
+    last_reorder_bytes_ =
+        comm.report().coll_bytes_received() - before_reorder.coll_bytes_received();
 
     // The SA-1D prefetch rides the master switch: both must be on.
     Spgemm1dOptions sa = opt.sa1d;
@@ -207,18 +317,19 @@ class DistSpgemmPlan {
         case Algo::SparseAware1D:
           // Auto hands its gathered AMeta to the inspector: exactly one
           // metadata allgather for the whole dispatch.
-          sa1d_ = have_meta ? SpgemmPlan1D<VT, SR>(comm, a, b, sa, std::move(meta))
-                            : SpgemmPlan1D<VT, SR>(comm, a, b, sa);
-          return sa1d_.execute_verified(comm, a, b);
+          sa1d_ = have_meta ? SpgemmPlan1D<VT, SR>(comm, *ra, *rb, sa, std::move(meta))
+                            : SpgemmPlan1D<VT, SR>(comm, *ra, *rb, sa);
+          return sa1d_.execute_verified(comm, *ra, *rb);
         case Algo::Ring1D:
-          return spgemm_naive_ring_1d<SR>(comm, a, b, &ring_, opt.overlap);
+          return spgemm_naive_ring_1d<SR>(comm, *ra, *rb, &ring_, opt.overlap);
         case Algo::Summa2D:
-          return spgemm_summa_2d_dist<SR>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads,
+          return spgemm_summa_2d_dist<SR>(comm, *ra, *rb, opt.sa1d.kernel, opt.sa1d.threads,
                                           &summa_, opt.grid_rows, opt.grid_cols, opt.overlap);
         case Algo::Split3D:
           require_split3d_layers(comm.size(), lyr, "DistSpgemmPlan(Algo::Split3D)");
-          return spgemm_split_3d_dist<SR>(comm, a, b, lyr, opt.sa1d.kernel, opt.sa1d.threads,
-                                          &split3d_, opt.grid_rows, opt.grid_cols, opt.overlap);
+          return spgemm_split_3d_dist<SR>(comm, *ra, *rb, lyr, opt.sa1d.kernel,
+                                          opt.sa1d.threads, &split3d_, opt.grid_rows,
+                                          opt.grid_cols, opt.overlap);
       }
       require(false, "DistSpgemmPlan::build: unknown algorithm");
       return {};
@@ -230,10 +341,15 @@ class DistSpgemmPlan {
       c = run_fresh(algo, layers);
     } else {
       // Same degrade policy as spgemm_dist: walk the cost-ranked feasible
-      // candidates, skipping any a backend's entry validation or the fault
-      // injector's veto rejects (both deterministic and rank-symmetric).
+      // candidates *of the chosen ordering* (the operands are already
+      // permuted for it), skipping any a backend's entry validation or the
+      // fault injector's veto rejects (both deterministic and
+      // rank-symmetric).
+      std::vector<AlgoPrediction> walk = predictions_;
+      std::erase_if(walk,
+                    [&](const AlgoPrediction& p) { return p.ordering != ordering_; });
       bool done = false;
-      for (const auto& cand : distdetail::ranked_candidates(predictions_)) {
+      for (const auto& cand : distdetail::ranked_candidates(std::move(walk))) {
         if (comm.injector() != nullptr &&
             comm.injector()->vetoes(static_cast<int>(cand.algo))) {
           ++failovers;
@@ -255,9 +371,20 @@ class DistSpgemmPlan {
     }
     const Algo algo_run = chosen_;
 
-    if (algo_run == Algo::SparseAware1D) {
+    if (ordering_ != Ordering::Identity) {
+      // Scatter C back to the caller's ordering and bounds, capturing the
+      // value-only inverse route; the returned matrix doubles as the
+      // template every replay writes its scattered values into.
+      c = permute_symmetric_dist(comm, c, perm_.inverse(), a.bounds(), &route_c_inv_);
+      c_tmpl_ = c;
+    }
+
+    if (algo_run == Algo::SparseAware1D && ordering_ == Ordering::Identity) {
       fp_ = sa1d_.fingerprint();  // the inspector already hashed the slices
     } else {
+      // Ordered plans must fingerprint the ORIGINAL operands — matches()
+      // compares against what the caller passes; the SA-1D sub-plan hashes
+      // the permuted pair internally for its own replay guard.
       auto ph = comm.phase(Phase::Plan);
       fp_ = detail1d::fingerprint_of(a, b);
     }
@@ -309,21 +436,62 @@ class DistSpgemmPlan {
                     std::to_string(comm.global_rank(comm.rank())) +
                     "'s operand dims/nnz diverged from the plan fingerprint)");
     const RankReport before = comm.report();
+    last_partition_seconds_ = 0.0;  // replays never re-partition
+    last_reorder_bytes_ = 0;
+    const DistMatrix1D<VT>* ra = &a;
+    const DistMatrix1D<VT>* rb = &b;
+    if (ordering_ != Ordering::Identity) {
+      // The cached permuted operands already hold the right values when the
+      // caller's values are unchanged since they were filled (iterated
+      // squaring replays the same plan on the same matrix) — vote on the
+      // hash match through the uncounted control plane so the branch is
+      // rank-uniform, and only on a miss replay the value-only forward
+      // routes (the documented changed-values contract: nonzero reorder
+      // bytes, still zero partition work).
+      std::uint64_t ah, bh;
+      bool same_local;
+      {
+        auto ph = comm.phase(Phase::Reorder);
+        ah = distdetail::value_hash(a.local());
+        bh = pb_aliases_pa_ ? ah : distdetail::value_hash(b.local());
+        same_local = ah == a_val_hash_ && bh == b_val_hash_;
+      }
+      bool same = true;
+      for (const auto& v : comm.exchange_control(same_local ? "1" : "0"))
+        if (v == "0") same = false;
+      if (!same) {
+        const RankReport br = comm.report();
+        permute_symmetric_replay(comm, a, route_a_, pa_);
+        if (!pb_aliases_pa_) permute_symmetric_replay(comm, b, route_b_, pb_);
+        a_val_hash_ = ah;
+        b_val_hash_ = bh;
+        last_reorder_bytes_ =
+            comm.report().coll_bytes_received() - br.coll_bytes_received();
+      }
+      ra = &pa_;
+      rb = pb_aliases_pa_ ? &pa_ : &pb_;
+    }
     DistMatrix1D<VT> c;
     switch (chosen_) {
       case Algo::Auto: break;  // unreachable: build resolved the dispatch
       case Algo::SparseAware1D:
-        c = sa1d_.execute_verified(comm, a, b);
+        c = sa1d_.execute_verified(comm, *ra, *rb);
         break;
       case Algo::Ring1D:
-        c = spgemm_naive_ring_1d_replay<SR>(comm, ring_, a, b, opt_.overlap);
+        c = spgemm_naive_ring_1d_replay<SR>(comm, ring_, *ra, *rb, opt_.overlap);
         break;
       case Algo::Summa2D:
-        c = spgemm_summa_2d_replay<SR>(comm, summa_, a, b, opt_.overlap);
+        c = spgemm_summa_2d_replay<SR>(comm, summa_, *ra, *rb, opt_.overlap);
         break;
       case Algo::Split3D:
-        c = spgemm_split_3d_replay<SR>(comm, split3d_, a, b, opt_.overlap);
+        c = spgemm_split_3d_replay<SR>(comm, split3d_, *ra, *rb, opt_.overlap);
         break;
+    }
+    if (ordering_ != Ordering::Identity) {
+      // Value-only inverse scatter through the cached route: C comes back
+      // in the caller's ordering. Regular execution comm, not reorder.
+      permute_symmetric_replay(comm, c, route_c_inv_, c_tmpl_);
+      c = c_tmpl_;
     }
     ++replays_;
     ++comm.report().plan_replays[distdetail::algo_slot(chosen_)];
@@ -348,6 +516,12 @@ class DistSpgemmPlan {
     stats->requested = opt_.algo;
     stats->chosen = chosen_;
     stats->layers = layers_;
+    stats->requested_ordering = opt_.reorder;
+    stats->ordering = ordering_;
+    stats->reorder_cut_fraction = rfeatures_.cut_fraction;
+    stats->reorder_part_imbalance = rfeatures_.part_imbalance;
+    stats->partition_seconds = last_partition_seconds_;
+    stats->reorder_coll_bytes = last_reorder_bytes_;
     if (have_inputs_) {
       stats->inputs = inputs_;
       stats->predictions = predictions_;
@@ -366,7 +540,12 @@ class DistSpgemmPlan {
     stats->comm_hidden_s = after.overlap_s - before.overlap_s;
     stats->coll_recv_bytes = (after.bytes_network() - after.rdma_bytes) -
                              (before.bytes_network() - before.rdma_bytes);
-    const std::uint64_t value_payload = reused ? replay_coll_recv_bytes() : 0;
+    // A reused ordered plan's value traffic includes the inverse scatter
+    // (inside replay_coll_recv_bytes) and, when operand values changed, the
+    // forward value routes (the measured reorder bytes) — neither is
+    // structural metadata.
+    const std::uint64_t value_payload =
+        reused ? replay_coll_recv_bytes() + last_reorder_bytes_ : 0;
     stats->meta_coll_bytes =
         stats->coll_recv_bytes > value_payload ? stats->coll_recv_bytes - value_payload : 0;
   }
@@ -386,6 +565,24 @@ class DistSpgemmPlan {
   int horizon_ = 1;
   int builds_ = 0;
   int replays_ = 0;
+
+  // Ordered-plan cache (ordering_ != Identity): the symmetric permutation
+  // and its layout, the permuted operands with their forward value routes,
+  // the inverse route + C template returning results to the caller's
+  // ordering, and FNV hashes of the original operands' value arrays. A
+  // replay whose operands still hash-match reuses pa_/pb_ outright — zero
+  // partition work, zero reorder collective bytes (DESIGN.md §12).
+  Ordering ordering_ = Ordering::Identity;
+  Permutation perm_;
+  ReorderFeatures rfeatures_{};
+  DistMatrix1D<VT> pa_, pb_;
+  bool pb_aliases_pa_ = false;
+  PermuteRoute route_a_, route_b_, route_c_inv_;
+  DistMatrix1D<VT> c_tmpl_;
+  std::uint64_t a_val_hash_ = 0, b_val_hash_ = 0;
+  // Per-call reorder accounting the next fill_stats reports.
+  double last_partition_seconds_ = 0.0;
+  std::uint64_t last_reorder_bytes_ = 0;
 
   // Exactly one of these is populated, per chosen_.
   SpgemmPlan1D<VT, SR> sa1d_;

@@ -24,6 +24,8 @@
 #include "dist/naive1d.hpp"
 #include "dist/spgemm3d.hpp"
 #include "dist/summa2d.hpp"
+#include "part/permutation.hpp"
+#include "part/reorder.hpp"
 #include "runtime/cost_model.hpp"
 #include "sparse/generators.hpp"
 #include "util/timer.hpp"
@@ -68,6 +70,18 @@ struct DistSpgemmOptions {
   /// together with sa1d.overlap). Off = the seed's lockstep collectives;
   /// results are bit-identical either way.
   bool overlap = true;
+  /// Ordering policy (the reorder plan stage, DESIGN.md §12): Identity runs
+  /// in the caller's ordering; Partitioned/Random force a symmetric
+  /// relabeling of both operands (the multiply runs as P·A·Pᵀ · P·B·Pᵀ and
+  /// C is returned in the caller's original ordering); Auto prices every
+  /// backend under all three orderings and picks the (backend × ordering)
+  /// pair jointly. Non-identity orderings require square operands on
+  /// identical bounds with at least P columns — anything else degrades to
+  /// Identity, recorded in DistSpgemmStats::ordering.
+  Ordering reorder = Ordering::Identity;
+  /// Seed of the partitioner / random relabeling (part of the plan identity:
+  /// same structure + same seed ⇒ the identical permutation on every call).
+  std::uint64_t reorder_seed = 1;
 
   friend bool operator==(const DistSpgemmOptions&, const DistSpgemmOptions&) = default;
 };
@@ -101,6 +115,22 @@ struct DistSpgemmStats {
   std::vector<AlgoPrediction> replay_predictions;  ///< replay-priced trace (plan-cached Auto)
   Algo replay_choice = Algo::Auto;  ///< argmin of replay_predictions; Auto = not computed
   int replay_layers = 1;  ///< layer count the replay-priced Split3D choice assumed
+
+  // Joint ordering decision + reorder accounting (DESIGN.md §12).
+  // `ordering` is what the call actually ran under — a requested
+  // non-identity ordering degrades to Identity for ineligible operands
+  // (non-square, mismatched bounds, fewer columns than ranks) or when the
+  // partitioner produced no valid layout.
+  Ordering requested_ordering = Ordering::Identity;
+  Ordering ordering = Ordering::Identity;
+  double reorder_cut_fraction = 1.0;    ///< measured cut fraction (when a partition was built)
+  double reorder_part_imbalance = 1.0;  ///< measured max/mean part weight
+  double partition_seconds = 0.0;       ///< partitioner CPU this call (0 on a plan replay)
+  /// Collective bytes the ordering stage received this call: the structure
+  /// gather feeding the partitioner plus the forward operand permutes.
+  /// Exactly 0 on a value-matched plan replay; the inverse scatter that
+  /// returns C in the caller's ordering counts as regular execution comm.
+  std::uint64_t reorder_coll_bytes = 0;
 
   bool plan_reused = false;            ///< this call replayed a cached plan
   double plan_seconds = 0.0;           ///< Phase::Plan CPU delta (this rank)
@@ -287,6 +317,7 @@ inline Algo choose_algo(const CostModel& cm, AlgoCostInputs in, int layers_opt, 
   // best; an explicit layer request pins the candidate.
   AlgoPrediction best3d;
   best3d.algo = Algo::Split3D;
+  best3d.ordering = in.ordering;
   best3d.note = layers_opt > 0 ? "the requested layer count does not divide P"
                                : "P is prime: the only layerings are the trivial c=1 and c=P";
   int best_layers = 1;
@@ -322,6 +353,67 @@ inline Algo choose_algo(const CostModel& cm, AlgoCostInputs in, int layers_opt, 
   if (layers_out != nullptr) *layers_out = chosen == Algo::Split3D ? best_layers : 1;
   if (predictions != nullptr) *predictions = std::move(preds);
   return chosen;
+}
+
+/// Joint (backend × ordering) decision (DESIGN.md §12): prices every
+/// concrete backend under each candidate ordering — all three under the
+/// Auto policy, else exactly the forced one — by running choose_algo once
+/// per ordering, then argmins over the union. `partitioned_ok` gates the
+/// Partitioned candidate on a valid ReorderPlan; `pinned` restricts the
+/// backend argmin to one algorithm (Algo::Auto = free choice), so an
+/// explicit-backend caller can still let the model pick its ordering.
+/// Deterministic in the inputs — no communication.
+inline std::pair<Algo, Ordering> choose_algo_ordered(
+    const CostModel& cm, AlgoCostInputs in, Ordering policy, bool partitioned_ok, Algo pinned,
+    int layers_opt, int* layers_out, std::vector<AlgoPrediction>* predictions,
+    int horizon_iters = 1) {
+  std::vector<Ordering> cands;
+  if (policy == Ordering::Auto) {
+    cands.push_back(Ordering::Identity);
+    if (partitioned_ok) cands.push_back(Ordering::Partitioned);
+    cands.push_back(Ordering::Random);
+  } else {
+    cands.push_back(policy == Ordering::Partitioned && !partitioned_ok ? Ordering::Identity
+                                                                       : policy);
+  }
+  std::vector<AlgoPrediction> all;
+  for (Ordering o : cands) {
+    in.ordering = o;
+    std::vector<AlgoPrediction> preds;
+    int lyr = 1;
+    choose_algo(cm, in, layers_opt, &lyr, &preds, /*replay=*/false, horizon_iters);
+    all.insert(all.end(), preds.begin(), preds.end());
+  }
+  Algo best_algo = pinned != Algo::Auto ? pinned : Algo::SparseAware1D;
+  Ordering best_ord = cands.front();
+  int best_layers = 1;
+  double best = -1.0;
+  for (const auto& pr : all) {
+    if (!pr.feasible) continue;
+    if (pinned != Algo::Auto && pr.algo != pinned) continue;
+    if (best < 0.0 || pr.total_s() < best) {
+      best = pr.total_s();
+      best_algo = pr.algo;
+      best_ord = pr.ordering;
+      best_layers = pr.layers;
+    }
+  }
+  // Nothing feasible (e.g. a pinned backend the grid rejects): run plain —
+  // the dispatch's own validation raises the real diagnostic.
+  if (best < 0.0 && policy == Ordering::Auto) best_ord = Ordering::Identity;
+  if (layers_out != nullptr) *layers_out = best_algo == Algo::Split3D ? best_layers : 1;
+  if (predictions != nullptr) *predictions = std::move(all);
+  return {best_algo, best_ord};
+}
+
+/// Whether a non-identity ordering can run on this operand pair: symmetric
+/// permutation needs square operands living on identical bounds, and the
+/// partitioner needs at least one column per rank. Rank-uniform (bounds are
+/// replicated), so every rank takes the same degrade branch.
+template <typename VT>
+bool reorder_eligible(const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b, int P) {
+  return a.nrows() == a.ncols() && b.nrows() == b.ncols() && a.ncols() == b.ncols() &&
+         a.bounds() == b.bounds() && a.ncols() >= static_cast<index_t>(P);
 }
 
 namespace distdetail {
@@ -392,7 +484,9 @@ void validate_collective(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix
              std::to_string(static_cast<int>(opt.sa1d.merge_adjacent_blocks)) + "," +
              std::to_string(static_cast<int>(opt.overlap)) + "," +
              std::to_string(static_cast<int>(opt.sa1d.overlap)) + "," +
-             std::to_string(opt.sa1d.prefetch_inflight) + "|" +
+             std::to_string(opt.sa1d.prefetch_inflight) + "," +
+             std::to_string(static_cast<int>(opt.reorder)) + "," +
+             std::to_string(opt.reorder_seed) + "|" +
              std::to_string(a.nrows()) + "x" + std::to_string(a.ncols()) + "," +
              std::to_string(b.nrows()) + "x" + std::to_string(b.ncols());
   }
@@ -454,23 +548,85 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
   DistSpgemmStats& st = stats != nullptr ? *stats : scratch;
   st = DistSpgemmStats{};
   st.requested = opt.algo;
+  st.requested_ordering = opt.reorder;
   st.horizon_iters = std::max(1, opt.expected_iterations);
 
-  if (algo == Algo::Auto) {
+  // Ordering policy resolution (DESIGN.md §12): ineligible operands degrade
+  // to Identity before any collective, so every rank takes the same path.
+  Ordering policy = opt.reorder;
+  if (policy != Ordering::Identity && !reorder_eligible(a, b, comm.size()))
+    policy = Ordering::Identity;
+  const bool need_cost = algo == Algo::Auto || policy == Ordering::Auto;
+  const bool need_rplan = policy == Ordering::Auto || policy == Ordering::Partitioned;
+
+  if (need_cost) {
     st.inputs = gather_algo_cost_inputs(comm, a, b, opt.sa1d);
     st.inputs.grid_rows = opt.grid_rows;
     st.inputs.grid_cols = opt.grid_cols;
     st.inputs.overlap = opt.overlap;
+  }
+
+  const RankReport before_reorder = comm.report();
+  ReorderPlan rplan;
+  if (need_rplan) {
+    rplan = build_reorder_plan(comm, a, opt.sa1d.threads, opt.reorder_seed);
+    st.partition_seconds = rplan.features.partition_seconds;
+    st.reorder_cut_fraction = rplan.features.cut_fraction;
+    st.reorder_part_imbalance = rplan.features.part_imbalance;
+    if (!rplan.valid && policy == Ordering::Partitioned) policy = Ordering::Identity;
+  }
+
+  Ordering ordering = policy == Ordering::Auto ? Ordering::Identity : policy;
+  if (need_cost) {
+    if (rplan.valid) {
+      st.inputs.reorder_cut_fraction = rplan.features.cut_fraction;
+      st.inputs.reorder_part_imbalance = rplan.features.part_imbalance;
+      st.inputs.reorder_seconds = rplan.features.partition_seconds;
+    }
+    st.inputs.reorder_move_elems = st.inputs.nnz_a + (&a == &b ? 0 : st.inputs.nnz_b);
     auto ph = comm.phase(Phase::Plan);
-    algo = choose_algo(comm.cost(), st.inputs, opt.layers, &layers, &st.predictions,
-                       /*replay=*/false, st.horizon_iters);
+    auto [ch, ord] = choose_algo_ordered(comm.cost(), st.inputs, policy, rplan.valid, opt.algo,
+                                         opt.layers, &layers, &st.predictions,
+                                         st.horizon_iters);
+    if (opt.algo == Algo::Auto) algo = ch;
+    ordering = ord;
+    st.inputs.ordering = ordering;
   } else if (algo == Algo::Split3D && layers == 0) {
     layers = distdetail::default_split3d_layers(comm.size());
   }
+  st.ordering = ordering;
 
   // The SA-1D prefetch rides the master switch: both must be on.
   Spgemm1dOptions sa = opt.sa1d;
   sa.overlap = opt.sa1d.overlap && opt.overlap;
+
+  // Non-identity orderings run the multiply in permuted coordinates — both
+  // operands symmetrically relabeled onto the partition layout (or the
+  // original bounds for Random) — then scatter C back below.
+  Permutation perm;
+  const DistMatrix1D<VT>* ra = &a;
+  const DistMatrix1D<VT>* rb = &b;
+  DistMatrix1D<VT> pa, pb;
+  if (ordering != Ordering::Identity) {
+    std::vector<index_t> pbounds;
+    if (ordering == Ordering::Partitioned) {
+      perm = rplan.layout.perm;
+      pbounds = rplan.layout.bounds;
+    } else {
+      perm = random_permutation(a.ncols(), opt.reorder_seed);
+      pbounds = a.bounds();
+    }
+    pa = permute_symmetric_dist(comm, a, perm, pbounds);
+    ra = &pa;
+    if (&a == &b) {
+      rb = &pa;
+    } else {
+      pb = permute_symmetric_dist(comm, b, perm, std::move(pbounds));
+      rb = &pb;
+    }
+  }
+  st.reorder_coll_bytes =
+      comm.report().coll_bytes_received() - before_reorder.coll_bytes_received();
 
   auto dispatch = [&](Algo which, int lyr) -> DistMatrix1D<VT> {
     st.chosen = which;
@@ -478,37 +634,47 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
     switch (which) {
       case Algo::Auto: break;  // unreachable: resolved above
       case Algo::SparseAware1D:
-        if (plan != nullptr) return spgemm_1d_cached(comm, *plan, a, b, sa);
-        return spgemm_1d<SRIn>(comm, a, b, sa);
+        if (plan != nullptr) return spgemm_1d_cached(comm, *plan, *ra, *rb, sa);
+        return spgemm_1d<SRIn>(comm, *ra, *rb, sa);
       case Algo::Ring1D:
-        return spgemm_naive_ring_1d<SRIn>(comm, a, b, nullptr, opt.overlap);
+        return spgemm_naive_ring_1d<SRIn>(comm, *ra, *rb, nullptr, opt.overlap);
       case Algo::Summa2D:
-        return spgemm_summa_2d_dist<SRIn>(comm, a, b, opt.sa1d.kernel, opt.sa1d.threads,
+        return spgemm_summa_2d_dist<SRIn>(comm, *ra, *rb, opt.sa1d.kernel, opt.sa1d.threads,
                                           nullptr, opt.grid_rows, opt.grid_cols, opt.overlap);
       case Algo::Split3D:
         require_split3d_layers(comm.size(), lyr, "spgemm_dist(Algo::Split3D)");
-        return spgemm_split_3d_dist<SRIn>(comm, a, b, lyr, opt.sa1d.kernel, opt.sa1d.threads,
-                                          nullptr, opt.grid_rows, opt.grid_cols, opt.overlap);
+        return spgemm_split_3d_dist<SRIn>(comm, *ra, *rb, lyr, opt.sa1d.kernel,
+                                          opt.sa1d.threads, nullptr, opt.grid_rows,
+                                          opt.grid_cols, opt.overlap);
     }
     require(false, "spgemm_dist: unknown algorithm");
     return {};
   };
+  // C of the permuted multiply is P·C·Pᵀ of the caller's: the inverse
+  // symmetric permute lands it back on the original ordering and bounds.
+  auto finish = [&](DistMatrix1D<VT> c) -> DistMatrix1D<VT> {
+    if (ordering == Ordering::Identity) return c;
+    return permute_symmetric_dist(comm, c, perm.inverse(), a.bounds());
+  };
 
-  if (opt.algo != Algo::Auto) return dispatch(algo, layers);
+  if (opt.algo != Algo::Auto) return finish(dispatch(algo, layers));
 
-  // Auto degrade policy: walk the cost-ranked feasible candidates; a
+  // Auto degrade policy: walk the cost-ranked feasible candidates *of the
+  // chosen ordering* (the operands are already permuted for it); a
   // candidate whose dispatch fails validation (or that the fault injector
   // vetoes — both are deterministic and rank-symmetric, so every rank skips
   // the same cells) falls through to the next-ranked backend. Every backend
   // validates at entry, before any collective, so the fallthrough never
   // desynchronizes the ranks.
-  for (const auto& cand : distdetail::ranked_candidates(st.predictions)) {
+  std::vector<AlgoPrediction> walk = st.predictions;
+  std::erase_if(walk, [&](const AlgoPrediction& p) { return p.ordering != ordering; });
+  for (const auto& cand : distdetail::ranked_candidates(std::move(walk))) {
     if (comm.injector() != nullptr && comm.injector()->vetoes(static_cast<int>(cand.algo))) {
       ++st.validation_failovers;
       continue;
     }
     try {
-      return dispatch(cand.algo, cand.layers);
+      return finish(dispatch(cand.algo, cand.layers));
     } catch (const std::invalid_argument&) {
       ++st.validation_failovers;
     }

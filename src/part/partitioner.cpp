@@ -5,6 +5,7 @@
 #include <numeric>
 #include <queue>
 
+#include "kernels/spgemm_local.hpp"
 #include "util/rng.hpp"
 
 namespace sa1d {
@@ -12,30 +13,44 @@ namespace sa1d {
 Graph graph_from_matrix(const CscMatrix<double>& a) {
   require(a.nrows() == a.ncols(), "graph_from_matrix: matrix must be square");
   const index_t n = a.ncols();
-  // Collect undirected edges (min,max) and merge duplicates.
-  std::vector<std::pair<index_t, index_t>> edges;
-  edges.reserve(static_cast<std::size_t>(a.nnz()));
+  // Symmetrize by counting sort — both directions of every off-diagonal
+  // entry bucketed by source vertex, then per-vertex duplicate merge with a
+  // mark array. O(nnz + n), no comparison sort; neighbour lists come out in
+  // first-encounter order, which every consumer treats as opaque.
+  std::vector<index_t> cnt(static_cast<std::size_t>(n) + 1, 0);
   for (index_t j = 0; j < n; ++j)
     for (auto r : a.col_rows(j))
-      if (r != j) edges.emplace_back(std::min(r, j), std::max(r, j));
-  std::sort(edges.begin(), edges.end());
-  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
-
+      if (r != j) {
+        ++cnt[static_cast<std::size_t>(j) + 1];
+        ++cnt[static_cast<std::size_t>(r) + 1];
+      }
+  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) cnt[i + 1] += cnt[i];
+  std::vector<index_t> raw(static_cast<std::size_t>(cnt[static_cast<std::size_t>(n)]));
+  {
+    std::vector<index_t> cursor(cnt.begin(), cnt.end() - 1);
+    for (index_t j = 0; j < n; ++j)
+      for (auto r : a.col_rows(j))
+        if (r != j) {
+          raw[static_cast<std::size_t>(cursor[static_cast<std::size_t>(j)]++)] = r;
+          raw[static_cast<std::size_t>(cursor[static_cast<std::size_t>(r)]++)] = j;
+        }
+  }
   Graph g;
   g.n = n;
   g.xadj.assign(static_cast<std::size_t>(n) + 1, 0);
-  for (const auto& [u, v] : edges) {
-    ++g.xadj[static_cast<std::size_t>(u) + 1];
-    ++g.xadj[static_cast<std::size_t>(v) + 1];
+  g.adj.reserve(raw.size());
+  std::vector<index_t> mark(static_cast<std::size_t>(n), -1);
+  for (index_t v = 0; v < n; ++v) {
+    for (index_t e = cnt[static_cast<std::size_t>(v)]; e < cnt[static_cast<std::size_t>(v) + 1]; ++e) {
+      index_t u = raw[static_cast<std::size_t>(e)];
+      if (mark[static_cast<std::size_t>(u)] != v) {
+        mark[static_cast<std::size_t>(u)] = v;
+        g.adj.push_back(u);
+      }
+    }
+    g.xadj[static_cast<std::size_t>(v) + 1] = static_cast<index_t>(g.adj.size());
   }
-  for (std::size_t i = 0; i < static_cast<std::size_t>(n); ++i) g.xadj[i + 1] += g.xadj[i];
-  g.adj.resize(static_cast<std::size_t>(2) * edges.size());
   g.ewgt.assign(g.adj.size(), 1.0);
-  std::vector<index_t> cursor(g.xadj.begin(), g.xadj.end() - 1);
-  for (const auto& [u, v] : edges) {
-    g.adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(u)]++)] = v;
-    g.adj[static_cast<std::size_t>(cursor[static_cast<std::size_t>(v)]++)] = u;
-  }
   return g;
 }
 
@@ -70,8 +85,11 @@ struct Level {
 };
 
 /// Heavy-edge matching coarsening step. Returns false if the graph barely
-/// shrank (time to stop).
-bool coarsen_once(const Graph& g, const std::vector<double>& vwgt, SplitMix64& rng,
+/// shrank (time to stop). The matching itself is order-dependent and stays
+/// sequential; the coarse-edge accumulation and per-coarse-vertex merge —
+/// the hot loop — run on `threads` threads over contiguous coarse-vertex
+/// ranges split by fine-degree prefix, bit-identical for any thread count.
+bool coarsen_once(const Graph& g, const std::vector<double>& vwgt, SplitMix64& rng, int threads,
                   Graph& coarse, std::vector<double>& cwgt, std::vector<index_t>& map) {
   const index_t n = g.n;
   std::vector<index_t> match(static_cast<std::size_t>(n), -1);
@@ -115,36 +133,83 @@ bool coarsen_once(const Graph& g, const std::vector<double>& vwgt, SplitMix64& r
     cwgt[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])] +=
         vwgt[static_cast<std::size_t>(v)];
 
-  // Accumulate coarse edges, merging multi-edges per coarse vertex.
-  std::vector<std::vector<std::pair<index_t, double>>> nbr(static_cast<std::size_t>(nc));
-  for (index_t v = 0; v < n; ++v) {
-    index_t cv = map[static_cast<std::size_t>(v)];
-    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
-         e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
-      index_t cu = map[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(e)])];
-      if (cu != cv)
-        nbr[static_cast<std::size_t>(cv)].emplace_back(cu, g.ewgt[static_cast<std::size_t>(e)]);
-    }
+  // Accumulate coarse edges, merging multi-edges per coarse vertex with a
+  // slot-marker table (first-encounter order, O(degree) per coarse vertex —
+  // no per-vertex sort). Members of each coarse vertex are listed in
+  // ascending fine id — the same visit order as a sequential fine-vertex
+  // sweep — so each thread reproduces the serial encounter order and the
+  // result is independent of `threads`.
+  std::vector<index_t> cstart(static_cast<std::size_t>(nc) + 1, 0);
+  for (index_t v = 0; v < n; ++v) ++cstart[static_cast<std::size_t>(map[static_cast<std::size_t>(v)]) + 1];
+  for (index_t c = 0; c < nc; ++c) cstart[static_cast<std::size_t>(c) + 1] += cstart[static_cast<std::size_t>(c)];
+  std::vector<index_t> members(static_cast<std::size_t>(n));
+  {
+    std::vector<index_t> cursor(cstart.begin(), cstart.end() - 1);
+    for (index_t v = 0; v < n; ++v)
+      members[static_cast<std::size_t>(cursor[static_cast<std::size_t>(map[static_cast<std::size_t>(v)])]++)] = v;
   }
+  std::vector<index_t> cdeg(static_cast<std::size_t>(nc), 0);
+  for (index_t cv = 0; cv < nc; ++cv)
+    for (index_t mi = cstart[static_cast<std::size_t>(cv)]; mi < cstart[static_cast<std::size_t>(cv) + 1]; ++mi) {
+      index_t v = members[static_cast<std::size_t>(mi)];
+      cdeg[static_cast<std::size_t>(cv)] +=
+          g.xadj[static_cast<std::size_t>(v) + 1] - g.xadj[static_cast<std::size_t>(v)];
+    }
+
+  const int nt = std::max(1, threads);
+  const std::vector<index_t> tb = flop_balanced_split(std::span<const index_t>(cdeg), nt);
+  struct ThreadOut {
+    std::vector<index_t> adj;
+    std::vector<double> ewgt;
+    std::vector<index_t> cnt;  // merged neighbour count per owned coarse vertex
+  };
+  std::vector<ThreadOut> outs(static_cast<std::size_t>(nt));
+  detail::parallel_for_parts(nt, [&](int t) {
+    auto& o = outs[static_cast<std::size_t>(t)];
+    const index_t clo = tb[static_cast<std::size_t>(t)], chi = tb[static_cast<std::size_t>(t) + 1];
+    o.cnt.assign(static_cast<std::size_t>(chi - clo), 0);
+    std::vector<std::pair<index_t, double>> lst;
+    std::vector<index_t> slot(static_cast<std::size_t>(nc), -1);
+    for (index_t cv = clo; cv < chi; ++cv) {
+      lst.clear();
+      for (index_t mi = cstart[static_cast<std::size_t>(cv)]; mi < cstart[static_cast<std::size_t>(cv) + 1]; ++mi) {
+        index_t v = members[static_cast<std::size_t>(mi)];
+        for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+             e < g.xadj[static_cast<std::size_t>(v) + 1]; ++e) {
+          index_t cu = map[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(e)])];
+          if (cu == cv) continue;
+          index_t& s = slot[static_cast<std::size_t>(cu)];
+          if (s == -1) {
+            s = static_cast<index_t>(lst.size());
+            lst.emplace_back(cu, g.ewgt[static_cast<std::size_t>(e)]);
+          } else {
+            lst[static_cast<std::size_t>(s)].second += g.ewgt[static_cast<std::size_t>(e)];
+          }
+        }
+      }
+      o.cnt[static_cast<std::size_t>(cv - clo)] = static_cast<index_t>(lst.size());
+      for (const auto& [u, sum] : lst) {
+        o.adj.push_back(u);
+        o.ewgt.push_back(sum);
+        slot[static_cast<std::size_t>(u)] = -1;
+      }
+    }
+  });
+
   coarse.n = nc;
   coarse.xadj.assign(static_cast<std::size_t>(nc) + 1, 0);
   coarse.adj.clear();
   coarse.ewgt.clear();
-  for (index_t cv = 0; cv < nc; ++cv) {
-    auto& lst = nbr[static_cast<std::size_t>(cv)];
-    std::sort(lst.begin(), lst.end());
-    std::size_t w = 0;
-    for (std::size_t i = 0; i < lst.size();) {
-      auto [u, sum] = lst[i++];
-      while (i < lst.size() && lst[i].first == u) sum += lst[i++].second;
-      lst[w++] = {u, sum};
+  std::size_t pos = 0;
+  for (int t = 0; t < nt; ++t) {
+    const auto& o = outs[static_cast<std::size_t>(t)];
+    const index_t clo = tb[static_cast<std::size_t>(t)];
+    coarse.adj.insert(coarse.adj.end(), o.adj.begin(), o.adj.end());
+    coarse.ewgt.insert(coarse.ewgt.end(), o.ewgt.begin(), o.ewgt.end());
+    for (std::size_t i = 0; i < o.cnt.size(); ++i) {
+      pos += static_cast<std::size_t>(o.cnt[i]);
+      coarse.xadj[static_cast<std::size_t>(clo) + i + 1] = static_cast<index_t>(pos);
     }
-    lst.resize(w);
-    for (const auto& [u, ew] : lst) {
-      coarse.adj.push_back(u);
-      coarse.ewgt.push_back(ew);
-    }
-    coarse.xadj[static_cast<std::size_t>(cv) + 1] = static_cast<index_t>(coarse.adj.size());
   }
   return true;
 }
@@ -212,9 +277,18 @@ std::vector<int> grow_bisection(const Graph& g, const std::vector<double>& vwgt,
 }
 
 /// One FM boundary-refinement pass: greedily moves vertices with positive
-/// gain (or balance-restoring moves) between the two sides.
-void fm_refine(const Graph& g, const std::vector<double>& vwgt, std::vector<int>& side,
-               double target_frac, double imbalance) {
+/// gain (or balance-restoring moves) between the two sides. The boundary
+/// scan — the hot loop on fine levels — runs on `threads` threads over
+/// contiguous vertex ranges split by degree prefix; each thread emits its
+/// candidates in ascending vertex order and the in-order concatenation
+/// reproduces the serial candidate list exactly, so the sorted move order
+/// (and hence the partition) is independent of the thread count. The move
+/// loop itself is order-dependent and stays sequential.
+/// Returns true if any move was made; a pass that moves nothing leaves
+/// `side` untouched, so further passes would be identical no-ops and the
+/// caller can stop early.
+bool fm_refine(const Graph& g, const std::vector<double>& vwgt, std::vector<int>& side,
+               double target_frac, double imbalance, int threads) {
   const index_t n = g.n;
   double total = std::accumulate(vwgt.begin(), vwgt.end(), 0.0);
   double w0 = 0;
@@ -236,17 +310,29 @@ void fm_refine(const Graph& g, const std::vector<double>& vwgt, std::vector<int>
     return ext - in;
   };
 
+  const int nt = std::max(1, threads);
+  std::vector<index_t> deg(static_cast<std::size_t>(n));
+  for (index_t v = 0; v < n; ++v)
+    deg[static_cast<std::size_t>(v)] =
+        g.xadj[static_cast<std::size_t>(v) + 1] - g.xadj[static_cast<std::size_t>(v)];
+  const std::vector<index_t> tb = flop_balanced_split(std::span<const index_t>(deg), nt);
+  std::vector<std::vector<std::pair<double, index_t>>> parts(static_cast<std::size_t>(nt));
+  detail::parallel_for_parts(nt, [&](int t) {
+    auto& out = parts[static_cast<std::size_t>(t)];
+    for (index_t v = tb[static_cast<std::size_t>(t)]; v < tb[static_cast<std::size_t>(t) + 1]; ++v) {
+      bool boundary = false;
+      for (index_t e = g.xadj[static_cast<std::size_t>(v)];
+           e < g.xadj[static_cast<std::size_t>(v) + 1] && !boundary; ++e)
+        boundary = side[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(e)])] !=
+                   side[static_cast<std::size_t>(v)];
+      if (boundary) out.emplace_back(gain(v), v);
+    }
+  });
   std::vector<std::pair<double, index_t>> cand;
-  for (index_t v = 0; v < n; ++v) {
-    bool boundary = false;
-    for (index_t e = g.xadj[static_cast<std::size_t>(v)];
-         e < g.xadj[static_cast<std::size_t>(v) + 1] && !boundary; ++e)
-      boundary = side[static_cast<std::size_t>(g.adj[static_cast<std::size_t>(e)])] !=
-                 side[static_cast<std::size_t>(v)];
-    if (boundary) cand.emplace_back(gain(v), v);
-  }
+  for (auto& p : parts) cand.insert(cand.end(), p.begin(), p.end());
   std::sort(cand.begin(), cand.end(), std::greater<>());
 
+  bool moved = false;
   for (const auto& [g0, v] : cand) {
     double cur_gain = gain(v);  // earlier moves may have changed it
     int s = side[static_cast<std::size_t>(v)];
@@ -258,8 +344,10 @@ void fm_refine(const Graph& g, const std::vector<double>& vwgt, std::vector<int>
     if ((cur_gain > 0 && balanced) || (cur_gain >= 0 && balance_improves)) {
       side[static_cast<std::size_t>(v)] = 1 - s;
       w0 = new_w0;
+      moved = true;
     }
   }
+  return moved;
 }
 
 /// Multilevel bisection with `target_frac` of weight on side 0.
@@ -271,7 +359,8 @@ std::vector<int> multilevel_bisect(const Graph& g, const std::vector<double>& vw
   const std::vector<double>* cur_w = &vwgt;
   while (cur_g->n > opt.coarsen_limit) {
     Level lvl;
-    if (!coarsen_once(*cur_g, *cur_w, rng, lvl.graph, lvl.vwgt, lvl.fine_to_coarse)) break;
+    if (!coarsen_once(*cur_g, *cur_w, rng, opt.threads, lvl.graph, lvl.vwgt, lvl.fine_to_coarse))
+      break;
     levels.push_back(std::move(lvl));
     cur_g = &levels.back().graph;
     cur_w = &levels.back().vwgt;
@@ -279,7 +368,7 @@ std::vector<int> multilevel_bisect(const Graph& g, const std::vector<double>& vw
 
   std::vector<int> side = grow_bisection(*cur_g, *cur_w, target_frac, rng);
   for (int pass = 0; pass < opt.refine_passes; ++pass)
-    fm_refine(*cur_g, *cur_w, side, target_frac, opt.imbalance);
+    if (!fm_refine(*cur_g, *cur_w, side, target_frac, opt.imbalance, opt.threads)) break;
 
   for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
     const Graph* fine_g = (it + 1 == levels.rend()) ? &g : &(it + 1)->graph;
@@ -290,7 +379,7 @@ std::vector<int> multilevel_bisect(const Graph& g, const std::vector<double>& vw
           side[static_cast<std::size_t>(it->fine_to_coarse[static_cast<std::size_t>(v)])];
     side = std::move(fine_side);
     for (int pass = 0; pass < opt.refine_passes; ++pass)
-      fm_refine(*fine_g, *fine_w, side, target_frac, opt.imbalance);
+      if (!fm_refine(*fine_g, *fine_w, side, target_frac, opt.imbalance, opt.threads)) break;
   }
   return side;
 }

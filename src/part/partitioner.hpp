@@ -40,9 +40,18 @@ std::vector<double> flops_vertex_weights(const CscMatrix<double>& a);
 struct PartitionOptions {
   int nparts = 2;
   double imbalance = 1.05;    ///< max part weight over perfect balance
-  index_t coarsen_limit = 64; ///< stop coarsening below this many vertices
+  /// Stop coarsening below this many vertices. A larger coarsest graph is
+  /// both cheaper (fewer levels) and better for the BFS-grown initial
+  /// bisection, which recovers clustered structure more reliably when the
+  /// clusters are not collapsed to single vertices.
+  index_t coarsen_limit = 256;
   int refine_passes = 4;      ///< FM passes per uncoarsening level
   std::uint64_t seed = 1;
+  /// Threads for the two hot loops (coarse-edge accumulation, FM boundary
+  /// scan), split by the same degree-prefix idiom as the local engine's
+  /// flop_balanced_split. Results are bit-identical for any thread count —
+  /// the order-dependent matching and move loops stay sequential.
+  int threads = 1;
 };
 
 struct PartitionResult {

@@ -1,0 +1,103 @@
+// The reordering plan stage (DESIGN.md §12): replicates the operand's
+// structure, runs the multilevel partitioner with the paper's nnz²-weighted
+// flops balance (§III-B), and distills the result into the two features the
+// cost model prices a partitioned ordering with — the cut fraction (the
+// share of adjacency that still crosses rank boundaries after reordering)
+// and the measured max/mean part-weight imbalance that replaces the
+// analytic even-split term. Everything is SPMD-replicated and deterministic,
+// so every rank derives the identical layout with no result broadcast.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "part/partitioner.hpp"
+#include "runtime/machine.hpp"
+#include "util/timer.hpp"
+
+namespace sa1d {
+
+/// What the ordering stage learned from partitioning the operand structure:
+/// the cost-model features of the partitioned ordering (AlgoCostInputs
+/// carries them into CostModel::predict).
+struct ReorderFeatures {
+  double cut_fraction = 1.0;      ///< cut edge weight / total edge weight (1 = no savings)
+  double part_imbalance = 1.0;    ///< max/mean part vertex weight (the flops proxy)
+  double partition_seconds = 0.0; ///< measured partitioner CPU, max-reduced over ranks
+  double edge_cut = 0.0;          ///< absolute cut weight (diagnostics / benches)
+};
+
+/// A built reordering plan: the partition-induced 1D layout plus its
+/// features. `valid` is false when the operands are ineligible (not square,
+/// or fewer columns than ranks) — callers fall back to identity ordering.
+struct ReorderPlan {
+  PartitionLayout layout;  ///< perm (old id → new id) + P+1 slice bounds
+  ReorderFeatures features;
+  bool valid = false;
+};
+
+/// Builds the ReorderPlan for the square operand `a`. Collective: one
+/// pattern allgather (2 index words per nonzero) replicates the structure,
+/// then every rank runs the identical deterministic partition. The measured
+/// partition seconds are max-reduced so the cost inputs — and therefore the
+/// joint (backend × ordering) decision derived from them — are rank-uniform.
+/// CPU is charged to Phase::Reorder.
+template <typename VT>
+ReorderPlan build_reorder_plan(Comm& comm, const DistMatrix1D<VT>& a, int threads,
+                               std::uint64_t seed) {
+  ReorderPlan plan;
+  if (a.nrows() != a.ncols() || a.ncols() < static_cast<index_t>(comm.size())) return plan;
+
+  std::vector<index_t> packed;
+  {
+    auto ph = comm.phase(Phase::Reorder);
+    const auto& al = a.local();
+    packed.reserve(2 * static_cast<std::size_t>(al.nnz()));
+    for (index_t k = 0; k < al.nzc(); ++k) {
+      const index_t gj = a.col_lo() + al.col_id(k);
+      for (auto r : al.col_rows_at(k)) {
+        packed.push_back(r);
+        packed.push_back(gj);
+      }
+    }
+  }
+  auto chunks = comm.allgatherv(std::span<const index_t>(packed));
+
+  auto ph = comm.phase(Phase::Reorder);
+  CooMatrix<double> coo(a.nrows(), a.ncols());
+  for (const auto& ch : chunks)
+    for (std::size_t i = 0; i + 1 < ch.size(); i += 2) coo.push(ch[i], ch[i + 1], 1.0);
+  coo.canonicalize();
+  const auto pattern = CscMatrix<double>::from_coo(coo);
+
+  CpuTimer pt;
+  const Graph g = graph_from_matrix(pattern);
+  const auto w = flops_vertex_weights(pattern);
+  PartitionOptions popt;
+  popt.nparts = comm.size();
+  popt.seed = seed;
+  popt.threads = threads;
+  const PartitionResult res = partition_graph(g, w, popt);
+  plan.layout = partition_to_layout(res.part, popt.nparts);
+  const double local_seconds = pt.seconds();
+
+  double total_ew = 0.0;
+  for (auto e : g.ewgt) total_ew += e;
+  total_ew /= 2.0;  // each undirected edge appears in both adjacency lists
+  plan.features.edge_cut = res.edge_cut;
+  plan.features.cut_fraction = total_ew > 0.0 ? res.edge_cut / total_ew : 1.0;
+  double mx = 0.0, sum = 0.0;
+  for (double pw : res.part_weights) {
+    mx = std::max(mx, pw);
+    sum += pw;
+  }
+  plan.features.part_imbalance =
+      sum > 0.0 ? mx * static_cast<double>(popt.nparts) / sum : 1.0;
+  plan.valid = true;
+  plan.features.partition_seconds = comm.allreduce_max(local_seconds);
+  return plan;
+}
+
+}  // namespace sa1d

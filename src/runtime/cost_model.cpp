@@ -140,6 +140,46 @@ double even_split_imbalance(double n, int parts) {
   return std::ceil(mean) / mean;
 }
 
+/// Rewrites the measured inputs into what they would look like under the
+/// requested ordering (DESIGN.md §12). Partitioned: the layout balanced
+/// per-rank flops to the measured part imbalance and shrank the remote
+/// adjacency to the cut fraction. Random: relabeling levels the flop skew
+/// but destroys locality — every remote column is needed, so the fetch
+/// volume saturates at the replicated-operand worst case. Identity/Auto
+/// pass through. Not idempotent (the cut discount multiplies), so it is
+/// applied exactly once per prediction, at the entry points.
+AlgoCostInputs ordering_adjusted(const AlgoCostInputs& in) {
+  AlgoCostInputs t = in;
+  const auto P = static_cast<double>(in.P < 1 ? 1 : in.P);
+  const auto flops = static_cast<double>(in.flops);
+  switch (in.ordering) {
+    case Ordering::Identity:
+    case Ordering::Auto:
+      break;
+    case Ordering::Partitioned: {
+      const double cut = std::clamp(in.reorder_cut_fraction, 0.0, 1.0);
+      const double imb = std::max(1.0, in.reorder_part_imbalance);
+      t.max_rank_flops = static_cast<std::uint64_t>(imb * flops / P);
+      t.sa1d_fetch_elems =
+          static_cast<std::uint64_t>(cut * static_cast<double>(in.sa1d_fetch_elems));
+      t.sa1d_fetch_msgs = std::max<std::uint64_t>(
+          static_cast<std::uint64_t>(cut * static_cast<double>(in.sa1d_fetch_msgs)),
+          static_cast<std::uint64_t>(in.P < 1 ? 1 : in.P));
+      break;
+    }
+    case Ordering::Random: {
+      t.max_rank_flops = static_cast<std::uint64_t>(flops / P) + 1;
+      const auto worst = static_cast<std::uint64_t>(
+          static_cast<double>(in.nnz_a) * (P - 1.0) / P);
+      t.sa1d_fetch_elems = std::max(in.sa1d_fetch_elems, worst);
+      t.sa1d_fetch_msgs =
+          std::max(in.sa1d_fetch_msgs, static_cast<std::uint64_t>(P * (P - 1.0)));
+      break;
+    }
+  }
+  return t;
+}
+
 /// The per-rank element volumes and latency of the grid backends (SUMMA-2D
 /// is the layers = 1 case), shared by both pricing horizons: predict()
 /// charges them at triple width, predict_replay() at value width. One
@@ -188,8 +228,18 @@ GridTerms grid_terms(const AlgoCostInputs& in, int layers, double imb_scale = 1.
   const double skew1d = (flops > 0.0 && in.max_rank_flops > 0)
                             ? std::max(1.0, static_cast<double>(in.max_rank_flops) * P / flops)
                             : 1.0;
-  const double analytic = even_split_imbalance(static_cast<double>(in.m), g.rows) *
-                          even_split_imbalance(static_cast<double>(in.n), g.cols) * skew1d;
+  double analytic = even_split_imbalance(static_cast<double>(in.m), g.rows) *
+                    even_split_imbalance(static_cast<double>(in.n), g.cols) * skew1d;
+  if (in.ordering == Ordering::Partitioned) {
+    // Under a partitioned ordering the analytic even-split product is
+    // replaced by the *measured* part-weight imbalance — the partitioner
+    // already balanced exactly the quantity the product approximates — and
+    // the stage broadcasts shrink with the cut: a clustered ordering makes
+    // off-diagonal blocks hypersparse, so volume tracks the cut fraction.
+    // The diagonal blocks always ship, hence the 1/max(qr, qc) floor.
+    analytic = std::max(1.0, in.reorder_part_imbalance);
+    t.bcast_elems *= std::clamp(in.reorder_cut_fraction, 1.0 / std::max(qr, qc), 1.0);
+  }
   t.imb = 1.0 + imb_scale * (analytic - 1.0);
   t.ok = true;
   return t;
@@ -197,9 +247,13 @@ GridTerms grid_terms(const AlgoCostInputs& in, int layers, double imb_scale = 1.
 
 }  // namespace
 
-AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
+AlgoPrediction CostModel::predict(const AlgoCostInputs& in_raw, Algo algo) const {
+  // All formulas below read the ordering-adjusted view of the measurements;
+  // the raw inputs only matter for the one-shot reorder term at the end.
+  const AlgoCostInputs in = ordering_adjusted(in_raw);
   AlgoPrediction pr;
   pr.algo = algo;
+  pr.ordering = in.ordering;
   const auto P = static_cast<double>(in.P < 1 ? 1 : in.P);
   const auto threads = static_cast<double>(in.threads < 1 ? 1 : in.threads);
   const double alpha = alpha_eff(in.P);
@@ -288,16 +342,37 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in, Algo algo) const {
   // the numeric pass (every backend's hot loop is double-buffered or
   // pipelined); with the default discount of 0 this is the identity.
   if (in.overlap) pr.comm_s *= 1.0 - p_.overlap_discount;
+  if (in.ordering == Ordering::Partitioned || in.ordering == Ordering::Random) {
+    // One-shot ordering cost, paid by the build only (predict_replay zeroes
+    // it, so the horizon pricing amortizes it over expected_iterations):
+    // the measured partition CPU plus the structure gather feeding the
+    // partitioner (Partitioned only), then the forward operand permutes and
+    // the first inverse scatter of C — three alltoallv rounds moving
+    // triples, with pack/unpack at the triple rate.
+    const double move = static_cast<double>(in.reorder_move_elems);
+    double s = 0.0;
+    if (in.ordering == Ordering::Partitioned)
+      s += in.reorder_seconds + alpha * (P - 1.0) +
+           beta * 2.0 * static_cast<double>(in.index_bytes) * nnz_a;
+    s += alpha * 3.0 * (P - 1.0) + beta * trip * (move + cnnz_est) / P +
+         p_.triple_s * (move + cnnz_est) / P;
+    pr.reorder_s = s;
+  }
   return pr;
 }
 
-AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in, Algo algo) const {
+AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in_raw, Algo algo) const {
   // Start from the one-shot prediction (same feasibility rules and compute
   // term), then strip everything a cached replay does not pay: metadata
   // collectives, structure bytes (value-only payloads), the symbolic /
   // sort-and-merge side of `other` (replays run fold programs, not sorts).
-  AlgoPrediction pr = predict(in, algo);
+  AlgoPrediction pr = predict(in_raw, algo);
   if (!pr.feasible) return pr;
+  // Replays reuse the cached partition, permuted operands, and routes: the
+  // one-shot ordering cost disappears (the value-only inverse scatter of C
+  // that permuted replays still pay is added below as regular comm).
+  pr.reorder_s = 0.0;
+  const AlgoCostInputs in = ordering_adjusted(in_raw);
   const auto P = static_cast<double>(in.P < 1 ? 1 : in.P);
   // Batched amortization (dist/batch_spgemm.hpp): k fused members share one
   // concatenated message per phase, so each member pays alpha/k per round
@@ -323,9 +398,16 @@ AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in, Algo algo) co
     }
     case Algo::Ring1D: {
       // Hops shift bare value arrays; the merge replays the cached ⊕-fold
-      // program (no per-hop regrouping, no sort).
+      // program (no per-hop regrouping, no sort). The numeric side is not
+      // flops-only, though: each of the P−1 hop multiplies re-walks its
+      // cached A-slice structure against the local B column map, so over a
+      // full rotation the rank touches (P−1)/P of A's triples — a scan
+      // over precomputed indices, priced at the quarter triple rate like
+      // the inverse-scatter unpack below. Without this term iterated
+      // pricing undersells the ring's per-replay cost by ~35% and Auto
+      // picks it over a measured-faster partitioned SA-1D at MCL horizons.
       pr.comm_s = alpha * (P - 1.0) + beta * vb * nnz_a * (P - 1.0) / P;
-      pr.other_coeff = flops / P;
+      pr.other_coeff = flops / P + nnz_a * (P - 1.0) / (4.0 * P);
       break;
     }
     case Algo::Summa2D:
@@ -340,6 +422,15 @@ AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in, Algo algo) co
       break;
     }
   }
+  if (in.ordering == Ordering::Partitioned || in.ordering == Ordering::Random) {
+    // Permuted plans return C in the caller's original ordering every call:
+    // one value-only inverse-scatter round (cached route, bare values).
+    // Regular execution comm, not reorder. The unpack walks precomputed
+    // slot indices — a scan, not a sort/route — so like Ring1D's per-hop
+    // regrouping it costs about a quarter of the triple rate.
+    pr.comm_s += alpha * (P - 1.0) + beta * vb * cnnz_est / P;
+    pr.other_coeff += cnnz_est / (4.0 * P);
+  }
   pr.comp_s = pr.comp_coeff * p_.flop_s;
   pr.other_s = pr.other_coeff * p_.triple_s;
   if (in.overlap) pr.comm_s *= 1.0 - p_.overlap_discount;
@@ -350,7 +441,7 @@ double CostModel::predicted_imbalance(const AlgoCostInputs& in, Algo algo) const
   if (algo != Algo::Summa2D && algo != Algo::Split3D) return 1.0;
   // Unscaled analytic factor: this is the fit's independent variable, so it
   // must not already contain imb_scale.
-  const GridTerms t = grid_terms(in, algo == Algo::Split3D ? in.layers : 1);
+  const GridTerms t = grid_terms(ordering_adjusted(in), algo == Algo::Split3D ? in.layers : 1);
   return t.ok ? t.imb : 1.0;
 }
 

@@ -64,6 +64,22 @@ inline const char* algo_name(Algo a) {
   return "?";
 }
 
+/// Column/row orderings the dispatch can run a multiply under — the reorder
+/// plan stage of DESIGN.md §12. Auto is a *policy* value
+/// (DistSpgemmOptions::reorder): price every backend under all three and
+/// pick jointly; a chosen/predicted ordering is never Auto.
+enum class Ordering { Identity, Partitioned, Random, Auto };
+
+inline const char* ordering_name(Ordering o) {
+  switch (o) {
+    case Ordering::Identity: return "identity";
+    case Ordering::Partitioned: return "partitioned";
+    case Ordering::Random: return "random";
+    case Ordering::Auto: return "auto";
+  }
+  return "?";
+}
+
 /// Cheap structural statistics of one distributed multiply C = A·B, gathered
 /// from replicated metadata before any algorithm runs (gather_algo_cost_inputs
 /// in dist/dist_spgemm.hpp). Everything here is a global aggregate, so every
@@ -97,6 +113,21 @@ struct AlgoCostInputs {
   /// message per phase, so predict_replay divides the per-message latency
   /// (alpha) terms by `batch` while the volume (beta) terms are unchanged.
   int batch = 1;
+
+  // Ordering features (the reorder plan stage, part/reorder.hpp;
+  // DESIGN.md §12). `ordering` names the ordering this prediction prices:
+  // Identity leaves every term as measured; Partitioned substitutes the
+  // measured part-weight imbalance for the analytic even-split term and
+  // discounts fetch/broadcast volume by the cut fraction; Random levels the
+  // flop skew but pays worst-case fetch volume. Non-identity orderings add
+  // a one-shot reorder cost (partition time + permute alltoallv volume)
+  // that predict_replay zeroes, so horizon pricing amortizes it over
+  // expected_iterations.
+  Ordering ordering = Ordering::Identity;
+  double reorder_cut_fraction = 1.0;     ///< cut edge weight / total edge weight
+  double reorder_part_imbalance = 1.0;   ///< measured max/mean part weight
+  double reorder_seconds = 0.0;          ///< measured partitioner CPU (rank-uniform max)
+  std::uint64_t reorder_move_elems = 0;  ///< operand triples the forward permutes move
 };
 
 /// Modeled per-rank seconds for one backend on one AlgoCostInputs.
@@ -110,12 +141,18 @@ struct AlgoPrediction {
   bool feasible = false;
   const char* note = "";  ///< why infeasible / which layer count was assumed
   int layers = 1;         ///< layer count this prediction assumed (Split3D only ≠ 1)
+  /// Ordering this row prices (AlgoCostInputs::ordering at predict time).
+  Ordering ordering = Ordering::Identity;
   double comm_s = 0.0;
   double comp_s = 0.0;
   double other_s = 0.0;
+  /// One-shot ordering cost (partition + permute movement + first inverse
+  /// scatter). Paid by the build only — predict_replay zeroes it, so the
+  /// horizon pricing in choose_algo amortizes it over the iteration budget.
+  double reorder_s = 0.0;
   double comp_coeff = 0.0;   ///< effective flops: comp_s / CostParams.flop_s
   double other_coeff = 0.0;  ///< effective triples: other_s / CostParams.triple_s
-  [[nodiscard]] double total_s() const { return comm_s + comp_s + other_s; }
+  [[nodiscard]] double total_s() const { return comm_s + comp_s + other_s + reorder_s; }
 };
 
 /// Modeled per-rank and aggregate times derived from a RankReport. `plan`

@@ -16,10 +16,11 @@ namespace sa1d {
 /// accounted separately from per-execute bookkeeping, so iterated
 /// multiplies can show the plan cost amortizing to zero.
 enum class Phase {
-  Comp,   // local SpGEMM numeric pass (parallelizable across threads)
-  Plan,   // inspector: metadata, needed masks, fetch plan, symbolic pass
-  Other,  // per-execute bookkeeping: value copies, DCSC assembly, merges
-  Comm,   // time attributed to waiting on communication (modeled + measured)
+  Comp,     // local SpGEMM numeric pass (parallelizable across threads)
+  Plan,     // inspector: metadata, needed masks, fetch plan, symbolic pass
+  Other,    // per-execute bookkeeping: value copies, DCSC assembly, merges
+  Comm,     // time attributed to waiting on communication (modeled + measured)
+  Reorder,  // ordering stage: graph partitioning + permutation pack/unpack
 };
 
 /// Everything one simulated rank did during a Machine::run.
@@ -28,6 +29,11 @@ struct RankReport {
   double comp_s = 0.0;
   double plan_s = 0.0;
   double other_s = 0.0;
+  // Ordering-stage CPU: partitioner runs and permutation pack/unpack (the
+  // paper's "permutation time" when it reports 2D/3D with preprocessing).
+  // One-shot per plan — replays of a cached permuted plan charge nothing
+  // here beyond the inverse value scatter.
+  double reorder_s = 0.0;
 
   // Modeled network seconds, split by whether the rank actually waited for
   // the message or hid it behind useful work. Every received message costs
@@ -129,6 +135,7 @@ class PhaseScope {
       case Phase::Plan: report_.plan_s += s; break;
       case Phase::Other: report_.other_s += s; break;
       case Phase::Comm: report_.comm_s += s; break;
+      case Phase::Reorder: report_.reorder_s += s; break;
     }
   }
 

@@ -140,6 +140,26 @@ TEST(Partitioner, Deterministic) {
   EXPECT_EQ(a.part, b.part);
 }
 
+TEST(Partitioner, ThreadedBitIdenticalToSequential) {
+  // The threaded hot loops (coarse-edge accumulation, FM boundary scan)
+  // must reproduce the sequential partition exactly — including the
+  // floating-point edge-weight sums, which feed the FM gains.
+  auto a = rmat<double>(10, 6, 17);
+  auto g = graph_from_matrix(a);
+  auto w = flops_vertex_weights(a);
+  PartitionOptions opt;
+  opt.nparts = 6;
+  opt.seed = 9;
+  opt.threads = 1;
+  auto seq = partition_graph(g, w, opt);
+  for (int threads : {2, 3, 4, 7}) {
+    opt.threads = threads;
+    auto par = partition_graph(g, w, opt);
+    EXPECT_EQ(seq.part, par.part) << "threads=" << threads;
+    EXPECT_DOUBLE_EQ(seq.edge_cut, par.edge_cut) << "threads=" << threads;
+  }
+}
+
 TEST(Partitioner, RejectsBadArgs) {
   auto g = graph_from_matrix(mesh2d<double>(4));
   EXPECT_THROW(partition_graph(g, unit_weights(g.n), {.nparts = 0}), std::invalid_argument);
