@@ -141,6 +141,32 @@ inline void print_cache_counters(const char* label, const RunReport& rep) {
   std::printf("\n");
 }
 
+/// Peak-memory observability line (companion to the breakdown printers):
+/// the high-water execution gauge of DESIGN.md §13 — live triples and bytes
+/// charged by workspaces, comm staging, and partial-C accumulators. Peaks
+/// are rank-shaped (each rank stages its own routes), so the line reports
+/// the max and mean over ranks; `budget` (0 = unbounded) prints alongside
+/// so a table row shows at a glance whether the bound held. Uses the
+/// machine-lifetime hwm_* marks (never reset between calls), so a report
+/// taken after fresh+replay sequences covers every call in the run.
+inline void print_peak_memory(const char* label, const RunReport& rep,
+                              std::uint64_t budget = 0) {
+  std::uint64_t mx_t = 0, mx_b = 0, sum_t = 0;
+  for (const auto& r : rep.ranks) {
+    mx_t = std::max(mx_t, r.hwm_triples);
+    mx_b = std::max(mx_b, r.hwm_bytes);
+    sum_t += r.hwm_triples;
+  }
+  const auto n = static_cast<double>(rep.ranks.size());
+  std::printf("  %-28s peak %llu triples max (%.0f avg), %.2f MiB max", label,
+              static_cast<unsigned long long>(mx_t), static_cast<double>(sum_t) / n,
+              mib(mx_b));
+  if (budget > 0)
+    std::printf("  [budget %llu: %s]", static_cast<unsigned long long>(budget),
+                mx_t <= budget ? "held" : "EXCEEDED");
+  std::printf("\n");
+}
+
 /// Standard header naming the experiment and environment substitutions.
 inline void banner(const char* experiment, const char* paper_ref, const char* note) {
   std::printf("==================================================================\n");

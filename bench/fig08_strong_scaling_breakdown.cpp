@@ -118,6 +118,7 @@ int main(int argc, char** argv) {
     std::printf("\n-- P = %d --\n", P);
     if (P <= 16) bench::print_rank_breakdown("per-rank", ranks);
     bench::print_rank_summary("summary", ranks);
+    bench::print_peak_memory("memory", rep);
     // Imbalance factor: max total over avg total across ranks.
     double mx = 0, sum = 0;
     for (const auto& b : ranks) {

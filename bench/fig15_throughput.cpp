@@ -452,6 +452,7 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(hot.hits),
               static_cast<unsigned long long>(hot.misses), hot.hit_rate());
   bench::print_cache_counters("hot/cold trace", hot.rep);
+  bench::print_peak_memory("hot/cold trace", hot.rep);
   auto evict = measure_eviction(P, cp, tenants, Algo::Summa2D);
   std::printf("eviction @%0.f%% budget (summa2d): %llu evictions, resident %.2f/%.2f MiB, %s\n",
               100.0 * 3 / 5, static_cast<unsigned long long>(evict.evictions),

@@ -17,6 +17,10 @@
 #                                cache + batched small-multiply fusion vs
 #                                one-at-a-time, hot/cold hit rate, and the
 #                                budget-forced eviction/demotion sections
+#   BENCH_memory.json          — fig16 memory-bounded execution: per-backend
+#                                peak-triples budget sweep (feasibility, panel
+#                                counts, measured peaks, slowdown, bit-identity)
+#                                + the Auto feasibility-cliff cell
 #   BENCH_partition.json       — partition-aware planning (DESIGN.md §12):
 #                                fig04 (per-backend identity-vs-partitioned
 #                                iterated totals with reorder cost, edge cut,
@@ -30,7 +34,7 @@
 # automatically (exported as SA1D_COST_PARAMS; Machine loads it at
 # startup) — the refit loop is closed, no hand-editing. Record refits in
 # EXPERIMENTS.md.
-# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only|--throughput-only|--partition-only|--refit] [SA1D_SCALE]
+# Usage: scripts/bench_local.sh [--comm-only|--local-only|--dist-only|--throughput-only|--partition-only|--memory-only|--refit] [SA1D_SCALE]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -42,6 +46,7 @@ case "${1:-}" in
   --dist-only) MODE=dist; shift ;;
   --throughput-only) MODE=throughput; shift ;;
   --partition-only) MODE=partition; shift ;;
+  --memory-only) MODE=memory; shift ;;
   --refit) exec python3 scripts/fit_cost_params.py BENCH_dist_backends.json ;;
 esac
 SCALE="${1:-${SA1D_SCALE:-1}}"
@@ -117,4 +122,10 @@ if [ "$MODE" = all ] || [ "$MODE" = throughput ]; then
   cmake --build "$BUILD_DIR" --target fig15_throughput -j "$(nproc)"
   SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig15_throughput" --json="$(pwd)/BENCH_throughput.json"
   echo "BENCH_throughput.json written (SA1D_SCALE=$SCALE)"
+fi
+
+if [ "$MODE" = all ] || [ "$MODE" = memory ]; then
+  cmake --build "$BUILD_DIR" --target fig16_memory -j "$(nproc)"
+  SA1D_SCALE="$SCALE" "./$BUILD_DIR/fig16_memory" --json="$(pwd)/BENCH_memory.json"
+  echo "BENCH_memory.json written (SA1D_SCALE=$SCALE)"
 fi

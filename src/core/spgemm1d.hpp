@@ -434,6 +434,15 @@ class SpgemmPlan1D {
 
     Window win_val = comm.expose(std::span<const VT>(a.local().vals()));
 
+    // Transient-memory gauge (DESIGN.md §13): the Ã/B̃ assemblies are the
+    // SA-1D execution's working set — charged for the duration of the call
+    // (the shells are plan-resident, but their values are live operand
+    // copies only while the multiply runs).
+    auto& rep = comm.report();
+    const std::uint64_t live =
+        static_cast<std::uint64_t>(atilde_m_.nnz()) + static_cast<std::uint64_t>(btilde_m_.nnz());
+    rep.mem_charge(live, live * sizeof(VT));
+
     // Ã values, written in place into the cached shell: local spans + one
     // value get per planned block.
     VT* av = atilde_m_.mutable_vals().data();
@@ -515,6 +524,7 @@ class SpgemmPlan1D {
       auto ph = comm.phase(Phase::Other);
       c_dcsc = DcscMatrix<VT>::from_csc(c_local);
     }
+    rep.mem_release(live, live * sizeof(VT));
     ++executions_;
     if (info_out != nullptr) {
       *info_out = plan_info_;
@@ -614,6 +624,15 @@ class SpgemmPlan1D {
     for (const auto& op : ops)
       wins.push_back(comm.expose(std::span<const VT>(op.a->local().vals())));
 
+    // Transient-memory gauge: every member's Ã/B̃ assembly is live at once
+    // in the fused wave (that is the point of fusion).
+    auto& rep = comm.report();
+    std::uint64_t live = 0;
+    for (const auto& op : ops)
+      live += static_cast<std::uint64_t>(op.plan->atilde_m_.nnz()) +
+              static_cast<std::uint64_t>(op.plan->btilde_m_.nnz());
+    rep.mem_charge(live, live * sizeof(VT));
+
     // Local value copies and B̃ gathers for the whole batch (independent of
     // the fetched values, so they run before/inside the in-flight window).
     for (const auto& op : ops) {
@@ -692,6 +711,7 @@ class SpgemmPlan1D {
       out.emplace_back(ops[m].plan->c_nrows_, ops[m].plan->c_ncols_, ops[m].plan->out_bounds_,
                        comm.rank(), std::move(c_dcsc));
     }
+    rep.mem_release(live, live * sizeof(VT));
     return out;
   }
 

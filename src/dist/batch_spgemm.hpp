@@ -511,6 +511,10 @@ std::vector<DistMatrix1D<VT>> spgemm_dist_batched(
   std::vector<DistMatrix1D<VT>> results(n);
   if (stats != nullptr) stats->assign(n, DistSpgemmStats{});
   if (n == 0) return results;
+  ++comm.report().toplevel_calls;
+  // Outermost gauge scope: the batch's peak covers plan residency plus every
+  // member's build/replay transients.
+  MemGaugeScope gauge(comm.report());
 
   // (1) Fused batch validation: one control exchange covers the options
   // digest, every item's shape, and the first local validation failure —
@@ -525,7 +529,9 @@ std::vector<DistMatrix1D<VT>> spgemm_dist_batched(
                "," + std::to_string(opt.expected_iterations) + "," +
                std::to_string(opt.expected_batch) + "," +
                std::to_string(opt.max_recovery_retries) + "," +
-               std::to_string(static_cast<int>(opt.overlap));
+               std::to_string(static_cast<int>(opt.overlap)) + "," +
+               std::to_string(opt.max_peak_triples) + "," + std::to_string(opt.panels) +
+               "," + std::to_string(opt.ring_window);
       for (std::size_t i = 0; i < n; ++i) {
         digest += "|" + std::to_string(items[i].first->nrows()) + "x" +
                   std::to_string(items[i].first->ncols()) + "," +
@@ -665,6 +671,12 @@ std::vector<DistMatrix1D<VT>> spgemm_dist_batched(
         if (was_miss) continue;
         Entry* e = members[i].entry;
         std::string key;
+        if (e->plan->panels() > 1) {
+          // Panelized plans replay solo: their execution is a sequence of
+          // per-panel sub-plan replays (bounded-footprint loop), which does
+          // not interleave with another member's fused collectives.
+          key = "panel#" + std::to_string(i);
+        } else
         switch (e->plan->chosen()) {
           case Algo::Auto: break;  // unreachable: plans are built
           case Algo::SparseAware1D: key = "sa"; break;
@@ -783,6 +795,7 @@ std::vector<DistMatrix1D<VT>> spgemm_dist_batched(
       if (!recoverable || attempts >= opt.max_recovery_retries) throw;
       ++attempts;
       comm.recover();  // collective; rethrows if the fault turned fatal
+      distdetail::vote_recovery_alignment(comm, "spgemm_dist_batched");
       ++comm.report().plan_recoveries;
     }
   }

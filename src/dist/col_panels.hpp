@@ -1,0 +1,94 @@
+// Column-panel helpers for memory-bounded execution (DESIGN.md §13): a
+// budgeted spgemm_dist multiplies C in k column panels, replaying one plan
+// per panel over B restricted to a global column window, then concatenates
+// the panel outputs. Both operations are rank-local and exact:
+//   C(:, [lo,hi)) = A · B(:, [lo,hi))
+// and every backend folds a C column's partials independently of every
+// other column, so panel-wise execution is bit-identical to the monolithic
+// multiply for any semiring ⊕ — the panels partition C's columns, and
+// within each column the fold order (push order) is untouched.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "dist/dist_matrix.hpp"
+#include "sparse/dcsc.hpp"
+#include "util/common.hpp"
+
+namespace sa1d {
+
+/// B restricted to the global column window [plo, phi): same dimensions,
+/// bounds, and rank — the local DCSC keeps exactly the stored columns whose
+/// global id falls in the window (whole columns, so the nonempty-stored-
+/// columns invariant is preserved). Rank-local, no communication.
+template <typename VT>
+DistMatrix1D<VT> restrict_columns(const DistMatrix1D<VT>& b, index_t plo, index_t phi) {
+  require(plo <= phi, "restrict_columns: inverted panel window");
+  const DcscMatrix<VT>& m = b.local();
+  const index_t base = b.col_lo();
+  // Stored column ids are slice-local and ascending; the window maps to a
+  // contiguous jc range.
+  const index_t llo = plo > base ? plo - base : 0;
+  const index_t lhi = phi > base ? phi - base : 0;
+  const auto& jc = m.jc();
+  const auto k0 = static_cast<std::size_t>(
+      std::lower_bound(jc.begin(), jc.end(), llo) - jc.begin());
+  const auto k1 = static_cast<std::size_t>(
+      std::lower_bound(jc.begin(), jc.end(), lhi) - jc.begin());
+  std::vector<index_t> njc(jc.begin() + static_cast<std::ptrdiff_t>(k0),
+                           jc.begin() + static_cast<std::ptrdiff_t>(k1));
+  const index_t p0 = m.cp()[k0];
+  const index_t p1 = m.cp()[k1];
+  std::vector<index_t> ncp;
+  ncp.reserve(k1 - k0 + 1);
+  for (std::size_t k = k0; k <= k1; ++k) ncp.push_back(m.cp()[k] - p0);
+  std::vector<index_t> nir(m.ir().begin() + p0, m.ir().begin() + p1);
+  std::vector<VT> nvals(m.vals().begin() + p0, m.vals().begin() + p1);
+  DcscMatrix<VT> slice(m.nrows(), m.ncols(), std::move(njc), std::move(ncp), std::move(nir),
+                       std::move(nvals));
+  return DistMatrix1D<VT>(b.nrows(), b.ncols(), b.bounds(), b.rank(), std::move(slice));
+}
+
+/// Concatenates per-panel C outputs (same distribution, disjoint stored
+/// columns ascending across panels — panel p covers global columns
+/// [panel_bounds[p], panel_bounds[p+1])) into the monolithic C. The
+/// deterministic panel-concatenation order IS ascending panel order, which
+/// reproduces the monolithic call's column order exactly. Rank-local.
+template <typename VT>
+DistMatrix1D<VT> concat_column_panels(std::vector<DistMatrix1D<VT>>& panels) {
+  require(!panels.empty(), "concat_column_panels: no panels");
+  if (panels.size() == 1) return std::move(panels.front());
+  const DistMatrix1D<VT>& first = panels.front();
+  std::size_t nzc = 0, nnz = 0;
+  for (const auto& p : panels) {
+    nzc += p.local().jc().size();
+    nnz += p.local().ir().size();
+  }
+  std::vector<index_t> jc, cp, ir;
+  std::vector<VT> vals;
+  jc.reserve(nzc);
+  cp.reserve(nzc + 1);
+  cp.push_back(0);
+  ir.reserve(nnz);
+  vals.reserve(nnz);
+  index_t off = 0;
+  for (const auto& p : panels) {
+    const DcscMatrix<VT>& m = p.local();
+    require(jc.empty() || m.jc().empty() || m.jc().front() > jc.back(),
+            "concat_column_panels: panels must cover ascending disjoint columns");
+    jc.insert(jc.end(), m.jc().begin(), m.jc().end());
+    for (std::size_t k = 1; k < m.cp().size(); ++k) cp.push_back(m.cp()[k] + off);
+    ir.insert(ir.end(), m.ir().begin(), m.ir().end());
+    vals.insert(vals.end(), m.vals().begin(), m.vals().end());
+    off += static_cast<index_t>(m.ir().size());
+  }
+  DcscMatrix<VT> merged(first.local().nrows(), first.local().ncols(), std::move(jc),
+                        std::move(cp), std::move(ir), std::move(vals));
+  return DistMatrix1D<VT>(first.nrows(), first.ncols(), first.bounds(), first.rank(),
+                          std::move(merged));
+}
+
+}  // namespace sa1d

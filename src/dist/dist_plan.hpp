@@ -28,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
@@ -59,6 +60,32 @@ template <typename VT>
 std::uint64_t matrix_bytes_resident(const DcscMatrix<VT>& m) {
   return static_cast<std::uint64_t>(m.nnz()) * (sizeof(VT) + sizeof(index_t)) +
          static_cast<std::uint64_t>(m.nzc()) * 2 * sizeof(index_t);
+}
+
+/// Post-recovery alignment vote (DESIGN.md §9/§13). recover() only proves
+/// every rank unwound — not that they unwound from the SAME logical call.
+/// Panelized plans skew rank progress enough that in an iterated workload a
+/// peer's recoverable fault can interrupt rank A inside call #n while rank B
+/// already entered call #n+1; if each restarted its own call the collective
+/// sequences would desync into a barrier-watchdog hang. Voting the top-level
+/// call ordinal (control plane, 1 string/rank) right after the rendezvous
+/// converts that hang into the identical non-recoverable ValidationError on
+/// every rank — deliberately NOT Corruption/PlanMismatch, which the retry
+/// loop would swallow and re-enter. The message is built only from the vote
+/// vector (identical on all ranks), never from rank-local state.
+inline void vote_recovery_alignment(Comm& comm, const char* where) {
+  const auto votes = comm.exchange_control(std::to_string(comm.report().toplevel_calls));
+  bool uniform = true;
+  for (const auto& v : votes) uniform = uniform && v == votes.front();
+  if (uniform) return;
+  std::string seen;
+  for (const auto& v : votes) seen += (seen.empty() ? "" : ",") + v;
+  throw ValidationError(
+      ErrorContext{comm.global_rank(comm.rank()), comm.report().comm_ops, "recover"},
+      std::string(where) +
+          ": recovery rendezvous spans different iterated top-level calls across ranks "
+          "(ordinals " +
+          seen + ") — the replay streams cannot resynchronize; rerun the workload");
 }
 
 }  // namespace distdetail
@@ -100,6 +127,10 @@ class DistSpgemmPlan {
   [[nodiscard]] Algo replay_choice() const { return replay_choice_; }
   /// Layer count the replay-priced choice assumed (1 unless it is Split3D).
   [[nodiscard]] int replay_layers() const { return replay_layers_; }
+  /// Column panels this plan executes (1 = monolithic). A panelized plan
+  /// holds one sub-plan per panel and replays them in ascending panel order
+  /// (DESIGN.md §13); the batched executor replays panelized plans solo.
+  [[nodiscard]] int panels() const { return panels_; }
 
   /// Exact per-rank collective bytes one execute() receives — the pure
   /// value payload of the cached routes/broadcasts, plus (for ordered
@@ -108,6 +139,10 @@ class DistSpgemmPlan {
   /// delta beyond this.
   [[nodiscard]] std::uint64_t replay_coll_recv_bytes() const {
     std::uint64_t bytes = 0;
+    if (panels_ > 1) {
+      for (const auto& p : panel_plans_) bytes += p->replay_coll_recv_bytes();
+      return bytes + inverse_scatter_recv_bytes();
+    }
     switch (chosen_) {
       case Algo::Auto: break;
       case Algo::SparseAware1D: break;  // replay is RDMA value gets only
@@ -142,6 +177,10 @@ class DistSpgemmPlan {
       case Algo::Summa2D: bytes = summa_.bytes_resident(); break;
       case Algo::Split3D: bytes = split3d_.bytes_resident(); break;
     }
+    // Panel sub-plans carry the real residency of a panelized plan (the
+    // parent's backend members stay empty); panel bounds are noise-level.
+    for (const auto& p : panel_plans_) bytes += p->bytes_resident();
+    bytes += static_cast<std::uint64_t>(panel_bounds_.size()) * sizeof(index_t);
     if (ordering_ != Ordering::Identity) {
       bytes += route_a_.bytes_resident() + route_b_.bytes_resident() +
                route_c_inv_.bytes_resident();
@@ -167,6 +206,11 @@ class DistSpgemmPlan {
   /// true iff the plan is now windowed.
   bool demote_ring_to_window(int w) {
     if (!built_ || chosen_ != Algo::Ring1D) return false;
+    if (panels_ > 1) {
+      bool any = false;
+      for (auto& p : panel_plans_) any = p->demote_ring_to_window(w) || any;
+      return any;
+    }
     ring_.demote_to_window(w);
     return ring_.windowed();
   }
@@ -208,6 +252,9 @@ class DistSpgemmPlan {
   DistMatrix1D<VT> build(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
                          const DistSpgemmOptions& opt = {}, DistSpgemmStats* stats = nullptr) {
     distdetail::validate_collective(comm, a, b, opt);
+    // Per-call high-water gauge: outermost scope of the turn resets the
+    // peak; panel sub-plan builds nest and roll their charges up.
+    MemGaugeScope gauge(comm.report());
     reset_keep_counters();
     opt_ = opt;
     me_ = comm.rank();
@@ -224,7 +271,8 @@ class DistSpgemmPlan {
     Ordering policy = opt.reorder;
     if (policy != Ordering::Identity && !reorder_eligible(a, b, comm.size()))
       policy = Ordering::Identity;
-    const bool need_cost = algo == Algo::Auto || policy == Ordering::Auto;
+    const bool need_cost = algo == Algo::Auto || policy == Ordering::Auto ||
+                           (opt.max_peak_triples > 0 && opt.panels == 0);
     const bool need_rplan = policy == Ordering::Auto || policy == Ordering::Partitioned;
 
     if (need_cost) {
@@ -232,6 +280,8 @@ class DistSpgemmPlan {
       inputs_.grid_rows = opt.grid_rows;
       inputs_.grid_cols = opt.grid_cols;
       inputs_.overlap = opt.overlap;
+      inputs_.max_peak_triples = opt.max_peak_triples;
+      inputs_.panels = opt.panels;
       // Serving workloads declare the fusion width they expect: replays are
       // then priced with per-phase latency amortized across the batch, so
       // Auto builds onto the backend that is optimal *under fusion*.
@@ -309,6 +359,13 @@ class DistSpgemmPlan {
     Spgemm1dOptions sa = opt.sa1d;
     sa.overlap = opt.sa1d.overlap && opt.overlap;
 
+    // Budgeted builds bound the overlap staging and capture the ring plan
+    // with a bounded hop window (first-class windowed execution: replays
+    // stream post-window hops, recomputing per-hop metadata).
+    const int lookahead = opt.max_peak_triples > 0 ? 2 : 0;
+    const int ring_window =
+        opt.ring_window > 0 ? opt.ring_window
+                            : (opt.max_peak_triples > 0 ? std::min(2, comm.size() - 1) : 0);
     auto run_fresh = [&](Algo which, int lyr) -> DistMatrix1D<VT> {
       chosen_ = which;
       layers_ = which == Algo::Split3D ? lyr : 1;
@@ -321,24 +378,78 @@ class DistSpgemmPlan {
                             : SpgemmPlan1D<VT, SR>(comm, *ra, *rb, sa);
           return sa1d_.execute_verified(comm, *ra, *rb);
         case Algo::Ring1D:
-          return spgemm_naive_ring_1d<SR>(comm, *ra, *rb, &ring_, opt.overlap);
+          return spgemm_naive_ring_1d<SR>(comm, *ra, *rb, &ring_, opt.overlap, ring_window);
         case Algo::Summa2D:
           return spgemm_summa_2d_dist<SR>(comm, *ra, *rb, opt.sa1d.kernel, opt.sa1d.threads,
-                                          &summa_, opt.grid_rows, opt.grid_cols, opt.overlap);
+                                          &summa_, opt.grid_rows, opt.grid_cols, opt.overlap,
+                                          lookahead);
         case Algo::Split3D:
           require_split3d_layers(comm.size(), lyr, "DistSpgemmPlan(Algo::Split3D)");
           return spgemm_split_3d_dist<SR>(comm, *ra, *rb, lyr, opt.sa1d.kernel,
                                           opt.sa1d.threads, &split3d_, opt.grid_rows,
-                                          opt.grid_cols, opt.overlap);
+                                          opt.grid_cols, opt.overlap, lookahead);
       }
       require(false, "DistSpgemmPlan::build: unknown algorithm");
       return {};
     };
+    // Panelized build (DESIGN.md §13): one sub-plan per global column
+    // window of (the possibly permuted) B, built in ascending panel order;
+    // replays recompute each panel restriction and replay its sub-plan.
+    auto run_panels = [&](Algo which, int lyr, int k) -> DistMatrix1D<VT> {
+      if (k <= 1) {
+        panels_ = 1;
+        return run_fresh(which, lyr);
+      }
+      chosen_ = which;
+      layers_ = which == Algo::Split3D ? lyr : 1;
+      panels_ = k;
+      panel_bounds_ = even_split(rb->ncols(), k);
+      DistSpgemmOptions sub = opt;
+      sub.algo = which;
+      sub.layers = which == Algo::Split3D ? lyr : opt.layers;
+      sub.reorder = Ordering::Identity;  // the operands are already permuted
+      sub.panels = 1;
+      panel_plans_.clear();
+      panel_plans_.reserve(static_cast<std::size_t>(k));
+      std::vector<DistMatrix1D<VT>> outs;
+      outs.reserve(static_cast<std::size_t>(k));
+      for (int pi = 0; pi < k; ++pi) {
+        auto bp = restrict_columns(*rb, panel_bounds_[static_cast<std::size_t>(pi)],
+                                   panel_bounds_[static_cast<std::size_t>(pi) + 1]);
+        auto sp = std::make_shared<DistSpgemmPlan>();
+        outs.push_back(sp->build(comm, *ra, bp, sub));
+        panel_plans_.push_back(std::move(sp));
+      }
+      auto ph = comm.phase(Phase::Other);
+      return concat_column_panels(outs);
+    };
+    // Panel resolution, mirroring spgemm_dist: pinned counts are trusted;
+    // panels = 0 with a budget reads the model's smallest feasible
+    // panelization for this (backend × ordering × layers) cell, raising the
+    // identical ValidationError on every rank when none fits.
+    int panels = opt.panels >= 1 ? opt.panels : 1;
+    if (opt.panels == 0 && opt.max_peak_triples > 0 && opt.algo != Algo::Auto) {
+      const AlgoPrediction* cell = nullptr;
+      for (const auto& pr : predictions_)
+        if (pr.algo == algo && pr.ordering == ordering_ &&
+            (algo != Algo::Split3D || pr.layers == layers)) {
+          cell = &pr;
+          break;
+        }
+      if (cell == nullptr || !cell->feasible)
+        throw ValidationError(
+            ErrorContext{comm.global_rank(comm.rank()), comm.report().comm_ops,
+                         "DistSpgemmPlan::build"},
+            std::string("spgemm_dist: no column panelization of backend ") + algo_name(algo) +
+                " fits max_peak_triples=" + std::to_string(opt.max_peak_triples) +
+                " (modeled peak exceeds the budget at every panel count)");
+      panels = cell->panels;
+    }
 
     DistMatrix1D<VT> c;
     int failovers = 0;
     if (opt.algo != Algo::Auto) {
-      c = run_fresh(algo, layers);
+      c = run_panels(algo, layers, panels);
     } else {
       // Same degrade policy as spgemm_dist: walk the cost-ranked feasible
       // candidates *of the chosen ordering* (the operands are already
@@ -356,7 +467,7 @@ class DistSpgemmPlan {
           continue;
         }
         try {
-          c = run_fresh(cand.algo, cand.layers);
+          c = run_panels(cand.algo, cand.layers, cand.panels);
           done = true;
           break;
         } catch (const std::invalid_argument&) {
@@ -379,7 +490,7 @@ class DistSpgemmPlan {
       c_tmpl_ = c;
     }
 
-    if (algo_run == Algo::SparseAware1D && ordering_ == Ordering::Identity) {
+    if (algo_run == Algo::SparseAware1D && ordering_ == Ordering::Identity && panels_ == 1) {
       fp_ = sa1d_.fingerprint();  // the inspector already hashed the slices
     } else {
       // Ordered plans must fingerprint the ORIGINAL operands — matches()
@@ -435,6 +546,8 @@ class DistSpgemmPlan {
                 "DistSpgemmPlan::execute_verified: operand/plan mismatch (rank " +
                     std::to_string(comm.global_rank(comm.rank())) +
                     "'s operand dims/nnz diverged from the plan fingerprint)");
+    // Per-call high-water gauge: nested panel sub-plan replays roll up.
+    MemGaugeScope gauge(comm.report());
     const RankReport before = comm.report();
     last_partition_seconds_ = 0.0;  // replays never re-partition
     last_reorder_bytes_ = 0;
@@ -472,20 +585,36 @@ class DistSpgemmPlan {
       rb = pb_aliases_pa_ ? &pa_ : &pb_;
     }
     DistMatrix1D<VT> c;
-    switch (chosen_) {
-      case Algo::Auto: break;  // unreachable: build resolved the dispatch
-      case Algo::SparseAware1D:
-        c = sa1d_.execute_verified(comm, *ra, *rb);
-        break;
-      case Algo::Ring1D:
-        c = spgemm_naive_ring_1d_replay<SR>(comm, ring_, *ra, *rb, opt_.overlap);
-        break;
-      case Algo::Summa2D:
-        c = spgemm_summa_2d_replay<SR>(comm, summa_, *ra, *rb, opt_.overlap);
-        break;
-      case Algo::Split3D:
-        c = spgemm_split_3d_replay<SR>(comm, split3d_, *ra, *rb, opt_.overlap);
-        break;
+    const int lookahead = opt_.max_peak_triples > 0 ? 2 : 0;
+    if (panels_ > 1) {
+      // Panelized replay: recompute each panel's B restriction (values are
+      // this call's — the restriction copies them) and replay its sub-plan
+      // in ascending panel order; concatenation order is deterministic, so
+      // the result is bit-identical to the monolithic replay.
+      std::vector<DistMatrix1D<VT>> outs;
+      outs.reserve(panel_plans_.size());
+      for (std::size_t pi = 0; pi < panel_plans_.size(); ++pi) {
+        auto bp = restrict_columns(*rb, panel_bounds_[pi], panel_bounds_[pi + 1]);
+        outs.push_back(panel_plans_[pi]->execute_verified(comm, *ra, bp));
+      }
+      auto ph = comm.phase(Phase::Other);
+      c = concat_column_panels(outs);
+    } else {
+      switch (chosen_) {
+        case Algo::Auto: break;  // unreachable: build resolved the dispatch
+        case Algo::SparseAware1D:
+          c = sa1d_.execute_verified(comm, *ra, *rb);
+          break;
+        case Algo::Ring1D:
+          c = spgemm_naive_ring_1d_replay<SR>(comm, ring_, *ra, *rb, opt_.overlap);
+          break;
+        case Algo::Summa2D:
+          c = spgemm_summa_2d_replay<SR>(comm, summa_, *ra, *rb, opt_.overlap, lookahead);
+          break;
+        case Algo::Split3D:
+          c = spgemm_split_3d_replay<SR>(comm, split3d_, *ra, *rb, opt_.overlap, lookahead);
+          break;
+      }
     }
     if (ordering_ != Ordering::Identity) {
       // Value-only inverse scatter through the cached route: C comes back
@@ -534,7 +663,10 @@ class DistSpgemmPlan {
     }
     stats->plan_reused = reused;
     stats->horizon_iters = horizon_;
+    stats->panels = panels_;
     const RankReport& after = comm.report();
+    stats->peak_triples = after.peak_triples;
+    stats->peak_bytes = after.peak_bytes;
     stats->plan_seconds = after.plan_s - before.plan_s;
     stats->comm_wait_s = after.comm_s - before.comm_s;
     stats->comm_hidden_s = after.overlap_s - before.overlap_s;
@@ -589,6 +721,14 @@ class DistSpgemmPlan {
   RingPlan<VT, SR> ring_;
   Summa2dPlan<VT, SR> summa_;
   Split3dPlan<VT, SR> split3d_;
+
+  // Panelized plans (panels_ > 1, DESIGN.md §13): the backend members above
+  // stay empty and each panel's replay program lives in its own sub-plan
+  // over (A, B restricted to [panel_bounds_[i], panel_bounds_[i+1]))).
+  // shared_ptr because reset_keep_counters() copy-assigns a fresh plan.
+  int panels_ = 1;
+  std::vector<index_t> panel_bounds_;
+  std::vector<std::shared_ptr<DistSpgemmPlan>> panel_plans_;
 };
 
 /// Iterated-caller entry point over any backend: reuses `plan` when every
@@ -604,12 +744,6 @@ DistMatrix1D<VT> spgemm_dist_cached(Comm& comm,
                                     const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
                                     const DistSpgemmOptions& opt = {},
                                     DistSpgemmStats* stats = nullptr) {
-  // Validate before the replay-vs-rebuild branch: if options or operand
-  // shapes diverged across ranks, some ranks would enter matches()'s
-  // allreduce while others enter build()'s gathers — the validation vote
-  // throws the identical ValidationError on every rank first.
-  distdetail::validate_collective(comm, a, b, opt);
-
   // Self-healing replay (recovery policy, DESIGN.md §9): a recoverable
   // fault — CorruptionDetected from integrity mode, PlanMismatch from a
   // replay guard — unwinds every rank with the identical typed error; all
@@ -617,9 +751,20 @@ DistMatrix1D<VT> spgemm_dist_cached(Comm& comm,
   // and resetting every barrier), invalidate the plan, and rebuild fresh.
   // Bounded by max_recovery_retries; fatal faults (a dead rank) and
   // validation errors propagate immediately.
+  ++comm.report().toplevel_calls;
   int attempts = 0;
   for (;;) {
     try {
+      // Validate before the replay-vs-rebuild branch: if options or operand
+      // shapes diverged across ranks, some ranks would enter matches()'s
+      // allreduce while others enter build()'s gathers — the validation vote
+      // throws the identical ValidationError on every rank first. It runs
+      // INSIDE the retry scope: in an iterated workload a peer's recoverable
+      // fault can poison this rank while it sits in the next call's
+      // validation exchange (panelized plans skew rank progress enough to
+      // hit this), and surfacing that Corruption here instead of joining
+      // recover() would strand the peers' rendezvous until the watchdog.
+      distdetail::validate_collective(comm, a, b, opt);
       DistMatrix1D<VT> c;
       if (!plan.empty() && plan.options() == opt && plan.matches(comm, a, b)) {
         c = plan.execute_verified(comm, a, b, stats);
@@ -634,6 +779,7 @@ DistMatrix1D<VT> spgemm_dist_cached(Comm& comm,
       if (!recoverable || attempts >= opt.max_recovery_retries) throw;
       ++attempts;
       comm.recover();  // collective; rethrows if the fault turned fatal
+      distdetail::vote_recovery_alignment(comm, "spgemm_dist_cached");
       plan.invalidate();
       ++comm.report().plan_recoveries;
     }

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/spgemm1d.hpp"
+#include "dist/col_panels.hpp"
 #include "dist/naive1d.hpp"
 #include "dist/spgemm3d.hpp"
 #include "dist/summa2d.hpp"
@@ -82,6 +83,28 @@ struct DistSpgemmOptions {
   /// Seed of the partitioner / random relabeling (part of the plan identity:
   /// same structure + same seed ⇒ the identical permutation on every call).
   std::uint64_t reorder_seed = 1;
+  /// Peak-triples budget for the execution's transient memory (DESIGN.md
+  /// §13): the per-rank high-water RankReport::peak_triples gauge of one
+  /// call must stay under this. 0 = unbounded (the pre-budget behavior).
+  /// A positive budget switches every backend to its bounded variant
+  /// (streaming rounds-merges, bounded overlap lookahead, windowed ring
+  /// capture) and makes the dispatch resolve a column panelization whose
+  /// modeled peak fits — or raise a rank-uniform ValidationError when none
+  /// does. Part of the collective options digest: divergent budgets across
+  /// ranks fail validation before any data collective.
+  std::uint64_t max_peak_triples = 0;
+  /// Column-panel count: 0 = resolve from the budget (1 when unbudgeted,
+  /// else the smallest feasible count); 1 = pinned monolithic; k > 1 = run
+  /// exactly k panels. Panel execution multiplies C in k global column
+  /// windows of B and concatenates in ascending panel order — bit-identical
+  /// to the monolithic call for any semiring.
+  int panels = 0;
+  /// Ring hop-window for budgeted plan capture: > 0 captures RingPlan
+  /// structure for only the first `ring_window` hops (the demotion twin of
+  /// PR 8, now a first-class execution mode — replays stream the remaining
+  /// hops recomputing per-hop metadata). 0 = full capture when unbudgeted,
+  /// a bounded default window when max_peak_triples > 0.
+  int ring_window = 0;
 
   friend bool operator==(const DistSpgemmOptions&, const DistSpgemmOptions&) = default;
 };
@@ -153,6 +176,15 @@ struct DistSpgemmStats {
   int horizon_iters = 1;          ///< pricing horizon Auto used (from expected_iterations)
   int recoveries = 0;             ///< recoverable-fault plan rebuilds this call performed
   int validation_failovers = 0;   ///< Auto candidates skipped (dispatch validation / veto)
+
+  // Memory-bounded execution accounting (DESIGN.md §13).
+  int panels = 1;  ///< column panels the call executed (1 = monolithic)
+  /// This rank's high-water transient gauge over the call (triples and the
+  /// byte equivalent) — the measured counterpart of the modeled
+  /// AlgoPrediction::peak_triples, asserted ≤ max_peak_triples by the
+  /// budget tests whenever a feasible plan exists.
+  std::uint64_t peak_triples = 0;
+  std::uint64_t peak_bytes = 0;
 
   // Plan-cache accounting (runtime/plan_cache.hpp; DESIGN.md §11): what the
   // multi-tenant cache did for *this* call. hits + misses == 1 for a call
@@ -268,6 +300,9 @@ AlgoCostInputs gather_algo_cost_inputs(Comm& comm, const DistMatrix1D<VT>& a,
   in.nzc_a = static_cast<std::uint64_t>(comm.allreduce_sum(a.local().nzc()));
   in.flops = comm.allreduce_sum(local_flops);
   in.max_rank_flops = comm.allreduce_max(local_flops);
+  in.max_rank_nnz_a = static_cast<std::uint64_t>(comm.allreduce_max(a.local_nnz()));
+  in.max_rank_nnz_b = static_cast<std::uint64_t>(comm.allreduce_max(b.local_nnz()));
+  in.max_rank_fetch_elems = comm.allreduce_max(fetch_elems);
   in.sa1d_fetch_elems = comm.allreduce_sum(fetch_elems);
   in.sa1d_fetch_msgs = comm.allreduce_sum(fetch_msgs);
   const std::uint64_t needed_total = comm.allreduce_sum(needed);
@@ -486,7 +521,9 @@ void validate_collective(Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix
              std::to_string(static_cast<int>(opt.sa1d.overlap)) + "," +
              std::to_string(opt.sa1d.prefetch_inflight) + "," +
              std::to_string(static_cast<int>(opt.reorder)) + "," +
-             std::to_string(opt.reorder_seed) + "|" +
+             std::to_string(opt.reorder_seed) + "," +
+             std::to_string(opt.max_peak_triples) + "," + std::to_string(opt.panels) + "," +
+             std::to_string(opt.ring_window) + "|" +
              std::to_string(a.nrows()) + "x" + std::to_string(a.ncols()) + "," +
              std::to_string(b.nrows()) + "x" + std::to_string(b.ncols());
   }
@@ -541,6 +578,10 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
                              const DistSpgemmOptions& opt = {}, DistSpgemmStats* stats = nullptr,
                              SpgemmPlan1D<VT, ResolveSemiring<SRIn, VT>>* plan = nullptr) {
   distdetail::validate_collective(comm, a, b, opt);
+  // High-water gauge scope: the outermost call of the turn resets the peak
+  // to the current residency, so DistSpgemmStats reports a per-call peak;
+  // nested panel sub-calls observe the parent scope (their charges roll up).
+  MemGaugeScope gauge(comm.report());
 
   Algo algo = opt.algo;
   int layers = opt.layers;
@@ -556,7 +597,11 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
   Ordering policy = opt.reorder;
   if (policy != Ordering::Identity && !reorder_eligible(a, b, comm.size()))
     policy = Ordering::Identity;
-  const bool need_cost = algo == Algo::Auto || policy == Ordering::Auto;
+  // A budget with an unresolved panel count needs the cost model to find
+  // the smallest feasible panelization even for a pinned backend; a pinned
+  // panel count is trusted verbatim (panel sub-calls run with panels = 1).
+  const bool need_cost = algo == Algo::Auto || policy == Ordering::Auto ||
+                         (opt.max_peak_triples > 0 && opt.panels == 0);
   const bool need_rplan = policy == Ordering::Auto || policy == Ordering::Partitioned;
 
   if (need_cost) {
@@ -564,6 +609,8 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
     st.inputs.grid_rows = opt.grid_rows;
     st.inputs.grid_cols = opt.grid_cols;
     st.inputs.overlap = opt.overlap;
+    st.inputs.max_peak_triples = opt.max_peak_triples;
+    st.inputs.panels = opt.panels;
   }
 
   const RankReport before_reorder = comm.report();
@@ -628,6 +675,10 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
   st.reorder_coll_bytes =
       comm.report().coll_bytes_received() - before_reorder.coll_bytes_received();
 
+  // Budgeted runs bound the overlap pipeline's staging: at most 2 stage
+  // broadcasts posted beyond the one in flight (the comm-op sequence is
+  // identical for every lookahead, so fault-plan coordinates are stable).
+  const int lookahead = opt.max_peak_triples > 0 ? 2 : 0;
   auto dispatch = [&](Algo which, int lyr) -> DistMatrix1D<VT> {
     st.chosen = which;
     st.layers = which == Algo::Split3D ? lyr : 1;
@@ -640,24 +691,82 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
         return spgemm_naive_ring_1d<SRIn>(comm, *ra, *rb, nullptr, opt.overlap);
       case Algo::Summa2D:
         return spgemm_summa_2d_dist<SRIn>(comm, *ra, *rb, opt.sa1d.kernel, opt.sa1d.threads,
-                                          nullptr, opt.grid_rows, opt.grid_cols, opt.overlap);
+                                          nullptr, opt.grid_rows, opt.grid_cols, opt.overlap,
+                                          lookahead);
       case Algo::Split3D:
         require_split3d_layers(comm.size(), lyr, "spgemm_dist(Algo::Split3D)");
         return spgemm_split_3d_dist<SRIn>(comm, *ra, *rb, lyr, opt.sa1d.kernel,
                                           opt.sa1d.threads, nullptr, opt.grid_rows,
-                                          opt.grid_cols, opt.overlap);
+                                          opt.grid_cols, opt.overlap, lookahead);
     }
     require(false, "spgemm_dist: unknown algorithm");
     return {};
   };
+  // Column-panel execution (DESIGN.md §13): k > 1 multiplies C in k global
+  // column windows of B — one recursive spgemm_dist per panel with the
+  // backend, layers, and ordering pinned (the operands are already
+  // permuted) — and concatenates in ascending panel order. Bit-identical to
+  // the monolithic dispatch: panels partition C's columns and every backend
+  // folds a column's partials independently of every other column.
+  auto run_panels = [&](Algo which, int lyr, int k) -> DistMatrix1D<VT> {
+    if (k <= 1) {
+      st.panels = 1;
+      return dispatch(which, lyr);
+    }
+    st.chosen = which;
+    st.layers = which == Algo::Split3D ? lyr : 1;
+    st.panels = k;
+    DistSpgemmOptions sub = opt;
+    sub.algo = which;
+    sub.layers = which == Algo::Split3D ? lyr : opt.layers;
+    sub.reorder = Ordering::Identity;
+    sub.panels = 1;  // panel sub-calls are monolithic: no re-resolution
+    const auto pb_bounds = even_split(rb->ncols(), k);
+    std::vector<DistMatrix1D<VT>> outs;
+    outs.reserve(static_cast<std::size_t>(k));
+    for (int pi = 0; pi < k; ++pi) {
+      auto bp = restrict_columns(*rb, pb_bounds[static_cast<std::size_t>(pi)],
+                                 pb_bounds[static_cast<std::size_t>(pi) + 1]);
+      outs.push_back(spgemm_dist<SRIn>(comm, *ra, bp, sub));
+    }
+    auto ph = comm.phase(Phase::Other);
+    return concat_column_panels(outs);
+  };
   // C of the permuted multiply is P·C·Pᵀ of the caller's: the inverse
   // symmetric permute lands it back on the original ordering and bounds.
+  // Also the single exit point, so the measured per-call peak lands in the
+  // stats whatever path produced C.
   auto finish = [&](DistMatrix1D<VT> c) -> DistMatrix1D<VT> {
-    if (ordering == Ordering::Identity) return c;
-    return permute_symmetric_dist(comm, c, perm.inverse(), a.bounds());
+    if (ordering != Ordering::Identity)
+      c = permute_symmetric_dist(comm, c, perm.inverse(), a.bounds());
+    st.peak_triples = comm.report().peak_triples;
+    st.peak_bytes = comm.report().peak_bytes;
+    return c;
   };
+  // Panel resolution for a non-Auto dispatch: a pinned count is trusted
+  // verbatim; panels = 0 with a budget reads the cost model's smallest
+  // feasible panelization for the (backend × ordering × layers) cell, or
+  // raises rank-uniformly (the predictions derive from global aggregates,
+  // so every rank throws the identical error).
+  int panels = opt.panels >= 1 ? opt.panels : 1;
+  if (opt.panels == 0 && opt.max_peak_triples > 0 && opt.algo != Algo::Auto) {
+    const AlgoPrediction* cell = nullptr;
+    for (const auto& pr : st.predictions)
+      if (pr.algo == algo && pr.ordering == ordering &&
+          (algo != Algo::Split3D || pr.layers == layers)) {
+        cell = &pr;
+        break;
+      }
+    if (cell == nullptr || !cell->feasible)
+      throw ValidationError(
+          ErrorContext{comm.global_rank(comm.rank()), comm.report().comm_ops, "spgemm_dist"},
+          std::string("spgemm_dist: no column panelization of backend ") + algo_name(algo) +
+              " fits max_peak_triples=" + std::to_string(opt.max_peak_triples) +
+              " (modeled peak exceeds the budget at every panel count)");
+    panels = cell->panels;
+  }
 
-  if (opt.algo != Algo::Auto) return finish(dispatch(algo, layers));
+  if (opt.algo != Algo::Auto) return finish(run_panels(algo, layers, panels));
 
   // Auto degrade policy: walk the cost-ranked feasible candidates *of the
   // chosen ordering* (the operands are already permuted for it); a
@@ -674,7 +783,7 @@ DistMatrix1D<VT> spgemm_dist(Comm& comm, const DistMatrix1D<VT>& a, const DistMa
       continue;
     }
     try {
-      return finish(dispatch(cand.algo, cand.layers));
+      return finish(run_panels(cand.algo, cand.layers, cand.panels));
     } catch (const std::invalid_argument&) {
       ++st.validation_failovers;
     }

@@ -106,16 +106,22 @@ struct RingPlan {
 /// Ring 1D SpGEMM baseline. Collective. C inherits B's column distribution;
 /// products and partial merges run over the chosen semiring (the merge is
 /// deterministic — ties fold in push order — so a captured plan replays
-/// bit-exactly). `plan` (optional) captures the value-only replay program.
+/// bit-exactly). `plan` (optional) captures the value-only replay program;
+/// `window` > 0 captures it *windowed from birth* — only the first `window`
+/// hops keep their column structures (the bounded-hop-window execution mode
+/// a peak-triples budget selects; PR 8's demotion produced the same shape
+/// after the fact) — replays dispatch to ring_replay_windowed automatically.
 template <typename SRIn = void, typename VT>
 DistMatrix1D<VT> spgemm_naive_ring_1d(
     Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
     std::type_identity_t<RingPlan<VT, ResolveSemiring<SRIn, VT>>*> plan = nullptr,
-    bool overlap = false) {
+    bool overlap = false, int window = 0) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_naive_ring_1d: inner dimension mismatch");
   const int P = comm.size();
   const int me = comm.rank();
+  auto& rep = comm.report();
+  constexpr std::uint64_t tb = sizeof(Triple<VT>);
 
   // Circulating payload: my A slice as triples with global column ids,
   // column-major sorted (DCSC order) so each hop can rebuild column ranges
@@ -131,9 +137,11 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(
       for (std::size_t p = 0; p < rows.size(); ++p) circ.push_back({rows[p], gcol, vals[p]});
     }
   }
+  rep.mem_charge(circ.size(), circ.size() * tb);
 
   if (plan != nullptr) plan->hops.assign(static_cast<std::size_t>(P), {});
   CooMatrix<VT> acc(a.nrows(), b.local_ncols());
+  StreamingTripleMerge<VT> smerge;
   const auto& bl = b.local();
   const int succ = (me + 1) % P, pred = (me - 1 + P) % P;
   for (int step = 0; step < P; ++step) {
@@ -166,6 +174,7 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(
       }
       starts.push_back(cs.size());
       // C_i += A_slice · B_i restricted to B rows matching the slice columns.
+      const std::size_t pre = acc.triples().size();
       for (index_t j = 0; j < bl.nzc(); ++j) {
         auto brows = bl.col_rows_at(j);
         auto bvals = bl.col_vals_at(j);
@@ -177,18 +186,39 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(
             acc.push(cs[q].row, bl.col_id(j), SR::multiply(cs[q].val, bvals[p]));
         }
       }
+      const std::uint64_t grew = acc.triples().size() - pre;
+      rep.mem_charge(grew, grew * tb);
     }
     if (plan != nullptr) {
       // Structural capture — work a replay skips, accounted like the
       // SUMMA/3D captures so the plan-vs-execute breakdown is comparable
-      // across backends.
+      // across backends. A window > 0 keeps only the first `window` hop
+      // structures (hop.nnz is always recorded — the replay guards need it),
+      // capturing the plan already demoted.
       auto ph = comm.phase(Phase::Plan);
       auto& hop = plan->hops[static_cast<std::size_t>(step)];
       hop.nnz = static_cast<index_t>(cs.size());
-      hop.gcol_ids = std::move(gcol_ids);
-      hop.starts = std::move(starts);
+      if (window <= 0 || step < window) {
+        hop.gcol_ids = std::move(gcol_ids);
+        hop.starts = std::move(starts);
+      }
+    }
+    {
+      // Streaming per-hop merge: collapse the accumulator after every hop
+      // instead of caching every hop's partials until a terminal merge —
+      // bit-identical, and the composed fold program equals the terminal
+      // capture (see StreamingTripleMerge in sparse/coo.hpp).
+      auto ph = comm.phase(plan != nullptr ? Phase::Plan : Phase::Other);
+      const std::uint64_t before = acc.triples().size();
+      rep.mem_charge(before, before * tb);  // merge out-buffer transient
+      smerge.round(acc.triples(), [](VT x, VT y) { return SR::add(x, y); },
+                   plan != nullptr ? &plan->acc_dst : nullptr,
+                   plan != nullptr ? &plan->acc_first : nullptr);
+      const std::uint64_t after = acc.triples().size();
+      rep.mem_release(2 * before - after, (2 * before - after) * tb);
     }
     if (step + 1 < P) {
+      const std::uint64_t outgoing = cs.size();
       if (shift.has_value()) {
         circ = shift->take_from(pred);
         shift->wait();  // drain the (empty) remaining chunks so the op retires
@@ -202,23 +232,28 @@ DistMatrix1D<VT> spgemm_naive_ring_1d(
         auto recv = comm.alltoallv(send);
         circ = std::move(recv[static_cast<std::size_t>(pred)]);
       }
+      rep.mem_charge(circ.size(), circ.size() * tb);  // the arriving slice...
+      rep.mem_release(outgoing, outgoing * tb);       // ...replaces the shifted-away one
+    } else {
+      rep.mem_release(cs.size(), cs.size() * tb);  // last hop: the slice dies here
     }
   }
 
   DcscMatrix<VT> c_local;
   {
-    // A capturing build charges the merge + program capture to Plan, like
-    // the SUMMA/3D captures, so the breakdown is comparable per backend.
+    // The per-hop rounds leave `acc` already merged; a capturing build
+    // charged each round + program capture to Plan, like the SUMMA/3D
+    // captures, so the breakdown is comparable per backend.
     auto ph = comm.phase(plan != nullptr ? Phase::Plan : Phase::Other);
-    merge_triples_stable(acc.triples(), [](VT x, VT y) { return SR::add(x, y); },
-                         plan != nullptr ? &plan->acc_dst : nullptr,
-                         plan != nullptr ? &plan->acc_first : nullptr);
     c_local = DcscMatrix<VT>::from_coo(acc);
     if (plan != nullptr) {
       plan->acc_nnz = acc.triples().size();
       plan->c_shell = c_local;
+      if (window > 0) plan->demote_to_window(window);
     }
   }
+  // The merged accumulator dies with this frame; c_local is the output.
+  rep.mem_release(acc.triples().size(), acc.triples().size() * tb);
   return DistMatrix1D<VT>(a.nrows(), b.ncols(), b.bounds(), me, std::move(c_local));
 }
 
@@ -241,6 +276,7 @@ DistMatrix1D<VT> ring_replay_windowed(Comm& comm, RingPlan<VT, SR>& plan,
   const int P = comm.size();
   const int me = comm.rank();
   const int w = plan.window;
+  auto& rep = comm.report();
   std::vector<VT> circ_vals;
   std::vector<CV> circ_pairs;
   {
@@ -248,6 +284,7 @@ DistMatrix1D<VT> ring_replay_windowed(Comm& comm, RingPlan<VT, SR>& plan,
     circ_vals = a.local().vals();
     plan.acc_vals.assign(plan.acc_nnz, VT{});
   }
+  rep.mem_charge(circ_vals.size(), circ_vals.size() * sizeof(VT));
 
   const auto& bl = b.local();
   const int succ = (me + 1) % P, pred = (me - 1 + P) % P;
@@ -300,6 +337,8 @@ DistMatrix1D<VT> ring_replay_windowed(Comm& comm, RingPlan<VT, SR>& plan,
         }
       }
     }
+    const std::uint64_t out_elems = paired ? circ_pairs.size() : circ_vals.size();
+    const std::uint64_t out_bytes = out_elems * (paired ? sizeof(CV) : sizeof(VT));
     if (step + 1 < P) {
       if (step + 1 < w) {
         // Still inside the window: bare value shift, like the full replay.
@@ -310,6 +349,8 @@ DistMatrix1D<VT> ring_replay_windowed(Comm& comm, RingPlan<VT, SR>& plan,
         }
         auto recv = comm.alltoallv(send);
         circ_vals = std::move(recv[static_cast<std::size_t>(pred)]);
+        rep.mem_charge(circ_vals.size(), circ_vals.size() * sizeof(VT));
+        rep.mem_release(out_elems, out_bytes);
       } else {
         // Crossing or past the boundary: the receiver holds no structure for
         // the next hop, so the column ids travel with the values.
@@ -334,7 +375,11 @@ DistMatrix1D<VT> ring_replay_windowed(Comm& comm, RingPlan<VT, SR>& plan,
         }
         auto recv = comm.alltoallv(send);
         circ_pairs = std::move(recv[static_cast<std::size_t>(pred)]);
+        rep.mem_charge(circ_pairs.size(), circ_pairs.size() * sizeof(CV));
+        rep.mem_release(out_elems, out_bytes);
       }
+    } else {
+      rep.mem_release(out_elems, out_bytes);  // last hop: the slice dies here
     }
   }
 
@@ -360,12 +405,14 @@ DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
   if (plan.windowed()) return ringdetail::ring_replay_windowed<SR, VT>(comm, plan, a, b);
   const int P = comm.size();
   const int me = comm.rank();
+  auto& rep = comm.report();
   std::vector<VT> circ_vals;
   {
     auto ph = comm.phase(Phase::Other);
     circ_vals = a.local().vals();
     plan.acc_vals.assign(plan.acc_nnz, VT{});
   }
+  rep.mem_charge(circ_vals.size(), circ_vals.size() * sizeof(VT));
 
   const auto& bl = b.local();
   const int succ = (me + 1) % P, pred = (me - 1 + P) % P;
@@ -415,6 +462,7 @@ DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
       }
     }
     if (step + 1 < P) {
+      const std::uint64_t outgoing = cv.size();
       if (shift.has_value()) {
         circ_vals = shift->take_from(pred);
         shift->wait();
@@ -427,6 +475,10 @@ DistMatrix1D<VT> spgemm_naive_ring_1d_replay(Comm& comm, RingPlan<VT, SR>& plan,
         auto recv = comm.alltoallv(send);
         circ_vals = std::move(recv[static_cast<std::size_t>(pred)]);
       }
+      rep.mem_charge(circ_vals.size(), circ_vals.size() * sizeof(VT));
+      rep.mem_release(outgoing, outgoing * sizeof(VT));
+    } else {
+      rep.mem_release(cv.size(), cv.size() * sizeof(VT));  // last hop
     }
   }
 

@@ -25,50 +25,9 @@
 
 namespace sa1d {
 
-/// Sorts `t` by (col, row) breaking ties by original position and ⊕-merges
-/// duplicates left to right — a *deterministic* merge (std::sort's tie order
-/// is unspecified, so canonicalize_with cannot be replayed bit-exactly).
-/// `dst`/`first` (optional, but only together) capture the fold program:
-/// original triple i lands in output slot (*dst)[i], assigning when
-/// (*first)[i] and ⊕-accumulating otherwise — replaying the program in
-/// original order reproduces the merged values bit for bit.
-template <typename Add, typename VT>
-void merge_triples_stable(std::vector<Triple<VT>>& t, Add add,
-                          std::vector<index_t>* dst = nullptr,
-                          std::vector<std::uint8_t>* first = nullptr) {
-  require((dst == nullptr) == (first == nullptr),
-          "merge_triples_stable: dst and first capture the fold program together — "
-          "pass both or neither");
-  std::vector<index_t> perm(t.size());
-  std::iota(perm.begin(), perm.end(), index_t{0});
-  std::sort(perm.begin(), perm.end(), [&](index_t x, index_t y) {
-    const auto& a = t[static_cast<std::size_t>(x)];
-    const auto& b = t[static_cast<std::size_t>(y)];
-    if (a.col != b.col) return a.col < b.col;
-    if (a.row != b.row) return a.row < b.row;
-    return x < y;
-  });
-  if (dst != nullptr) {
-    dst->assign(t.size(), 0);
-    first->assign(t.size(), 0);
-  }
-  std::vector<Triple<VT>> out;
-  out.reserve(t.size());
-  for (auto i : perm) {
-    const auto& ti = t[static_cast<std::size_t>(i)];
-    if (out.empty() || out.back().col != ti.col || out.back().row != ti.row) {
-      out.push_back(ti);
-      if (dst != nullptr) {
-        (*dst)[static_cast<std::size_t>(i)] = static_cast<index_t>(out.size() - 1);
-        (*first)[static_cast<std::size_t>(i)] = 1;
-      }
-    } else {
-      out.back().val = add(out.back().val, ti.val);
-      if (dst != nullptr) (*dst)[static_cast<std::size_t>(i)] = static_cast<index_t>(out.size() - 1);
-    }
-  }
-  t = std::move(out);
-}
+// merge_triples_stable and its streaming round-by-round twin
+// (StreamingTripleMerge) live in sparse/coo.hpp next to the triple type;
+// every consumer here reaches them through the include above.
 
 /// Resolves and validates the q_r × q_c process grid for P ranks: auto
 /// shape when both overrides are 0 (nearest-square factorization — always
@@ -188,6 +147,8 @@ CscMatrix<VT> redistribute_1d_to_2d_grid(Comm& comm, const DistMatrix1D<VT>& m,
                      col_bounds[static_cast<std::size_t>(my_bj)];
   CooMatrix<VT> blk(nr, nc);
   std::vector<std::vector<Triple<VT>>> recv(static_cast<std::size_t>(P));
+  auto& rep = comm.report();
+  constexpr std::uint64_t tb = sizeof(Triple<VT>);
   if (overlap) {
     // Pipelined receive: fold each source's chunk into the block as it
     // arrives, in ascending rank order — the same flat order the blocking
@@ -198,19 +159,26 @@ CscMatrix<VT> redistribute_1d_to_2d_grid(Comm& comm, const DistMatrix1D<VT>& m,
     for (int p = 0; p < P; ++p) {
       recv[static_cast<std::size_t>(p)] = req.take_from(p);
       auto ph_push = comm.phase(Phase::Other);
+      rep.mem_charge(recv[static_cast<std::size_t>(p)].size(),
+                     recv[static_cast<std::size_t>(p)].size() * tb);  // block assembly
       for (auto& t : recv[static_cast<std::size_t>(p)]) blk.push(t.row, t.col, t.val);
     }
   } else {
     recv = comm.alltoallv(send);
     auto ph_push = comm.phase(Phase::Other);
-    for (auto& chunk : recv)
+    for (auto& chunk : recv) {
+      rep.mem_charge(chunk.size(), chunk.size() * tb);  // block assembly
       for (auto& t : chunk) blk.push(t.row, t.col, t.val);
+    }
   }
   auto ph = comm.phase(Phase::Other);
   // The source was canonical and each nonzero has one target, so this only
   // sorts — no duplicate can arise, and the merge is semiring-neutral.
   blk.canonicalize();
   auto out = CscMatrix<VT>::from_coo(blk);
+  // The COO assembly buffer dies here; the CSC block it became is a
+  // resident operand block, outside the transient-triples budget.
+  rep.mem_release(blk.triples().size(), blk.triples().size() * tb);
   if (route != nullptr) {
     // Receiver placement: (col, row) keys are unique, so each flat incoming
     // position maps to exactly one slot of the canonical block — structural
@@ -356,37 +324,64 @@ DistMatrix1D<VT> redistribute_coo_to_1d(Comm& comm, const CooMatrix<VT>& part, i
   const index_t lo = out_bounds[static_cast<std::size_t>(comm.rank())];
   const index_t hi = out_bounds[static_cast<std::size_t>(comm.rank()) + 1];
   CooMatrix<VT> local(nrows, hi - lo);
-  std::vector<std::vector<Triple<VT>>> recv(static_cast<std::size_t>(P));
-  if (overlap) {
-    // Pipelined fold: each layer's/stage-owner's partial chunk is pushed
-    // into the local accumulator as it arrives, ascending rank order — the
-    // identical flat arrival order the blocking path produces, so the
-    // stable merge (and its captured fold program) cannot tell them apart.
-    auto req = comm.ialltoallv(std::move(send));
-    for (int p = 0; p < P; ++p) {
-      recv[static_cast<std::size_t>(p)] = req.take_from(p);
-      auto ph_push = comm.phase(Phase::Other);
-      for (auto& t : recv[static_cast<std::size_t>(p)]) local.push(t.row, t.col - lo, t.val);
-    }
-  } else {
-    recv = comm.alltoallv(send);
-    auto ph_push = comm.phase(Phase::Other);
-    for (auto& chunk : recv)
-      for (auto& t : chunk) local.push(t.row, t.col - lo, t.val);
-  }
-  auto ph = comm.phase(Phase::Other);
   std::vector<index_t> dst;
   std::vector<std::uint8_t> first;
-  merge_triples_stable(
-      local.triples(),
-      [](typename SR::value_type x, typename SR::value_type y) { return SR::add(x, y); },
-      route != nullptr ? &dst : nullptr, route != nullptr ? &first : nullptr);
+  std::vector<index_t> counts(static_cast<std::size_t>(P), 0);
+  StreamingTripleMerge<VT> smerge;
+  auto& rep = comm.report();
+  constexpr std::uint64_t tb = sizeof(Triple<VT>);
+  auto add = [](typename SR::value_type x, typename SR::value_type y) { return SR::add(x, y); };
+  // Streaming rounds-merge: the accumulator collapses to canonical form
+  // after every source's chunk, so its footprint never exceeds (merged C
+  // slice + one chunk + that round's merge scratch). The terminal merge
+  // this replaces held every layer's/stage-owner's partials at once *plus*
+  // an equally sized merge output buffer — ~2x the final partial-C slice on
+  // the split-3D cross-layer fold. Bit-identical either way, in both comm
+  // modes: the per-key fold is the left fold in flat (rank-major) arrival
+  // order regardless of where the round boundaries fall.
+  auto fold_chunk = [&](int p, std::vector<Triple<VT>>& chunk) {
+    counts[static_cast<std::size_t>(p)] = static_cast<index_t>(chunk.size());
+    auto ph_push = comm.phase(Phase::Other);
+    rep.mem_charge(chunk.size(), chunk.size() * tb);  // accumulator growth
+    for (auto& t : chunk) local.push(t.row, t.col - lo, t.val);
+    const std::uint64_t before = local.triples().size();
+    rep.mem_charge(before, before * tb);  // merge output buffer
+    smerge.round(local.triples(), add, route != nullptr ? &dst : nullptr,
+                 route != nullptr ? &first : nullptr);
+    const std::uint64_t after = local.triples().size();
+    rep.mem_release(2 * before - after, (2 * before - after) * tb);
+  };
+  if (overlap) {
+    // Pipelined fold: each chunk is pushed and merged as it arrives, in
+    // ascending rank order — the identical flat order the blocking path
+    // consumes; later chunks' modeled transfer time hides behind earlier
+    // chunks' fold work, and only one chunk is ever staged.
+    auto req = comm.ialltoallv(std::move(send));
+    for (int p = 0; p < P; ++p) {
+      auto chunk = req.take_from(p);
+      rep.mem_charge(chunk.size(), chunk.size() * tb);  // arrival staging
+      fold_chunk(p, chunk);
+      rep.mem_release(chunk.size(), chunk.size() * tb);
+    }
+  } else {
+    auto recv = comm.alltoallv(send);
+    std::uint64_t staged = 0;
+    for (const auto& chunk : recv) staged += chunk.size();
+    rep.mem_charge(staged, staged * tb);  // every chunk lands at once
+    for (int p = 0; p < P; ++p) {
+      auto& chunk = recv[static_cast<std::size_t>(p)];
+      fold_chunk(p, chunk);
+      rep.mem_release(chunk.size(), chunk.size() * tb);
+      chunk.clear();
+      chunk.shrink_to_fit();
+    }
+  }
+  auto ph = comm.phase(Phase::Other);
   auto c_local = DcscMatrix<VT>::from_coo(local);
+  rep.mem_release(local.triples().size(), local.triples().size() * tb);
   if (route != nullptr) {
     auto ph_plan = comm.phase(Phase::Plan);
-    route->recv_counts.assign(static_cast<std::size_t>(P), 0);
-    for (std::size_t r = 0; r < recv.size(); ++r)
-      route->recv_counts[r] = static_cast<index_t>(recv[r].size());
+    route->recv_counts = std::move(counts);
     route->recv_dst = std::move(dst);
     route->recv_first = std::move(first);
     route->c_shell = c_local;

@@ -56,7 +56,7 @@ DistMatrix1D<VT> spgemm_split_3d_dist(
     Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b, int layers,
     LocalKernel kernel = LocalKernel::Hybrid, int threads = 1,
     std::type_identity_t<Split3dPlan<VT, ResolveSemiring<SRIn, VT>>*> plan = nullptr,
-    int grid_rows = 0, int grid_cols = 0, bool overlap = false) {
+    int grid_rows = 0, int grid_cols = 0, bool overlap = false, int lookahead = 0) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_split_3d_dist: inner dimension mismatch");
   const int P = comm.size();
@@ -125,12 +125,18 @@ DistMatrix1D<VT> spgemm_split_3d_dist(
       layer_comm, grid, my_a, my_b, std::span<const index_t>(rb),
       std::span<const index_t>(kb_layer[static_cast<std::size_t>(layer)]),
       std::span<const index_t>(cb), kernel, threads, acc,
-      plan != nullptr ? &plan->sched : nullptr, overlap);
-  // Pipelined cross-layer "split" reduction: with overlap on, the scatter's
-  // ⊕-fold consumes each layer's partial-C chunk as it arrives instead of
-  // waiting for the full exchange (see redistribute_coo_to_1d).
-  return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds(),
-                                    plan != nullptr ? &plan->out : nullptr, overlap);
+      plan != nullptr ? &plan->sched : nullptr, overlap, lookahead);
+  // Pipelined cross-layer "split" reduction: the scatter's ⊕-fold consumes
+  // each layer's partial-C chunk as it arrives (streaming rounds-merge in
+  // redistribute_coo_to_1d), so the cross-layer merge never holds all
+  // arrivals plus the merged copy at once.
+  auto c = redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds(),
+                                      plan != nullptr ? &plan->out : nullptr, overlap);
+  // This layer's merged partials (charged stage by stage in summa_stages)
+  // die here: the scatter has folded them into C's canonical distribution.
+  comm.report().mem_release(acc.triples().size(),
+                            acc.triples().size() * sizeof(Triple<VT>));
+  return c;
 }
 
 /// Replays a captured Split-3D plan for a structurally identical operand
@@ -141,14 +147,14 @@ DistMatrix1D<VT> spgemm_split_3d_dist(
 template <typename SR, typename VT>
 DistMatrix1D<VT> spgemm_split_3d_replay(Comm& comm, Split3dPlan<VT, SR>& plan,
                                         const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
-                                        bool overlap = false) {
+                                        bool overlap = false, int lookahead = 0) {
   const int q2 = comm.size() / plan.layers;
   const int layer = comm.rank() / q2;
   const auto& my_a = replay_1d_to_2d_grid(comm, plan.route_a, a, overlap);
   const auto& my_b = replay_1d_to_2d_grid(comm, plan.route_b, b, overlap);
   Comm layer_comm = comm.split(layer, comm.rank());
   summadetail::summa_stages_replay<SR>(layer_comm, my_a, my_b, plan.sched, plan.acc_vals,
-                                       overlap);
+                                       overlap, lookahead);
   return replay_coo_to_1d<SR>(comm, plan.out, std::span<const VT>(plan.acc_vals), overlap);
 }
 

@@ -20,6 +20,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <optional>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -120,7 +121,7 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
                   const CscMatrix<VT>& my_b, std::span<const index_t> rb,
                   std::span<const index_t> kb, std::span<const index_t> cb, LocalKernel kernel,
                   int threads, CooMatrix<VT>& acc, SummaSched<VT, SR>* sched = nullptr,
-                  bool overlap = false) {
+                  bool overlap = false, int lookahead = 0) {
   const int s = grid.stages;
   const int spc = s / grid.cols;  // fine blocks per grid column (A ownership)
   const int spr = s / grid.rows;  // fine blocks per grid row (B ownership)
@@ -137,6 +138,10 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
     sched->grid_rows = grid.rows;
     sched->grid_cols = grid.cols;
   }
+
+  auto& rep = comm.report();
+  constexpr std::uint64_t tb = sizeof(Triple<VT>);
+  StreamingTripleMerge<VT> smerge;
 
   // Root-side payload extraction for stage k. Caller wraps in Phase::Other.
   auto extract = [&](int k, std::vector<Triple<VT>>& abuf, std::vector<Triple<VT>>& bbuf,
@@ -186,6 +191,9 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
     const index_t klo = kb[static_cast<std::size_t>(k)], khi = kb[static_cast<std::size_t>(k) + 1];
     const int a_root = k / spc;  // grid column owning fine A block k
     const int b_root = k / spr;  // grid row owning fine B block k
+    // Broadcast staging charged by the caller at delivery; dies when the
+    // triples are rebuilt into CSC blocks below.
+    const std::uint64_t payload = abuf.size() + bbuf.size();
 
     // The broadcast triples arrive in canonical (col-major, row-ascending)
     // order, so the rebuilt blocks' val order equals the payload order — a
@@ -201,6 +209,7 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
                                  cb[static_cast<std::size_t>(gj)],
                              std::move(bbuf));
     }
+    rep.mem_release(payload, payload * tb);
     if (sched != nullptr) {
       // Capturing build: run the split engine so the symbolic result (and
       // the warm workspaces) are kept for numeric-only replays.
@@ -227,12 +236,31 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
     }
     {
       auto ph = comm.phase(Phase::Other);
+      const std::size_t pre = acc.triples().size();
       for (index_t j = 0; j < c_blk.ncols(); ++j) {
         auto rows = c_blk.col_rows(j);
         auto vals = c_blk.col_vals(j);
         for (std::size_t p = 0; p < rows.size(); ++p)
           acc.push(rows[p] + rlo, j + clo, vals[p]);
       }
+      const std::uint64_t grew = acc.triples().size() - pre;
+      rep.mem_charge(grew, grew * tb);
+    }
+    {
+      // Streaming per-stage merge: collapse the accumulator after every
+      // stage instead of holding all stage partials until one terminal
+      // merge, bounding the resident footprint at (merged so far + one
+      // stage's pushes). Bit-identical to the terminal merge, and the
+      // composed fold program equals the terminal capture — see
+      // StreamingTripleMerge in sparse/coo.hpp.
+      auto ph = comm.phase(sched != nullptr ? Phase::Plan : Phase::Other);
+      const std::uint64_t before = acc.triples().size();
+      rep.mem_charge(before, before * tb);  // merge out-buffer transient
+      smerge.round(acc.triples(), [](VT x, VT y) { return SR::add(x, y); },
+                   sched != nullptr ? &sched->acc_dst : nullptr,
+                   sched != nullptr ? &sched->acc_first : nullptr);
+      const std::uint64_t after = acc.triples().size();
+      rep.mem_release(2 * before - after, (2 * before - after) * tb);
     }
   };
 
@@ -247,54 +275,59 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
       }
       row_comm.bcast(abuf, k / spc);  // fine A(gi, k) along grid row gi
       col_comm.bcast(bbuf, k / spr);  // fine B(k, gj) along grid column gj
+      const std::uint64_t payload = abuf.size() + bbuf.size();
+      rep.mem_charge(payload, payload * tb);  // delivered stage staging
       run_stage(k, std::move(abuf), std::move(bbuf), a_lo, a_hi, std::move(b_src));
     }
   } else {
-    // Double-buffered (full-lookahead) pipeline: every stage's A/B payload
-    // is extracted once and its broadcasts posted nonblocking before any
-    // local multiply runs, so stage s+1's (and later) payloads travel while
-    // stage s computes. Issue order (a then b, ascending stages) matches
-    // the lockstep call order exactly, keeping per-rank comm_ops indices
-    // and byte/message counters — and therefore FaultPlan coordinates —
-    // identical between the two modes.
+    // Double-buffered pipeline with a bounded lookahead window: stage k's
+    // A/B payload is extracted and its broadcasts posted nonblocking `la`
+    // stages before the local multiply consumes it, so later payloads
+    // travel while earlier stages compute. la == s (the default when
+    // `lookahead` is 0) posts everything up front — the previous
+    // full-lookahead behavior; a budgeted call passes a small window so at
+    // most la+1 stage payloads are staged at once. Issue order (a then b,
+    // ascending stages) matches the lockstep call order exactly, keeping
+    // per-rank comm_ops indices and byte/message counters — and therefore
+    // FaultPlan coordinates — identical across modes and window sizes.
+    const int la = lookahead > 0 ? std::min(lookahead, s) : s;
     std::vector<std::vector<Triple<VT>>> abufs(static_cast<std::size_t>(s));
     std::vector<std::vector<Triple<VT>>> bbufs(static_cast<std::size_t>(s));
     std::vector<index_t> alos(static_cast<std::size_t>(s), 0);
     std::vector<index_t> ahis(static_cast<std::size_t>(s), 0);
     std::vector<std::vector<index_t>> bsrcs(static_cast<std::size_t>(s));
-    {
-      auto ph = comm.phase(Phase::Other);
-      for (int k = 0; k < s; ++k) {
-        const auto sk = static_cast<std::size_t>(k);
+    std::vector<std::uint64_t> staged(static_cast<std::size_t>(s), 0);
+    std::vector<std::optional<CommRequest>> areq(static_cast<std::size_t>(s));
+    std::vector<std::optional<CommRequest>> breq(static_cast<std::size_t>(s));
+    auto post = [&](int k) {
+      const auto sk = static_cast<std::size_t>(k);
+      {
+        auto ph = comm.phase(Phase::Other);
         extract(k, abufs[sk], bbufs[sk], alos[sk], ahis[sk], bsrcs[sk]);
       }
-    }
-    std::vector<CommRequest> areq, breq;
-    areq.reserve(static_cast<std::size_t>(s));
-    breq.reserve(static_cast<std::size_t>(s));
+      staged[sk] = abufs[sk].size() + bbufs[sk].size();  // root-side extraction
+      rep.mem_charge(staged[sk], staged[sk] * tb);
+      areq[sk].emplace(row_comm.ibcast(abufs[sk], k / spc));
+      breq[sk].emplace(col_comm.ibcast(bbufs[sk], k / spr));
+    };
+    for (int k = 0; k < la; ++k) post(k);
     for (int k = 0; k < s; ++k) {
       const auto sk = static_cast<std::size_t>(k);
-      areq.push_back(row_comm.ibcast(abufs[sk], k / spc));
-      breq.push_back(col_comm.ibcast(bbufs[sk], k / spr));
-    }
-    for (int k = 0; k < s; ++k) {
-      const auto sk = static_cast<std::size_t>(k);
-      areq[sk].wait();
-      breq[sk].wait();
+      areq[sk]->wait();
+      breq[sk]->wait();
+      // Top up to the delivered payload (non-roots held nothing until now).
+      const std::uint64_t tot = abufs[sk].size() + bbufs[sk].size();
+      if (tot > staged[sk]) rep.mem_charge(tot - staged[sk], (tot - staged[sk]) * tb);
+      if (k + la < s) post(k + la);
       run_stage(k, std::move(abufs[sk]), std::move(bbufs[sk]), alos[sk], ahis[sk],
                 std::move(bsrcs[sk]));
     }
   }
-  {
-    // Merge the per-stage partials of each C entry locally before the
-    // scatter: the all-to-all then carries post-merge volume (what the
-    // cost model prices), not duplicates per stage.
-    auto ph = comm.phase(sched != nullptr ? Phase::Plan : Phase::Other);
-    merge_triples_stable(acc.triples(), [](VT x, VT y) { return SR::add(x, y); },
-                         sched != nullptr ? &sched->acc_dst : nullptr,
-                         sched != nullptr ? &sched->acc_first : nullptr);
-    if (sched != nullptr) sched->acc_nnz = acc.triples().size();
-  }
+  // The per-stage streaming rounds leave `acc` already merged — the scatter
+  // carries post-merge volume (what the cost model prices), not duplicates
+  // per stage — and the composed fold program equals a terminal
+  // merge_triples_stable capture, so replays are interchangeable.
+  if (sched != nullptr) sched->acc_nnz = acc.triples().size();
 }
 
 /// Replays a captured stage schedule: per stage, value-only row/column
@@ -306,7 +339,7 @@ void summa_stages(Comm& comm, GridShape grid, const CscMatrix<VT>& my_a,
 template <typename SR, typename VT>
 void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<VT>& my_b,
                          SummaSched<VT, SR>& sched, std::vector<VT>& acc_vals,
-                         bool overlap = false) {
+                         bool overlap = false, int lookahead = 0) {
   const int s = static_cast<int>(sched.stages.size());
   const int spc = s / sched.grid_cols;
   const int spr = s / sched.grid_rows;
@@ -315,6 +348,7 @@ void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<
   Comm row_comm = comm.split(gi, gj);
   Comm col_comm = comm.split(gj, gi);
 
+  auto& rep = comm.report();
   acc_vals.assign(sched.acc_nnz, VT{});
   std::size_t flat = 0;
 
@@ -336,6 +370,9 @@ void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<
   // way, so overlapped replay stays bit-identical to lockstep replay.
   auto run_stage = [&](int k, std::vector<VT> abuf, std::vector<VT> bbuf) {
     auto& st = sched.stages[static_cast<std::size_t>(k)];
+    // Value-only staging (charged at delivery, element-equivalents): dies
+    // when the values move into the cached shells below.
+    const std::uint64_t payload = abuf.size() + bbuf.size();
     CscMatrix<VT> c_blk;
     {
       auto ph = comm.phase(Phase::Other);
@@ -352,6 +389,7 @@ void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<
       st.a_blk.mutable_vals() = std::move(abuf);
       st.b_blk.mutable_vals() = std::move(bbuf);
     }
+    rep.mem_release(payload, payload * sizeof(VT));
     {
       auto ph = comm.phase(Phase::Comp);
       c_blk = spgemm_local_numeric<SR, VT>(st.a_blk, st.b_blk, st.sym, &sched.ws);
@@ -375,29 +413,39 @@ void summa_stages_replay(Comm& comm, const CscMatrix<VT>& my_a, const CscMatrix<
       }
       row_comm.bcast(abuf, k / spc);
       col_comm.bcast(bbuf, k / spr);
+      const std::uint64_t payload = abuf.size() + bbuf.size();
+      rep.mem_charge(payload, payload * sizeof(VT));
       run_stage(k, std::move(abuf), std::move(bbuf));
     }
   } else {
-    // Full-lookahead value broadcasts: all stage payloads posted up front
-    // (same issue order as lockstep), numeric passes drain them in order.
+    // Bounded-lookahead value broadcasts (la == s, the default, posts every
+    // stage payload up front — the previous behavior); same issue order as
+    // lockstep, numeric passes drain them ascending either way.
+    const int la = lookahead > 0 ? std::min(lookahead, s) : s;
     std::vector<std::vector<VT>> abufs(static_cast<std::size_t>(s));
     std::vector<std::vector<VT>> bbufs(static_cast<std::size_t>(s));
-    {
-      auto ph = comm.phase(Phase::Other);
-      for (int k = 0; k < s; ++k)
-        extract(k, abufs[static_cast<std::size_t>(k)], bbufs[static_cast<std::size_t>(k)]);
-    }
-    std::vector<CommRequest> areq, breq;
-    areq.reserve(static_cast<std::size_t>(s));
-    breq.reserve(static_cast<std::size_t>(s));
-    for (int k = 0; k < s; ++k) {
-      areq.push_back(row_comm.ibcast(abufs[static_cast<std::size_t>(k)], k / spc));
-      breq.push_back(col_comm.ibcast(bbufs[static_cast<std::size_t>(k)], k / spr));
-    }
+    std::vector<std::uint64_t> staged(static_cast<std::size_t>(s), 0);
+    std::vector<std::optional<CommRequest>> areq(static_cast<std::size_t>(s));
+    std::vector<std::optional<CommRequest>> breq(static_cast<std::size_t>(s));
+    auto post = [&](int k) {
+      const auto sk = static_cast<std::size_t>(k);
+      {
+        auto ph = comm.phase(Phase::Other);
+        extract(k, abufs[sk], bbufs[sk]);
+      }
+      staged[sk] = abufs[sk].size() + bbufs[sk].size();
+      rep.mem_charge(staged[sk], staged[sk] * sizeof(VT));
+      areq[sk].emplace(row_comm.ibcast(abufs[sk], k / spc));
+      breq[sk].emplace(col_comm.ibcast(bbufs[sk], k / spr));
+    };
+    for (int k = 0; k < la; ++k) post(k);
     for (int k = 0; k < s; ++k) {
       const auto sk = static_cast<std::size_t>(k);
-      areq[sk].wait();
-      breq[sk].wait();
+      areq[sk]->wait();
+      breq[sk]->wait();
+      const std::uint64_t tot = abufs[sk].size() + bbufs[sk].size();
+      if (tot > staged[sk]) rep.mem_charge(tot - staged[sk], (tot - staged[sk]) * sizeof(VT));
+      if (k + la < s) post(k + la);
       run_stage(k, std::move(abufs[sk]), std::move(bbufs[sk]));
     }
   }
@@ -441,7 +489,7 @@ DistMatrix1D<VT> spgemm_summa_2d_dist(
     Comm& comm, const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
     LocalKernel kernel = LocalKernel::Hybrid, int threads = 1,
     std::type_identity_t<Summa2dPlan<VT, ResolveSemiring<SRIn, VT>>*> plan = nullptr,
-    int grid_rows = 0, int grid_cols = 0, bool overlap = false) {
+    int grid_rows = 0, int grid_cols = 0, bool overlap = false, int lookahead = 0) {
   using SR = ResolveSemiring<SRIn, VT>;
   require(a.ncols() == b.nrows(), "spgemm_summa_2d_dist: inner dimension mismatch");
   const int P = comm.size();
@@ -479,9 +527,14 @@ DistMatrix1D<VT> spgemm_summa_2d_dist(
   summadetail::summa_stages<SR>(comm, grid, my_a, my_b, std::span<const index_t>(rb),
                                 std::span<const index_t>(kb), std::span<const index_t>(cb),
                                 kernel, threads, acc,
-                                plan != nullptr ? &plan->sched : nullptr, overlap);
-  return redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds(),
-                                    plan != nullptr ? &plan->out : nullptr, overlap);
+                                plan != nullptr ? &plan->sched : nullptr, overlap, lookahead);
+  auto c = redistribute_coo_to_1d<SR>(comm, acc, a.nrows(), b.ncols(), b.bounds(),
+                                      plan != nullptr ? &plan->out : nullptr, overlap);
+  // The merged partial-C accumulator (charged stage by stage above) dies
+  // here: the scatter has folded it into C's canonical distribution.
+  comm.report().mem_release(acc.triples().size(),
+                            acc.triples().size() * sizeof(Triple<VT>));
+  return c;
 }
 
 /// Replays a captured 2D-SUMMA plan for a structurally identical operand
@@ -491,10 +544,11 @@ DistMatrix1D<VT> spgemm_summa_2d_dist(
 template <typename SR, typename VT>
 DistMatrix1D<VT> spgemm_summa_2d_replay(Comm& comm, Summa2dPlan<VT, SR>& plan,
                                         const DistMatrix1D<VT>& a, const DistMatrix1D<VT>& b,
-                                        bool overlap = false) {
+                                        bool overlap = false, int lookahead = 0) {
   const auto& my_a = replay_1d_to_2d_grid(comm, plan.route_a, a, overlap);
   const auto& my_b = replay_1d_to_2d_grid(comm, plan.route_b, b, overlap);
-  summadetail::summa_stages_replay<SR>(comm, my_a, my_b, plan.sched, plan.acc_vals, overlap);
+  summadetail::summa_stages_replay<SR>(comm, my_a, my_b, plan.sched, plan.acc_vals, overlap,
+                                       lookahead);
   return replay_coo_to_1d<SR>(comm, plan.out, std::span<const VT>(plan.acc_vals), overlap);
 }
 

@@ -5,6 +5,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <limits>
 #include <numeric>
 #include <sstream>
 #include <string>
@@ -245,7 +246,121 @@ GridTerms grid_terms(const AlgoCostInputs& in, int layers, double imb_scale = 1.
   return t;
 }
 
+/// Modeled per-rank peak transient triples of one budgeted execution at
+/// column-panel count k — the quantity the RankReport peak_triples gauge
+/// high-waters (DESIGN.md §13). Deliberately an *upper* bound: the budget
+/// check `modeled ≤ max_peak_triples` must imply `measured ≤ budget`, so
+/// every term carries headroom over what the gauge actually charges.
+/// Returns a saturating huge value for grid shapes that do not factor, so
+/// the panel sweep simply finds no feasible k there.
+std::uint64_t modeled_peak_triples(const AlgoCostInputs& in, Algo algo, int k) {
+  const double kk = static_cast<double>(k < 1 ? 1 : k);
+  const auto P = static_cast<double>(in.P < 1 ? 1 : in.P);
+  const auto flops = static_cast<double>(in.flops);
+  // Panels are GLOBAL column windows of B/C, while the gauge high-waters the
+  // worst single rank: with k ≤ P a rank's local columns sit wholly inside
+  // one panel, so that panel replays the rank's entire accumulation in one
+  // go and its peak does not move. Per-rank terms therefore shrink with
+  // keff = k/P (panels subdividing each rank's columns), while global-volume
+  // terms — stage-broadcast payloads, inbound B redistribution — genuinely
+  // shrink with k. Calibrated against measured hwm_triples on two fixed
+  // workloads (ER n=150 deg 5 and the fig16 block-clustered n=300, both
+  // P=4): modeled / measured held between 1.01× and 1.9× across
+  // backends × k ∈ {1..64}, never under.
+  const double keff = std::max(1.0, kk / P);
+  // Per-rank max aggregates, with even-share fallbacks (×2 skew headroom)
+  // for hand-built inputs that did not gather them.
+  const double mrf =
+      in.max_rank_flops > 0 ? static_cast<double>(in.max_rank_flops) : flops / P + 1.0;
+  const double mna = in.max_rank_nnz_a > 0
+                         ? static_cast<double>(in.max_rank_nnz_a)
+                         : 2.0 * static_cast<double>(in.nnz_a) / P + 1.0;
+  const double mnb = in.max_rank_nnz_b > 0
+                         ? static_cast<double>(in.max_rank_nnz_b)
+                         : 2.0 * static_cast<double>(in.nnz_b) / P + 1.0;
+  const double mfe = in.max_rank_fetch_elems > 0
+                         ? static_cast<double>(in.max_rank_fetch_elems)
+                         : 2.0 * static_cast<double>(in.sa1d_fetch_elems) / P;
+  // Accumulator high water: the streaming merge holds merged prefix + fresh
+  // pushes + its out-buffer — ~2× the rank's panel-share of push volume.
+  // (2.27 measured on both calibration workloads; 2.3 keeps it an upper
+  // bound.)
+  const double acc = 2.3 * mrf / keff;
+  double peak = 0.0;
+  switch (algo) {
+    case Algo::Auto:
+      return 0;
+    case Algo::SparseAware1D:
+      // Ã assembly (planned fetch) and the B̃ mirror are live together; the
+      // fetched Ã and the B̃ panel both track the panel's column window, so
+      // they shrink with the rank's panel subdivision. The stationary A
+      // slice is resident whole regardless.
+      peak = 1.2 * (mna + (mnb + mfe) / keff);
+      break;
+    case Algo::Ring1D:
+      // The circulating A slice is doubled at each shift (the arriving
+      // slice is charged before the outgoing one is released) and
+      // re-circulates whole once per panel; only the accumulator shrinks.
+      peak = 2.4 * mna + 2.0 * mrf / keff;
+      break;
+    case Algo::Summa2D:
+    case Algo::Split3D: {
+      const int layers = algo == Algo::Split3D ? in.layers : 1;
+      if (layers < 1 || in.P % layers != 0)
+        return std::numeric_limits<std::uint64_t>::max() / 2;
+      const GridShape g = summa_grid_shape(in.P / layers, in.grid_rows, in.grid_cols);
+      if (g.rows * g.cols != in.P / layers || g.stages < 1)
+        return std::numeric_limits<std::uint64_t>::max() / 2;
+      const double cd = static_cast<double>(layers);
+      const double qc = static_cast<double>(g.cols);
+      const double s = static_cast<double>(g.stages);
+      const double skew =
+          flops > 0.0 ? std::max(1.0, mrf * P / flops) : 1.0;
+      // The grid transients live in two phases that do NOT overlap in time —
+      // the gauge high-waters whichever is taller, so summing them (the
+      // first cut of this model) over-reserved ~3.5× at high panel counts
+      // and forced 4× more panels (and 4× the replay latency) than the
+      // budget needed.
+      //
+      // Redistribution phase: inbound 1D→grid staging + block assembly. A
+      // ships whole every panel; inbound B is the global panel window (/k);
+      // the outbound partial-C scatter is all-or-nothing per receiving rank
+      // (/keff). ×2 covers arrival chunks coexisting with the assembled
+      // block (and the scatter's merge out-buffer on the way out). All of
+      // this is dead before the multiply's accumulator grows.
+      const double c_out = std::min(flops, cd * flops / 2.0);
+      const double redist =
+          2.0 * skew *
+          (static_cast<double>(in.nnz_a) / P + static_cast<double>(in.nnz_b) / (P * kk) +
+           c_out / (P * keff));
+      // Multiply phase: the accumulator plus the B stage payloads live when
+      // it peaks (A stage blocks are released before the merge transient).
+      // One rank's B block column spans n/(cd·qc) global columns, so a
+      // panel narrower than that — kk > cd·qc — is what shrinks the
+      // per-stage staging; this granularity is what makes SUMMA-2D (cd=1,
+      // qc=2) and split-3D (cd=2, qc=1) measure identically at P=4. The
+      // lookahead bound (≤3 stages posted under a budget) caps the resident
+      // fraction on big grids; +130 is the small-problem floor (CSR
+      // cursors, fold headers) the two calibration workloads expose.
+      const double bwin = cd * qc;
+      const double stage_live = 3.0 * skew * std::min(1.0, 3.0 / s) *
+                                    (static_cast<double>(in.nnz_b) / bwin) /
+                                    std::max(1.0, kk / bwin) +
+                                130.0;
+      peak = std::max(redist, acc + stage_live);
+      break;
+    }
+  }
+  if (!(peak >= 0.0) || peak >= 9.0e18) return std::numeric_limits<std::uint64_t>::max() / 2;
+  return static_cast<std::uint64_t>(peak) + 1;
+}
+
 }  // namespace
+
+std::uint64_t CostModel::predicted_peak_triples(const AlgoCostInputs& in, Algo algo,
+                                                int panels) const {
+  return modeled_peak_triples(ordering_adjusted(in), algo, panels);
+}
 
 AlgoPrediction CostModel::predict(const AlgoCostInputs& in_raw, Algo algo) const {
   // All formulas below read the ordering-adjusted view of the measurements;
@@ -331,6 +446,81 @@ AlgoPrediction CostModel::predict(const AlgoCostInputs& in_raw, Algo algo) const
       pr.comp_coeff = t.imb * flops / (P * threads);
       pr.other_coeff = t.imb * t.bcast_elems + flops / P + t.redist_elems;
       break;
+    }
+  }
+  // Column-panel resolution (DESIGN.md §13): unbudgeted runs stay
+  // monolithic; a budget resolves the smallest panel count whose modeled
+  // peak fits, turning the feasibility cliff into a priced slope. A pinned
+  // panel count (in.panels ≥ 1) is priced and budget-checked verbatim.
+  {
+    int k = in.panels;
+    if (k < 1) {
+      if (in.max_peak_triples == 0) {
+        k = 1;
+      } else {
+        k = 0;
+        for (int cand : {1, 2, 4, 8, 16, 32, 64}) {
+          if (modeled_peak_triples(in, algo, cand) <= in.max_peak_triples) {
+            k = cand;
+            break;
+          }
+        }
+        if (k == 0) {
+          pr.panels = 64;
+          pr.peak_triples = modeled_peak_triples(in, algo, 64);
+          pr.feasible = false;
+          pr.note = "no column panelization brings the modeled peak under max_peak_triples";
+          return pr;
+        }
+      }
+    }
+    pr.panels = k;
+    pr.peak_triples = modeled_peak_triples(in, algo, k);
+    if (in.max_peak_triples > 0 && pr.peak_triples > in.max_peak_triples) {
+      pr.feasible = false;
+      pr.note = "modeled peak exceeds max_peak_triples at the pinned panel count";
+      return pr;
+    }
+    if (k > 1) {
+      // Panel pricing slope: each extra panel replays the A-side of the
+      // backend (B and C volumes are split across panels, so their totals
+      // are unchanged) plus one more round of latency.
+      const double kd = static_cast<double>(k);
+      switch (algo) {
+        case Algo::Auto:
+          break;
+        case Algo::SparseAware1D: {
+          // Per-panel fetch plans repeat the message latency and the
+          // metadata allgather; the fetched value volume covers disjoint
+          // columns, so its total is roughly panel-invariant.
+          const auto msgs = static_cast<double>(in.sa1d_fetch_msgs) / P;
+          const double meta_bytes = static_cast<double>(in.nzc_a) * 2.0 *
+                                    static_cast<double>(in.index_bytes);
+          pr.comm_s += (kd - 1.0) * (alpha * 2.0 * msgs + beta * meta_bytes);
+          pr.other_coeff += (kd - 1.0) * nnz_b / P;
+          break;
+        }
+        case Algo::Ring1D:
+          // A re-circulates whole once per panel: both the hop latency and
+          // the shift volume scale with k, as does the per-hop column scan.
+          pr.comm_s *= kd;
+          pr.other_coeff += (kd - 1.0) * nnz_a / 4.0;
+          break;
+        case Algo::Summa2D:
+        case Algo::Split3D: {
+          const GridTerms t =
+              grid_terms(in, algo == Algo::Split3D ? in.layers : 1, p_.imb_scale);
+          const GridShape g = summa_grid_shape(
+              in.P / (algo == Algo::Split3D ? in.layers : 1), in.grid_rows, in.grid_cols);
+          const double cd = algo == Algo::Split3D ? static_cast<double>(in.layers) : 1.0;
+          const double redist_a = nnz_a / P;
+          const double bc_a = nnz_a / (cd * static_cast<double>(g.rows));
+          pr.comm_s += (kd - 1.0) *
+                       (alpha * t.latency_msgs + beta * trip * (redist_a + bc_a));
+          pr.other_coeff += (kd - 1.0) * redist_a;
+          break;
+        }
+      }
     }
   }
   // The compute terms are linear in the calibrated rates; keeping the
@@ -420,6 +610,40 @@ AlgoPrediction CostModel::predict_replay(const AlgoCostInputs& in_raw, Algo algo
       pr.comm_s = alpha * t.latency_msgs + beta * vb * (t.redist_elems + t.bcast_elems);
       pr.other_coeff = flops / P + t.redist_elems;
       break;
+    }
+  }
+  if (pr.panels > 1) {
+    // Replay panel slope, mirroring predict(): each extra panel replays the
+    // A-side value traffic and one more latency round; B/C value volumes
+    // are split across panels so their totals are unchanged.
+    const double kd = static_cast<double>(pr.panels);
+    switch (algo) {
+      case Algo::Auto:
+        break;
+      case Algo::SparseAware1D: {
+        const auto msgs = static_cast<double>(in.sa1d_fetch_msgs) / P;
+        pr.comm_s += (kd - 1.0) * alpha * msgs;
+        pr.other_coeff += (kd - 1.0) * nnz_b / P;
+        break;
+      }
+      case Algo::Ring1D:
+        pr.comm_s *= kd;
+        pr.other_coeff += (kd - 1.0) * nnz_a * (P - 1.0) / (4.0 * P);
+        break;
+      case Algo::Summa2D:
+      case Algo::Split3D: {
+        const GridTerms t =
+            grid_terms(in, algo == Algo::Split3D ? in.layers : 1, p_.imb_scale);
+        const GridShape g = summa_grid_shape(
+            in.P / (algo == Algo::Split3D ? in.layers : 1), in.grid_rows, in.grid_cols);
+        const double cd = algo == Algo::Split3D ? static_cast<double>(in.layers) : 1.0;
+        const double redist_a = nnz_a / P;
+        const double bc_a = nnz_a / (cd * static_cast<double>(g.rows));
+        pr.comm_s +=
+            (kd - 1.0) * (alpha * t.latency_msgs + beta * vb * (redist_a + bc_a));
+        pr.other_coeff += (kd - 1.0) * redist_a;
+        break;
+      }
     }
   }
   if (in.ordering == Ordering::Partitioned || in.ordering == Ordering::Random) {

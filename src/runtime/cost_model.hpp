@@ -98,9 +98,20 @@ struct AlgoCostInputs {
   std::uint64_t nzc_a = 0;              ///< nonzero columns of A (metadata volume)
   std::uint64_t flops = 0;              ///< structural multiply count, global
   std::uint64_t max_rank_flops = 0;     ///< max per-rank flops under B's 1D layout
+  std::uint64_t max_rank_nnz_a = 0;     ///< max per-rank nnz(A) under its 1D layout
+  std::uint64_t max_rank_nnz_b = 0;     ///< max per-rank nnz(B) under its 1D layout
   std::uint64_t sa1d_fetch_elems = 0;   ///< planned remote fetch volume (elements)
   std::uint64_t sa1d_fetch_msgs = 0;    ///< planned RDMA block fetches
+  std::uint64_t max_rank_fetch_elems = 0;  ///< max per-rank planned fetch volume
   double needed_fraction = 1.0;         ///< avg |H∩D| / nzc over remote pairs
+  /// Peak-triples budget the prediction must respect
+  /// (DistSpgemmOptions::max_peak_triples; 0 = unbounded). predict() marks a
+  /// backend infeasible when its modeled per-rank peak exceeds this at every
+  /// panel count, else prices the smallest feasible panelization.
+  std::uint64_t max_peak_triples = 0;
+  /// Column-panel count to price: 0 = resolve (smallest feasible under the
+  /// budget, 1 when unbudgeted); >= 1 prices exactly that panelization.
+  int panels = 0;
   std::size_t value_bytes = sizeof(double);
   std::size_t index_bytes = sizeof(index_t);
   /// Whether execution overlaps communication with compute (the
@@ -152,6 +163,14 @@ struct AlgoPrediction {
   double reorder_s = 0.0;
   double comp_coeff = 0.0;   ///< effective flops: comp_s / CostParams.flop_s
   double other_coeff = 0.0;  ///< effective triples: other_s / CostParams.triple_s
+  /// Column-panel count this row prices (1 = monolithic). When the inputs
+  /// carry a peak-triples budget and panels = 0, predict() resolves this to
+  /// the smallest feasible panelization — the (backend × panelization) cell
+  /// Auto ranks jointly.
+  int panels = 1;
+  /// Modeled per-rank peak transient triples at `panels` (upper bound on
+  /// the measured RankReport::peak_triples gauge; 0 = not modeled).
+  std::uint64_t peak_triples = 0;
   [[nodiscard]] double total_s() const { return comm_s + comp_s + other_s + reorder_s; }
 };
 
@@ -232,6 +251,13 @@ class CostModel {
   /// local passes. Plan-aware Auto reprices iterated decisions with this
   /// (DESIGN.md §8); deterministic in the inputs like predict().
   [[nodiscard]] AlgoPrediction predict_replay(const AlgoCostInputs& in, Algo algo) const;
+
+  /// Modeled per-rank peak transient triples of one budgeted execution of
+  /// `algo` at column-panel count `panels` — the upper bound predict() uses
+  /// for budget feasibility (DESIGN.md §13). Exposed so benches can record
+  /// the predicted-vs-measured peak series next to the time series.
+  [[nodiscard]] std::uint64_t predicted_peak_triples(const AlgoCostInputs& in, Algo algo,
+                                                     int panels) const;
 
   /// The *analytic* (unscaled) even-split max/mean load factor predict()
   /// assumes for `algo` on these inputs: the product of the row- and

@@ -210,8 +210,22 @@ class PlanCache {
     ++misses_;
     ++comm.report().cache_misses;
   }
-  /// Publishes the residency gauge into the RankReport.
-  void publish_gauge(Comm& comm) { comm.report().cache_bytes_resident = bytes_resident(); }
+  /// Publishes the residency gauge into the RankReport — and routes the
+  /// byte *delta* since the last publish through the same execution memory
+  /// gauge the budgeted backends charge (DESIGN.md §13): cache residency and
+  /// execution transients report through one pressure path, so peak_bytes
+  /// reflects plans held resident on a tenant's behalf, not just in-flight
+  /// staging.
+  void publish_gauge(Comm& comm) {
+    const std::uint64_t now = bytes_resident();
+    auto& rep = comm.report();
+    rep.cache_bytes_resident = now;
+    if (now > last_published_)
+      rep.mem_charge(0, now - last_published_);
+    else
+      rep.mem_release(0, last_published_ - now);
+    last_published_ = now;
+  }
 
   /// Evicts from the LRU tail until the agreed residency fits the budget.
   /// Deterministic across ranks (the loop reads only agreed state), so every
@@ -252,6 +266,7 @@ class PlanCache {
   int demote_window_ = 2;
   std::list<Entry> entries_;  ///< front = MRU, evict from the back
   std::uint64_t next_seq_ = 0;
+  std::uint64_t last_published_ = 0;  ///< gauge bytes charged at the last publish
   std::uint64_t hits_ = 0;
   std::uint64_t misses_ = 0;
   std::uint64_t evictions_ = 0;
@@ -270,6 +285,9 @@ DistMatrix1D<VT> spgemm_dist_cached_mt(Comm& comm,
                                        const DistSpgemmOptions& opt = {},
                                        DistSpgemmStats* stats = nullptr) {
   distdetail::validate_collective(comm, a, b, opt);
+  // Outermost gauge scope: a serving-loop call's peak covers plan residency
+  // (published below) plus the tenant's execution transients.
+  MemGaugeScope gauge(comm.report());
   StructureFingerprint fp;
   {
     auto ph = comm.phase(Phase::Other);

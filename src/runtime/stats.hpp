@@ -86,6 +86,16 @@ struct RankReport {
   // rendezvous, and rebuilt (dist/dist_plan.hpp's bounded retry loop).
   std::uint64_t plan_recoveries = 0;
 
+  // Ordinal of top-level iterated entry points (spgemm_dist_cached /
+  // spgemm_dist_batched) this rank has started. Read only by the
+  // post-recovery alignment vote: recover() proves every rank unwound, not
+  // that they unwound from the SAME logical call, and an iterated workload
+  // can have one rank faulted mid-call #n while a peer already sits in call
+  // #n+1 — each would restart its own call and the collective sequences
+  // would desync into a watchdog hang. Comparing these ordinals right after
+  // the rendezvous turns that hang into a uniform typed error.
+  std::uint64_t toplevel_calls = 0;
+
   // Inspector–executor reuse accounting, indexed by the Algo enum's integer
   // value (runtime/cost_model.hpp; 0 = Auto counts cached cost-decision
   // reuses, the concrete backends count their plan builds vs. value-only
@@ -107,6 +117,41 @@ struct RankReport {
   // Per-backend split, indexed like plan_builds (slot 0 = Auto unused).
   std::array<std::uint64_t, 5> cache_hits_by_algo{};
   std::array<std::uint64_t, 5> cache_evictions_by_algo{};
+
+  // Peak-memory gauge (DESIGN.md §13). The execution layer charges its
+  // transient triple-shaped allocations — COO accumulators, circulating ring
+  // slices, stage-broadcast staging, redistribution receive chunks, merge
+  // scratch — as it makes them and releases them as they die; the high-water
+  // marks are what DistSpgemmOptions::max_peak_triples budgets against.
+  // mem_cur_* are the live gauges, peak_* the high-water since the last
+  // outermost budget scope opened (MemGaugeScope resets the peaks to the
+  // current level per top-level call, so each DistSpgemmStats reports its
+  // own call's peak, not the session maximum). hwm_* are the machine-
+  // lifetime high-water marks — never reset by any scope — so a RunReport
+  // read after several calls (e.g. a fresh build followed by replays)
+  // bounds ALL of them: a budgeted run holds iff hwm_triples ≤ budget.
+  std::uint64_t mem_cur_triples = 0;
+  std::uint64_t mem_cur_bytes = 0;
+  std::uint64_t peak_triples = 0;
+  std::uint64_t peak_bytes = 0;
+  std::uint64_t hwm_triples = 0;
+  std::uint64_t hwm_bytes = 0;
+  // Nesting depth of open MemGaugeScopes: only the outermost scope resets
+  // the peaks, so panel sub-calls cannot erase their parent's high water.
+  int mem_scope_depth = 0;
+
+  void mem_charge(std::uint64_t triples, std::uint64_t bytes) {
+    mem_cur_triples += triples;
+    mem_cur_bytes += bytes;
+    if (mem_cur_triples > peak_triples) peak_triples = mem_cur_triples;
+    if (mem_cur_bytes > peak_bytes) peak_bytes = mem_cur_bytes;
+    if (mem_cur_triples > hwm_triples) hwm_triples = mem_cur_triples;
+    if (mem_cur_bytes > hwm_bytes) hwm_bytes = mem_cur_bytes;
+  }
+  void mem_release(std::uint64_t triples, std::uint64_t bytes) {
+    mem_cur_triples -= triples < mem_cur_triples ? triples : mem_cur_triples;
+    mem_cur_bytes -= bytes < mem_cur_bytes ? bytes : mem_cur_bytes;
+  }
 
   [[nodiscard]] std::uint64_t bytes_network() const { return bytes_inter + bytes_intra; }
   [[nodiscard]] std::uint64_t msgs_network() const { return msgs_inter + msgs_intra; }
@@ -143,6 +188,28 @@ class PhaseScope {
   RankReport& report_;
   Phase phase_;
   CpuTimer timer_;
+};
+
+/// RAII peak-gauge scope: the outermost instance resets the high-water
+/// marks to the current gauge level, so peak_triples/peak_bytes describe
+/// exactly one top-level distributed call (monotone within the call, reset
+/// at the next). Nested scopes — panel sub-multiplies, plan builds inside
+/// cached entry points — are no-ops, so inner calls accumulate into their
+/// parent's peak instead of erasing it.
+class MemGaugeScope {
+ public:
+  explicit MemGaugeScope(RankReport& r) : report_(r) {
+    if (report_.mem_scope_depth++ == 0) {
+      report_.peak_triples = report_.mem_cur_triples;
+      report_.peak_bytes = report_.mem_cur_bytes;
+    }
+  }
+  MemGaugeScope(const MemGaugeScope&) = delete;
+  MemGaugeScope& operator=(const MemGaugeScope&) = delete;
+  ~MemGaugeScope() { --report_.mem_scope_depth; }
+
+ private:
+  RankReport& report_;
 };
 
 }  // namespace sa1d

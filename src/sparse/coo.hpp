@@ -2,6 +2,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cstdint>
+#include <numeric>
 #include <vector>
 
 #include "util/common.hpp"
@@ -88,6 +90,109 @@ class CooMatrix {
   index_t nrows_ = 0;
   index_t ncols_ = 0;
   std::vector<Triple<VT>> t_;
+};
+
+/// Sorts `t` by (col, row) breaking ties by original position and ⊕-merges
+/// duplicates left to right — a *deterministic* merge (std::sort's tie order
+/// is unspecified, so canonicalize_with cannot be replayed bit-exactly).
+/// `dst`/`first` (optional, but only together) capture the fold program:
+/// original triple i lands in output slot (*dst)[i], assigning when
+/// (*first)[i] and ⊕-accumulating otherwise — replaying the program in
+/// original order reproduces the merged values bit for bit.
+template <typename Add, typename VT>
+void merge_triples_stable(std::vector<Triple<VT>>& t, Add add,
+                          std::vector<index_t>* dst = nullptr,
+                          std::vector<std::uint8_t>* first = nullptr) {
+  require((dst == nullptr) == (first == nullptr),
+          "merge_triples_stable: dst and first capture the fold program together — "
+          "pass both or neither");
+  std::vector<index_t> perm(t.size());
+  std::iota(perm.begin(), perm.end(), index_t{0});
+  std::sort(perm.begin(), perm.end(), [&](index_t x, index_t y) {
+    const auto& a = t[static_cast<std::size_t>(x)];
+    const auto& b = t[static_cast<std::size_t>(y)];
+    if (a.col != b.col) return a.col < b.col;
+    if (a.row != b.row) return a.row < b.row;
+    return x < y;
+  });
+  if (dst != nullptr) {
+    dst->assign(t.size(), 0);
+    first->assign(t.size(), 0);
+  }
+  std::vector<Triple<VT>> out;
+  out.reserve(t.size());
+  for (auto i : perm) {
+    const auto& ti = t[static_cast<std::size_t>(i)];
+    if (out.empty() || out.back().col != ti.col || out.back().row != ti.row) {
+      out.push_back(ti);
+      if (dst != nullptr) {
+        (*dst)[static_cast<std::size_t>(i)] = static_cast<index_t>(out.size() - 1);
+        (*first)[static_cast<std::size_t>(i)] = 1;
+      }
+    } else {
+      out.back().val = add(out.back().val, ti.val);
+      if (dst != nullptr) (*dst)[static_cast<std::size_t>(i)] = static_cast<index_t>(out.size() - 1);
+    }
+  }
+  t = std::move(out);
+}
+
+/// Incremental (streaming) variant of merge_triples_stable: call round()
+/// after appending each batch of partial triples — a ring hop, a SUMMA
+/// stage, one scatter chunk — and the vector collapses to canonical form
+/// after every round instead of holding all pushes until a terminal merge.
+/// The peak footprint drops from Σ pushes to (merged so far + one round's
+/// pushes), which is what the peak-triples budget bounds.
+///
+/// Bit-identity and program equivalence: the merged array AND the composed
+/// dst/first fold program after the last round are byte-identical to one
+/// terminal merge_triples_stable over the same pushes in the same order.
+/// Per key, the fold is the left fold in push order both ways — a
+/// previously-merged entry is canonical (unique key, lowest index), so it
+/// sorts before any same-key triple appended later under the
+/// (col, row, original-index) tie-break, and composing each round's capture
+/// through the previous rounds' slots preserves every push's final slot and
+/// assign/accumulate flag. Replay programs captured through either path are
+/// therefore interchangeable.
+template <typename VT>
+class StreamingTripleMerge {
+ public:
+  /// Canonical prefix length of the vector after the last round().
+  [[nodiscard]] std::size_t merged() const { return merged_; }
+  void reset() { merged_ = 0; }
+
+  /// Merges the triples appended since the previous round (positions
+  /// [merged(), t.size())) into the canonical prefix. `dst`/`first`
+  /// (optional, but only together) hold the composed fold program across
+  /// all rounds so far: entries for earlier pushes are remapped through
+  /// this round's slot movement, entries for this round's pushes appended.
+  template <typename Add>
+  void round(std::vector<Triple<VT>>& t, Add add, std::vector<index_t>* dst = nullptr,
+             std::vector<std::uint8_t>* first = nullptr) {
+    require((dst == nullptr) == (first == nullptr),
+            "StreamingTripleMerge::round: dst and first capture the fold program "
+            "together — pass both or neither");
+    const std::size_t m_prev = merged_;
+    if (t.size() == m_prev) return;  // nothing appended this round
+    if (dst == nullptr) {
+      merge_triples_stable(t, add);
+    } else {
+      std::vector<index_t> rdst;
+      std::vector<std::uint8_t> rfirst;
+      merge_triples_stable(t, add, &rdst, &rfirst);
+      // Compose: earlier pushes' slots move with their canonical entry
+      // (always an "accumulate into existing" from this round's viewpoint,
+      // so their first flags are untouched); this round's pushes append.
+      for (auto& d : *dst) d = rdst[static_cast<std::size_t>(d)];
+      dst->insert(dst->end(), rdst.begin() + static_cast<std::ptrdiff_t>(m_prev), rdst.end());
+      first->insert(first->end(), rfirst.begin() + static_cast<std::ptrdiff_t>(m_prev),
+                    rfirst.end());
+    }
+    merged_ = t.size();
+  }
+
+ private:
+  std::size_t merged_ = 0;
 };
 
 }  // namespace sa1d
